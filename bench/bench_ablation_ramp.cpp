@@ -1,0 +1,111 @@
+// EXT-A2 — ramp-resolution ablation: current steps vs accuracy vs test time.
+//
+// The paper's shift register drives 20 steps in the 10 ns conversion window
+// (0.5 ns/step). More steps buy finer capacitance resolution at the cost of
+// conversion time (at a fixed per-step duration) — the classic single-slope
+// ADC trade-off.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "msu/abacus.hpp"
+#include "msu/fastmodel.hpp"
+#include "report/experiment.hpp"
+#include "tech/tech.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+using namespace ecms;
+
+constexpr double kStepDuration = 0.5e-9;  // the paper's 10 ns / 20 steps
+constexpr double kFlowOverhead = 40e-9;   // steps 1-4 of the flow
+
+struct RampPoint {
+  int steps;
+  double mean_acc;
+  double worst_acc;
+  double range_lo, range_hi;
+  double time_per_cell;
+};
+
+RampPoint eval_steps(const edram::MacroCell& mc, int steps) {
+  msu::StructureParams p;
+  p.ramp_steps = steps;
+  const msu::FastModel model(mc, p);
+  msu::Abacus ab = msu::Abacus::build(
+      [&](double cm) { return model.code_of_cap(cm); }, steps, 1e-15, 75e-15,
+      741);
+  ab.refine([&](double cm) { return model.code_of_cap(cm); }, 1e-19);
+  RampPoint rp;
+  rp.steps = steps;
+  rp.mean_acc = ab.mean_accuracy(1, steps - 1);
+  rp.worst_acc = ab.worst_accuracy(1, steps - 1);
+  rp.range_lo = ab.range_lo();
+  rp.range_hi = ab.range_hi();
+  rp.time_per_cell = kFlowOverhead + steps * kStepDuration;
+  return rp;
+}
+
+void run_ablation() {
+  std::printf("EXT-A2: ramp step-count ablation (0.5 ns per step)\n\n");
+  const auto mc = edram::MacroCell::uniform({}, tech::tech018(), 30_fF);
+  Table table({"ramp steps", "window (fF)", "mean acc (%)", "worst acc (%)",
+               "time/cell (ns)"});
+  std::vector<RampPoint> points;
+  for (int steps : {5, 10, 20, 40, 80}) {
+    const RampPoint rp = eval_steps(mc, steps);
+    points.push_back(rp);
+    table.add_row({Table::num(static_cast<long long>(rp.steps)),
+                   Table::num(to_unit::fF(rp.range_lo), 1) + " - " +
+                       Table::num(to_unit::fF(rp.range_hi), 1),
+                   Table::num(100 * rp.mean_acc, 1),
+                   Table::num(100 * rp.worst_acc, 1),
+                   Table::num(to_unit::ns(rp.time_per_cell), 1)});
+  }
+  std::cout << table << '\n';
+
+  const RampPoint& p10 = points[1];
+  const RampPoint& p20 = points[2];
+  const RampPoint& p40 = points[3];
+  report::Experiment exp("EXT-A2", "ramp resolution vs accuracy vs time");
+  exp.check("doubling the steps improves the mean accuracy",
+            Table::num(100 * p10.mean_acc, 1) + "% (10) -> " +
+                Table::num(100 * p20.mean_acc, 1) + "% (20) -> " +
+                Table::num(100 * p40.mean_acc, 1) + "% (40)",
+            p20.mean_acc < p10.mean_acc && p40.mean_acc < p20.mean_acc);
+  exp.check("the paper's 20 steps land near the 6% accuracy it quotes",
+            Table::num(100 * p20.mean_acc, 1) + "% mean at 20 steps",
+            p20.mean_acc < 0.06 && p20.mean_acc > 0.02);
+  exp.check("conversion time grows linearly with the step count",
+            Table::num(to_unit::ns(p40.time_per_cell), 0) + " ns at 40 vs " +
+                Table::num(to_unit::ns(p20.time_per_cell), 0) + " ns at 20",
+            p40.time_per_cell > p20.time_per_cell);
+  exp.note("per-step duration fixed at the paper's 0.5 ns; steps 1-4 of the "
+           "flow add a constant 40 ns");
+  std::cout << exp << '\n';
+}
+
+void BM_CodeAtSteps(benchmark::State& state) {
+  const auto mc = edram::MacroCell::uniform({}, tech::tech018(), 30_fF);
+  msu::StructureParams p;
+  p.ramp_steps = static_cast<int>(state.range(0));
+  const msu::FastModel model(mc, p);
+  double cm = 12e-15;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.code_of_cap(cm));
+    cm = cm < 55e-15 ? cm + 0.7e-15 : 12e-15;
+  }
+}
+BENCHMARK(BM_CodeAtSteps)->Arg(10)->Arg(20)->Arg(80);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

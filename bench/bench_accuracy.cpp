@@ -1,0 +1,119 @@
+// CLM-ACC — the text claim "the test structure is scaled in a range of eDRAM
+// capacitor of 10fF-55fF with an accuracy of 6%".
+//
+// Prints the full per-code calibration table (capacitance bin per current
+// step) and the accuracy summary. Quantization accuracy is the relative
+// half-width of each code's capacitance interval; the square-law REF makes
+// low codes wider than mid/high codes, so worst/mean/mid-window numbers are
+// reported separately.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "msu/abacus.hpp"
+#include "msu/fastmodel.hpp"
+#include "report/experiment.hpp"
+#include "tech/tech.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+using namespace ecms;
+
+void run_accuracy() {
+  std::printf("CLM-ACC: measurement accuracy over the 10-55 fF window\n\n");
+  const auto mc = edram::MacroCell::uniform({}, tech::tech018(), 30_fF);
+  const msu::StructureParams params;
+  const msu::FastModel model(mc, params);
+  msu::Abacus ab = msu::Abacus::build(
+      [&](double cm) { return model.code_of_cap(cm); }, params.ramp_steps,
+      1e-15, 75e-15, 741);
+  ab.refine([&](double cm) { return model.code_of_cap(cm); }, 1e-19);
+
+  Table table({"code", "Cm low (fF)", "Cm high (fF)", "estimate (fF)",
+               "half-width (fF)", "accuracy (%)"});
+  for (int code = 0; code <= params.ramp_steps; ++code) {
+    const auto bin = ab.bin(code);
+    if (!bin) continue;
+    if (code == 0) {
+      table.add_row({"0", "<", Table::num(to_unit::fF(bin->hi), 2),
+                     "under-range / short / open", "-", "-"});
+      continue;
+    }
+    if (code == params.ramp_steps) {
+      table.add_row({Table::num(static_cast<long long>(code)),
+                     Table::num(to_unit::fF(bin->lo), 2), ">",
+                     ">= window top", "-", "-"});
+      continue;
+    }
+    table.add_row({Table::num(static_cast<long long>(code)),
+                   Table::num(to_unit::fF(bin->lo), 2),
+                   Table::num(to_unit::fF(bin->hi), 2),
+                   Table::num(to_unit::fF(bin->mid()), 2),
+                   Table::num(to_unit::fF(bin->hi - bin->lo) / 2.0, 2),
+                   Table::num(100.0 * bin->relative_halfwidth(), 1)});
+  }
+  std::cout << table << '\n';
+
+  const double worst = ab.worst_accuracy(1, 19);
+  const double mean = ab.mean_accuracy(1, 19);
+  const double mid = ab.mean_accuracy(5, 15);
+  std::printf("worst (codes 1-19): %.1f %%\n", 100 * worst);
+  std::printf("mean  (codes 1-19): %.1f %%\n", 100 * mean);
+  std::printf("mid-window (codes 5-15): %.1f %%\n\n", 100 * mid);
+
+  report::Experiment exp("CLM-ACC", "10-55 fF range with 6% accuracy");
+  exp.check("range 10 fF - 55 fF",
+            Table::num(to_unit::fF(ab.range_lo()), 1) + " - " +
+                Table::num(to_unit::fF(ab.range_hi()), 1) + " fF",
+            std::abs(to_unit::fF(ab.range_lo()) - 10.0) < 3.0 &&
+                std::abs(to_unit::fF(ab.range_hi()) - 55.0) < 2.0);
+  exp.check("accuracy of 6% (read as the typical in-window accuracy)",
+            "mean " + Table::num(100 * mean, 1) + "%, mid-window " +
+                Table::num(100 * mid, 1) + "%",
+            mean < 0.06);
+  exp.check("low codes are coarser (square-law REF), paper quotes a single "
+            "number",
+            "worst " + Table::num(100 * worst, 1) + "% at code 1",
+            worst > mean);
+  exp.note(
+      "the paper does not define its 6% precisely; we interpret it as the "
+      "typical (mean) in-window quantization accuracy and also report the "
+      "worst-case low-code bins");
+  std::cout << exp << '\n';
+}
+
+void BM_AbacusAccuracyQuery(benchmark::State& state) {
+  const auto mc = edram::MacroCell::uniform({}, tech::tech018(), 30_fF);
+  const msu::FastModel model(mc, {});
+  msu::Abacus ab = msu::Abacus::build(
+      [&](double cm) { return model.code_of_cap(cm); }, 20, 1e-15, 75e-15,
+      371);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ab.mean_accuracy(1, 19));
+    benchmark::DoNotOptimize(ab.worst_accuracy(1, 19));
+  }
+}
+BENCHMARK(BM_AbacusAccuracyQuery);
+
+void BM_CapBoundaryInversion(benchmark::State& state) {
+  const auto mc = edram::MacroCell::uniform({}, tech::tech018(), 30_fF);
+  const msu::FastModel model(mc, {});
+  int k = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.cap_at_code_boundary(k));
+    k = k < 20 ? k + 1 : 1;
+  }
+}
+BENCHMARK(BM_CapBoundaryInversion);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_accuracy();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

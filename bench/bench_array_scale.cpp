@@ -1,0 +1,117 @@
+// EXT-A3 — array-size scalability of the measurement structure.
+//
+// A reproduction finding the paper does not spell out: the plate offset
+// (floating-cell loads plus the target row's bit-line coupling) grows with
+// the macro-cell size, and beyond a few hundred cells no C_REF choice can
+// keep a 20-step linear ramp resolving the 10-55 fF window. This is why the
+// structure is a *macro-cell* instrument and why array-scale bitmaps use
+// plate segmentation (one structure per tile).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "bitmap/analog_bitmap.hpp"
+#include "msu/designer.hpp"
+#include "msu/extract.hpp"
+#include "report/experiment.hpp"
+#include "tech/tech.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+using namespace ecms;
+
+void run_scaling() {
+  std::printf("EXT-A3: measurement-structure scalability vs macro-cell size\n\n");
+  Table table({"macro-cell", "plate offset (fF)", "best C_REF (fF)",
+               "window lo (fF)", "window hi (fF)", "codes", "mean acc (%)"});
+  report::Experiment exp("EXT-A3", "plate offset vs macro-cell size");
+
+  double off4 = 0.0, off16 = 0.0;
+  std::size_t codes16 = 0;
+  for (std::size_t n : {2, 4, 8, 16}) {
+    const auto mc = edram::MacroCell::uniform(
+        {.rows = n, .cols = n}, tech::tech018(), 30_fF);
+    const msu::StructureParams best = msu::auto_size_structure(mc);
+    const msu::FastModel model(mc, best);
+    const msu::DesignPoint d = msu::evaluate_design(mc, best);
+    table.add_row({Table::num(static_cast<long long>(n)) + "x" +
+                       Table::num(static_cast<long long>(n)),
+                   Table::num(to_unit::fF(model.reference_offset()), 1),
+                   Table::num(to_unit::fF(d.cref), 1),
+                   Table::num(to_unit::fF(d.range_lo), 1),
+                   Table::num(to_unit::fF(d.range_hi), 1),
+                   Table::num(static_cast<long long>(d.codes_used)),
+                   Table::num(100 * d.mean_acc, 1)});
+    if (n == 4) off4 = model.reference_offset();
+    if (n == 16) {
+      off16 = model.reference_offset();
+      codes16 = d.codes_used;
+    }
+  }
+  std::cout << table << '\n';
+
+  exp.check("the plate offset grows with the macro-cell",
+            Table::num(to_unit::fF(off4), 1) + " fF (4x4) -> " +
+                Table::num(to_unit::fF(off16), 1) + " fF (16x16)",
+            off16 > 3.0 * off4);
+  exp.check("beyond macro-cell scale the 20-step window degrades even with "
+            "re-sized C_REF",
+            Table::num(static_cast<long long>(codes16)) +
+                " codes usable at 16x16 (21 at 4x4)",
+            codes16 < 21);
+  exp.note("consequence: array-scale analog bitmaps use plate segmentation "
+           "(AnalogBitmap::extract_tiled), one structure per 4x4 tile");
+  std::cout << exp << "\n";
+
+  // Throughput summary for the fast model at array scale.
+  std::printf("-- tiled extraction throughput (fast model) --\n");
+  for (std::size_t n : {16, 32, 64}) {
+    const auto mc = edram::MacroCell::uniform(
+        {.rows = n, .cols = n}, tech::tech018(), 30_fF);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto bm = bitmap::AnalogBitmap::extract_tiled(mc, {});
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::printf("  %3zux%-3zu: %8.0f cells/s\n", n, n,
+                static_cast<double>(bm.rows() * bm.cols()) / s);
+  }
+  std::printf("\n");
+}
+
+void BM_CircuitExtractionBySize(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto mc = edram::MacroCell::uniform({.rows = n, .cols = n},
+                                            tech::tech018(), 30_fF);
+  for (auto _ : state) {
+    auto res = msu::extract_cell(mc, 0, 0, {}, {},
+                                 {.dt = 20e-12, .record_trace = false});
+    benchmark::DoNotOptimize(res.code);
+  }
+  state.SetLabel(std::to_string(n) + "x" + std::to_string(n));
+}
+BENCHMARK(BM_CircuitExtractionBySize)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TiledBitmap64(benchmark::State& state) {
+  const auto mc = edram::MacroCell::uniform({.rows = 64, .cols = 64},
+                                            tech::tech018(), 30_fF);
+  for (auto _ : state) {
+    auto bm = bitmap::AnalogBitmap::extract_tiled(mc, {});
+    benchmark::DoNotOptimize(bm.count_code(0));
+  }
+}
+BENCHMARK(BM_TiledBitmap64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_scaling();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

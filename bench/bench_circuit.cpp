@@ -1,0 +1,106 @@
+// SUBSTR — performance of the analog-simulation substrate itself: dense LU,
+// MOSFET evaluation, Newton DC solves, and transient throughput. These are
+// the numbers that bound how fast circuit-level extraction can go.
+#include <benchmark/benchmark.h>
+
+#include "circuit/dc.hpp"
+#include "circuit/transient.hpp"
+#include "edram/netlister.hpp"
+#include "tech/tech.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace {
+using namespace ecms;
+using namespace ecms::circuit;
+
+void BM_LuFactorSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(42);
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a.at(r, c) = rng.uniform(-1, 1);
+    a.at(r, r) += static_cast<double>(n);
+  }
+  std::vector<double> b(n, 1.0);
+  for (auto _ : state) {
+    LuFactorization lu(a);
+    auto x = lu.solve(b);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_LuFactorSolve)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MosEval(benchmark::State& state) {
+  const auto p = tech::tech018().nmos_min(1e-6);
+  double vg = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mos_eval(p, vg, 0.9, 0.0, 0.0).ids);
+    vg = vg < 1.8 ? vg + 1e-3 : 0.0;
+  }
+}
+BENCHMARK(BM_MosEval);
+
+// Inverter-chain DC operating point (Newton with nonlinear devices).
+void BM_DcInverterChain(benchmark::State& state) {
+  const auto t = tech::tech018();
+  const auto n_stages = static_cast<std::size_t>(state.range(0));
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  c.add_vsource("VDD", vdd, kGround, SourceWave::dc(t.vdd));
+  c.add_vsource("VIN", c.node("n0"), kGround, SourceWave::dc(0.4));
+  for (std::size_t i = 0; i < n_stages; ++i) {
+    const NodeId in = c.find_node("n" + std::to_string(i));
+    const NodeId out = c.node("n" + std::to_string(i + 1));
+    c.add_mosfet("MP" + std::to_string(i), out, in, vdd, vdd,
+                 t.pmos_min(1e-6));
+    c.add_mosfet("MN" + std::to_string(i), out, in, kGround, kGround,
+                 t.nmos_min(0.5e-6));
+  }
+  for (auto _ : state) {
+    auto r = dc_operating_point(c);
+    benchmark::DoNotOptimize(r.x.data());
+  }
+}
+BENCHMARK(BM_DcInverterChain)->Arg(4)->Arg(16)->Unit(benchmark::kMicrosecond);
+
+// RC-ladder transient: measures accepted time steps per second.
+void BM_TransientRcLadder(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Circuit c;
+  c.add_vsource("V1", c.node("n0"), kGround,
+                SourceWave::pwl({{0.0, 0.0}, {1e-9, 1.0}}));
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId a = c.find_node("n" + std::to_string(i));
+    const NodeId b = c.node("n" + std::to_string(i + 1));
+    c.add_resistor("R" + std::to_string(i), a, b, 1e3);
+    c.add_capacitor("C" + std::to_string(i), b, kGround, 10e-15);
+  }
+  TranParams tp;
+  tp.t_stop = 50e-9;
+  tp.dt = 20e-12;
+  std::size_t steps = 0;
+  for (auto _ : state) {
+    auto res = transient(c, tp, {.nodes = {}, .device_currents = {}});
+    steps += res.stats.accepted_steps;
+    benchmark::DoNotOptimize(res.final_x.data());
+  }
+  state.counters["steps/s"] = benchmark::Counter(
+      static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TransientRcLadder)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+// Full measurement-circuit assembly (netlist build only).
+void BM_BuildMeasurementNetlist(benchmark::State& state) {
+  const auto mc = edram::MacroCell::uniform({}, tech::tech018(), 30_fF);
+  for (auto _ : state) {
+    Circuit c;
+    auto arr = edram::build_array(c, mc);
+    benchmark::DoNotOptimize(arr.plate);
+  }
+}
+BENCHMARK(BM_BuildMeasurementNetlist)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,134 @@
+// CLM-DIAG0 — the text claim: "If the number of current step is 0, three
+// diagnoses are possible: the capacitor value is under 10fF; the capacitor
+// is shorted; the capacitor behaves like an open. If the number of current
+// step is 20, the capacitor value is equal or superior to 55fF."
+//
+// Verifies every defect's code at both model levels and demonstrates the
+// disambiguation extension (static-current + fine-ramp re-measurement).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "msu/disambig.hpp"
+#include "msu/extract.hpp"
+#include "report/experiment.hpp"
+#include "tech/tech.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+using namespace ecms;
+
+void run_diag0() {
+  std::printf("CLM-DIAG0: code-0 / code-20 diagnoses\n\n");
+  const auto t = tech::tech018();
+
+  struct Case {
+    const char* name;
+    tech::Defect defect;
+    double true_cap;
+  };
+  const Case cases[] = {
+      {"healthy 30 fF", {}, 30_fF},
+      {"under-range 6 fF", {}, 6_fF},
+      {"shorted capacitor", tech::make_short(), 30_fF},
+      {"open capacitor", tech::make_open(), 30_fF},
+      {"partial 0.25 (7.5 fF)", tech::make_partial(0.25), 30_fF},
+      {"over-range 60 fF", {}, 60_fF},
+  };
+
+  Table table({"cell", "fast code", "circuit code", "IN current (uA)",
+               "fine-ramp estimate (fF)", "disambiguated cause"});
+  report::Experiment exp("CLM-DIAG0", "code 0 and code 20 semantics");
+
+  for (const auto& cse : cases) {
+    auto mc = edram::MacroCell::uniform({}, t, 30_fF);
+    mc.set_true_cap(1, 1, cse.true_cap);
+    mc.set_defect(1, 1, cse.defect);
+    const msu::FastModel model(mc, {});
+    const int fast = model.code_of_cell(1, 1);
+    const auto ckt = msu::extract_cell(mc, 1, 1, {}, {},
+                                       {.dt = 20e-12, .record_trace = false});
+    const msu::Disambiguator dis(model);
+    const auto d = dis.classify(1, 1);
+    table.add_row({cse.name, Table::num(static_cast<long long>(fast)),
+                   Table::num(static_cast<long long>(ckt.code)),
+                   Table::num(to_unit::uA(d.in_current), 1),
+                   d.cause == msu::ZeroCodeCause::kNotZero
+                       ? "-"
+                       : Table::num(to_unit::fF(d.est_cap), 1),
+                   msu::zero_code_cause_name(d.cause)});
+
+    if (std::string(cse.name) == "shorted capacitor") {
+      exp.check("a shorted capacitor reads code 0",
+                "fast " + Table::num(static_cast<long long>(fast)) +
+                    ", circuit " +
+                    Table::num(static_cast<long long>(ckt.code)),
+                fast == 0 && ckt.code == 0);
+      exp.check("extension: the short is identified by its static current",
+                Table::num(to_unit::uA(d.in_current), 0) + " uA through IN",
+                d.cause == msu::ZeroCodeCause::kShort);
+    }
+    if (std::string(cse.name) == "open capacitor") {
+      exp.check("an open capacitor reads code 0",
+                "fast " + Table::num(static_cast<long long>(fast)) +
+                    ", circuit " +
+                    Table::num(static_cast<long long>(ckt.code)),
+                fast == 0 && ckt.code <= 1);
+      exp.check("extension: the open is identified by the fine-ramp estimate",
+                Table::num(to_unit::fF(d.est_cap), 1) + " fF residual",
+                d.cause == msu::ZeroCodeCause::kOpen);
+    }
+    if (std::string(cse.name) == "under-range 6 fF") {
+      exp.check("a capacitor under 10 fF reads code 0",
+                "fast " + Table::num(static_cast<long long>(fast)) +
+                    ", circuit " +
+                    Table::num(static_cast<long long>(ckt.code)),
+                fast == 0 && ckt.code <= 1);
+      exp.check("extension: under-range value recovered by the fine ramp",
+                Table::num(to_unit::fF(d.est_cap), 1) + " fF (true 6.0)",
+                d.cause == msu::ZeroCodeCause::kUnderRange &&
+                    std::abs(to_unit::fF(d.est_cap) - 6.0) < 3.0);
+    }
+    if (std::string(cse.name) == "over-range 60 fF") {
+      exp.check("a capacitor at/above 55 fF reads code 20",
+                "fast " + Table::num(static_cast<long long>(fast)) +
+                    ", circuit " +
+                    Table::num(static_cast<long long>(ckt.code)),
+                fast == 20 && ckt.code == 20);
+    }
+  }
+  std::cout << table << '\n' << exp << '\n';
+}
+
+void BM_Disambiguate(benchmark::State& state) {
+  auto mc = edram::MacroCell::uniform({}, tech::tech018(), 30_fF);
+  mc.set_defect(1, 1, tech::make_open());
+  const msu::FastModel model(mc, {});
+  const msu::Disambiguator dis(model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dis.classify(1, 1).cause);
+  }
+}
+BENCHMARK(BM_Disambiguate);
+
+void BM_CodeOfCellWithDefect(benchmark::State& state) {
+  auto mc = edram::MacroCell::uniform({}, tech::tech018(), 30_fF);
+  mc.set_defect(1, 1, tech::make_partial(0.4));
+  const msu::FastModel model(mc, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.code_of_cell(1, 1));
+  }
+}
+BENCHMARK(BM_CodeOfCellWithDefect);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_diag0();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,126 @@
+// FIG3 — reproduction of Figure 3: "Abacus to define the equivalence
+// between current step and capacitor value".
+//
+// Sweeps the target capacitance at transistor level (the paper's "set of
+// simulation") and with the calibrated fast model, prints the code-vs-
+// capacitance curve, and checks the text's claims: 10-55 fF range over the
+// 20-step scale, with code 0 below and full scale above.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "msu/abacus.hpp"
+#include "msu/calibrate.hpp"
+#include "report/experiment.hpp"
+#include "tech/tech.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+using namespace ecms;
+
+void run_fig3() {
+  std::printf("FIG3: abacus (current step vs capacitor value)\n\n");
+  const auto mc = edram::MacroCell::uniform({}, tech::tech018(), 30_fF);
+  const msu::StructureParams params;
+  msu::FastModel model(mc, params);
+  const auto cal = msu::calibrate_fast_model(model);
+  std::printf("calibration: V_GS correction %.1f mV from %zu probes\n\n",
+              to_unit::mV(cal.vgs_correction), cal.points.size());
+
+  // Transistor-level sweep (coarse: each point is a transient simulation).
+  Table table({"Cm (fF)", "circuit code", "fast-model code"});
+  std::vector<double> xs, ys_ckt, ys_fast;
+  for (double fF = 2.0; fF <= 64.0; fF += 4.0) {
+    auto probe = mc;
+    probe.set_true_cap(0, 0, fF * 1e-15);
+    const auto res = msu::extract_cell(
+        probe, 0, 0, params, {},
+        {.dt = 20e-12, .record_trace = false, .delta_i = model.delta_i()});
+    const int fast = model.code_of_cap(fF * 1e-15);
+    table.add_row({Table::num(fF, 1),
+                   Table::num(static_cast<long long>(res.code)),
+                   Table::num(static_cast<long long>(fast))});
+    xs.push_back(fF);
+    ys_ckt.push_back(res.code);
+    ys_fast.push_back(fast);
+  }
+  std::cout << table << '\n';
+
+  PlotOptions opts;
+  opts.width = 64;
+  opts.height = 21;
+  opts.x_label = "capacitance (fF)";
+  opts.y_label = "current step (code)";
+  LinePlot plot(opts);
+  plot.add_series("circuit", xs, ys_ckt);
+  plot.add_series("fast model", xs, ys_fast);
+  plot.set_y_range(0.0, 20.0);
+  std::cout << plot.render() << '\n';
+
+  // Dense fast-model abacus for the precise window.
+  msu::Abacus ab = msu::Abacus::build(
+      [&](double cm) { return model.code_of_cap(cm); }, params.ramp_steps,
+      1e-15, 75e-15, 371);
+  ab.refine([&](double cm) { return model.code_of_cap(cm); }, 1e-18);
+
+  int worst_diff = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    worst_diff = std::max(
+        worst_diff, static_cast<int>(std::abs(ys_ckt[i] - ys_fast[i])));
+
+  report::Experiment exp("FIG3", "Abacus: current step vs capacitor value");
+  exp.check("test structure scaled to a range of 10 fF - 55 fF",
+            "measured window " + Table::num(to_unit::fF(ab.range_lo()), 1) +
+                " - " + Table::num(to_unit::fF(ab.range_hi()), 1) + " fF",
+            std::abs(to_unit::fF(ab.range_lo()) - 10.0) < 3.0 &&
+                std::abs(to_unit::fF(ab.range_hi()) - 55.0) < 2.0);
+  exp.check("20 current steps resolve the window (21 codes incl. 0)",
+            Table::num(static_cast<long long>(ab.codes_used())) +
+                " codes observed",
+            ab.codes_used() == 21);
+  exp.check("abacus is monotone (codes usable as a capacitance image)",
+            ab.monotonic() ? "monotone" : "NON-MONOTONE", ab.monotonic());
+  exp.check("circuit and calibrated fast model agree",
+            "worst disagreement " +
+                Table::num(static_cast<long long>(worst_diff)) + " code step",
+            worst_diff <= 1);
+  exp.note("abacus built from simulation exactly as in the paper");
+  std::cout << exp << '\n';
+}
+
+void BM_FastModelCode(benchmark::State& state) {
+  const auto mc = edram::MacroCell::uniform({}, tech::tech018(), 30_fF);
+  const msu::FastModel model(mc, {});
+  double cm = 10e-15;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.code_of_cap(cm));
+    cm = cm < 55e-15 ? cm + 1e-15 : 10e-15;
+  }
+}
+BENCHMARK(BM_FastModelCode);
+
+void BM_AbacusBuildAndRefine(benchmark::State& state) {
+  const auto mc = edram::MacroCell::uniform({}, tech::tech018(), 30_fF);
+  const msu::FastModel model(mc, {});
+  for (auto _ : state) {
+    msu::Abacus ab = msu::Abacus::build(
+        [&](double cm) { return model.code_of_cap(cm); }, 20, 1e-15, 75e-15,
+        371);
+    ab.refine([&](double cm) { return model.code_of_cap(cm); }, 1e-18);
+    benchmark::DoNotOptimize(ab.codes_used());
+  }
+}
+BENCHMARK(BM_AbacusBuildAndRefine)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_fig3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,138 @@
+// EXT-A6 — retention prediction from the analog bitmap.
+//
+// eDRAM retention is set by C/G: the measurement structure grades C, so low
+// analog codes predict the retention tail. This experiment builds a 32x32
+// array with realistic capacitance spread and heavy-tailed leakage, then
+// asks: if the refresh period is set from a retention-tail target, how many
+// of the at-risk cells does each bitmap identify in advance?
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "bitmap/analog_bitmap.hpp"
+#include "bitmap/signature.hpp"
+#include "edram/retention.hpp"
+#include "report/experiment.hpp"
+#include "tech/tech.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+using namespace ecms;
+constexpr std::size_t kN = 32;
+
+edram::MacroCell spread_array(std::uint64_t seed) {
+  // A stressed process: 4% local spread plus 1.5% under-built capacitors
+  // (partials) — the capacitance-driven retention tail.
+  tech::CapProcessParams cp;
+  cp.local_sigma_rel = 0.04;
+  tech::CapField field(cp, kN, kN, seed);
+  tech::DefectMap defects(kN, kN);
+  Rng rng(seed + 1);
+  for (std::size_t r = 0; r < kN; ++r)
+    for (std::size_t c = 0; c < kN; ++c)
+      if (rng.bernoulli(0.015))
+        defects.set(r, c, tech::make_partial(rng.uniform(0.35, 0.6)));
+  return edram::MacroCell({.rows = kN, .cols = kN}, tech::tech018(),
+                          std::move(field), std::move(defects));
+}
+
+void run_retention() {
+  std::printf("EXT-A6: analog bitmap as a retention predictor (32x32)\n\n");
+  const auto mc = spread_array(31);
+  const auto analog = bitmap::AnalogBitmap::extract_tiled(mc, {});
+
+  // Part 1 — the capacitance-limited world (no leakage spread): retention is
+  // a function of C alone and codes must explain it almost entirely.
+  edram::LeakPopulation uniform_leak;
+  uniform_leak.sigma_log = 0.0;
+  uniform_leak.tail_fraction = 0.0;
+  const edram::RetentionField cap_only(mc, uniform_leak, 0.08, 77);
+  std::vector<double> codes, t_cap;
+  for (std::size_t r = 0; r < kN; ++r) {
+    for (std::size_t c = 0; c < kN; ++c) {
+      codes.push_back(analog.at(r, c));
+      t_cap.push_back(cap_only.retention(r, c));
+    }
+  }
+  const double corr_cap = pearson(codes, t_cap);
+
+  // Part 2 — realistic leakage (lognormal + defect tail): codes can only
+  // see the C part. Split the retention tail by mechanism.
+  const edram::LeakPopulation pop;
+  const edram::RetentionField truth(mc, pop, 0.08, 77);
+  std::vector<double> t_true(t_cap.size());
+  for (std::size_t r = 0; r < kN; ++r)
+    for (std::size_t c = 0; c < kN; ++c)
+      t_true[r * kN + c] = truth.retention(r, c);
+  const double corr_real = pearson(codes, t_true);
+
+  const double t_refresh = truth.percentile_time(0.03);
+  const bitmap::SignatureMap sig = bitmap::SignatureMap::categorize(analog);
+  std::size_t cap_tail = 0, cap_tail_flagged = 0;
+  std::size_t leak_tail = 0, leak_tail_flagged = 0;
+  for (std::size_t r = 0; r < kN; ++r) {
+    for (std::size_t c = 0; c < kN; ++c) {
+      if (truth.retention(r, c) >= t_refresh) continue;
+      const bool cap_driven =
+          mc.defect(r, c).type == tech::DefectType::kPartial;
+      const bool flagged =
+          sig.at(r, c) != bitmap::CellSignature::kNominal;
+      (cap_driven ? cap_tail : leak_tail) += 1;
+      if (flagged) (cap_driven ? cap_tail_flagged : leak_tail_flagged) += 1;
+    }
+  }
+
+  Table table({"metric", "value"});
+  table.add_row({"code-retention correlation (uniform leakage)",
+                 Table::num(corr_cap, 2)});
+  table.add_row({"code-retention correlation (realistic leakage)",
+                 Table::num(corr_real, 2)});
+  table.add_row({"refresh target (3% tail)", Table::num(t_refresh, 2) + " s"});
+  table.add_row({"capacitance-driven tail cells flagged",
+                 Table::num(static_cast<long long>(cap_tail_flagged)) + "/" +
+                     Table::num(static_cast<long long>(cap_tail))});
+  table.add_row({"leakage-driven tail cells flagged",
+                 Table::num(static_cast<long long>(leak_tail_flagged)) + "/" +
+                     Table::num(static_cast<long long>(leak_tail))});
+  std::cout << table << '\n';
+
+  report::Experiment exp("EXT-A6", "retention prediction from codes");
+  exp.check("codes explain capacitance-limited retention",
+            "r = " + Table::num(corr_cap, 2) + " with uniform leakage",
+            corr_cap > 0.85);
+  exp.check("under-built capacitors in the retention tail are caught ahead "
+            "of time",
+            Table::num(static_cast<long long>(cap_tail_flagged)) + "/" +
+                Table::num(static_cast<long long>(cap_tail)) + " flagged",
+            cap_tail > 0 && cap_tail_flagged == cap_tail);
+  exp.check("the leakage-driven share of the tail is invisible to a "
+            "capacitance measurement (inherent limit)",
+            Table::num(static_cast<long long>(leak_tail_flagged)) + "/" +
+                Table::num(static_cast<long long>(leak_tail)) + " flagged",
+            leak_tail_flagged < leak_tail || leak_tail == 0);
+  exp.note("t_ret = (C/G) ln(V0/Vcrit): the structure grades C; G needs a "
+           "pause-test complement — the two are orthogonal screens");
+  std::cout << exp << '\n';
+}
+
+void BM_RetentionField(benchmark::State& state) {
+  const auto mc = spread_array(5);
+  for (auto _ : state) {
+    edram::RetentionField f(mc, {}, 0.08, 7);
+    benchmark::DoNotOptimize(f.percentile_time(0.02));
+  }
+}
+BENCHMARK(BM_RetentionField)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_retention();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

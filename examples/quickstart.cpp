@@ -1,0 +1,75 @@
+// Quickstart: measure one eDRAM cell's storage capacitance with the
+// embedded measurement structure, exactly like the paper's Figure 1 setup.
+//
+//   1. build a 4x4 macro-cell (the paper's schematic, generalized),
+//   2. run the five-step measurement flow at transistor level,
+//   3. convert the digital code back to femtofarads through the abacus.
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+
+#include "msu/abacus.hpp"
+#include "msu/calibrate.hpp"
+#include "msu/extract.hpp"
+#include "msu/fastmodel.hpp"
+#include "tech/tech.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace ecms;
+
+  // A 0.18 um, 1.8 V eDRAM technology (public-parameter stand-in for the
+  // paper's ST design kit).
+  const tech::Technology t = tech::tech018();
+
+  // 4x4 macro-cell; every capacitor is 30 fF except the one we "fabricate"
+  // at 23.5 fF and then pretend not to know.
+  const double secret_cap = 23.5_fF;
+  edram::MacroCell mc = edram::MacroCell::uniform({}, t, 30_fF);
+  mc.set_true_cap(1, 2, secret_cap);
+
+  // Calibrate the closed-form model against two transistor-level probe
+  // simulations (the paper's "abacus obtained from a set of simulation").
+  const msu::StructureParams params;
+  msu::FastModel model(mc, params);
+  const auto cal = msu::calibrate_fast_model(model);
+  std::printf("calibrated: V_GS correction %.1f mV, ramp LSB %.1f uA\n\n",
+              to_unit::mV(cal.vgs_correction), to_unit::uA(model.delta_i()));
+
+  std::printf("measuring cell (1,2) of a 4x4 macro-cell...\n");
+
+  // Transistor-level extraction: discharge, charge Cm, isolate, share with
+  // C_REF, convert with the 20-step current ramp.
+  const msu::ExtractionResult res = msu::extract_cell(
+      mc, 1, 2, params, {}, {.dt = 20e-12, .delta_i = model.delta_i()});
+
+  std::printf("  plate after charging : %.3f V\n", res.v_plate_charged);
+  std::printf("  V_GS after sharing   : %.3f V\n", res.vgs_shared);
+  if (res.t_out_rise) {
+    std::printf("  OUT flipped at       : %.2f ns\n",
+                to_unit::ns(*res.t_out_rise));
+  }
+  std::printf("  digital code         : %d / 20\n", res.code);
+
+  // The abacus maps codes back to capacitance (built from the calibrated
+  // model; see bench_fig3_abacus for the circuit-level sweep).
+  msu::Abacus abacus = msu::Abacus::build(
+      [&](double cm) { return model.code_of_cap(cm); }, params.ramp_steps,
+      1.0_fF, 75.0_fF, 371);
+  abacus.refine([&](double cm) { return model.code_of_cap(cm); }, 1e-18);
+
+  if (res.code > 0 && res.code < params.ramp_steps) {
+    const auto bin = abacus.bin(res.code);
+    std::printf("  capacitance estimate : %.1f fF (bin %.1f - %.1f fF)\n",
+                to_unit::fF(bin->mid()), to_unit::fF(bin->lo),
+                to_unit::fF(bin->hi));
+    std::printf("  ground truth         : %.1f fF\n", to_unit::fF(secret_cap));
+  } else {
+    std::printf("  code %d is out of the measurable window (10-55 fF)\n",
+                res.code);
+  }
+
+  std::printf("\nmeasurable window: %.1f - %.1f fF over 20 current steps\n",
+              to_unit::fF(abacus.range_lo()), to_unit::fF(abacus.range_hi()));
+  return 0;
+}

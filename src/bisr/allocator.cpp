@@ -1,0 +1,151 @@
+#include "bisr/allocator.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ecms::bisr {
+
+namespace {
+struct Fail {
+  std::size_t r, c;
+};
+
+std::vector<Fail> collect_fails(const bitmap::DigitalBitmap& bm) {
+  std::vector<Fail> fails;
+  for (std::size_t r = 0; r < bm.rows(); ++r)
+    for (std::size_t c = 0; c < bm.cols(); ++c)
+      if (bm.fails(r, c)) fails.push_back({r, c});
+  return fails;
+}
+
+bool is_covered(const Fail& f, const RepairSolution& s) {
+  return std::find(s.rows.begin(), s.rows.end(), f.r) != s.rows.end() ||
+         std::find(s.cols.begin(), s.cols.end(), f.c) != s.cols.end();
+}
+}  // namespace
+
+bool covers(const bitmap::DigitalBitmap& fails, const RepairSolution& s) {
+  for (const Fail& f : collect_fails(fails))
+    if (!is_covered(f, s)) return false;
+  return true;
+}
+
+RepairSolution allocate_greedy(const bitmap::DigitalBitmap& fails,
+                               const RedundancyConfig& cfg) {
+  RepairSolution sol;
+  std::vector<Fail> remaining = collect_fails(fails);
+
+  auto remove_covered = [&]() {
+    std::erase_if(remaining, [&](const Fail& f) { return is_covered(f, sol); });
+  };
+
+  // Must-repair fixpoint: a row with more fails than the remaining column
+  // spares can only be fixed by a row spare (and symmetrically).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<std::size_t> row_fails(fails.rows(), 0);
+    std::vector<std::size_t> col_fails(fails.cols(), 0);
+    for (const Fail& f : remaining) {
+      ++row_fails[f.r];
+      ++col_fails[f.c];
+    }
+    const std::size_t cols_left = cfg.spare_cols - sol.cols.size();
+    const std::size_t rows_left = cfg.spare_rows - sol.rows.size();
+    for (std::size_t r = 0; r < fails.rows(); ++r) {
+      if (row_fails[r] > cols_left && sol.rows.size() < cfg.spare_rows) {
+        sol.rows.push_back(r);
+        changed = true;
+      }
+    }
+    remove_covered();
+    for (std::size_t c = 0; c < fails.cols(); ++c) {
+      if (col_fails[c] > rows_left && sol.cols.size() < cfg.spare_cols) {
+        if (std::find(sol.cols.begin(), sol.cols.end(), c) == sol.cols.end()) {
+          sol.cols.push_back(c);
+          changed = true;
+        }
+      }
+    }
+    remove_covered();
+    if (sol.rows.size() > cfg.spare_rows || sol.cols.size() > cfg.spare_cols) {
+      sol.success = false;
+      return sol;
+    }
+  }
+
+  // Greedy: repair whichever remaining line has the most failures.
+  while (!remaining.empty()) {
+    std::vector<std::size_t> row_fails(fails.rows(), 0);
+    std::vector<std::size_t> col_fails(fails.cols(), 0);
+    for (const Fail& f : remaining) {
+      ++row_fails[f.r];
+      ++col_fails[f.c];
+    }
+    std::size_t best_row = 0, best_col = 0;
+    for (std::size_t r = 0; r < fails.rows(); ++r)
+      if (row_fails[r] > row_fails[best_row]) best_row = r;
+    for (std::size_t c = 0; c < fails.cols(); ++c)
+      if (col_fails[c] > col_fails[best_col]) best_col = c;
+
+    const bool can_row = sol.rows.size() < cfg.spare_rows;
+    const bool can_col = sol.cols.size() < cfg.spare_cols;
+    if (!can_row && !can_col) {
+      sol.success = false;
+      return sol;
+    }
+    const bool pick_row =
+        can_row &&
+        (!can_col || row_fails[best_row] >= col_fails[best_col]);
+    if (pick_row) {
+      sol.rows.push_back(best_row);
+    } else {
+      sol.cols.push_back(best_col);
+    }
+    remove_covered();
+  }
+  sol.success = true;
+  return sol;
+}
+
+namespace {
+bool branch(const std::vector<Fail>& fails, const RedundancyConfig& cfg,
+            RepairSolution& sol) {
+  // Find the first uncovered fail.
+  const Fail* uncovered = nullptr;
+  for (const Fail& f : fails) {
+    if (!is_covered(f, sol)) {
+      uncovered = &f;
+      break;
+    }
+  }
+  if (uncovered == nullptr) return true;  // everything covered
+
+  if (sol.rows.size() < cfg.spare_rows) {
+    sol.rows.push_back(uncovered->r);
+    if (branch(fails, cfg, sol)) return true;
+    sol.rows.pop_back();
+  }
+  if (sol.cols.size() < cfg.spare_cols) {
+    sol.cols.push_back(uncovered->c);
+    if (branch(fails, cfg, sol)) return true;
+    sol.cols.pop_back();
+  }
+  return false;
+}
+}  // namespace
+
+RepairSolution allocate_exact(const bitmap::DigitalBitmap& fails,
+                              const RedundancyConfig& cfg) {
+  RepairSolution sol;
+  const std::vector<Fail> all = collect_fails(fails);
+  sol.success = branch(all, cfg, sol);
+  if (!sol.success) {
+    sol.rows.clear();
+    sol.cols.clear();
+  }
+  return sol;
+}
+
+}  // namespace ecms::bisr

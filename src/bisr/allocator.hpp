@@ -1,0 +1,44 @@
+// Spare-row/column redundancy allocation (the BISR context the paper's
+// introduction places the structure in).
+//
+// Given a fail bitmap and a spare budget, find row/column replacements
+// covering every failing cell. Exact allocation is NP-complete (Kuo & Fuchs
+// 1987); this module implements the standard pipeline: must-repair analysis,
+// a greedy most-failures-first heuristic, and an exact branch-and-bound for
+// the spare budgets BISR hardware actually has (a handful of spares).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bitmap/analog_bitmap.hpp"
+
+namespace ecms::bisr {
+
+struct RedundancyConfig {
+  std::size_t spare_rows = 2;
+  std::size_t spare_cols = 2;
+};
+
+struct RepairSolution {
+  bool success = false;
+  std::vector<std::size_t> rows;  ///< rows replaced by spares
+  std::vector<std::size_t> cols;  ///< columns replaced by spares
+
+  std::size_t spares_used() const { return rows.size() + cols.size(); }
+};
+
+/// True if the solution covers every failing cell of the bitmap.
+bool covers(const bitmap::DigitalBitmap& fails, const RepairSolution& s);
+
+/// Must-repair analysis + greedy allocation. Fast; may fail on instances an
+/// exact search could still repair.
+RepairSolution allocate_greedy(const bitmap::DigitalBitmap& fails,
+                               const RedundancyConfig& cfg);
+
+/// Exact branch-and-bound allocation (exponential in the spare budget only:
+/// each uncovered fail branches row-vs-column).
+RepairSolution allocate_exact(const bitmap::DigitalBitmap& fails,
+                              const RedundancyConfig& cfg);
+
+}  // namespace ecms::bisr

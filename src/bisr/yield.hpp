@@ -1,0 +1,68 @@
+// Repair-yield estimation: does the analog bitmap's extra information
+// (marginal-cell visibility) buy real yield after burn-in?
+//
+// Scenario: at time-zero test, hard defects fail functionally; marginal
+// cells (small-but-working capacitors) pass. During burn-in / early life a
+// fraction of marginal cells degrade into failures. A repair allocated from
+// the digital bitmap only covers time-zero failures; a repair allocated from
+// the analog bitmap can also cover marginal cells preventively. This module
+// Monte-Carlos both policies over defect-injected arrays.
+#pragma once
+
+#include <cstddef>
+
+#include "bisr/allocator.hpp"
+#include "bitmap/compare.hpp"
+#include "bitmap/signature.hpp"
+#include "tech/capmodel.hpp"
+#include "tech/defects.hpp"
+
+namespace ecms::bisr {
+
+struct BurnInModel {
+  /// Probability that a marginal cell (per bitmap::MarginalWindow) becomes a
+  /// hard failure during early life.
+  double marginal_fail_prob = 0.5;
+  /// Background early-life failure probability of nominal cells.
+  double nominal_fail_prob = 0.0005;
+};
+
+struct YieldExperiment {
+  std::size_t rows = 32, cols = 32;
+  std::size_t trials = 200;
+  RedundancyConfig redundancy;
+  tech::DefectRates defect_rates{.short_rate = 0.002,
+                                 .open_rate = 0.002,
+                                 .partial_rate = 0.01,
+                                 .bridge_rate = 0.0};
+  tech::CapProcessParams cap_process;
+  BurnInModel burn_in;
+  bitmap::SignatureParams signature;
+  bitmap::MarginalWindow marginal;
+  std::uint64_t seed = 42;
+};
+
+struct YieldReport {
+  std::size_t trials = 0;
+  std::size_t repaired_time_zero_digital = 0;  ///< repairable at t0 (digital)
+  std::size_t repaired_time_zero_analog = 0;
+  std::size_t survive_burn_in_digital = 0;  ///< still fail-free after burn-in
+  std::size_t survive_burn_in_analog = 0;
+
+  double yield_digital() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(survive_burn_in_digital) /
+                             static_cast<double>(trials);
+  }
+  double yield_analog() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(survive_burn_in_analog) /
+                             static_cast<double>(trials);
+  }
+};
+
+/// Runs the Monte-Carlo comparison. Deterministic for a given experiment
+/// seed.
+YieldReport estimate_repair_yield(const YieldExperiment& exp);
+
+}  // namespace ecms::bisr

@@ -1,0 +1,47 @@
+#include "bitmap/compare.hpp"
+
+#include "util/error.hpp"
+
+namespace ecms::bitmap {
+
+ComparisonReport compare_bitmaps(const edram::MacroCell& truth,
+                                 const AnalogBitmap& analog,
+                                 const DigitalBitmap& digital,
+                                 const SignatureParams& sig_params,
+                                 const MarginalWindow& window) {
+  ECMS_REQUIRE(analog.rows() == truth.rows() && analog.cols() == truth.cols(),
+               "analog bitmap shape mismatch");
+  ECMS_REQUIRE(digital.rows() == truth.rows() &&
+                   digital.cols() == truth.cols(),
+               "digital bitmap shape mismatch");
+  ECMS_REQUIRE(window.hi_f > window.lo_f, "marginal window inverted");
+
+  const SignatureMap sig = SignatureMap::categorize(analog, sig_params);
+  ComparisonReport rep;
+  for (std::size_t r = 0; r < truth.rows(); ++r) {
+    for (std::size_t c = 0; c < truth.cols(); ++c) {
+      const bool has_defect =
+          truth.defect(r, c).type != tech::DefectType::kNone;
+      const bool analog_flags = sig.at(r, c) != CellSignature::kNominal;
+      const bool digital_flags = digital.fails(r, c);
+      const double eff = truth.effective_cap(r, c);
+      const bool marginal = eff >= window.lo_f && eff < window.hi_f;
+
+      if (has_defect && !marginal) {
+        ++rep.truth_defects;
+        if (digital_flags) ++rep.defects_seen_digital;
+        if (analog_flags) ++rep.defects_seen_analog;
+      } else if (marginal) {
+        ++rep.truth_marginal;
+        if (digital_flags) ++rep.marginal_seen_digital;
+        if (analog_flags) ++rep.marginal_seen_analog;
+      } else {
+        if (analog_flags) ++rep.analog_false_flags;
+        if (digital_flags) ++rep.digital_false_flags;
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace ecms::bitmap

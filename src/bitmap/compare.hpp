@@ -1,0 +1,74 @@
+// Analog-vs-digital bitmap comparison against ground truth.
+//
+// Quantifies the paper's central claim: the analog bitmap sees what the
+// digital bitmap cannot — marginal-but-functional cells and the distinction
+// between defect mechanisms — and therefore improves diagnosis.
+#pragma once
+
+#include <cstddef>
+
+#include "bitmap/analog_bitmap.hpp"
+#include "bitmap/signature.hpp"
+
+namespace ecms::bitmap {
+
+/// What counts as "marginal" ground truth for the comparison: a cell whose
+/// *effective* capacitance (after partial defects) lands in this window is
+/// functional-but-degraded — whether it got there through an under-built
+/// capacitor (partial defect) or process variation.
+struct MarginalWindow {
+  double lo_f = 12e-15;  ///< effective capacitance at/above this...
+  double hi_f = 24e-15;  ///< ...and below this = marginal cell
+};
+
+struct ComparisonReport {
+  // Hard defects: defective cells whose effective capacitance is outside
+  // the marginal window (shorts, opens, bridges, severe partials).
+  std::size_t truth_defects = 0;
+  std::size_t defects_seen_digital = 0;  ///< defect cells failing functionally
+  std::size_t defects_seen_analog = 0;   ///< defect cells with anomalous codes
+
+  // Marginal cells (effective capacitance in the marginal window).
+  std::size_t truth_marginal = 0;
+  std::size_t marginal_seen_digital = 0;
+  std::size_t marginal_seen_analog = 0;
+
+  // False flags: healthy nominal cells marked anomalous.
+  std::size_t analog_false_flags = 0;
+  std::size_t digital_false_flags = 0;
+
+  double defect_coverage_digital() const {
+    return truth_defects == 0
+               ? 1.0
+               : static_cast<double>(defects_seen_digital) /
+                     static_cast<double>(truth_defects);
+  }
+  double defect_coverage_analog() const {
+    return truth_defects == 0
+               ? 1.0
+               : static_cast<double>(defects_seen_analog) /
+                     static_cast<double>(truth_defects);
+  }
+  double marginal_coverage_digital() const {
+    return truth_marginal == 0
+               ? 1.0
+               : static_cast<double>(marginal_seen_digital) /
+                     static_cast<double>(truth_marginal);
+  }
+  double marginal_coverage_analog() const {
+    return truth_marginal == 0
+               ? 1.0
+               : static_cast<double>(marginal_seen_analog) /
+                     static_cast<double>(truth_marginal);
+  }
+};
+
+/// Scores both bitmaps against the macro-cell's ground truth. Shapes must
+/// match the macro-cell.
+ComparisonReport compare_bitmaps(const edram::MacroCell& truth,
+                                 const AnalogBitmap& analog,
+                                 const DigitalBitmap& digital,
+                                 const SignatureParams& sig_params = {},
+                                 const MarginalWindow& window = {});
+
+}  // namespace ecms::bitmap

@@ -1,0 +1,84 @@
+// Diagnosis engine: maps analog-bitmap signatures to failure hypotheses.
+//
+// This is the "diagnosis methodology improvement" the paper motivates: once
+// every cell carries a capacitance code instead of a pass/fail bit, defect
+// and process signatures can be told apart —
+//   * isolated code-0 cells   -> cell defect, disambiguated into short /
+//                                open / under-range (the paper's three
+//                                possible code-0 diagnoses),
+//   * clusters                -> particle / local process defect,
+//   * full rows / columns     -> word-line, plate-strap or bit-line faults,
+//   * code-field gradients    -> deposition/etch non-uniformity,
+//   * global mean shift       -> lot-level drift (e.g. dielectric thickness).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bitmap/signature.hpp"
+#include "bitmap/spatial.hpp"
+#include "msu/disambig.hpp"
+
+namespace ecms::bitmap {
+
+enum class DiagnosisKind {
+  kIsolatedCellDefect,
+  kClusterDefect,
+  kRowFault,
+  kColumnFault,
+  kProcessGradient,
+  kLotDrift,
+};
+
+std::string diagnosis_name(DiagnosisKind k);
+
+struct Finding {
+  DiagnosisKind kind;
+  std::string detail;           ///< human-readable explanation
+  std::vector<Cell> cells;      ///< affected cells (empty for global findings)
+  double magnitude = 0.0;       ///< kind-specific severity metric
+  /// For isolated code-0 cells: the disambiguated cause.
+  std::optional<msu::ZeroCodeCause> zero_cause;
+};
+
+struct DiagnosisParams {
+  SignatureParams signature;
+  SpatialParams spatial;
+  /// |gradient| (codes per cell pitch) above which a plane fit is reported.
+  double gradient_threshold = 0.05;
+  /// |mean shift| in codes vs the expected mean above which drift is flagged.
+  double drift_threshold = 1.0;
+};
+
+/// Follow-up measurement hook for code-0 cells, at bitmap coordinates.
+/// Needed because disambiguation re-measures the cell in its own macro-cell
+/// (tile) context.
+using DisambiguateFn =
+    std::function<msu::DisambiguationResult(std::size_t, std::size_t)>;
+
+/// Analyzes one analog bitmap. `expected_mean_code` is the mean in-range
+/// code of a known-good reference (from calibration); pass nullopt to skip
+/// drift detection. `disambiguate` enables code-0 cause resolution; pass an
+/// empty function to report undifferentiated cell defects.
+std::vector<Finding> diagnose(const AnalogBitmap& bm,
+                              const DisambiguateFn& disambiguate,
+                              std::optional<double> expected_mean_code,
+                              const DiagnosisParams& params = {});
+
+/// Convenience for a bitmap of a single macro-cell: disambiguates through
+/// one fast model.
+std::vector<Finding> diagnose(const AnalogBitmap& bm,
+                              const msu::FastModel* model,
+                              std::optional<double> expected_mean_code,
+                              const DiagnosisParams& params = {});
+
+/// Disambiguator for tiled (plate-segmented) arrays: each cell is resolved
+/// in its own tile's measurement context.
+DisambiguateFn make_tiled_disambiguator(const edram::MacroCell& mc,
+                                        const msu::StructureParams& params,
+                                        std::size_t tile_rows = 4,
+                                        std::size_t tile_cols = 4);
+
+}  // namespace ecms::bitmap

@@ -1,0 +1,101 @@
+#include "bitmap/signature.hpp"
+
+#include "util/error.hpp"
+
+namespace ecms::bitmap {
+
+std::string signature_name(CellSignature s) {
+  switch (s) {
+    case CellSignature::kUnderRange:
+      return "under-range";
+    case CellSignature::kMarginalLow:
+      return "marginal-low";
+    case CellSignature::kNominal:
+      return "nominal";
+    case CellSignature::kMarginalHigh:
+      return "marginal-high";
+    case CellSignature::kOverRange:
+      return "over-range";
+  }
+  return "?";
+}
+
+char signature_letter(CellSignature s) {
+  switch (s) {
+    case CellSignature::kUnderRange:
+      return '0';
+    case CellSignature::kMarginalLow:
+      return 'l';
+    case CellSignature::kNominal:
+      return '.';
+    case CellSignature::kMarginalHigh:
+      return 'h';
+    case CellSignature::kOverRange:
+      return 'F';
+  }
+  return '?';
+}
+
+SignatureMap::SignatureMap(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), cells_(rows * cols, CellSignature::kNominal) {}
+
+SignatureMap SignatureMap::categorize(const AnalogBitmap& bm,
+                                      const SignatureParams& params) {
+  ECMS_REQUIRE(
+      params.marginal_low_codes >= 0 && params.marginal_high_codes >= 0,
+      "marginal band sizes must be non-negative");
+  SignatureMap m(bm.rows(), bm.cols());
+  const int steps = bm.ramp_steps();
+  for (std::size_t r = 0; r < bm.rows(); ++r) {
+    for (std::size_t c = 0; c < bm.cols(); ++c) {
+      const int code = bm.at(r, c);
+      CellSignature s;
+      if (code == 0) {
+        s = CellSignature::kUnderRange;
+      } else if (code == steps) {
+        s = CellSignature::kOverRange;
+      } else if (code <= params.marginal_low_codes) {
+        s = CellSignature::kMarginalLow;
+      } else if (code >= steps - params.marginal_high_codes) {
+        s = CellSignature::kMarginalHigh;
+      } else {
+        s = CellSignature::kNominal;
+      }
+      m.cells_[r * bm.cols() + c] = s;
+    }
+  }
+  return m;
+}
+
+CellSignature SignatureMap::at(std::size_t r, std::size_t c) const {
+  ECMS_REQUIRE(r < rows_ && c < cols_, "cell index out of range");
+  return cells_[r * cols_ + c];
+}
+
+std::size_t SignatureMap::count(CellSignature s) const {
+  std::size_t n = 0;
+  for (CellSignature cs : cells_)
+    if (cs == s) ++n;
+  return n;
+}
+
+std::size_t SignatureMap::anomalous_count() const {
+  return cells_.size() - count(CellSignature::kNominal);
+}
+
+std::vector<char> SignatureMap::anomaly_mask() const {
+  std::vector<char> mask;
+  mask.reserve(cells_.size());
+  for (CellSignature cs : cells_)
+    mask.push_back(cs == CellSignature::kNominal ? 0 : 1);
+  return mask;
+}
+
+std::vector<char> SignatureMap::letters() const {
+  std::vector<char> out;
+  out.reserve(cells_.size());
+  for (CellSignature cs : cells_) out.push_back(signature_letter(cs));
+  return out;
+}
+
+}  // namespace ecms::bitmap

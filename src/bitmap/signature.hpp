@@ -1,0 +1,59 @@
+// Per-cell signature categorization of an analog bitmap.
+//
+// The paper: "signatures categorization depending on the capacitor values
+// ... might be very useful to characterize process and defect impact on the
+// array". Codes are bucketed into under-range (0), marginal-low, nominal,
+// marginal-high and over-range (full scale); spatial analysis and diagnosis
+// then operate on these categories.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "bitmap/analog_bitmap.hpp"
+
+namespace ecms::bitmap {
+
+enum class CellSignature {
+  kUnderRange,    ///< code 0: below window / short / open
+  kMarginalLow,   ///< in window but near the bottom
+  kNominal,       ///< mid-window
+  kMarginalHigh,  ///< in window but near the top
+  kOverRange,     ///< full-scale code: capacitance above the window
+};
+
+std::string signature_name(CellSignature s);
+/// One-letter rendering: '0' under, 'l' marg-low, '.' nominal, 'h' marg-high,
+/// 'F' over.
+char signature_letter(CellSignature s);
+
+struct SignatureParams {
+  int marginal_low_codes = 3;   ///< codes 1..N categorize as marginal-low
+  int marginal_high_codes = 3;  ///< codes steps-N..steps-1 as marginal-high
+};
+
+/// Categorized view of an analog bitmap.
+class SignatureMap {
+ public:
+  static SignatureMap categorize(const AnalogBitmap& bm,
+                                 const SignatureParams& params = {});
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  CellSignature at(std::size_t r, std::size_t c) const;
+  std::size_t count(CellSignature s) const;
+  /// Cells that are not kNominal.
+  std::size_t anomalous_count() const;
+  /// Boolean mask (true = anomalous) for spatial analysis, row-major.
+  std::vector<char> anomaly_mask() const;
+  /// One letter per cell for rendering.
+  std::vector<char> letters() const;
+
+ private:
+  SignatureMap(std::size_t rows, std::size_t cols);
+  std::size_t rows_, cols_;
+  std::vector<CellSignature> cells_;
+};
+
+}  // namespace ecms::bitmap

@@ -1,0 +1,144 @@
+#include "bitmap/spatial.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace ecms::bitmap {
+
+std::string pattern_name(PatternKind k) {
+  switch (k) {
+    case PatternKind::kSingle:
+      return "single";
+    case PatternKind::kRowLine:
+      return "row-line";
+    case PatternKind::kColumnLine:
+      return "column-line";
+    case PatternKind::kCluster:
+      return "cluster";
+  }
+  return "?";
+}
+
+namespace {
+PatternKind classify(const Component& comp, std::size_t rows,
+                     std::size_t cols, const SpatialParams& p) {
+  if (comp.size() == 1) return PatternKind::kSingle;
+  if (comp.height() == 1 &&
+      static_cast<double>(comp.size()) >=
+          p.line_fill_fraction * static_cast<double>(cols)) {
+    return PatternKind::kRowLine;
+  }
+  if (comp.width() == 1 &&
+      static_cast<double>(comp.size()) >=
+          p.line_fill_fraction * static_cast<double>(rows)) {
+    return PatternKind::kColumnLine;
+  }
+  return PatternKind::kCluster;
+}
+}  // namespace
+
+std::vector<Component> find_components(const std::vector<char>& mask,
+                                       std::size_t rows, std::size_t cols,
+                                       const SpatialParams& params) {
+  ECMS_REQUIRE(mask.size() == rows * cols, "mask size mismatch");
+  ECMS_REQUIRE(params.line_fill_fraction > 0.0 &&
+                   params.line_fill_fraction <= 1.0,
+               "line fill fraction must be in (0,1]");
+  std::vector<char> seen(mask.size(), 0);
+  std::vector<Component> out;
+  std::vector<std::size_t> stack;
+
+  for (std::size_t start = 0; start < mask.size(); ++start) {
+    if (!mask[start] || seen[start]) continue;
+    Component comp;
+    comp.row_lo = comp.row_hi = start / cols;
+    comp.col_lo = comp.col_hi = start % cols;
+    stack.push_back(start);
+    seen[start] = 1;
+    while (!stack.empty()) {
+      const std::size_t idx = stack.back();
+      stack.pop_back();
+      const std::size_t r = idx / cols, c = idx % cols;
+      comp.cells.push_back({r, c});
+      comp.row_lo = std::min(comp.row_lo, r);
+      comp.row_hi = std::max(comp.row_hi, r);
+      comp.col_lo = std::min(comp.col_lo, c);
+      comp.col_hi = std::max(comp.col_hi, c);
+      const auto visit = [&](std::size_t nr, std::size_t nc) {
+        const std::size_t nidx = nr * cols + nc;
+        if (mask[nidx] && !seen[nidx]) {
+          seen[nidx] = 1;
+          stack.push_back(nidx);
+        }
+      };
+      if (r > 0) visit(r - 1, c);
+      if (r + 1 < rows) visit(r + 1, c);
+      if (c > 0) visit(r, c - 1);
+      if (c + 1 < cols) visit(r, c + 1);
+    }
+    comp.kind = classify(comp, rows, cols, params);
+    out.push_back(std::move(comp));
+  }
+  // Largest first: diagnosis reads the dominant signature first.
+  std::sort(out.begin(), out.end(),
+            [](const Component& a, const Component& b) {
+              return a.size() > b.size();
+            });
+  return out;
+}
+
+PlaneFit fit_plane(const std::vector<double>& values, std::size_t rows,
+                   std::size_t cols) {
+  ECMS_REQUIRE(values.size() == rows * cols, "field size mismatch");
+  ECMS_REQUIRE(rows * cols >= 3, "plane fit needs at least three cells");
+  // Centered coordinates make the normal equations diagonal.
+  const double cx = (static_cast<double>(cols) - 1.0) / 2.0;
+  const double cy = (static_cast<double>(rows) - 1.0) / 2.0;
+  double sum = 0.0, sxx = 0.0, syy = 0.0, sxz = 0.0, syz = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double z = values[r * cols + c];
+      const double x = static_cast<double>(c) - cx;
+      const double y = static_cast<double>(r) - cy;
+      sum += z;
+      sxx += x * x;
+      syy += y * y;
+      sxz += x * z;
+      syz += y * z;
+    }
+  }
+  const auto n = static_cast<double>(rows * cols);
+  PlaneFit f;
+  f.mean = sum / n;
+  f.grad_x = sxx > 0.0 ? sxz / sxx : 0.0;
+  f.grad_y = syy > 0.0 ? syz / syy : 0.0;
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double z = values[r * cols + c];
+      const double x = static_cast<double>(c) - cx;
+      const double y = static_cast<double>(r) - cy;
+      const double pred = f.mean + f.grad_x * x + f.grad_y * y;
+      ss_res += (z - pred) * (z - pred);
+      ss_tot += (z - f.mean) * (z - f.mean);
+    }
+  }
+  f.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return f;
+}
+
+std::vector<double> robust_zscores(const std::vector<double>& values) {
+  ECMS_REQUIRE(!values.empty(), "empty field");
+  const double med = percentile(values, 50.0);
+  const double sigma = mad_sigma(values);
+  std::vector<double> z(values.size(), 0.0);
+  if (sigma <= 0.0) return z;
+  for (std::size_t i = 0; i < values.size(); ++i)
+    z[i] = (values[i] - med) / sigma;
+  return z;
+}
+
+}  // namespace ecms::bitmap

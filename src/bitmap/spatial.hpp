@@ -1,0 +1,74 @@
+// Spatial pattern analysis of bitmap anomalies.
+//
+// Failure-analysis practice recognizes defect signatures by their shape:
+// isolated cells (point defects), full/partial rows and columns (word-line,
+// bit-line or plate-strap process faults), 2-D clusters (particles), and
+// smooth gradients (deposition/etch non-uniformity). This module provides
+// connected-component extraction with shape classification and least-squares
+// plane fitting over the code field.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ecms::bitmap {
+
+enum class PatternKind {
+  kSingle,      ///< isolated anomalous cell
+  kRowLine,     ///< component spanning most of one row
+  kColumnLine,  ///< component spanning most of one column
+  kCluster,     ///< compact 2-D blob
+};
+
+std::string pattern_name(PatternKind k);
+
+/// Cell coordinate within a bitmap.
+struct Cell {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  friend bool operator==(const Cell&, const Cell&) = default;
+};
+
+/// One 4-connected component of anomalous cells.
+struct Component {
+  std::vector<Cell> cells;
+  std::size_t row_lo = 0, row_hi = 0;  ///< inclusive bounding box
+  std::size_t col_lo = 0, col_hi = 0;
+  PatternKind kind = PatternKind::kSingle;
+
+  std::size_t size() const { return cells.size(); }
+  std::size_t height() const { return row_hi - row_lo + 1; }
+  std::size_t width() const { return col_hi - col_lo + 1; }
+};
+
+struct SpatialParams {
+  /// A 1-cell-thick component is classified as a line when it fills at
+  /// least this fraction of the array dimension it spans.
+  double line_fill_fraction = 0.6;
+};
+
+/// Finds 4-connected components of the anomaly mask (row-major, nonzero =
+/// anomalous) and classifies each.
+std::vector<Component> find_components(const std::vector<char>& mask,
+                                       std::size_t rows, std::size_t cols,
+                                       const SpatialParams& params = {});
+
+/// Least-squares plane z = mean + gx*(x-cx) + gy*(y-cy) over a row-major
+/// field. Used to detect process gradients in the code field; slopes are per
+/// cell pitch.
+struct PlaneFit {
+  double mean = 0.0;
+  double grad_x = 0.0;  ///< code change per column step
+  double grad_y = 0.0;  ///< code change per row step
+  double r2 = 0.0;
+};
+
+PlaneFit fit_plane(const std::vector<double>& values, std::size_t rows,
+                   std::size_t cols);
+
+/// Robust per-cell outlier z-scores (value - median) / mad_sigma over the
+/// field. A mad of zero yields all-zero scores.
+std::vector<double> robust_zscores(const std::vector<double>& values);
+
+}  // namespace ecms::bitmap

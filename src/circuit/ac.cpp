@@ -1,0 +1,190 @@
+#include "circuit/ac.hpp"
+
+#include <cmath>
+
+#include "circuit/newton.hpp"
+#include "util/error.hpp"
+
+namespace ecms::circuit {
+
+namespace {
+using Cplx = std::complex<double>;
+
+/// Dense complex LU with partial pivoting (mirror of the real one; kept
+/// local because AC is the only complex consumer).
+class ComplexLu {
+ public:
+  ComplexLu(std::vector<Cplx> a, std::size_t n) : a_(std::move(a)), n_(n) {
+    perm_.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) perm_[i] = i;
+    for (std::size_t k = 0; k < n_; ++k) {
+      std::size_t piv = k;
+      double mag = std::abs(at(k, k));
+      for (std::size_t r = k + 1; r < n_; ++r) {
+        if (std::abs(at(r, k)) > mag) {
+          mag = std::abs(at(r, k));
+          piv = r;
+        }
+      }
+      if (mag == 0.0 || !std::isfinite(mag))
+        throw SolverError("singular AC matrix at pivot " + std::to_string(k));
+      if (piv != k) {
+        for (std::size_t c = 0; c < n_; ++c) std::swap(at(k, c), at(piv, c));
+        std::swap(perm_[k], perm_[piv]);
+      }
+      const Cplx inv = 1.0 / at(k, k);
+      for (std::size_t r = k + 1; r < n_; ++r) {
+        const Cplx f = at(r, k) * inv;
+        if (f == Cplx{}) continue;
+        at(r, k) = f;
+        for (std::size_t c = k + 1; c < n_; ++c) at(r, c) -= f * at(k, c);
+      }
+    }
+  }
+
+  std::vector<Cplx> solve(const std::vector<Cplx>& b) const {
+    std::vector<Cplx> x(n_);
+    for (std::size_t i = 0; i < n_; ++i) x[i] = b[perm_[i]];
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t j = 0; j < i; ++j) x[i] -= at(i, j) * x[j];
+    }
+    for (std::size_t ii = n_; ii > 0; --ii) {
+      const std::size_t i = ii - 1;
+      for (std::size_t j = i + 1; j < n_; ++j) x[i] -= at(i, j) * x[j];
+      x[i] /= at(i, i);
+    }
+    return x;
+  }
+
+ private:
+  Cplx& at(std::size_t r, std::size_t c) { return a_[r * n_ + c]; }
+  const Cplx& at(std::size_t r, std::size_t c) const { return a_[r * n_ + c]; }
+  std::vector<Cplx> a_;
+  std::size_t n_;
+  std::vector<std::size_t> perm_;
+};
+}  // namespace
+
+AcResult::AcResult(std::vector<std::string> probe_names,
+                   std::vector<double> freqs)
+    : names_(std::move(probe_names)), freqs_(std::move(freqs)),
+      data_(names_.size(), std::vector<Cplx>(freqs_.size())) {}
+
+std::size_t AcResult::probe_index(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i)
+    if (names_[i] == name) return i;
+  throw MeasureError("no AC probe named " + name);
+}
+
+std::complex<double> AcResult::at(const std::string& probe,
+                                  std::size_t freq_idx) const {
+  ECMS_REQUIRE(freq_idx < freqs_.size(), "frequency index out of range");
+  return data_[probe_index(probe)][freq_idx];
+}
+
+double AcResult::magnitude(const std::string& probe,
+                           std::size_t freq_idx) const {
+  return std::abs(at(probe, freq_idx));
+}
+
+double AcResult::phase_deg(const std::string& probe,
+                           std::size_t freq_idx) const {
+  return std::arg(at(probe, freq_idx)) * 180.0 / M_PI;
+}
+
+void AcResult::set(std::size_t probe_idx, std::size_t freq_idx,
+                   std::complex<double> v) {
+  data_[probe_idx][freq_idx] = v;
+}
+
+AcResult ac_analysis(Circuit& ckt, const std::string& excited_vsource,
+                     const std::vector<double>& freqs_hz,
+                     const std::vector<std::string>& probes,
+                     const AcOptions& options) {
+  ECMS_REQUIRE(!freqs_hz.empty(), "AC sweep needs at least one frequency");
+  ckt.finalize();
+  auto& src = ckt.get<VSource>(excited_vsource);
+
+  // Operating point.
+  const DcResult op = dc_operating_point(ckt, options.dc);
+  const std::size_t n = ckt.unknown_count();
+
+  // Resolve probes: node voltage or "I(<source>)" branch current.
+  struct Probe {
+    std::size_t unknown;
+    bool is_ground = false;
+  };
+  std::vector<Probe> resolved;
+  for (const auto& name : probes) {
+    if (name.size() > 3 && name.substr(0, 2) == "I(" && name.back() == ')') {
+      const std::string dev = name.substr(2, name.size() - 3);
+      resolved.push_back({ckt.get<VSource>(dev).branch_index(), false});
+    } else {
+      const NodeId id = ckt.find_node(name);
+      if (id == kGround) {
+        resolved.push_back({0, true});
+      } else {
+        resolved.push_back({unknown_of(id), false});
+      }
+    }
+  }
+
+  // G: the linearized (Jacobian) system at the operating point, DC context
+  // (capacitors open).
+  const double gmin_ground = options.dc.newton.gmin_ground;
+  StampContext ctx;
+  ctx.x = op.x;
+  ctx.dt = 0.0;
+  Matrix g_mat;
+  std::vector<double> rhs_unused;
+  assemble(ckt, ctx, gmin_ground, g_mat, rhs_unused);
+
+  // C: recovered from two backward-Euler assemblies. BE companion stamps
+  // conductance C/dt, so A(dt) = G' + C/dt with G' identical across dt.
+  const double dt1 = 1e-9, dt2 = 2e-9;
+  Matrix a1, a2;
+  ctx.method = Integrator::kBackwardEuler;
+  ctx.dt = dt1;
+  assemble(ckt, ctx, gmin_ground, a1, rhs_unused);
+  ctx.dt = dt2;
+  assemble(ckt, ctx, gmin_ground, a2, rhs_unused);
+  const double inv_span = 1.0 / (1.0 / dt1 - 1.0 / dt2);
+  Matrix c_mat(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      c_mat.at(r, c) = (a1.at(r, c) - a2.at(r, c)) * inv_span;
+
+  AcResult result(probes, freqs_hz);
+  std::vector<Cplx> b(n, Cplx{});
+  b[src.branch_index()] = Cplx{1.0, 0.0};  // 1 V AC excitation
+
+  for (std::size_t fi = 0; fi < freqs_hz.size(); ++fi) {
+    ECMS_REQUIRE(freqs_hz[fi] > 0.0, "AC frequency must be positive");
+    const double w = 2.0 * M_PI * freqs_hz[fi];
+    std::vector<Cplx> a(n * n);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c)
+        a[r * n + c] = Cplx{g_mat.at(r, c), w * c_mat.at(r, c)};
+    const ComplexLu lu(std::move(a), n);
+    const std::vector<Cplx> x = lu.solve(b);
+    for (std::size_t pi = 0; pi < resolved.size(); ++pi) {
+      result.set(pi, fi,
+                 resolved[pi].is_ground ? Cplx{} : x[resolved[pi].unknown]);
+    }
+  }
+  return result;
+}
+
+double measure_capacitance(Circuit& ckt, const std::string& vsource,
+                           double freq_hz, const AcOptions& options) {
+  const std::string probe = "I(" + vsource + ")";
+  const AcResult res =
+      ac_analysis(ckt, vsource, {freq_hz}, {probe}, options);
+  // The source senses current flowing p -> n through itself; the current
+  // *into* the network is the negative of that. For v = 1 V, a capacitive
+  // load draws i = jwC, so C = Im(i_into)/w.
+  const Cplx i_into = -res.at(probe, 0);
+  return i_into.imag() / (2.0 * M_PI * freq_hz);
+}
+
+}  // namespace ecms::circuit

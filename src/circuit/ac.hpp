@@ -1,0 +1,66 @@
+// Small-signal AC analysis.
+//
+// Linearizes the circuit at its DC operating point and solves the complex
+// system (G + jwC) x = b over a frequency sweep. G is the Jacobian the
+// Newton solver already assembles; C is recovered exactly from the
+// backward-Euler companion stamps (whose conductance is C/dt) by assembling
+// at two time steps and differencing — so every device's capacitances are
+// included without a second stamping interface.
+//
+// The headline use here is measuring capacitance from a netlist: excite a
+// voltage source with a 1 V AC magnitude and read C = Im(I)/w. That is how
+// the tests validate C_REF (the REF gate input capacitance) and the plate
+// offset against the closed-form model.
+#pragma once
+
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "circuit/dc.hpp"
+#include "circuit/netlist.hpp"
+
+namespace ecms::circuit {
+
+/// One AC solution: complex node voltages / branch currents per frequency.
+class AcResult {
+ public:
+  AcResult(std::vector<std::string> probe_names, std::vector<double> freqs);
+
+  const std::vector<double>& freqs() const { return freqs_; }
+  const std::vector<std::string>& probe_names() const { return names_; }
+
+  std::complex<double> at(const std::string& probe, std::size_t freq_idx) const;
+  double magnitude(const std::string& probe, std::size_t freq_idx) const;
+  double phase_deg(const std::string& probe, std::size_t freq_idx) const;
+
+  void set(std::size_t probe_idx, std::size_t freq_idx,
+           std::complex<double> v);
+
+ private:
+  std::size_t probe_index(const std::string& name) const;
+  std::vector<std::string> names_;
+  std::vector<double> freqs_;
+  std::vector<std::vector<std::complex<double>>> data_;  // [probe][freq]
+};
+
+struct AcOptions {
+  DcOptions dc;  ///< operating-point options
+};
+
+/// Runs an AC sweep. `excited_vsource` gets a 1 V AC magnitude (all other
+/// independent sources are AC-quiet); probes may name nodes (complex
+/// voltage) or "I(<vsource>)" (complex branch current).
+AcResult ac_analysis(Circuit& ckt, const std::string& excited_vsource,
+                     const std::vector<double>& freqs_hz,
+                     const std::vector<std::string>& probes,
+                     const AcOptions& options = {});
+
+/// Small-signal capacitance seen by a voltage source at its DC bias:
+/// C = Im(I_source) / (2 pi f). Frequency should be low enough that series
+/// resistances are negligible (default 1 MHz: 1/(wC) ~ 1.6 MOhm at 100 fF).
+double measure_capacitance(Circuit& ckt, const std::string& vsource,
+                           double freq_hz = 1e6,
+                           const AcOptions& options = {});
+
+}  // namespace ecms::circuit

@@ -1,0 +1,85 @@
+#include "circuit/dc.hpp"
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace ecms::circuit {
+
+DcResult dc_operating_point(Circuit& ckt, const DcOptions& opts) {
+  ckt.finalize();
+  DcResult res;
+  res.x.assign(ckt.unknown_count(), 0.0);
+
+  StampContext ctx;
+  ctx.time = opts.time;
+  ctx.dt = 0.0;
+
+  auto attempt = [&](double gmin, double source_scale,
+                     std::vector<double>& x) {
+    StampContext c = ctx;
+    c.gmin = gmin;
+    c.source_scale = source_scale;
+    const NewtonResult nr = newton_solve(ckt, c, x, opts.newton);
+    res.total_newton_iterations += nr.iterations;
+    return nr.converged;
+  };
+
+  // Plain Newton first.
+  {
+    std::vector<double> x = res.x;
+    if (attempt(opts.newton.gmin_ground, 1.0, x)) {
+      res.x = std::move(x);
+      return res;
+    }
+  }
+
+  // gmin stepping: relax the circuit with large junction gmin, then tighten.
+  {
+    std::vector<double> x(ckt.unknown_count(), 0.0);
+    bool ok = true;
+    for (double g = opts.gmin_start; g >= opts.newton.gmin_ground / 10.0;
+         g /= 10.0) {
+      if (!attempt(g, 1.0, x)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok && attempt(opts.newton.gmin_ground, 1.0, x)) {
+      res.used_gmin_stepping = true;
+      res.x = std::move(x);
+      ECMS_LOG(LogLevel::kDebug) << "dc: converged via gmin stepping";
+      return res;
+    }
+  }
+
+  // Source stepping: ramp all independent sources from 0 to full value.
+  {
+    std::vector<double> x(ckt.unknown_count(), 0.0);
+    bool ok = true;
+    for (int s = 1; s <= opts.source_steps; ++s) {
+      const double scale =
+          static_cast<double>(s) / static_cast<double>(opts.source_steps);
+      if (!attempt(opts.newton.gmin_ground, scale, x)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      res.used_source_stepping = true;
+      res.x = std::move(x);
+      ECMS_LOG(LogLevel::kDebug) << "dc: converged via source stepping";
+      return res;
+    }
+  }
+
+  throw SolverError("DC operating point failed to converge");
+}
+
+double dc_voltage(const Circuit& ckt, const DcResult& r,
+                  const std::string& node_name) {
+  const NodeId id = ckt.find_node(node_name);
+  if (id == kGround) return 0.0;
+  return r.x[unknown_of(id)];
+}
+
+}  // namespace ecms::circuit

@@ -1,0 +1,36 @@
+// DC operating-point solver with gmin and source stepping fallbacks.
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "circuit/newton.hpp"
+
+namespace ecms::circuit {
+
+struct DcOptions {
+  NewtonOptions newton;
+  double time = 0.0;  ///< sources are evaluated at this time
+  /// gmin stepping ladder: starts here and divides by 10 until newton.gmin_
+  /// ground level is reached.
+  double gmin_start = 1e-3;
+  int source_steps = 10;  ///< source-stepping resolution for the last resort
+};
+
+/// Result: the full unknown vector (node voltages then branch currents).
+struct DcResult {
+  std::vector<double> x;
+  int total_newton_iterations = 0;
+  bool used_gmin_stepping = false;
+  bool used_source_stepping = false;
+};
+
+/// Solves the operating point. Throws ecms::SolverError if every strategy
+/// fails.
+DcResult dc_operating_point(Circuit& ckt, const DcOptions& opts = {});
+
+/// Convenience: node voltage from a DC result.
+double dc_voltage(const Circuit& ckt, const DcResult& r,
+                  const std::string& node_name);
+
+}  // namespace ecms::circuit

@@ -1,0 +1,133 @@
+// Device base class and MNA stamping primitives.
+//
+// The MNA unknown vector is x = [v(node 1..N-1), i(branch 0..B-1)]: node 0 is
+// ground and is eliminated. Devices contribute a linearized companion model
+// each Newton iteration: A x = b where A holds conductances/incidences and b
+// holds equivalent source currents. Dynamic devices (capacitors, MOSFET
+// intrinsic caps) carry per-step history which the solver latches through
+// init_state()/accept_step().
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/matrix.hpp"
+
+namespace ecms::circuit {
+
+/// Node handle. 0 is always ground.
+using NodeId = int;
+inline constexpr NodeId kGround = 0;
+
+/// Transient integration method.
+enum class Integrator { kBackwardEuler, kTrapezoidal };
+
+/// Everything a device needs to stamp itself at one Newton iteration.
+struct StampContext {
+  std::span<const double> x;  ///< current iterate (unknown vector)
+  double time = 0.0;          ///< time at the end of the step being solved
+  double dt = 0.0;            ///< step size; 0 means DC operating point
+  Integrator method = Integrator::kTrapezoidal;
+  double gmin = 1e-12;  ///< conductance to ground added across nonlinear
+                        ///< junctions (raised during gmin stepping)
+  double source_scale = 1.0;  ///< independent-source scaling (source stepping)
+
+  bool is_dc() const { return dt == 0.0; }
+
+  /// Voltage of a node in the current iterate (ground reads as 0).
+  double v(NodeId n) const {
+    return n == kGround ? 0.0 : x[static_cast<std::size_t>(n) - 1];
+  }
+};
+
+/// Index of a node's unknown in the MNA system; must not be ground.
+inline std::size_t unknown_of(NodeId n) {
+  return static_cast<std::size_t>(n) - 1;
+}
+
+/// Stamps conductance g between nodes a and b.
+void stamp_conductance(Matrix& a_mat, NodeId a, NodeId b, double g);
+
+/// Stamps an asymmetric transconductance: current into `out_p` / out of
+/// `out_n` proportional to (v(in_p) - v(in_n)) * g.
+void stamp_transconductance(Matrix& a_mat, NodeId out_p, NodeId out_n,
+                            NodeId in_p, NodeId in_n, double g);
+
+/// Stamps a constant current `i` flowing from node a to node b (leaving a,
+/// entering b).
+void stamp_current(std::span<double> b_vec, NodeId a, NodeId b, double i);
+
+/// Shared companion model for a linear capacitor (used by the Capacitor
+/// device and by MOSFET intrinsic capacitances). Charge-conserving under both
+/// integrators.
+class CapCompanion {
+ public:
+  CapCompanion() = default;
+  explicit CapCompanion(double farads) : c_(farads) {}
+
+  double capacitance() const { return c_; }
+  void set_capacitance(double farads) { c_ = farads; }
+
+  /// Stamps the companion between nodes a, b. No-op in DC (capacitor open).
+  void stamp(const StampContext& ctx, NodeId a, NodeId b, Matrix& a_mat,
+             std::span<double> b_vec) const;
+
+  /// Latches v across (a - b) as history; zeroes the current history.
+  void init_state(const StampContext& ctx, NodeId a, NodeId b);
+
+  /// Latches history after an accepted transient step.
+  void accept_step(const StampContext& ctx, NodeId a, NodeId b);
+
+  double history_voltage() const { return v_prev_; }
+  double history_current() const { return i_prev_; }
+
+ private:
+  double geq(const StampContext& ctx) const;
+  double c_ = 0.0;
+  double v_prev_ = 0.0;
+  double i_prev_ = 0.0;
+};
+
+/// Abstract circuit element.
+class Device {
+ public:
+  explicit Device(std::string name) : name_(std::move(name)) {}
+  virtual ~Device() = default;
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Adds this device's contribution for the given iterate.
+  virtual void stamp(const StampContext& ctx, Matrix& a_mat,
+                     std::span<double> b_vec) const = 0;
+
+  /// Number of extra branch-current unknowns this device introduces.
+  virtual int branch_count() const { return 0; }
+
+  /// Called by Circuit::finalize() with the first branch unknown index.
+  virtual void set_branch_base(std::size_t /*base*/) {}
+
+  /// True if the device's stamp depends on the iterate x.
+  virtual bool nonlinear() const { return false; }
+
+  /// Latches initial history from a consistent DC solution.
+  virtual void init_state(const StampContext& /*ctx*/) {}
+
+  /// Latches history after an accepted transient step.
+  virtual void accept_step(const StampContext& /*ctx*/) {}
+
+  /// Appends times where this device's stimulus has corners.
+  virtual void collect_breakpoints(std::vector<double>& /*out*/) const {}
+
+  /// Branch or terminal current for probing, where meaningful (positive from
+  /// the first terminal into the device). Default: unknown → 0.
+  virtual double probe_current(const StampContext& /*ctx*/) const { return 0.0; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace ecms::circuit

@@ -1,0 +1,53 @@
+#include "circuit/diode.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ecms::circuit {
+
+Diode::Diode(std::string name, NodeId anode, NodeId cathode, Params p)
+    : Device(std::move(name)), a_(anode), c_(cathode), p_(p) {
+  ECMS_REQUIRE(p.i_sat > 0 && p.n_ideality > 0, "diode parameters invalid");
+  ECMS_REQUIRE(anode != cathode, "diode terminals must differ");
+}
+
+double Diode::limited(double v) const {
+  // Soft exponential limiting: above v_crit the junction voltage used in the
+  // exponential grows only logarithmically, which is the classic SPICE trick
+  // to keep exp() finite during Newton excursions.
+  if (v <= p_.v_crit) return v;
+  const double vt = p_.n_ideality * phys::thermal_voltage(p_.temp_k);
+  return p_.v_crit + vt * std::log1p((v - p_.v_crit) / vt);
+}
+
+double Diode::current(double v) const {
+  const double vt = p_.n_ideality * phys::thermal_voltage(p_.temp_k);
+  return p_.i_sat * std::expm1(limited(v) / vt);
+}
+
+double Diode::conductance(double v) const {
+  const double vt = p_.n_ideality * phys::thermal_voltage(p_.temp_k);
+  double g = p_.i_sat / vt * std::exp(limited(v) / vt);
+  if (v > p_.v_crit) {
+    // Chain rule through the limiter.
+    g *= vt / (vt + (v - p_.v_crit));
+  }
+  return g;
+}
+
+void Diode::stamp(const StampContext& ctx, Matrix& a_mat,
+                  std::span<double> b_vec) const {
+  const double v = ctx.v(a_) - ctx.v(c_);
+  const double i = current(v);
+  const double g = conductance(v) + ctx.gmin;
+  stamp_conductance(a_mat, a_, c_, g);
+  stamp_current(b_vec, a_, c_, i - g * v);
+}
+
+double Diode::probe_current(const StampContext& ctx) const {
+  return current(ctx.v(a_) - ctx.v(c_));
+}
+
+}  // namespace ecms::circuit

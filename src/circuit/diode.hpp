@@ -1,0 +1,40 @@
+// Junction diode (Shockley model with a series-free, voltage-limited Newton
+// companion). Used for cell-junction leakage studies in the retention model.
+#pragma once
+
+#include "circuit/device.hpp"
+
+namespace ecms::circuit {
+
+class Diode : public Device {
+ public:
+  struct Params {
+    double i_sat = 1e-15;  ///< saturation current (A)
+    double n_ideality = 1.0;
+    double temp_k = 300.0;
+    double v_crit = 0.8;  ///< internal bias limiting knee (V)
+  };
+
+  Diode(std::string name, NodeId anode, NodeId cathode, Params p);
+
+  void stamp(const StampContext& ctx, Matrix& a_mat,
+             std::span<double> b_vec) const override;
+  bool nonlinear() const override { return true; }
+  double probe_current(const StampContext& ctx) const override;
+
+  /// Shockley current at forward voltage v (exposed for tests).
+  double current(double v) const;
+  /// dI/dV at forward voltage v.
+  double conductance(double v) const;
+
+  const Params& params() const { return p_; }
+  NodeId anode() const { return a_; }
+  NodeId cathode() const { return c_; }
+
+ private:
+  double limited(double v) const;
+  NodeId a_, c_;
+  Params p_;
+};
+
+}  // namespace ecms::circuit

@@ -1,0 +1,113 @@
+#include "circuit/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ecms::circuit {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+void Matrix::clear() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0);
+}
+
+void Matrix::multiply(std::span<const double> x, std::span<double> y) const {
+  ECMS_REQUIRE(x.size() == cols_ && y.size() == rows_,
+               "matrix multiply size mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+}
+
+LuFactorization::LuFactorization(const Matrix& a) : lu_(a), perm_(a.rows()) {
+  ECMS_REQUIRE(a.rows() == a.cols(), "LU requires a square matrix");
+  const std::size_t n = lu_.rows();
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  double min_piv = 0.0, max_piv = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest magnitude in column k at/below the diagonal.
+    std::size_t piv = k;
+    double piv_mag = std::abs(lu_.at(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double mag = std::abs(lu_.at(r, k));
+      if (mag > piv_mag) {
+        piv_mag = mag;
+        piv = r;
+      }
+    }
+    if (piv_mag == 0.0 || !std::isfinite(piv_mag)) {
+      throw SolverError("singular MNA matrix at pivot " + std::to_string(k));
+    }
+    if (piv != k) {
+      for (std::size_t c = 0; c < n; ++c)
+        std::swap(lu_.at(k, c), lu_.at(piv, c));
+      std::swap(perm_[k], perm_[piv]);
+    }
+    if (k == 0) {
+      min_piv = max_piv = piv_mag;
+    } else {
+      min_piv = std::min(min_piv, piv_mag);
+      max_piv = std::max(max_piv, piv_mag);
+    }
+    const double inv_piv = 1.0 / lu_.at(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = lu_.at(r, k) * inv_piv;
+      if (factor == 0.0) continue;
+      lu_.at(r, k) = factor;
+      for (std::size_t c = k + 1; c < n; ++c)
+        lu_.at(r, c) -= factor * lu_.at(k, c);
+    }
+  }
+  pivot_ratio_ = max_piv > 0.0 ? min_piv / max_piv : 0.0;
+}
+
+void LuFactorization::solve_in_place(std::span<double> b) const {
+  const std::size_t n = lu_.rows();
+  ECMS_REQUIRE(b.size() == n, "rhs size mismatch");
+  // Apply permutation.
+  std::vector<double> pb(n);
+  for (std::size_t i = 0; i < n; ++i) pb[i] = b[perm_[i]];
+  // Forward substitution (unit lower-triangular L).
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = pb[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_.at(i, j) * pb[j];
+    pb[i] = acc;
+  }
+  // Back substitution (U).
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double acc = pb[i];
+    for (std::size_t j = i + 1; j < n; ++j) acc -= lu_.at(i, j) * pb[j];
+    pb[i] = acc / lu_.at(i, i);
+  }
+  std::copy(pb.begin(), pb.end(), b.begin());
+}
+
+std::vector<double> LuFactorization::solve(std::span<const double> b) const {
+  std::vector<double> x(b.begin(), b.end());
+  solve_in_place(x);
+  return x;
+}
+
+std::vector<double> solve_dense(const Matrix& a, std::span<const double> b) {
+  return LuFactorization(a).solve(b);
+}
+
+double max_norm(std::span<const double> v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+}  // namespace ecms::circuit

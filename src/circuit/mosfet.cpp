@@ -1,0 +1,201 @@
+#include "circuit/mosfet.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ecms::circuit {
+
+namespace {
+
+// Numerically stable ln(1 + e^x).
+double ln1pexp(double x) {
+  if (x > 37.0) return x;
+  if (x < -37.0) return std::exp(x);
+  return std::log1p(std::exp(x));
+}
+
+// Numerically stable logistic.
+double sigmoid(double x) {
+  if (x >= 0.0) return 1.0 / (1.0 + std::exp(-x));
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+// EKV interpolation function F(u) = ln^2(1 + e^{u/2}) and its derivative.
+struct Interp {
+  double f;
+  double df;
+};
+Interp ekv_f(double u) {
+  const double l = ln1pexp(0.5 * u);
+  return {l * l, l * sigmoid(0.5 * u)};
+}
+
+// n-type core evaluation (both models); voltages are absolute.
+MosEval eval_ncore(const MosParams& p, double vg, double vd, double vs,
+                   double vb) {
+  MosEval e;
+  const double vt = phys::thermal_voltage(p.temp_k);
+  const double beta = p.kp * p.w / p.l;
+
+  if (p.model == MosModel::kEkv) {
+    const double n = p.n_slope;
+    const double is = 2.0 * n * beta * vt * vt;
+    const double vp = (vg - vb - p.vth0) / n;
+    const double uf = (vp - (vs - vb)) / vt;
+    const double ur = (vp - (vd - vb)) / vt;
+    const auto [ff, dff] = ekv_f(uf);
+    const auto [fr, dfr] = ekv_f(ur);
+    const double vds = vd - vs;
+    const double clm = 1.0 + p.lambda * vds;
+    const double ids0 = is * (ff - fr);
+    e.ids = ids0 * clm;
+    const double a = is * clm;
+    e.d_vg = a * (dff - dfr) / (n * vt);
+    e.d_vd = a * dfr / vt + ids0 * p.lambda;
+    e.d_vs = -a * dff / vt - ids0 * p.lambda;
+    e.d_vb = a * (dff - dfr) * (n - 1.0) / (n * vt);
+    return e;
+  }
+
+  // Level-1 (Shichman–Hodges) with linearized body effect and no
+  // subthreshold conduction. Source/drain are swapped so vds >= 0.
+  double d = vd, s = vs;
+  double sign = 1.0;
+  if (d < s) {
+    std::swap(d, s);
+    sign = -1.0;
+  }
+  const double vsb = s - vb;
+  const double vth = p.vth0 + (p.n_slope - 1.0) * std::max(vsb, 0.0);
+  const double vgs = vg - s;
+  const double vds = d - s;
+  const double vgst = vgs - vth;
+  if (vgst <= 0.0) {
+    e.ids = 0.0;
+    return e;  // cutoff: all derivatives zero
+  }
+  const double clm = 1.0 + p.lambda * vds;
+  double ids, gm, gds;
+  if (vds < vgst) {
+    // Triode.
+    ids = beta * (vgst * vds - 0.5 * vds * vds) * clm;
+    gm = beta * vds * clm;
+    gds = beta * (vgst - vds) * clm +
+          beta * (vgst * vds - 0.5 * vds * vds) * p.lambda;
+  } else {
+    // Saturation.
+    ids = 0.5 * beta * vgst * vgst * clm;
+    gm = beta * vgst * clm;
+    gds = 0.5 * beta * vgst * vgst * p.lambda;
+  }
+  const double gmb = gm * (p.n_slope - 1.0) * (vsb > 0.0 ? 1.0 : 0.0);
+  // Map swapped-terminal derivatives back to the original orientation.
+  // In the swapped frame: dI/dg = gm, dI/dd = gds, dI/ds = -(gm+gds+gmb),
+  // dI/db = gmb. Sign flips the current and each derivative.
+  e.ids = sign * ids;
+  const double dg = sign * gm;
+  const double dd_sw = sign * gds;
+  const double db = sign * gmb;
+  const double ds_sw = -(dg + dd_sw + db);
+  e.d_vg = dg;
+  if (sign > 0) {
+    e.d_vd = dd_sw;
+    e.d_vs = ds_sw;
+  } else {
+    e.d_vd = ds_sw;
+    e.d_vs = dd_sw;
+  }
+  e.d_vb = db;
+  return e;
+}
+
+}  // namespace
+
+MosEval mos_eval(const MosParams& p, double vg, double vd, double vs,
+                 double vb) {
+  if (p.type == MosType::kNmos) return eval_ncore(p, vg, vd, vs, vb);
+  // PMOS: mirror all voltages, evaluate the n-core, negate the current.
+  // d(-I(-v))/dv = +dI/dv' so derivatives carry over unchanged.
+  MosEval m = eval_ncore(p, -vg, -vd, -vs, -vb);
+  MosEval e;
+  e.ids = -m.ids;
+  e.d_vg = m.d_vg;
+  e.d_vd = m.d_vd;
+  e.d_vs = m.d_vs;
+  e.d_vb = m.d_vb;
+  return e;
+}
+
+double mos_ids(const MosParams& p, double vgs, double vds) {
+  return mos_eval(p, vgs, vds, 0.0, 0.0).ids;
+}
+
+Mosfet::Mosfet(std::string name, NodeId d, NodeId g, NodeId s, NodeId b,
+               MosParams params)
+    : Device(std::move(name)), d_(d), g_(g), s_(s), b_(b), p_(params) {
+  ECMS_REQUIRE(p_.w > 0 && p_.l > 0, "MOSFET geometry must be positive");
+  ECMS_REQUIRE(p_.kp > 0, "MOSFET kp must be positive");
+  // Intrinsic capacitance split: overlap caps to S/D, the full channel
+  // capacitance to bulk, junction caps at the diffusions. See header.
+  cgs_.set_capacitance(p_.c_overlap());
+  cgd_.set_capacitance(p_.c_overlap());
+  cgb_.set_capacitance(p_.c_gate_channel());
+  cdb_.set_capacitance(p_.c_junction());
+  csb_.set_capacitance(p_.c_junction());
+}
+
+void Mosfet::stamp(const StampContext& ctx, Matrix& a_mat,
+                   std::span<double> b_vec) const {
+  const double vg = ctx.v(g_), vd = ctx.v(d_), vs = ctx.v(s_), vb = ctx.v(b_);
+  const MosEval e = mos_eval(p_, vg, vd, vs, vb);
+
+  // Newton companion for the channel current I(d->s):
+  // I ~ I0 + sum_k dI/dvk (vk - vk0).
+  auto stamp_pair = [&](NodeId col, double g) {
+    if (col == kGround) return;
+    if (d_ != kGround) a_mat.at(unknown_of(d_), unknown_of(col)) += g;
+    if (s_ != kGround) a_mat.at(unknown_of(s_), unknown_of(col)) -= g;
+  };
+  stamp_pair(g_, e.d_vg);
+  stamp_pair(d_, e.d_vd);
+  stamp_pair(s_, e.d_vs);
+  stamp_pair(b_, e.d_vb);
+  const double ieq =
+      e.ids - e.d_vg * vg - e.d_vd * vd - e.d_vs * vs - e.d_vb * vb;
+  stamp_current(b_vec, d_, s_, ieq);
+
+  // Convergence aid across the channel (negligible at 1e-12 S).
+  stamp_conductance(a_mat, d_, s_, ctx.gmin);
+
+  // Intrinsic capacitances.
+  cgs_.stamp(ctx, g_, s_, a_mat, b_vec);
+  cgd_.stamp(ctx, g_, d_, a_mat, b_vec);
+  cgb_.stamp(ctx, g_, b_, a_mat, b_vec);
+  cdb_.stamp(ctx, d_, b_, a_mat, b_vec);
+  csb_.stamp(ctx, s_, b_, a_mat, b_vec);
+}
+
+void Mosfet::init_state(const StampContext& ctx) {
+  cgs_.init_state(ctx, g_, s_);
+  cgd_.init_state(ctx, g_, d_);
+  cgb_.init_state(ctx, g_, b_);
+  cdb_.init_state(ctx, d_, b_);
+  csb_.init_state(ctx, s_, b_);
+}
+
+void Mosfet::accept_step(const StampContext& ctx) {
+  cgs_.accept_step(ctx, g_, s_);
+  cgd_.accept_step(ctx, g_, d_);
+  cgb_.accept_step(ctx, g_, b_);
+  cdb_.accept_step(ctx, d_, b_);
+  csb_.accept_step(ctx, s_, b_);
+}
+
+double Mosfet::probe_current(const StampContext& ctx) const {
+  return mos_eval(p_, ctx.v(g_), ctx.v(d_), ctx.v(s_), ctx.v(b_)).ids;
+}
+
+}  // namespace ecms::circuit

@@ -1,0 +1,95 @@
+// Circuit: the netlist container.
+//
+// Owns devices, maps node names to ids, and assigns MNA unknown indices.
+// Construction is additive; finalize() freezes branch indices (called lazily
+// by the solvers, idempotent).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/device.hpp"
+#include "circuit/diode.hpp"
+#include "circuit/mosfet.hpp"
+#include "circuit/passive.hpp"
+#include "circuit/sources.hpp"
+
+namespace ecms::circuit {
+
+class Circuit {
+ public:
+  Circuit();
+
+  /// Returns the id for `name`, creating the node if needed. "0" and "gnd"
+  /// both name ground.
+  NodeId node(const std::string& name);
+  bool has_node(const std::string& name) const;
+  /// Id lookup that throws if the node does not exist.
+  NodeId find_node(const std::string& name) const;
+  const std::string& node_name(NodeId id) const;
+  /// Number of nodes including ground.
+  std::size_t node_count() const { return names_.size(); }
+
+  // --- device factories (names must be unique) ---
+  Resistor& add_resistor(const std::string& name, NodeId a, NodeId b,
+                         double ohms);
+  Capacitor& add_capacitor(const std::string& name, NodeId a, NodeId b,
+                           double farads);
+  VSource& add_vsource(const std::string& name, NodeId p, NodeId n,
+                       SourceWave wave);
+  ISource& add_isource(const std::string& name, NodeId p, NodeId n,
+                       SourceWave wave);
+  Mosfet& add_mosfet(const std::string& name, NodeId d, NodeId g, NodeId s,
+                     NodeId b, MosParams params);
+  Diode& add_diode(const std::string& name, NodeId anode, NodeId cathode,
+                   Diode::Params params);
+  VcSwitch& add_switch(const std::string& name, NodeId a, NodeId b,
+                       NodeId ctrl_p, NodeId ctrl_n, VcSwitch::Params params);
+
+  /// Assigns branch unknowns. Safe to call repeatedly; devices added after a
+  /// finalize trigger re-finalization on the next call.
+  void finalize();
+
+  /// Total MNA unknowns: (nodes - 1) + branch currents. Requires finalize().
+  std::size_t unknown_count() const;
+
+  const std::vector<std::unique_ptr<Device>>& devices() const {
+    return devices_;
+  }
+
+  /// Device lookup by unique name; nullptr if absent.
+  Device* find(const std::string& name);
+  const Device* find(const std::string& name) const;
+  /// Typed lookup; throws NetlistError on missing name or wrong type.
+  template <typename T>
+  T& get(const std::string& name) {
+    Device* d = find(name);
+    if (d == nullptr) throw_missing(name);
+    T* t = dynamic_cast<T*>(d);
+    if (t == nullptr) throw_wrong_type(name);
+    return *t;
+  }
+
+  /// True if any device is nonlinear (needs Newton iterations).
+  bool has_nonlinear() const;
+
+  /// All stimulus breakpoints in [0, t_stop], sorted and deduplicated.
+  std::vector<double> breakpoints(double t_stop) const;
+
+ private:
+  template <typename T, typename... Args>
+  T& emplace_device(Args&&... args);
+  [[noreturn]] static void throw_missing(const std::string& name);
+  [[noreturn]] static void throw_wrong_type(const std::string& name);
+
+  std::vector<std::string> names_;  // node id -> name
+  std::unordered_map<std::string, NodeId> ids_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::unordered_map<std::string, Device*> by_name_;
+  std::size_t branch_unknowns_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace ecms::circuit

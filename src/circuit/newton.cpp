@@ -1,0 +1,79 @@
+#include "circuit/newton.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace ecms::circuit {
+
+void assemble(const Circuit& ckt, const StampContext& ctx, double gmin_ground,
+              Matrix& a_mat, std::vector<double>& b_vec) {
+  const std::size_t n = ckt.unknown_count();
+  if (a_mat.rows() != n) a_mat.resize(n, n);
+  a_mat.clear();
+  b_vec.assign(n, 0.0);
+  std::span<double> b(b_vec);
+  for (const auto& d : ckt.devices()) d->stamp(ctx, a_mat, b);
+  // Floating-node safety net: every node leaks to ground through gmin_ground.
+  const std::size_t nv = ckt.node_count() - 1;
+  for (std::size_t i = 0; i < nv; ++i) a_mat.at(i, i) += gmin_ground;
+}
+
+NewtonResult newton_solve(const Circuit& ckt, const StampContext& ctx_proto,
+                          std::vector<double>& x, const NewtonOptions& opts) {
+  const std::size_t n = ckt.unknown_count();
+  ECMS_REQUIRE(x.size() == n, "newton_solve: x has wrong size");
+  const std::size_t nv = ckt.node_count() - 1;
+
+  Matrix a_mat;
+  std::vector<double> b_vec;
+  NewtonResult res;
+
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    StampContext ctx = ctx_proto;
+    ctx.x = x;
+    assemble(ckt, ctx, opts.gmin_ground, a_mat, b_vec);
+
+    std::vector<double> x_new;
+    try {
+      x_new = LuFactorization(a_mat).solve(b_vec);
+    } catch (const SolverError&) {
+      res.converged = false;
+      res.iterations = iter + 1;
+      return res;
+    }
+
+    // Voltage-part damping: clamp the update so no node moves more than
+    // max_delta_v per iteration (branch currents are left free).
+    double max_dv = 0.0;
+    for (std::size_t i = 0; i < nv; ++i)
+      max_dv = std::max(max_dv, std::abs(x_new[i] - x[i]));
+    double scale = 1.0;
+    if (max_dv > opts.max_delta_v) scale = opts.max_delta_v / max_dv;
+
+    double max_x = 0.0;
+    for (std::size_t i = 0; i < nv; ++i) max_x = std::max(max_x, std::abs(x[i]));
+    for (std::size_t i = 0; i < n; ++i) x[i] += scale * (x_new[i] - x[i]);
+
+    res.iterations = iter + 1;
+    res.final_delta = max_dv * scale;
+    if (!std::isfinite(res.final_delta)) {
+      res.converged = false;
+      return res;
+    }
+    if (scale == 1.0 &&
+        max_dv < opts.tol_abs_v + opts.tol_rel * std::max(max_x, 1.0)) {
+      res.converged = true;
+      return res;
+    }
+  }
+  res.converged = false;
+  ECMS_LOG(LogLevel::kDebug) << "newton: no convergence after "
+                             << res.iterations
+                             << " iters, last dv=" << res.final_delta;
+  return res;
+}
+
+}  // namespace ecms::circuit

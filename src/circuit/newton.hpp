@@ -1,0 +1,39 @@
+// Damped Newton–Raphson solve of the stamped MNA system.
+//
+// Shared by the DC operating-point and transient solvers: both reduce each
+// (time) point to "find x such that the companion-model system is
+// self-consistent".
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace ecms::circuit {
+
+struct NewtonOptions {
+  int max_iterations = 100;
+  double tol_abs_v = 1e-6;    ///< absolute voltage tolerance (V)
+  double tol_rel = 1e-9;      ///< relative tolerance on the update
+  double max_delta_v = 0.5;   ///< per-iteration voltage damping clamp (V)
+  double gmin_ground = 1e-12; ///< always-on conductance from every node to
+                              ///< ground (keeps floating nodes nonsingular)
+};
+
+struct NewtonResult {
+  bool converged = false;
+  int iterations = 0;
+  double final_delta = 0.0;  ///< max-norm of the last update's voltage part
+};
+
+/// Assembles the MNA system for the given context into (a_mat, b_vec).
+/// Both are resized/cleared as needed.
+void assemble(const Circuit& ckt, const StampContext& ctx, double gmin_ground,
+              Matrix& a_mat, std::vector<double>& b_vec);
+
+/// Runs damped NR starting from x (updated in place). `ctx_proto` supplies
+/// time/dt/method/gmin/source_scale; its x span is ignored.
+NewtonResult newton_solve(const Circuit& ckt, const StampContext& ctx_proto,
+                          std::vector<double>& x, const NewtonOptions& opts);
+
+}  // namespace ecms::circuit

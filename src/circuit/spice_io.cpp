@@ -1,0 +1,366 @@
+#include "circuit/spice_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ecms::circuit {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char ch) { return std::tolower(ch); });
+  return s;
+}
+
+// Card name: prepend the type letter only when the device name does not
+// already start with it, so export/import round-trips names stably.
+std::string card_name(char prefix, const std::string& name) {
+  if (!name.empty() &&
+      std::tolower(static_cast<unsigned char>(name[0])) == prefix) {
+    return name;
+  }
+  return std::string(1, static_cast<char>(std::toupper(prefix))) + name;
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+// Key for deduplicating MOSFET .model cards: everything but geometry.
+std::string mos_model_key(const MosParams& p) {
+  std::ostringstream os;
+  os << (p.type == MosType::kNmos ? "n" : "p") << '|' << p.kp << '|' << p.vth0
+     << '|' << p.lambda << '|' << p.n_slope << '|' << p.temp_k << '|'
+     << p.cox_per_area << '|' << p.cov_per_w << '|' << p.cj_per_area << '|'
+     << p.diff_len;
+  return os.str();
+}
+
+std::string diode_model_key(const Diode::Params& p) {
+  std::ostringstream os;
+  os << p.i_sat << '|' << p.n_ideality << '|' << p.temp_k << '|' << p.v_crit;
+  return os.str();
+}
+
+void write_wave(std::ostream& os, const SourceWave& w) {
+  const auto& pts = w.points();
+  if (pts.size() == 1) {
+    os << "DC " << fmt(pts[0].v);
+    return;
+  }
+  os << "PWL(";
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (i) os << ' ';
+    os << fmt(pts[i].t) << ' ' << fmt(pts[i].v);
+  }
+  os << ')';
+}
+
+}  // namespace
+
+void write_spice(const Circuit& ckt, std::ostream& os,
+                 const std::string& title) {
+  os << "* " << title << "\n";
+
+  // Collect models first so the deck is self-contained when read top-down.
+  std::map<std::string, std::pair<std::string, const MosParams*>> mos_models;
+  std::map<std::string, std::pair<std::string, const Diode::Params*>>
+      d_models;
+  for (const auto& dev : ckt.devices()) {
+    if (const auto* m = dynamic_cast<const Mosfet*>(dev.get())) {
+      const std::string key = mos_model_key(m->params());
+      if (!mos_models.count(key)) {
+        const std::string name =
+            (m->params().type == MosType::kNmos ? "nmod" : "pmod") +
+            std::to_string(mos_models.size());
+        mos_models.emplace(key, std::make_pair(name, &m->params()));
+      }
+    } else if (const auto* d = dynamic_cast<const Diode*>(dev.get())) {
+      const std::string key = diode_model_key(d->params());
+      if (!d_models.count(key)) {
+        d_models.emplace(key, std::make_pair(
+                                  "dmod" + std::to_string(d_models.size()),
+                                  &d->params()));
+      }
+    }
+  }
+  for (const auto& [key, entry] : mos_models) {
+    const MosParams& p = *entry.second;
+    os << ".model " << entry.first << ' '
+       << (p.type == MosType::kNmos ? "NMOS" : "PMOS") << " (kp=" << fmt(p.kp)
+       << " vto=" << fmt(p.vth0) << " lambda=" << fmt(p.lambda)
+       << " n=" << fmt(p.n_slope) << " temp=" << fmt(p.temp_k)
+       << " cox=" << fmt(p.cox_per_area) << " cov=" << fmt(p.cov_per_w)
+       << " cj=" << fmt(p.cj_per_area) << " difflen=" << fmt(p.diff_len)
+       << ")\n";
+  }
+  for (const auto& [key, entry] : d_models) {
+    const Diode::Params& p = *entry.second;
+    os << ".model " << entry.first << " D (is=" << fmt(p.i_sat)
+       << " n=" << fmt(p.n_ideality) << " temp=" << fmt(p.temp_k)
+       << " vcrit=" << fmt(p.v_crit) << ")\n";
+  }
+
+  const auto node = [&](NodeId id) { return ckt.node_name(id); };
+  for (const auto& dev : ckt.devices()) {
+    if (const auto* r = dynamic_cast<const Resistor*>(dev.get())) {
+      os << card_name('r', r->name()) << ' ' << node(r->a()) << ' ' << node(r->b())
+         << ' ' << fmt(r->resistance()) << '\n';
+    } else if (const auto* c = dynamic_cast<const Capacitor*>(dev.get())) {
+      os << card_name('c', c->name()) << ' ' << node(c->a()) << ' ' << node(c->b())
+         << ' ' << fmt(c->capacitance()) << '\n';
+    } else if (const auto* v = dynamic_cast<const VSource*>(dev.get())) {
+      os << card_name('v', v->name()) << ' ' << node(v->p()) << ' ' << node(v->n())
+         << ' ';
+      write_wave(os, v->wave());
+      os << '\n';
+    } else if (const auto* i = dynamic_cast<const ISource*>(dev.get())) {
+      os << card_name('i', i->name()) << ' ' << node(i->p()) << ' ' << node(i->n())
+         << ' ';
+      write_wave(os, i->wave());
+      os << '\n';
+    } else if (const auto* m = dynamic_cast<const Mosfet*>(dev.get())) {
+      os << card_name('m', m->name()) << ' ' << node(m->drain()) << ' '
+         << node(m->gate()) << ' ' << node(m->source()) << ' '
+         << node(m->bulk()) << ' '
+         << mos_models.at(mos_model_key(m->params())).first
+         << " W=" << fmt(m->params().w) << " L=" << fmt(m->params().l)
+         << '\n';
+    } else if (const auto* d = dynamic_cast<const Diode*>(dev.get())) {
+      os << card_name('d', d->name()) << ' ' << node(d->anode()) << ' '
+         << node(d->cathode()) << ' '
+         << d_models.at(diode_model_key(d->params())).first << '\n';
+    } else {
+      os << "* (unexported device: " << dev->name() << ")\n";
+    }
+  }
+  os << ".end\n";
+}
+
+std::string to_spice(const Circuit& ckt, const std::string& title) {
+  std::ostringstream os;
+  write_spice(ckt, os, title);
+  return os.str();
+}
+
+double parse_spice_value(const std::string& token) {
+  ECMS_REQUIRE(!token.empty(), "empty numeric token");
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(token, &consumed);
+  } catch (const std::exception&) {
+    throw NetlistError("bad numeric value: '" + token + "'");
+  }
+  const std::string suffix = lower(token.substr(consumed));
+  if (suffix.empty()) return value;
+  if (suffix.rfind("meg", 0) == 0) return value * 1e6;
+  switch (suffix[0]) {
+    case 'f':
+      return value * 1e-15;
+    case 'p':
+      return value * 1e-12;
+    case 'n':
+      return value * 1e-9;
+    case 'u':
+      return value * 1e-6;
+    case 'm':
+      return value * 1e-3;
+    case 'k':
+      return value * 1e3;
+    case 'g':
+      return value * 1e9;
+    default:
+      throw NetlistError("unknown value suffix: '" + token + "'");
+  }
+}
+
+namespace {
+
+struct ModelDef {
+  std::string kind;  // "nmos", "pmos", "d"
+  std::map<std::string, double> params;
+};
+
+std::vector<std::string> tokenize(const std::string& line) {
+  // Split on whitespace; '(' and ')' and '=' become separators too, so
+  // "PWL(0 1)" and "W=1u" tokenize cleanly.
+  std::string prepared;
+  for (char ch : line) {
+    if (ch == '(' || ch == ')' || ch == '=' || ch == ',') {
+      prepared += ' ';
+    } else {
+      prepared += ch;
+    }
+  }
+  std::vector<std::string> out;
+  std::istringstream is(prepared);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
+  throw NetlistError("spice parse error (line " + std::to_string(line_no) +
+                     "): " + msg);
+}
+
+SourceWave parse_wave(const std::vector<std::string>& toks, std::size_t from,
+                      std::size_t line_no) {
+  if (from >= toks.size()) fail(line_no, "source without a waveform");
+  const std::string kind = lower(toks[from]);
+  if (kind == "dc") {
+    if (from + 1 >= toks.size()) fail(line_no, "DC without a value");
+    return SourceWave::dc(parse_spice_value(toks[from + 1]));
+  }
+  if (kind == "pwl") {
+    std::vector<PwlPoint> pts;
+    for (std::size_t i = from + 1; i + 1 < toks.size(); i += 2) {
+      pts.push_back(
+          {parse_spice_value(toks[i]), parse_spice_value(toks[i + 1])});
+    }
+    if (pts.empty()) fail(line_no, "PWL without points");
+    return SourceWave::pwl(std::move(pts));
+  }
+  // Bare value = DC.
+  return SourceWave::dc(parse_spice_value(toks[from]));
+}
+
+MosParams mos_from_model(const ModelDef& model, double w, double l,
+                         std::size_t line_no) {
+  MosParams p;
+  if (model.kind == "nmos") {
+    p.type = MosType::kNmos;
+  } else if (model.kind == "pmos") {
+    p.type = MosType::kPmos;
+  } else {
+    fail(line_no, "MOSFET references a non-MOS model");
+  }
+  p.w = w;
+  p.l = l;
+  const auto get = [&](const char* key, double fallback) {
+    const auto it = model.params.find(key);
+    return it == model.params.end() ? fallback : it->second;
+  };
+  p.kp = get("kp", p.kp);
+  p.vth0 = get("vto", p.vth0);
+  p.lambda = get("lambda", p.lambda);
+  p.n_slope = get("n", p.n_slope);
+  p.temp_k = get("temp", p.temp_k);
+  p.cox_per_area = get("cox", p.cox_per_area);
+  p.cov_per_w = get("cov", p.cov_per_w);
+  p.cj_per_area = get("cj", p.cj_per_area);
+  p.diff_len = get("difflen", p.diff_len);
+  return p;
+}
+
+}  // namespace
+
+Circuit parse_spice(const std::string& deck) {
+  std::istringstream is(deck);
+  return parse_spice_stream(is);
+}
+
+Circuit parse_spice_stream(std::istream& is) {
+  Circuit ckt;
+  std::map<std::string, ModelDef> models;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments and blank lines.
+    const auto star = line.find('*');
+    if (star != std::string::npos) line = line.substr(0, star);
+    const auto toks = tokenize(line);
+    if (toks.empty()) continue;
+    const std::string head = lower(toks[0]);
+
+    if (head == ".end") break;
+    if (head == ".model") {
+      if (toks.size() < 3) fail(line_no, ".model needs a name and a kind");
+      ModelDef def;
+      def.kind = lower(toks[2]);
+      for (std::size_t i = 3; i + 1 < toks.size(); i += 2) {
+        def.params[lower(toks[i])] = parse_spice_value(toks[i + 1]);
+      }
+      models[lower(toks[1])] = std::move(def);
+      continue;
+    }
+    if (head[0] == '.') fail(line_no, "unsupported directive: " + toks[0]);
+
+    const char prefix = static_cast<char>(std::tolower(head[0]));
+    const std::string& name = toks[0];  // full card name, prefix included
+    if (name.size() < 2) fail(line_no, "device without a name");
+    switch (prefix) {
+      case 'r': {
+        if (toks.size() < 4) fail(line_no, "R needs 2 nodes and a value");
+        ckt.add_resistor(name, ckt.node(toks[1]), ckt.node(toks[2]),
+                         parse_spice_value(toks[3]));
+        break;
+      }
+      case 'c': {
+        if (toks.size() < 4) fail(line_no, "C needs 2 nodes and a value");
+        ckt.add_capacitor(name, ckt.node(toks[1]), ckt.node(toks[2]),
+                          parse_spice_value(toks[3]));
+        break;
+      }
+      case 'v': {
+        if (toks.size() < 4) fail(line_no, "V needs 2 nodes and a waveform");
+        ckt.add_vsource(name, ckt.node(toks[1]), ckt.node(toks[2]),
+                        parse_wave(toks, 3, line_no));
+        break;
+      }
+      case 'i': {
+        if (toks.size() < 4) fail(line_no, "I needs 2 nodes and a waveform");
+        ckt.add_isource(name, ckt.node(toks[1]), ckt.node(toks[2]),
+                        parse_wave(toks, 3, line_no));
+        break;
+      }
+      case 'd': {
+        if (toks.size() < 4) fail(line_no, "D needs 2 nodes and a model");
+        const auto it = models.find(lower(toks[3]));
+        if (it == models.end()) fail(line_no, "unknown model " + toks[3]);
+        Diode::Params p;
+        const auto& mp = it->second.params;
+        if (mp.count("is")) p.i_sat = mp.at("is");
+        if (mp.count("n")) p.n_ideality = mp.at("n");
+        if (mp.count("temp")) p.temp_k = mp.at("temp");
+        if (mp.count("vcrit")) p.v_crit = mp.at("vcrit");
+        ckt.add_diode(name, ckt.node(toks[1]), ckt.node(toks[2]), p);
+        break;
+      }
+      case 'm': {
+        if (toks.size() < 10)
+          fail(line_no, "M needs 4 nodes, a model, W= and L=");
+        const auto it = models.find(lower(toks[5]));
+        if (it == models.end()) fail(line_no, "unknown model " + toks[5]);
+        double w = 0.0, l = 0.0;
+        for (std::size_t i = 6; i + 1 < toks.size(); i += 2) {
+          const std::string key = lower(toks[i]);
+          if (key == "w") w = parse_spice_value(toks[i + 1]);
+          if (key == "l") l = parse_spice_value(toks[i + 1]);
+        }
+        if (w <= 0 || l <= 0) fail(line_no, "MOSFET without W/L");
+        ckt.add_mosfet(name, ckt.node(toks[1]), ckt.node(toks[2]),
+                       ckt.node(toks[3]), ckt.node(toks[4]),
+                       mos_from_model(it->second, w, l, line_no));
+        break;
+      }
+      default:
+        fail(line_no, std::string("unsupported device prefix '") + prefix +
+                          "'");
+    }
+  }
+  return ckt;
+}
+
+}  // namespace ecms::circuit

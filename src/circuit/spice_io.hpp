@@ -1,0 +1,43 @@
+// SPICE-dialect netlist export / import.
+//
+// Export writes any Circuit as a SPICE-like deck so generated netlists (the
+// macro-cell + measurement structure) can be inspected, diffed, or fed to an
+// external simulator. Import parses the same dialect back, which gives the
+// library a text-based construction path and lets tests round-trip.
+//
+// Dialect (one card per line, '*' comments, case-insensitive prefixes):
+//   R<name> <a> <b> <ohms>
+//   C<name> <a> <b> <farads>
+//   V<name> <p> <n> DC <volts>
+//   V<name> <p> <n> PWL(<t1> <v1> <t2> <v2> ...)
+//   I<name> <p> <n> DC <amps>
+//   D<name> <anode> <cathode> <model>
+//   M<name> <d> <g> <s> <b> <model> W=<meters> L=<meters>
+//   .model <name> NMOS|PMOS|D (<param>=<value> ...)
+//   .end
+// Engineering suffixes (f, p, n, u, m, k, meg, g) are accepted on values.
+// VcSwitch instances are exported as comments (no portable SPICE form).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace ecms::circuit {
+
+/// Writes the circuit as a SPICE deck. `title` becomes the first comment.
+void write_spice(const Circuit& ckt, std::ostream& os,
+                 const std::string& title = "ecms netlist");
+std::string to_spice(const Circuit& ckt,
+                     const std::string& title = "ecms netlist");
+
+/// Parses a deck into a fresh Circuit. Throws ecms::NetlistError with a
+/// line number on malformed input.
+Circuit parse_spice(const std::string& deck);
+Circuit parse_spice_stream(std::istream& is);
+
+/// Parses an engineering-notation value ("30f", "1.8", "2.5k", "3meg").
+double parse_spice_value(const std::string& token);
+
+}  // namespace ecms::circuit

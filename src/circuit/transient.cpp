@@ -1,0 +1,150 @@
+#include "circuit/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/dc.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace ecms::circuit {
+
+namespace {
+constexpr double kTimeEps = 1e-18;
+}
+
+TranResult transient(Circuit& ckt, const TranParams& params,
+                     const ProbeSet& probes) {
+  ECMS_REQUIRE(params.t_stop > 0.0, "transient needs t_stop > 0");
+  ECMS_REQUIRE(params.dt > 0.0 && params.dt_min > 0.0,
+               "transient needs positive steps");
+  ckt.finalize();
+
+  // Resolve probes up front.
+  std::vector<NodeId> probe_nodes;
+  std::vector<std::string> channel_names;
+  for (const auto& n : probes.nodes) {
+    probe_nodes.push_back(ckt.find_node(n));
+    channel_names.push_back(n);
+  }
+  std::vector<const Device*> probe_devs;
+  for (const auto& dn : probes.device_currents) {
+    const Device* d = ckt.find(dn);
+    if (d == nullptr) throw NetlistError("no device named " + dn);
+    probe_devs.push_back(d);
+    channel_names.push_back("I(" + dn + ")");
+  }
+
+  TranResult res;
+  res.trace = Trace(channel_names);
+
+  // Initial condition: DC operating point at t = 0, or all-zero under UIC.
+  std::vector<double> x;
+  if (params.uic) {
+    x.assign(ckt.unknown_count(), 0.0);
+  } else {
+    DcOptions dc_opts;
+    dc_opts.newton = params.newton;
+    dc_opts.time = 0.0;
+    DcResult dc = dc_operating_point(ckt, dc_opts);
+    x = std::move(dc.x);
+  }
+
+  {
+    StampContext ctx;
+    ctx.x = x;
+    ctx.time = 0.0;
+    ctx.dt = 0.0;
+    for (const auto& d : ckt.devices()) d->init_state(ctx);
+  }
+
+  auto record = [&](double t, std::span<const double> xs) {
+    StampContext ctx;
+    ctx.x = xs;
+    ctx.time = t;
+    std::vector<double> row;
+    row.reserve(channel_names.size());
+    for (NodeId n : probe_nodes) row.push_back(ctx.v(n));
+    for (const Device* d : probe_devs) row.push_back(d->probe_current(ctx));
+    res.trace.append(t, row);
+  };
+  record(0.0, x);
+
+  std::vector<double> bps = ckt.breakpoints(params.t_stop);
+  std::size_t next_bp = 0;
+
+  double t = 0.0;
+  double dt = params.dt;
+  bool force_be = params.be_after_breakpoint;  // first step from DC uses BE
+
+  while (t < params.t_stop - kTimeEps) {
+    double step = std::min(dt, params.t_stop - t);
+    // Land exactly on the next breakpoint.
+    bool hits_bp = false;
+    if (next_bp < bps.size() && t + step >= bps[next_bp] - kTimeEps) {
+      step = bps[next_bp] - t;
+      hits_bp = true;
+      if (step <= kTimeEps) {  // already on the breakpoint
+        ++next_bp;
+        continue;
+      }
+    }
+
+    StampContext ctx;
+    ctx.time = t + step;
+    ctx.dt = step;
+    ctx.method =
+        force_be ? Integrator::kBackwardEuler : params.method;
+    ctx.gmin = params.newton.gmin_ground;
+
+    std::vector<double> x_try = x;
+    const NewtonResult nr = newton_solve(ckt, ctx, x_try, params.newton);
+    res.stats.newton_iterations += static_cast<std::size_t>(nr.iterations);
+
+    if (!nr.converged) {
+      ++res.stats.rejected_steps;
+      dt *= 0.5;
+      if (dt < params.dt_min) {
+        throw SolverError("transient step at t=" + std::to_string(t) +
+                          " failed to converge above dt_min");
+      }
+      continue;
+    }
+
+    // Accept.
+    x = std::move(x_try);
+    ctx.x = x;
+    for (const auto& d : ckt.devices()) d->accept_step(ctx);
+    t += step;
+    ++res.stats.accepted_steps;
+    record(t, x);
+
+    if (hits_bp) {
+      ++next_bp;
+      force_be = params.be_after_breakpoint;
+      if (params.adaptive) dt = params.dt;  // restart cautiously after edges
+    } else {
+      force_be = false;
+    }
+    // Geometric recovery toward the base step after halvings; with adaptive
+    // stepping, easy regions (few Newton iterations) may grow past it.
+    const double dt_cap =
+        params.adaptive
+            ? (params.dt_max > 0.0 ? params.dt_max : 8.0 * params.dt)
+            : params.dt;
+    if (params.adaptive && nr.iterations <= 3) {
+      dt = std::min(dt_cap, dt * 1.5);
+    } else if (dt < dt_cap) {
+      dt = std::min(dt_cap, dt * 2.0);
+    }
+    if (!params.adaptive) dt = std::min(dt, params.dt);
+  }
+
+  res.final_x = std::move(x);
+  ECMS_LOG(LogLevel::kDebug) << "transient: " << res.stats.accepted_steps
+                             << " steps, " << res.stats.newton_iterations
+                             << " newton iters";
+  return res;
+}
+
+}  // namespace ecms::circuit

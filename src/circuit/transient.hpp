@@ -1,0 +1,61 @@
+// Transient analysis.
+//
+// Fixed base step with: breakpoint alignment (steps land exactly on every
+// stimulus corner), step halving on Newton failure with geometric recovery,
+// and a backward-Euler step immediately after each breakpoint to damp
+// trapezoidal ringing at discontinuities.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "circuit/newton.hpp"
+#include "circuit/waveform.hpp"
+
+namespace ecms::circuit {
+
+struct TranParams {
+  double t_stop = 0.0;
+  double dt = 10e-12;          ///< base step
+  double dt_min = 1e-15;       ///< refuse to halve below this
+  Integrator method = Integrator::kTrapezoidal;
+  NewtonOptions newton;
+  bool be_after_breakpoint = true;
+  /// Use initial conditions (SPICE .tran UIC): skip the DC operating point
+  /// and start from x = 0 (all nodes grounded). This is the physically right
+  /// start for measurement flows whose first step discharges everything, and
+  /// it avoids the DC ambiguity of floating dynamic nodes (which otherwise
+  /// settle in a leakage/gmin divider).
+  bool uic = false;
+  /// Opt-in step growth: when Newton converges in few iterations the step
+  /// may grow up to dt_max (still clipped to every stimulus breakpoint).
+  /// Off by default so result timing is bit-stable for calibration.
+  bool adaptive = false;
+  double dt_max = 0.0;  ///< cap for adaptive growth; 0 = 8x the base step
+};
+
+/// What to record. Node and device probes are looked up by name at start.
+struct ProbeSet {
+  std::vector<std::string> nodes;            ///< node voltages
+  std::vector<std::string> device_currents;  ///< Device::probe_current()
+};
+
+struct TranStats {
+  std::size_t accepted_steps = 0;
+  std::size_t rejected_steps = 0;
+  std::size_t newton_iterations = 0;
+};
+
+struct TranResult {
+  Trace trace;       ///< channels: nodes first, then "I(<device>)" entries
+  TranStats stats;
+  std::vector<double> final_x;  ///< final unknown vector
+};
+
+/// Runs a transient from the DC operating point at t = 0. Throws
+/// ecms::SolverError if a step cannot be made to converge above dt_min.
+TranResult transient(Circuit& ckt, const TranParams& params,
+                     const ProbeSet& probes);
+
+}  // namespace ecms::circuit

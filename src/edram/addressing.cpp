@@ -1,0 +1,81 @@
+#include "edram/addressing.hpp"
+
+#include "util/error.hpp"
+
+namespace ecms::edram {
+
+std::string scramble_name(Scramble s) {
+  switch (s) {
+    case Scramble::kLinear:
+      return "linear";
+    case Scramble::kRowInterleave:
+      return "row-interleave";
+    case Scramble::kBitReversalRow:
+      return "bit-reversal-row";
+  }
+  return "?";
+}
+
+AddressMap::AddressMap(std::size_t rows, std::size_t cols, Scramble scheme)
+    : rows_(rows), cols_(cols), scheme_(scheme) {
+  ECMS_REQUIRE(rows > 0 && cols > 0, "address map needs a non-empty array");
+  if (scheme == Scramble::kBitReversalRow) {
+    // Requires a power-of-two row count.
+    std::size_t n = rows;
+    while (n > 1) {
+      ECMS_REQUIRE(n % 2 == 0,
+                   "bit-reversal scrambling needs power-of-two rows");
+      n /= 2;
+      ++row_bits_;
+    }
+  }
+}
+
+std::size_t AddressMap::map_row(std::size_t lr) const {
+  switch (scheme_) {
+    case Scramble::kLinear:
+      return lr;
+    case Scramble::kRowInterleave:
+      // Even logical rows fill the top half in order, odd rows the bottom.
+      return lr % 2 == 0 ? lr / 2 : (rows_ + 1) / 2 + lr / 2;
+    case Scramble::kBitReversalRow: {
+      std::size_t rev = 0;
+      std::size_t x = lr;
+      for (std::size_t b = 0; b < row_bits_; ++b) {
+        rev = (rev << 1) | (x & 1);
+        x >>= 1;
+      }
+      return rev;
+    }
+  }
+  return lr;
+}
+
+std::size_t AddressMap::unmap_row(std::size_t pr) const {
+  switch (scheme_) {
+    case Scramble::kLinear:
+      return pr;
+    case Scramble::kRowInterleave: {
+      const std::size_t half = (rows_ + 1) / 2;
+      return pr < half ? 2 * pr : 2 * (pr - half) + 1;
+    }
+    case Scramble::kBitReversalRow:
+      return map_row(pr);  // bit reversal is an involution
+  }
+  return pr;
+}
+
+CellAddr AddressMap::physical_of(std::size_t logical) const {
+  ECMS_REQUIRE(logical < cell_count(), "logical address out of range");
+  const std::size_t lr = logical / cols_;
+  const std::size_t lc = logical % cols_;
+  return {map_row(lr), lc};
+}
+
+std::size_t AddressMap::logical_of(CellAddr phys) const {
+  ECMS_REQUIRE(phys.row < rows_ && phys.col < cols_,
+               "physical address out of range");
+  return unmap_row(phys.row) * cols_ + phys.col;
+}
+
+}  // namespace ecms::edram

@@ -1,0 +1,54 @@
+// Logical-to-physical address mapping (descrambling).
+//
+// Bitmap-based diagnosis only works if failures are plotted at their
+// *physical* location; real memories scramble addresses (row interleaving,
+// folded layouts). This module provides the mapping layer the bitmap tools
+// use, plus the address orders march tests iterate in.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+namespace ecms::edram {
+
+/// Physical cell coordinate.
+struct CellAddr {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  friend bool operator==(const CellAddr&, const CellAddr&) = default;
+};
+
+/// Supported scrambling schemes.
+enum class Scramble {
+  kLinear,          ///< logical row/col == physical row/col
+  kRowInterleave,   ///< even logical rows map to the top half, odd to bottom
+  kBitReversalRow,  ///< physical row = bit-reversed logical row
+};
+
+std::string scramble_name(Scramble s);
+
+/// Bidirectional logical<->physical mapping for an R x C array.
+class AddressMap {
+ public:
+  AddressMap(std::size_t rows, std::size_t cols, Scramble scheme);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t cell_count() const { return rows_ * cols_; }
+
+  /// Physical location of logical address `a` (row-major logical order).
+  CellAddr physical_of(std::size_t logical) const;
+  /// Logical address of a physical location.
+  std::size_t logical_of(CellAddr phys) const;
+
+ private:
+  std::size_t map_row(std::size_t logical_row) const;
+  std::size_t unmap_row(std::size_t physical_row) const;
+
+  std::size_t rows_, cols_;
+  Scramble scheme_;
+  std::size_t row_bits_ = 0;  // for bit reversal
+};
+
+}  // namespace ecms::edram

@@ -1,0 +1,92 @@
+#include "edram/behavioral.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ecms::edram {
+
+BehavioralArray::BehavioralArray(const MacroCell& mc, SenseParams sense,
+                                 LeakParams leak)
+    : mc_(mc), sense_(sense), leak_(leak), v_(mc.cell_count(), 0.0) {
+  // Shorted cells sit at the plate bias from power-up.
+  for (std::size_t r = 0; r < mc.rows(); ++r)
+    for (std::size_t c = 0; c < mc.cols(); ++c) apply_defect_settling(r, c);
+}
+
+void BehavioralArray::apply_defect_settling(std::size_t r, std::size_t c) {
+  const tech::DefectElectrical e = tech::electrical_of(mc_.defect(r, c));
+  if (e.shunt_r > 0.0) {
+    // Time constant Cm * Rshunt is nanoseconds: instant at op timescale.
+    v(r, c) = mc_.tech().vdd / 2.0;  // plate bias in standard mode
+  }
+}
+
+void BehavioralArray::equalize_bridge(std::size_t r, std::size_t c) {
+  const tech::DefectElectrical e = tech::electrical_of(mc_.defect(r, c));
+  if (e.bridge_r <= 0.0 || mc_.cols() < 2) return;
+  const std::size_t cn = c + 1 < mc_.cols() ? c + 1 : c - 1;
+  const double c1 = mc_.effective_cap(r, c);
+  const double c2 = mc_.effective_cap(r, cn);
+  if (c1 + c2 <= 0.0) return;
+  const double veq = (v(r, c) * c1 + v(r, cn) * c2) / (c1 + c2);
+  v(r, c) = veq;
+  v(r, cn) = veq;
+}
+
+void BehavioralArray::write(std::size_t r, std::size_t c, bool bit) {
+  ECMS_REQUIRE(r < rows() && c < cols(), "cell index out of range");
+  v(r, c) = bit ? mc_.tech().vdd : 0.0;
+  apply_defect_settling(r, c);
+  equalize_bridge(r, c);
+}
+
+double BehavioralArray::read_swing(std::size_t r, std::size_t c) const {
+  ECMS_REQUIRE(r < rows() && c < cols(), "cell index out of range");
+  const double pre = mc_.tech().vdd / 2.0;
+  const double cm = mc_.effective_cap(r, c);
+  const double cbl = mc_.bitline_total_cap();
+  if (cm + cbl <= 0.0) return 0.0;
+  return (v(r, c) - pre) * cm / (cm + cbl);
+}
+
+bool BehavioralArray::peek(std::size_t r, std::size_t c) const {
+  const double dv = read_swing(r, c);
+  if (dv > sense_.sense_offset) return true;
+  if (dv < -sense_.sense_offset) return false;
+  return sense_.ambiguous_reads_as;
+}
+
+bool BehavioralArray::read(std::size_t r, std::size_t c) {
+  const bool bit = peek(r, c);
+  // Destructive read with full write-back of the sensed value.
+  v(r, c) = bit ? mc_.tech().vdd : 0.0;
+  apply_defect_settling(r, c);
+  equalize_bridge(r, c);
+  return bit;
+}
+
+void BehavioralArray::idle(double seconds) {
+  ECMS_REQUIRE(seconds >= 0.0, "idle time must be non-negative");
+  for (std::size_t r = 0; r < rows(); ++r) {
+    for (std::size_t c = 0; c < cols(); ++c) {
+      const tech::DefectElectrical e = tech::electrical_of(mc_.defect(r, c));
+      const double cm = mc_.effective_cap(r, c);
+      if (cm <= 0.0) {
+        v(r, c) = 0.0;
+        continue;
+      }
+      // Junction leakage discharges the storage node toward ground.
+      const double tau = cm / leak_.junction_g;
+      v(r, c) *= std::exp(-seconds / tau);
+      if (e.shunt_r > 0.0) apply_defect_settling(r, c);
+    }
+  }
+}
+
+double BehavioralArray::storage_voltage(std::size_t r, std::size_t c) const {
+  ECMS_REQUIRE(r < rows() && c < cols(), "cell index out of range");
+  return v(r, c);
+}
+
+}  // namespace ecms::edram

@@ -1,0 +1,85 @@
+// Fast functional (behavioral) model of the eDRAM array.
+//
+// Used where transistor-level simulation is pointless: march tests over
+// thousands of cells, retention studies, digital-bitmap baselines. The model
+// tracks each cell's storage-node voltage and resolves reads through the
+// standard 1T1C charge-sharing sense equation
+//     dV_bl = (V_cell - V_pre) * Cm / (Cm + C_bl),
+// compared against a sense-amplifier offset. Defects change the electrical
+// story exactly as the netlister does (same tech::DefectElectrical source of
+// truth): shorts tie the cell to the plate bias, opens leave only fringe
+// capacitance, partials scale Cm, bridges equalize neighbouring cells.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "edram/macrocell.hpp"
+
+namespace ecms::edram {
+
+/// Sense-path parameters for functional reads.
+struct SenseParams {
+  /// Minimum |dV_bl| for a reliable sense decision (V). Offset + noise +
+  /// timing margin of a production sense path, not the raw comparator
+  /// offset — this is what makes small-capacitor cells marginal.
+  double sense_offset = 0.08;
+  /// What an unresolvable (sub-offset) read returns. Real sense amps have a
+  /// preferred metastable exit; modeling it as a constant keeps tests
+  /// deterministic.
+  bool ambiguous_reads_as = false;
+};
+
+/// Leakage model for retention behaviour.
+struct LeakParams {
+  double junction_g = 1e-15;  ///< storage-node leakage to substrate (S)
+};
+
+class BehavioralArray {
+ public:
+  explicit BehavioralArray(const MacroCell& mc, SenseParams sense = {},
+                           LeakParams leak = {});
+
+  std::size_t rows() const { return mc_.rows(); }
+  std::size_t cols() const { return mc_.cols(); }
+
+  /// Writes a full level for `bit` into the cell (boosted word line: no
+  /// threshold degradation), then applies defect physics.
+  void write(std::size_t r, std::size_t c, bool bit);
+
+  /// Destructive read with write-back of the sensed value.
+  bool read(std::size_t r, std::size_t c);
+
+  /// Non-destructive peek at whether a read would return 1 (used by fault
+  /// analysis; does not disturb state).
+  bool peek(std::size_t r, std::size_t c) const;
+
+  /// Lets the array sit unpowered-access for `seconds` (retention decay).
+  void idle(double seconds);
+
+  /// Storage-node voltage ground truth.
+  double storage_voltage(std::size_t r, std::size_t c) const;
+
+  /// Bit-line swing a read of this cell would produce right now (V).
+  double read_swing(std::size_t r, std::size_t c) const;
+
+  const MacroCell& macro_cell() const { return mc_; }
+  const SenseParams& sense() const { return sense_; }
+
+ private:
+  void apply_defect_settling(std::size_t r, std::size_t c);
+  void equalize_bridge(std::size_t r, std::size_t c);
+  double& v(std::size_t r, std::size_t c) {
+    return v_[r * mc_.cols() + c];
+  }
+  double v(std::size_t r, std::size_t c) const {
+    return v_[r * mc_.cols() + c];
+  }
+
+  MacroCell mc_;  // by value: safe against temporaries
+  SenseParams sense_;
+  LeakParams leak_;
+  std::vector<double> v_;  // storage-node voltages
+};
+
+}  // namespace ecms::edram

@@ -1,0 +1,108 @@
+#include "edram/netlister.hpp"
+
+#include "util/error.hpp"
+
+namespace ecms::edram {
+
+namespace {
+std::string idx(const std::string& base, std::size_t i) {
+  return base + std::to_string(i);
+}
+}  // namespace
+
+ArrayNet build_array(circuit::Circuit& ckt, const MacroCell& mc,
+                     const NetlistOptions& opts) {
+  using circuit::kGround;
+  using circuit::NodeId;
+  using circuit::SourceWave;
+
+  const auto& t = mc.tech();
+  const std::string& px = opts.prefix;
+  ArrayNet net;
+  net.plate = ckt.node(px + "plate");
+
+  // Plate routing parasitic.
+  if (mc.plate_parasitic() > 0.0) {
+    ckt.add_capacitor(px + "Cplate_par", net.plate, kGround,
+                      mc.plate_parasitic());
+  }
+
+  // Word lines: a driver source per row, optionally behind the distributed
+  // word-line resistance (lumped).
+  std::vector<NodeId> wl_nodes;
+  for (std::size_t r = 0; r < mc.rows(); ++r) {
+    const NodeId drv = ckt.node(px + idx("wl_drv", r));
+    NodeId wl = drv;
+    if (opts.include_wordline_resistance) {
+      wl = ckt.node(px + idx("wl", r));
+      ckt.add_resistor(px + idx("Rwl", r), drv, wl,
+                       t.wl_r_per_cell * static_cast<double>(mc.cols()));
+    }
+    const std::string src = px + idx("V_WL", r);
+    ckt.add_vsource(src, drv, kGround, SourceWave::dc(0.0));
+    net.wl_sources.push_back(src);
+    wl_nodes.push_back(wl);
+  }
+
+  // Bit lines with select transistors and input drivers.
+  for (std::size_t c = 0; c < mc.cols(); ++c) {
+    const NodeId bl = ckt.node(px + idx("bl", c));
+    const NodeId in = ckt.node(px + idx("inbl", c));
+    const NodeId sg = ckt.node(px + idx("sbl_g", c));
+    net.bitlines.push_back(bl);
+
+    const std::string in_src = px + idx("V_INBL", c);
+    ckt.add_vsource(in_src, in, kGround, SourceWave::dc(0.0));
+    net.inbl_sources.push_back(in_src);
+
+    const std::string sg_src = px + idx("V_SBL", c);
+    ckt.add_vsource(sg_src, sg, kGround, SourceWave::dc(0.0));
+    net.sbl_sources.push_back(sg_src);
+
+    // Select transistor: wide, to drive the whole bit line.
+    ckt.add_mosfet(px + idx("MSBL", c), in, sg, bl, kGround,
+                   t.nmos(MacroCell::kSelectTransistorWidth, t.l_min));
+
+    // Lumped bit-line parasitic.
+    if (mc.bitline_cap() > 0.0) {
+      ckt.add_capacitor(px + idx("Cbl_par", c), bl, kGround, mc.bitline_cap());
+    }
+  }
+
+  // Cells.
+  net.storage.reserve(mc.cell_count());
+  for (std::size_t r = 0; r < mc.rows(); ++r) {
+    for (std::size_t c = 0; c < mc.cols(); ++c) {
+      const std::string suffix =
+          std::to_string(r) + "_" + std::to_string(c);
+      const NodeId stor = ckt.node(px + "stor" + suffix);
+      net.storage.push_back(stor);
+
+      // Access transistor: bit line <-> storage node, gated by the word line.
+      ckt.add_mosfet(px + "MACC" + suffix, net.bitlines[c], wl_nodes[r], stor,
+                     kGround, t.nmos(mc.spec().access_w, mc.spec().access_l));
+
+      // Storage capacitor (with defect interpretation).
+      const tech::DefectElectrical e = tech::electrical_of(mc.defect(r, c));
+      const double cap = e.disconnected ? e.residual_cap
+                                        : mc.true_cap(r, c) * e.cap_scale;
+      if (cap > 0.0) {
+        ckt.add_capacitor(px + "CS" + suffix, stor, net.plate, cap);
+      }
+      if (e.shunt_r > 0.0) {
+        ckt.add_resistor(px + "Rshort" + suffix, stor, net.plate, e.shunt_r);
+      }
+      if (e.bridge_r > 0.0 && mc.cols() > 1) {
+        // Bridge to the horizontally adjacent storage node (previous column
+        // for the last column so the neighbour always exists).
+        const std::size_t cn = c + 1 < mc.cols() ? c + 1 : c - 1;
+        const NodeId nb = ckt.node(px + "stor" + std::to_string(r) + "_" +
+                                   std::to_string(cn));
+        ckt.add_resistor(px + "Rbridge" + suffix, stor, nb, e.bridge_r);
+      }
+    }
+  }
+  return net;
+}
+
+}  // namespace ecms::edram

@@ -1,0 +1,48 @@
+// SPICE-level netlist generation for a macro-cell (Figure 1 of the paper,
+// generalized to R x C).
+//
+// Topology per cell (r,c): an NMOS access transistor from bit line c to the
+// storage node, gated by word line r; the storage capacitor from the storage
+// node to the common plate. Each bit line is reachable from its input pin
+// IN_BLc through a select transistor S_BLc. Word lines, select gates and
+// bit-line inputs are driven by named voltage sources whose waveforms the
+// measurement sequencer programs later (they are created as DC 0).
+//
+// Defects are inserted electrically: shorts as shunt resistors across the
+// capacitor, opens as the residual fringe capacitance only, partials as
+// scaled capacitance, bridges as resistors to the next storage node.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "edram/macrocell.hpp"
+
+namespace ecms::edram {
+
+/// Handles to the array's externally driven nets and key internal nodes.
+struct ArrayNet {
+  circuit::NodeId plate = 0;
+  std::vector<std::string> wl_sources;    ///< "V_WL<r>": word-line drivers
+  std::vector<std::string> sbl_sources;   ///< "V_SBL<c>": select-gate drivers
+  std::vector<std::string> inbl_sources;  ///< "V_INBL<c>": bit-line inputs
+  std::vector<circuit::NodeId> bitlines;  ///< internal bit-line nodes
+  std::vector<circuit::NodeId> storage;   ///< storage nodes, row-major
+
+  circuit::NodeId storage_node(std::size_t r, std::size_t c,
+                               std::size_t cols) const {
+    return storage[r * cols + c];
+  }
+};
+
+struct NetlistOptions {
+  bool include_wordline_resistance = false;
+  std::string prefix;  ///< node/device name prefix (for multi-array circuits)
+};
+
+/// Builds the macro-cell into `ckt` and returns the net handles.
+ArrayNet build_array(circuit::Circuit& ckt, const MacroCell& mc,
+                     const NetlistOptions& opts = {});
+
+}  // namespace ecms::edram

@@ -1,0 +1,78 @@
+#include "edram/retention.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ecms::edram {
+
+double retention_time(double cap_f, double leak_g, double vdd,
+                      double bitline_cap_f, double sense_offset) {
+  ECMS_REQUIRE(leak_g > 0.0, "leakage must be positive");
+  ECMS_REQUIRE(sense_offset > 0.0, "sense offset must be positive");
+  if (cap_f <= 0.0) return 0.0;
+  // Stored '1' decays as v(t) = vdd * exp(-t/tau), tau = C/G. The read
+  // swing is (v - vdd/2) * C/(C + Cbl); it crosses the sense margin when
+  // v = v_crit:
+  const double v_crit =
+      vdd / 2.0 + sense_offset * (cap_f + bitline_cap_f) / cap_f;
+  if (v_crit >= vdd) return 0.0;  // can't even read back at t = 0
+  const double tau = cap_f / leak_g;
+  return tau * std::log(vdd / v_crit);
+}
+
+RetentionField::RetentionField(const MacroCell& mc, const LeakPopulation& pop,
+                               double sense_offset, std::uint64_t seed)
+    : rows_(mc.rows()), cols_(mc.cols()) {
+  ECMS_REQUIRE(pop.median_g > 0.0 && pop.sigma_log >= 0.0,
+               "leak population invalid");
+  ECMS_REQUIRE(pop.tail_fraction >= 0.0 && pop.tail_fraction < 1.0,
+               "tail fraction out of range");
+  Rng rng(seed);
+  const double vdd = mc.tech().vdd;
+  const double cbl = mc.bitline_total_cap();
+  t_ret_.reserve(rows_ * cols_);
+  g_leak_.reserve(rows_ * cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      double g = pop.median_g * std::exp(rng.normal(0.0, pop.sigma_log));
+      if (rng.bernoulli(pop.tail_fraction)) g *= pop.tail_multiplier;
+      // A shorted capacitor leaks through its shunt: retention zero.
+      const tech::DefectElectrical e = tech::electrical_of(mc.defect(r, c));
+      if (e.shunt_r > 0.0) g = 1.0 / e.shunt_r;
+      g_leak_.push_back(g);
+      t_ret_.push_back(retention_time(mc.effective_cap(r, c), g, vdd, cbl,
+                                      sense_offset));
+    }
+  }
+}
+
+double RetentionField::retention(std::size_t r, std::size_t c) const {
+  ECMS_REQUIRE(r < rows_ && c < cols_, "cell index out of range");
+  return t_ret_[r * cols_ + c];
+}
+
+double RetentionField::leakage(std::size_t r, std::size_t c) const {
+  ECMS_REQUIRE(r < rows_ && c < cols_, "cell index out of range");
+  return g_leak_[r * cols_ + c];
+}
+
+double RetentionField::percentile_time(double fraction) const {
+  ECMS_REQUIRE(fraction > 0.0 && fraction <= 1.0,
+               "fraction must be in (0, 1]");
+  std::vector<double> sorted = t_ret_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto idx = static_cast<std::size_t>(
+      fraction * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+double predict_retention(double measured_cap_f, const LeakPopulation& pop,
+                         double vdd, double bitline_cap_f,
+                         double sense_offset) {
+  return retention_time(measured_cap_f, pop.median_g, vdd, bitline_cap_f,
+                        sense_offset);
+}
+
+}  // namespace ecms::edram

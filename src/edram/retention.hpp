@@ -1,0 +1,70 @@
+// Retention-time analysis.
+//
+// The eDRAM context the paper lives in: a cell's retention time is set by
+// its storage capacitance and its leakage, t_ret = (C/G) * ln(V0 / V_crit),
+// where V_crit is the stored level at which the read swing falls below the
+// sense margin. Capacitance is exactly what the measurement structure
+// grades, so the analog bitmap doubles as a *retention predictor*: cells
+// with low codes are the retention tail. This module provides the ground-
+// truth retention model (with a heavy-tailed leakage population, as real
+// junction leakage is) and the predictor driven by measured codes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "edram/macrocell.hpp"
+#include "util/rng.hpp"
+
+namespace ecms::edram {
+
+/// Leakage population: log-normal body with a defect tail, the standard
+/// shape of junction-leakage distributions.
+struct LeakPopulation {
+  double median_g = 1e-15;      ///< median leakage conductance (S)
+  double sigma_log = 0.4;       ///< lognormal sigma (natural log)
+  double tail_fraction = 0.01;  ///< fraction of cells with elevated leakage
+  double tail_multiplier = 20.0;  ///< leakage multiplier in the tail
+};
+
+/// Per-cell ground-truth retention times for one array.
+class RetentionField {
+ public:
+  /// Samples leakage per cell (deterministic per seed) and computes
+  /// retention from the macro-cell's effective capacitances.
+  RetentionField(const MacroCell& mc, const LeakPopulation& pop,
+                 double sense_offset, std::uint64_t seed);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  /// Ground-truth retention time of a cell (s); 0 for cells that cannot
+  /// hold data at all (shorts, opens).
+  double retention(std::size_t r, std::size_t c) const;
+  const std::vector<double>& values() const { return t_ret_; }
+  /// Leakage conductance drawn for a cell (S).
+  double leakage(std::size_t r, std::size_t c) const;
+
+  /// The retention time below which `fraction` of cells fall (the refresh
+  /// period must be shorter than this for that yield).
+  double percentile_time(double fraction) const;
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<double> t_ret_;
+  std::vector<double> g_leak_;
+};
+
+/// Closed-form retention time for one cell.
+/// Returns 0 if the cell cannot produce a valid read at t = 0.
+double retention_time(double cap_f, double leak_g, double vdd,
+                      double bitline_cap_f, double sense_offset);
+
+/// Predicted retention from a *measured* capacitance (e.g. an abacus bin
+/// midpoint), assuming the population-median leakage. The predictor cannot
+/// see leakage, so its errors are exactly the leakage spread — quantified in
+/// bench_retention.
+double predict_retention(double measured_cap_f, const LeakPopulation& pop,
+                         double vdd, double bitline_cap_f,
+                         double sense_offset);
+
+}  // namespace ecms::edram

@@ -1,0 +1,140 @@
+#include "march/element.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ecms::march {
+
+std::string op_name(OpKind op) {
+  switch (op) {
+    case OpKind::kWrite0:
+      return "w0";
+    case OpKind::kWrite1:
+      return "w1";
+    case OpKind::kRead0:
+      return "r0";
+    case OpKind::kRead1:
+      return "r1";
+  }
+  return "?";
+}
+
+bool op_is_read(OpKind op) {
+  return op == OpKind::kRead0 || op == OpKind::kRead1;
+}
+
+bool op_value(OpKind op) {
+  return op == OpKind::kWrite1 || op == OpKind::kRead1;
+}
+
+std::string order_name(AddressOrder o) {
+  switch (o) {
+    case AddressOrder::kUp:
+      return "up";
+    case AddressOrder::kDown:
+      return "down";
+    case AddressOrder::kAny:
+      return "any";
+  }
+  return "?";
+}
+
+std::size_t MarchTest::ops_per_cell() const {
+  std::size_t n = 0;
+  for (const auto& e : elements) n += e.ops.size();
+  return n;
+}
+
+std::string MarchTest::notation() const {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    if (i) os << "; ";
+    os << order_name(elements[i].order) << '(';
+    for (std::size_t j = 0; j < elements[i].ops.size(); ++j) {
+      if (j) os << ',';
+      os << op_name(elements[i].ops[j]);
+    }
+    os << ')';
+  }
+  os << '}';
+  return os.str();
+}
+
+namespace {
+std::string strip(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\n{");
+  const auto e = s.find_last_not_of(" \t\n}");
+  if (b == std::string::npos) return "";
+  return s.substr(b, e - b + 1);
+}
+
+OpKind parse_op(const std::string& tok) {
+  if (tok == "w0") return OpKind::kWrite0;
+  if (tok == "w1") return OpKind::kWrite1;
+  if (tok == "r0") return OpKind::kRead0;
+  if (tok == "r1") return OpKind::kRead1;
+  throw Error("bad march op: '" + tok + "'");
+}
+
+AddressOrder parse_order(const std::string& tok) {
+  if (tok == "up") return AddressOrder::kUp;
+  if (tok == "down") return AddressOrder::kDown;
+  if (tok == "any") return AddressOrder::kAny;
+  throw Error("bad march address order: '" + tok + "'");
+}
+}  // namespace
+
+MarchTest parse_march(const std::string& name, const std::string& notation) {
+  MarchTest t;
+  t.name = name;
+  std::stringstream body(strip(notation));
+  std::string part;
+  while (std::getline(body, part, ';')) {
+    part = strip(part);
+    if (part.empty()) continue;
+    const auto open = part.find('(');
+    const auto close = part.rfind(')');
+    ECMS_REQUIRE(open != std::string::npos && close != std::string::npos &&
+                     close > open,
+                 "march element missing parentheses: '" + part + "'");
+    MarchElement el;
+    el.order = parse_order(strip(part.substr(0, open)));
+    std::stringstream ops(part.substr(open + 1, close - open - 1));
+    std::string op;
+    while (std::getline(ops, op, ',')) {
+      op = strip(op);
+      if (!op.empty()) el.ops.push_back(parse_op(op));
+    }
+    ECMS_REQUIRE(!el.ops.empty(), "march element with no operations");
+    t.elements.push_back(std::move(el));
+  }
+  ECMS_REQUIRE(!t.elements.empty(), "march test with no elements");
+  return t;
+}
+
+MarchTest mats_plus() {
+  return parse_march("MATS+", "{any(w0); up(r0,w1); down(r1,w0)}");
+}
+
+MarchTest march_x() {
+  return parse_march("March X", "{any(w0); up(r0,w1); down(r1,w0); any(r0)}");
+}
+
+MarchTest march_y() {
+  return parse_march("March Y",
+                     "{any(w0); up(r0,w1,r1); down(r1,w0,r0); any(r0)}");
+}
+
+MarchTest march_c_minus() {
+  return parse_march(
+      "March C-",
+      "{any(w0); up(r0,w1); up(r1,w0); down(r0,w1); down(r1,w0); any(r0)}");
+}
+
+std::vector<MarchTest> standard_tests() {
+  return {mats_plus(), march_x(), march_y(), march_c_minus()};
+}
+
+}  // namespace ecms::march

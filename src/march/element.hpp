@@ -1,0 +1,56 @@
+// March-test description: the industry-standard notation for memory tests.
+//
+// A march test is a sequence of march elements; each element visits every
+// address in a specified order and applies a fixed sequence of read/write
+// operations at each address, e.g. March C- is
+//     {any(w0); up(r0,w1); up(r1,w0); down(r0,w1); down(r1,w0); any(r0)}.
+// This module provides the data model, a compact-string parser, and the
+// standard algorithms used as the digital-bitmap baseline.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ecms::march {
+
+enum class OpKind { kWrite0, kWrite1, kRead0, kRead1 };
+
+std::string op_name(OpKind op);  // "w0", "w1", "r0", "r1"
+bool op_is_read(OpKind op);
+/// The data value written, or the value a read expects.
+bool op_value(OpKind op);
+
+enum class AddressOrder { kUp, kDown, kAny };
+
+std::string order_name(AddressOrder o);  // "up", "down", "any"
+
+struct MarchElement {
+  AddressOrder order = AddressOrder::kAny;
+  std::vector<OpKind> ops;
+};
+
+struct MarchTest {
+  std::string name;
+  std::vector<MarchElement> elements;
+
+  /// Operations per cell (test length in the march-test sense).
+  std::size_t ops_per_cell() const;
+  /// Compact notation, e.g. "{any(w0); up(r0,w1); down(r1,w0)}".
+  std::string notation() const;
+};
+
+/// Parses compact notation: elements separated by ';' inside optional
+/// braces, each "order(op,op,...)" with order in {up, down, any} and ops in
+/// {r0, r1, w0, w1}. Throws ecms::Error on malformed input.
+MarchTest parse_march(const std::string& name, const std::string& notation);
+
+// --- standard algorithms ---
+MarchTest mats_plus();   ///< MATS+: {any(w0); up(r0,w1); down(r1,w0)}
+MarchTest march_x();     ///< {any(w0); up(r0,w1); down(r1,w0); any(r0)}
+MarchTest march_y();     ///< {any(w0); up(r0,w1,r1); down(r1,w0,r0); any(r0)}
+MarchTest march_c_minus();  ///< 10n March C-
+/// All of the above (for parameterized sweeps).
+std::vector<MarchTest> standard_tests();
+
+}  // namespace ecms::march

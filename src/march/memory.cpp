@@ -1,0 +1,72 @@
+#include "march/memory.hpp"
+
+#include "util/error.hpp"
+
+namespace ecms::march {
+
+FaultInjectedMemory::FaultInjectedMemory(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), bits_(rows * cols, false) {
+  ECMS_REQUIRE(rows > 0 && cols > 0, "memory must be non-empty");
+}
+
+void FaultInjectedMemory::inject(InjectedFault fault) {
+  ECMS_REQUIRE(fault.row < rows_ && fault.col < cols_,
+               "fault victim out of range");
+  if (fault.model == FaultModel::kCouplingInv) {
+    ECMS_REQUIRE(fault.agg_row < rows_ && fault.agg_col < cols_,
+                 "fault aggressor out of range");
+    ECMS_REQUIRE(fault.agg_row != fault.row || fault.agg_col != fault.col,
+                 "aggressor must differ from victim");
+  }
+  faults_.push_back(fault);
+}
+
+void FaultInjectedMemory::write(std::size_t r, std::size_t c, bool requested) {
+  ECMS_REQUIRE(r < rows_ && c < cols_, "cell index out of range");
+  const bool old_bit = bit(r, c) != 0;
+  bool value = requested;
+  // Per-cell faults may override the stored value.
+  for (const auto& f : faults_) {
+    if (f.row != r || f.col != c) continue;
+    switch (f.model) {
+      case FaultModel::kStuckAt0:
+        value = false;
+        break;
+      case FaultModel::kStuckAt1:
+        value = true;
+        break;
+      case FaultModel::kTransitionUp:
+        if (!old_bit && requested) value = old_bit;  // up-transition fails
+        break;
+      case FaultModel::kTransitionDown:
+        if (old_bit && !requested) value = old_bit;  // down-transition fails
+        break;
+      case FaultModel::kCouplingInv:
+        break;  // victim side handled from the aggressor's write
+    }
+  }
+  bit(r, c) = value ? 1 : 0;
+  // Coupling faults triggered by a *transition* write on the aggressor.
+  if (old_bit != value) {
+    for (const auto& f : faults_) {
+      if (f.model != FaultModel::kCouplingInv) continue;
+      if (f.agg_row == r && f.agg_col == c) {
+        char& victim = bit(f.row, f.col);
+        victim = victim != 0 ? 0 : 1;
+      }
+    }
+  }
+}
+
+bool FaultInjectedMemory::read(std::size_t r, std::size_t c) {
+  ECMS_REQUIRE(r < rows_ && c < cols_, "cell index out of range");
+  bool value = bit(r, c) != 0;
+  for (const auto& f : faults_) {
+    if (f.row != r || f.col != c) continue;
+    if (f.model == FaultModel::kStuckAt0) value = false;
+    if (f.model == FaultModel::kStuckAt1) value = true;
+  }
+  return value;
+}
+
+}  // namespace ecms::march

@@ -1,0 +1,78 @@
+// Memory-under-test abstraction for the march runner.
+//
+// Two implementations: the physical behavioral eDRAM array (the baseline the
+// paper's digital bitmap comes from), and an idealized bit array with
+// injected functional faults (stuck-at, transition, coupling) used to
+// validate the march engine against textbook detection properties.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "edram/behavioral.hpp"
+
+namespace ecms::march {
+
+class MemoryUnderTest {
+ public:
+  virtual ~MemoryUnderTest() = default;
+  virtual std::size_t rows() const = 0;
+  virtual std::size_t cols() const = 0;
+  virtual void write(std::size_t r, std::size_t c, bool bit) = 0;
+  virtual bool read(std::size_t r, std::size_t c) = 0;
+};
+
+/// Adapter over the behavioral eDRAM array.
+class EdramMemory : public MemoryUnderTest {
+ public:
+  explicit EdramMemory(edram::BehavioralArray& array) : array_(&array) {}
+  std::size_t rows() const override { return array_->rows(); }
+  std::size_t cols() const override { return array_->cols(); }
+  void write(std::size_t r, std::size_t c, bool bit) override {
+    array_->write(r, c, bit);
+  }
+  bool read(std::size_t r, std::size_t c) override { return array_->read(r, c); }
+
+ private:
+  edram::BehavioralArray* array_;
+};
+
+/// Classic functional fault models.
+enum class FaultModel {
+  kStuckAt0,
+  kStuckAt1,
+  kTransitionUp,    ///< cell cannot make the 0 -> 1 transition
+  kTransitionDown,  ///< cell cannot make the 1 -> 0 transition
+  kCouplingInv,     ///< a write transition on the aggressor inverts the victim
+};
+
+struct InjectedFault {
+  FaultModel model;
+  std::size_t row = 0, col = 0;                ///< victim cell
+  std::size_t agg_row = 0, agg_col = 0;        ///< aggressor (coupling only)
+};
+
+/// Ideal SRAM-like bit array with injected functional faults.
+class FaultInjectedMemory : public MemoryUnderTest {
+ public:
+  FaultInjectedMemory(std::size_t rows, std::size_t cols);
+
+  void inject(InjectedFault fault);
+
+  std::size_t rows() const override { return rows_; }
+  std::size_t cols() const override { return cols_; }
+  void write(std::size_t r, std::size_t c, bool bit) override;
+  bool read(std::size_t r, std::size_t c) override;
+
+ private:
+  char& bit(std::size_t r, std::size_t c) { return bits_[r * cols_ + c]; }
+  void apply_cell_faults(std::size_t r, std::size_t c, bool old_bit,
+                         bool requested);
+
+  std::size_t rows_, cols_;
+  std::vector<char> bits_;
+  std::vector<InjectedFault> faults_;
+};
+
+}  // namespace ecms::march

@@ -1,0 +1,67 @@
+#include "march/runner.hpp"
+
+#include "util/error.hpp"
+
+namespace ecms::march {
+
+MarchRunResult run_march(MemoryUnderTest& mem, const MarchTest& test,
+                         const edram::AddressMap& map) {
+  ECMS_REQUIRE(map.rows() == mem.rows() && map.cols() == mem.cols(),
+               "address map does not match the memory");
+  MarchRunResult res(mem.rows(), mem.cols());
+  const std::size_t n = map.cell_count();
+
+  for (const auto& element : test.elements) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t logical =
+          element.order == AddressOrder::kDown ? n - 1 - i : i;
+      const edram::CellAddr a = map.physical_of(logical);
+      for (OpKind op : element.ops) {
+        ++res.total_operations;
+        if (op_is_read(op)) {
+          const bool got = mem.read(a.row, a.col);
+          if (got != op_value(op)) {
+            ++res.total_read_mismatches;
+            res.fail_bitmap.set_fail(a.row, a.col);
+          }
+        } else {
+          mem.write(a.row, a.col, op_value(op));
+        }
+      }
+    }
+  }
+  return res;
+}
+
+MarchRunResult run_march(MemoryUnderTest& mem, const MarchTest& test) {
+  const edram::AddressMap map(mem.rows(), mem.cols(),
+                              edram::Scramble::kLinear);
+  return run_march(mem, test, map);
+}
+
+MarchRunResult run_retention_test(edram::BehavioralArray& array,
+                                  bool background, double pause_s,
+                                  const edram::AddressMap& map) {
+  ECMS_REQUIRE(map.rows() == array.rows() && map.cols() == array.cols(),
+               "address map does not match the array");
+  MarchRunResult res(array.rows(), array.cols());
+  const std::size_t n = map.cell_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    const edram::CellAddr a = map.physical_of(i);
+    array.write(a.row, a.col, background);
+    ++res.total_operations;
+  }
+  array.idle(pause_s);
+  for (std::size_t i = 0; i < n; ++i) {
+    const edram::CellAddr a = map.physical_of(i);
+    const bool got = array.read(a.row, a.col);
+    ++res.total_operations;
+    if (got != background) {
+      ++res.total_read_mismatches;
+      res.fail_bitmap.set_fail(a.row, a.col);
+    }
+  }
+  return res;
+}
+
+}  // namespace ecms::march

@@ -1,0 +1,38 @@
+// March-test execution over a memory-under-test, producing the digital
+// (pass/fail) bitmap the paper's analog bitmap is compared against.
+#pragma once
+
+#include "bitmap/analog_bitmap.hpp"
+#include "edram/addressing.hpp"
+#include "march/element.hpp"
+#include "march/memory.hpp"
+
+namespace ecms::march {
+
+struct MarchRunResult {
+  bitmap::DigitalBitmap fail_bitmap;
+  std::size_t total_operations = 0;
+  std::size_t total_read_mismatches = 0;
+
+  explicit MarchRunResult(std::size_t rows, std::size_t cols)
+      : fail_bitmap(rows, cols) {}
+};
+
+/// Runs `test` over `mem`, visiting logical addresses through `map`. A cell
+/// is marked failing if any expected-value read mismatches at its physical
+/// location.
+MarchRunResult run_march(MemoryUnderTest& mem, const MarchTest& test,
+                         const edram::AddressMap& map);
+
+/// Convenience: linear addressing.
+MarchRunResult run_march(MemoryUnderTest& mem, const MarchTest& test);
+
+/// Retention (pause) test on the behavioral array: write `background` to
+/// every cell, idle for `pause_s`, then read everything back. Catches cells
+/// whose charge decays too fast (shorts, and small capacitors at long
+/// pauses).
+MarchRunResult run_retention_test(edram::BehavioralArray& array,
+                                  bool background, double pause_s,
+                                  const edram::AddressMap& map);
+
+}  // namespace ecms::march

@@ -1,0 +1,144 @@
+#include "msu/abacus.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ecms::msu {
+
+Abacus Abacus::build(const ExtractFn& fn, int ramp_steps, double cm_lo,
+                     double cm_hi, std::size_t points) {
+  ECMS_REQUIRE(ramp_steps > 0, "abacus needs a positive step count");
+  ECMS_REQUIRE(cm_hi > cm_lo && cm_lo >= 0.0, "abacus sweep range invalid");
+  ECMS_REQUIRE(points >= 2, "abacus needs at least two sweep points");
+  Abacus a;
+  a.steps_ = ramp_steps;
+  a.cm_lo_ = cm_lo;
+  a.cm_hi_ = cm_hi;
+  a.samples_.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double cm =
+        cm_lo + (cm_hi - cm_lo) * static_cast<double>(i) /
+                    static_cast<double>(points - 1);
+    const int code = fn(cm);
+    ECMS_REQUIRE(code >= 0 && code <= ramp_steps,
+                 "extractor returned out-of-range code");
+    if (!a.samples_.empty() && code < a.samples_.back().code)
+      a.monotonic_ = false;
+    a.samples_.push_back({cm, code});
+  }
+  a.rebuild_bins();
+  return a;
+}
+
+void Abacus::rebuild_bins() {
+  bins_.assign(static_cast<std::size_t>(steps_) + 1, std::nullopt);
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const int code = samples_[i].code;
+    // Interval edges land halfway between adjacent sweep samples.
+    const double lo = i == 0 ? samples_[i].cm
+                             : 0.5 * (samples_[i - 1].cm + samples_[i].cm);
+    const double hi = i + 1 == samples_.size()
+                          ? samples_[i].cm
+                          : 0.5 * (samples_[i].cm + samples_[i + 1].cm);
+    auto& bin = bins_[static_cast<std::size_t>(code)];
+    if (!bin.has_value()) {
+      bin = Bin{code, lo, hi};
+    } else {
+      bin->lo = std::min(bin->lo, lo);
+      bin->hi = std::max(bin->hi, hi);
+    }
+  }
+}
+
+void Abacus::refine(const ExtractFn& fn, double tol) {
+  ECMS_REQUIRE(tol > 0.0, "refine tolerance must be positive");
+  if (!monotonic_) return;  // boundaries are ill-defined
+  // For each pair of adjacent distinct codes, bisect the true boundary.
+  for (int code = 0; code < steps_; ++code) {
+    auto& cur = bins_[static_cast<std::size_t>(code)];
+    // Find the next observed code above this one.
+    int next = code + 1;
+    while (next <= steps_ && !bins_[static_cast<std::size_t>(next)]) ++next;
+    if (!cur || next > steps_) continue;
+    auto& nxt = bins_[static_cast<std::size_t>(next)];
+    double lo = cur->lo, hi = nxt->hi;
+    // Bisection invariant: fn(lo) <= code, fn(hi) >= next.
+    lo = cur->mid();
+    hi = nxt->mid();
+    while (hi - lo > tol) {
+      const double mid = 0.5 * (lo + hi);
+      if (fn(mid) <= code) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    const double boundary = 0.5 * (lo + hi);
+    cur->hi = boundary;
+    nxt->lo = boundary;
+  }
+}
+
+std::optional<Abacus::Bin> Abacus::bin(int code) const {
+  if (code < 0 || code > steps_) return std::nullopt;
+  return bins_[static_cast<std::size_t>(code)];
+}
+
+double Abacus::estimate_cap(int code) const {
+  if (code <= 0 || code >= steps_)
+    throw MeasureError("code " + std::to_string(code) +
+                       " is out of the measurable window (half-open bin)");
+  const auto b = bin(code);
+  if (!b) throw MeasureError("code " + std::to_string(code) +
+                             " was not observed in the calibration sweep");
+  return b->mid();
+}
+
+double Abacus::range_lo() const {
+  for (const auto& s : samples_)
+    if (s.code >= 1) return s.cm;
+  throw MeasureError("no in-range code observed in the sweep");
+}
+
+double Abacus::range_hi() const {
+  for (const auto& s : samples_)
+    if (s.code >= steps_) return s.cm;
+  throw MeasureError("full-scale code never observed in the sweep");
+}
+
+double Abacus::worst_accuracy(int from_code, int to_code) const {
+  double worst = 0.0;
+  bool any = false;
+  for (int c = from_code; c <= to_code; ++c) {
+    const auto b = bin(c);
+    if (!b) continue;
+    worst = std::max(worst, b->relative_halfwidth());
+    any = true;
+  }
+  ECMS_REQUIRE(any, "no observed codes in the requested range");
+  return worst;
+}
+
+double Abacus::mean_accuracy(int from_code, int to_code) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (int c = from_code; c <= to_code; ++c) {
+    const auto b = bin(c);
+    if (!b) continue;
+    sum += b->relative_halfwidth();
+    ++n;
+  }
+  ECMS_REQUIRE(n > 0, "no observed codes in the requested range");
+  return sum / static_cast<double>(n);
+}
+
+std::size_t Abacus::codes_used() const {
+  std::size_t n = 0;
+  for (const auto& b : bins_)
+    if (b) ++n;
+  return n;
+}
+
+}  // namespace ecms::msu

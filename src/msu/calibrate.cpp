@@ -1,0 +1,35 @@
+#include "msu/calibrate.hpp"
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace ecms::msu {
+
+CalibrationResult calibrate_fast_model(FastModel& model,
+                                       const std::vector<double>& probe_caps,
+                                       const MeasurementTiming& timing,
+                                       const ExtractOptions& options) {
+  ECMS_REQUIRE(!probe_caps.empty(), "calibration needs probe capacitances");
+  CalibrationResult res;
+  double sum = 0.0;
+  for (double cm : probe_caps) {
+    ECMS_REQUIRE(cm > 0.0, "probe capacitance must be positive");
+    edram::MacroCell probe = model.macro_cell();
+    probe.set_true_cap(0, 0, cm);
+    const ExtractionResult ext =
+        extract_cell(probe, 0, 0, model.params(), timing, options);
+    CalibrationPoint pt;
+    pt.cm = cm;
+    pt.vgs_fast = model.vgs_of_cap(cm);
+    pt.vgs_circuit = ext.vgs_shared;
+    sum += pt.vgs_circuit - pt.vgs_fast;
+    res.points.push_back(pt);
+  }
+  res.vgs_correction = sum / static_cast<double>(probe_caps.size());
+  model.set_vgs_correction(res.vgs_correction);
+  ECMS_LOG(LogLevel::kInfo) << "calibrated fast model: vgs correction = "
+                            << res.vgs_correction * 1e3 << " mV";
+  return res;
+}
+
+}  // namespace ecms::msu

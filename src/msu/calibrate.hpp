@@ -1,0 +1,41 @@
+// Calibration of the fast model against the circuit-level reference.
+//
+// The paper derives its abacus "from a set of simulation"; the equivalent
+// here is fitting the fast model's single free parameter — an additive V_GS
+// correction that lumps the switch-feedthrough and injection losses the
+// closed form does not carry — from a handful of transistor-level
+// extractions. After calibration the fast model tracks the circuit within
+// one code step across the window (asserted by the integration tests), so
+// array-scale analog bitmaps inherit circuit-level fidelity.
+#pragma once
+
+#include <vector>
+
+#include "msu/extract.hpp"
+#include "msu/fastmodel.hpp"
+
+namespace ecms::msu {
+
+struct CalibrationPoint {
+  double cm = 0.0;        ///< probed capacitance (F)
+  double vgs_fast = 0.0;  ///< closed-form shared V_GS
+  double vgs_circuit = 0.0;  ///< transistor-level shared V_GS
+};
+
+struct CalibrationResult {
+  double vgs_correction = 0.0;  ///< mean(vgs_circuit - vgs_fast)
+  std::vector<CalibrationPoint> points;
+};
+
+/// Runs circuit-level extractions at `probe_caps` (target cell (0,0) of the
+/// model's macro-cell, other cells untouched), fits the mean V_GS deviation
+/// and installs it into `model`. Each probe costs one transient simulation
+/// (~0.1 s for a 4x4 macro-cell).
+CalibrationResult calibrate_fast_model(
+    FastModel& model, const std::vector<double>& probe_caps = {20e-15,
+                                                               45e-15},
+    const MeasurementTiming& timing = {}, const ExtractOptions& options = {
+                                             .dt = 20e-12,
+                                             .record_trace = false});
+
+}  // namespace ecms::msu

@@ -1,0 +1,86 @@
+#include "msu/designer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ecms::msu {
+
+DesignPoint evaluate_design(const edram::MacroCell& mc,
+                            const StructureParams& params,
+                            std::size_t sweep_points) {
+  const FastModel model(mc, params);
+  DesignPoint d;
+  d.params = params;
+  d.cref = params.cref_total(mc.tech());
+
+  // Sweep beyond the spec window on both sides so the range endpoints are
+  // observable.
+  const double lo = 1e-15;
+  const double hi = params.spec_hi_f * 1.4;
+  Abacus ab = Abacus::build([&](double cm) { return model.code_of_cap(cm); },
+                            params.ramp_steps, lo, hi, sweep_points);
+  ab.refine([&](double cm) { return model.code_of_cap(cm); }, 1e-18);
+
+  d.monotonic = ab.monotonic();
+  d.codes_used = ab.codes_used();
+  d.range_lo = ab.range_lo();
+  d.range_hi = ab.range_hi();
+  const int steps = params.ramp_steps;
+  d.worst_acc = ab.worst_accuracy(1, steps - 1);
+  d.mean_acc = ab.mean_accuracy(1, steps - 1);
+
+  // Figure of merit: fraction of the target window covered, penalized by the
+  // mean quantization error. A window that misses the target badly scores
+  // near zero regardless of accuracy.
+  const double target_lo = params.spec_lo_f, target_hi = params.spec_hi_f;
+  const double overlap = std::max(
+      0.0, std::min(d.range_hi, target_hi) - std::max(d.range_lo, target_lo));
+  const double coverage = overlap / (target_hi - target_lo);
+  d.score = coverage - 2.0 * d.mean_acc;
+  if (!d.monotonic) d.score -= 1.0;
+  // Gentle area penalty: among electrically equivalent designs prefer the
+  // smaller REF (the score plateau is wide once the window is covered).
+  d.score -= params.ref_w * 300.0;
+  return d;
+}
+
+std::vector<DesignPoint> explore_designs(const edram::MacroCell& mc,
+                                         const StructureParams& base,
+                                         const std::vector<double>& ref_widths,
+                                         const std::vector<double>& trim_caps) {
+  ECMS_REQUIRE(!ref_widths.empty(), "need at least one REF width");
+  std::vector<DesignPoint> out;
+  for (double w : ref_widths) {
+    for (double trim : trim_caps) {
+      StructureParams p = base;
+      p.ref_w = w;
+      p.cref_trim = trim;
+      p.ramp_i_max = 0.0;  // re-derive the ramp for each candidate
+      out.push_back(evaluate_design(mc, p));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DesignPoint& a, const DesignPoint& b) {
+              return a.score > b.score;
+            });
+  return out;
+}
+
+StructureParams auto_size_structure(const edram::MacroCell& mc,
+                                    const StructureParams& base) {
+  // Coarse geometric sweep of REF widths.
+  std::vector<double> coarse;
+  for (double w = 10e-6; w <= 320e-6; w *= 1.5) coarse.push_back(w);
+  const DesignPoint best_coarse = explore_designs(mc, base, coarse).front();
+
+  // Fine linear sweep around the coarse winner.
+  std::vector<double> fine;
+  const double w0 = best_coarse.params.ref_w;
+  for (double f = 0.70; f <= 1.42; f += 0.06) fine.push_back(w0 * f);
+  const DesignPoint best = explore_designs(mc, base, fine).front();
+  return best.params;
+}
+
+}  // namespace ecms::msu

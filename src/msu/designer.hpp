@@ -1,0 +1,54 @@
+// Design-space exploration for the measurement structure.
+//
+// The paper states the structure was "scaled in a range of eDRAM capacitor
+// of 10fF-55fF with an accuracy of 6%", i.e. the authors sized C_REF and the
+// current ramp for that window. This module makes the sizing trade-off
+// explicit and reproducible: for candidate REF geometries / trim capacitors
+// it evaluates the achievable range and accuracy with the fast model, which
+// is what the C_REF and ramp-step ablation benches sweep.
+#pragma once
+
+#include <vector>
+
+#include "msu/abacus.hpp"
+#include "msu/fastmodel.hpp"
+
+namespace ecms::msu {
+
+/// One evaluated candidate design.
+struct DesignPoint {
+  StructureParams params;
+  double cref = 0.0;        ///< total reference capacitance (F)
+  double range_lo = 0.0;    ///< measured window bottom (F)
+  double range_hi = 0.0;    ///< measured window top (F)
+  double worst_acc = 0.0;   ///< worst in-window relative half-width
+  double mean_acc = 0.0;    ///< mean in-window relative half-width
+  std::size_t codes_used = 0;
+  bool monotonic = true;
+  /// Scalar figure of merit: window coverage of the target [spec_lo,
+  /// spec_hi] minus an accuracy penalty. Higher is better.
+  double score = 0.0;
+};
+
+/// Evaluates one candidate against a macro-cell context.
+DesignPoint evaluate_design(const edram::MacroCell& mc,
+                            const StructureParams& params,
+                            std::size_t sweep_points = 361);
+
+/// Grid search over REF widths (and optional trim capacitors). Returns all
+/// evaluated points sorted best-first.
+std::vector<DesignPoint> explore_designs(
+    const edram::MacroCell& mc, const StructureParams& base,
+    const std::vector<double>& ref_widths,
+    const std::vector<double>& trim_caps = {0.0});
+
+/// Sizes the structure for a given macro-cell ("the test structure is
+/// scaled" — paper). The plate offset grows with array size, so C_REF must
+/// grow with it to keep the 10-55 fF window on the REF transistor's usable
+/// transfer range; this runs a coarse-then-fine REF-width search and returns
+/// the best design. The shipped StructureParams default is this procedure's
+/// result for the 4x4 reference macro-cell.
+StructureParams auto_size_structure(const edram::MacroCell& mc,
+                                    const StructureParams& base = {});
+
+}  // namespace ecms::msu

@@ -1,0 +1,104 @@
+#include "msu/disambig.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ecms::msu {
+
+std::string zero_code_cause_name(ZeroCodeCause c) {
+  switch (c) {
+    case ZeroCodeCause::kNotZero:
+      return "not-zero";
+    case ZeroCodeCause::kShort:
+      return "short";
+    case ZeroCodeCause::kOpen:
+      return "open";
+    case ZeroCodeCause::kUnderRange:
+      return "under-range";
+  }
+  return "?";
+}
+
+Disambiguator::Disambiguator(const FastModel& model,
+                             DisambiguationParams params)
+    : model_(model), params_(params) {
+  ECMS_REQUIRE(params.fine_ratio > 1, "fine ratio must exceed 1");
+}
+
+namespace {
+// Triode on-resistance of an NMOS pass device with a boosted gate and a
+// near-ground channel: 1 / (beta * (VPP - Vth)).
+double pass_on_resistance(const circuit::MosParams& p, double vpp) {
+  const double beta = p.kp * p.w / p.l;
+  const double vov = vpp - p.vth0;
+  ECMS_REQUIRE(vov > 0, "pass device does not turn on at VPP");
+  return 1.0 / (beta * vov);
+}
+}  // namespace
+
+double Disambiguator::static_in_current(std::size_t r, std::size_t c) const {
+  const auto& mc = model_.macro_cell();
+  const auto& t = mc.tech();
+  const double r_prg =
+      pass_on_resistance(t.nmos(model_.params().pass_w, t.l_min), t.vpp);
+  const double r_acc =
+      pass_on_resistance(t.nmos(mc.spec().access_w, mc.spec().access_l),
+                         t.vpp);
+  double i = 0.0;
+  const tech::DefectElectrical e = tech::electrical_of(mc.defect(r, c));
+  if (e.shunt_r > 0.0) {
+    // IN --PRG--> plate --short--> storage --access--> grounded bit line.
+    i += t.vdd / (r_prg + e.shunt_r + r_acc);
+  }
+  // A bridge also draws static current in step 2: partner bit line (VDD)
+  // --access--> partner storage --bridge--> target storage --access-->
+  // grounded target bit line. Both ends of the pair see it.
+  if (const auto partner = mc.bridge_partner_col(r, c)) {
+    const tech::DefectElectrical own = tech::electrical_of(mc.defect(r, c));
+    const tech::DefectElectrical other =
+        tech::electrical_of(mc.defect(r, *partner));
+    const double bridge_r =
+        own.bridge_r > 0.0 ? own.bridge_r : other.bridge_r;
+    i += t.vdd / (2.0 * r_acc + bridge_r);
+  }
+  return i;
+}
+
+DisambiguationResult Disambiguator::classify(std::size_t r,
+                                             std::size_t c) const {
+  DisambiguationResult res;
+  if (model_.code_of_cell(r, c) != 0) {
+    res.cause = ZeroCodeCause::kNotZero;
+    return res;
+  }
+
+  // Test 1: static current through the charging path.
+  res.in_current = static_in_current(r, c);
+  if (res.in_current > params_.short_current_threshold) {
+    res.cause = ZeroCodeCause::kShort;
+    return res;
+  }
+
+  // Test 2: fine-ramp re-measurement.
+  StructureParams fine = model_.params();
+  fine.ramp_i_max =
+      model_.i_max() / static_cast<double>(params_.fine_ratio);
+  const FastModel fine_model(model_.macro_cell(), fine);
+  res.fine_code = fine_model.code_of_cell(r, c);
+  if (res.fine_code <= 0) {
+    res.est_cap = 0.0;
+  } else if (res.fine_code >= fine_model.ramp_steps()) {
+    res.est_cap = fine_model.cap_at_code_boundary(fine_model.ramp_steps());
+  } else {
+    const double lo = fine_model.cap_at_code_boundary(res.fine_code);
+    const double hi = fine_model.cap_at_code_boundary(res.fine_code + 1);
+    res.est_cap = 0.5 * (std::max(lo, 0.0) + hi);
+  }
+  res.cause = res.est_cap < params_.open_cap_threshold
+                  ? ZeroCodeCause::kOpen
+                  : ZeroCodeCause::kUnderRange;
+  return res;
+}
+
+}  // namespace ecms::msu

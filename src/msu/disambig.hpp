@@ -1,0 +1,60 @@
+// Code-0 disambiguation.
+//
+// The paper: "If the number of current step is 0, three diagnoses are
+// possible: the capacitor value is under 10fF; the capacitor is shorted; the
+// capacitor behaves like an open." This module implements the follow-up
+// procedure that separates the three cases — an extension the paper leaves
+// open:
+//   1. static-current test: with IN held at VDD through PRG (step-2
+//      conditions), a shorted capacitor draws a large DC current through the
+//      short into the grounded bit line; intact cells draw none;
+//   2. fine-ramp re-measurement: re-running the flow with the ramp LSB
+//      divided by `fine_ratio` resolves capacitances far below the normal
+//      window. An open cell shows only its fringe residual (~0.5 fF); an
+//      under-range cell shows its true few-fF value.
+#pragma once
+
+#include "msu/fastmodel.hpp"
+
+namespace ecms::msu {
+
+enum class ZeroCodeCause {
+  kNotZero,     ///< the cell does not read code 0 at all
+  kShort,       ///< static current detected: shorted capacitor
+  kOpen,        ///< fine-ramp estimate at fringe level: open capacitor
+  kUnderRange,  ///< real capacitance below the measurable window
+};
+
+std::string zero_code_cause_name(ZeroCodeCause c);
+
+struct DisambiguationParams {
+  double short_current_threshold = 10e-6;  ///< IN current above this = short
+  int fine_ratio = 16;        ///< ramp LSB division for the re-measurement
+  double open_cap_threshold = 2e-15;  ///< estimates below this = open
+};
+
+struct DisambiguationResult {
+  ZeroCodeCause cause = ZeroCodeCause::kNotZero;
+  double in_current = 0.0;    ///< static-current test reading (A)
+  int fine_code = 0;          ///< code from the fine-ramp re-measurement
+  double est_cap = 0.0;       ///< capacitance estimate from the fine ramp (F)
+};
+
+/// Disambiguates a cell using the fast model's physics. The same procedure
+/// can be driven at circuit level (see measure_in_current in the tests).
+class Disambiguator {
+ public:
+  Disambiguator(const FastModel& model, DisambiguationParams params = {});
+
+  DisambiguationResult classify(std::size_t r, std::size_t c) const;
+
+  /// Static IN current the step-2 conditions would draw for this cell
+  /// (analytic: VDD across PRG on-resistance + short + access device).
+  double static_in_current(std::size_t r, std::size_t c) const;
+
+ private:
+  FastModel model_;  // by value: safe against temporaries
+  DisambiguationParams params_;
+};
+
+}  // namespace ecms::msu

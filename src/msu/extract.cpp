@@ -1,0 +1,84 @@
+#include "msu/extract.hpp"
+
+#include "edram/netlister.hpp"
+#include "msu/fastmodel.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace ecms::msu {
+
+ExtractionResult extract_cell(const edram::MacroCell& mc, std::size_t row,
+                              std::size_t col, const StructureParams& params,
+                              const MeasurementTiming& timing,
+                              const ExtractOptions& options) {
+  ECMS_REQUIRE(row < mc.rows() && col < mc.cols(), "target cell out of range");
+
+  circuit::Circuit ckt;
+  const edram::ArrayNet array = edram::build_array(ckt, mc);
+  const StructureNet msu =
+      build_structure(ckt, array.plate, mc.tech(), params);
+
+  double delta_i = options.delta_i;
+  if (delta_i <= 0.0) {
+    const FastModel design(mc, params);
+    delta_i = design.delta_i();
+  }
+  ExtractionResult res;
+  res.delta_i = delta_i;
+  res.schedule = program_measurement(ckt, array, msu, mc, row, col, delta_i,
+                                     params, timing);
+
+  circuit::TranParams tp;
+  tp.t_stop = res.schedule.t_end;
+  tp.dt = options.dt;
+  tp.uic = true;  // the flow's own step 1 establishes the real initial state
+
+  circuit::ProbeSet probes;
+  probes.nodes = {"plate", "msu_vgs", "msu_sense", "msu_out"};
+  probes.device_currents = {msu.irefp_source};
+
+  circuit::TranResult tr = circuit::transient(ckt, tp, probes);
+  res.stats = tr.stats;
+
+  res.v_plate_charged =
+      tr.trace.value_at("plate", res.schedule.t_charge_end);
+  // V_GS settles by the end of step 4; sample just before the ramp starts.
+  res.vgs_shared =
+      tr.trace.value_at("msu_vgs", res.schedule.t_ramp_start - 0.2e-9);
+
+  const double vdd_half = mc.tech().vdd / 2.0;
+  const auto flip =
+      circuit::first_crossing(tr.trace, "msu_out", vdd_half,
+                              circuit::Edge::kRising,
+                              res.schedule.t_ramp_start - 0.1e-9);
+  res.t_out_rise = flip;
+  res.code = flip.has_value() ? res.schedule.code_of_flip_time(*flip)
+                              : res.schedule.code_no_flip();
+
+  ECMS_LOG(LogLevel::kDebug)
+      << "extract (" << row << "," << col << "): code=" << res.code
+      << " vgs=" << res.vgs_shared << " steps=" << res.stats.accepted_steps;
+
+  if (options.record_trace) res.trace = std::move(tr.trace);
+  return res;
+}
+
+std::vector<ExtractionResult> extract_all_cells(
+    const edram::MacroCell& mc, const StructureParams& params,
+    const MeasurementTiming& timing, const ExtractOptions& options) {
+  // Design the ramp once so every cell is converted against the same LSB
+  // (as the shared silicon would).
+  ExtractOptions opts = options;
+  if (opts.delta_i <= 0.0) {
+    const FastModel design(mc, params);
+    opts.delta_i = design.delta_i();
+  }
+  std::vector<ExtractionResult> out;
+  out.reserve(mc.cell_count());
+  for (std::size_t r = 0; r < mc.rows(); ++r)
+    for (std::size_t c = 0; c < mc.cols(); ++c)
+      out.push_back(extract_cell(mc, r, c, params, timing, opts));
+  return out;
+}
+
+}  // namespace ecms::msu

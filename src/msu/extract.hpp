@@ -1,0 +1,55 @@
+// Circuit-level extraction: build macro-cell + structure, program the
+// five-step flow, run the transient, and interpret OUT into a digital code.
+// This is the reproduction of the paper's validation methodology (SPICE
+// simulation of the full mixed-signal schematic).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "circuit/transient.hpp"
+#include "edram/macrocell.hpp"
+#include "msu/sequencer.hpp"
+#include "msu/structure.hpp"
+
+namespace ecms::msu {
+
+struct ExtractOptions {
+  double dt = 20e-12;  ///< transient base step
+  /// Record full waveforms (plate, V_GS, sense, OUT, I_REFP) in the result.
+  bool record_trace = true;
+  /// Ramp LSB to program (A). 0 = derive from the (uncalibrated) FastModel
+  /// design for this macro-cell. Pass a calibrated model's delta_i() to
+  /// close the design loop (see msu::calibrate_fast_model).
+  double delta_i = 0.0;
+};
+
+struct ExtractionResult {
+  int code = 0;  ///< 0..ramp_steps: digital image of the capacitance
+  std::optional<double> t_out_rise;  ///< OUT rising-edge time, if it flipped
+  double v_plate_charged = 0.0;      ///< plate voltage at the end of step 2
+  double vgs_shared = 0.0;           ///< V_GS at the end of step 4
+  double delta_i = 0.0;              ///< ramp LSB used
+  Schedule schedule;
+  circuit::Trace trace;  ///< channels: plate, msu_vgs, msu_sense, msu_out,
+                         ///< I(I_REFP) — empty if record_trace is false
+  circuit::TranStats stats;
+};
+
+/// Measures cell (row, col) of `mc` at transistor level. The ramp LSB is
+/// taken from the FastModel design for this macro-cell and `params`.
+ExtractionResult extract_cell(const edram::MacroCell& mc, std::size_t row,
+                              std::size_t col, const StructureParams& params,
+                              const MeasurementTiming& timing = {},
+                              const ExtractOptions& options = {});
+
+/// Measures every cell of the macro-cell at transistor level (one transient
+/// per cell — the hardware would do exactly this, 50 ns per cell). Returns
+/// results in row-major order. Practical for macro-cell sizes (~0.1 s/cell
+/// on a 4x4); use the calibrated fast model for array scale.
+std::vector<ExtractionResult> extract_all_cells(
+    const edram::MacroCell& mc, const StructureParams& params,
+    const MeasurementTiming& timing = {},
+    const ExtractOptions& options = {.dt = 20e-12, .record_trace = false});
+
+}  // namespace ecms::msu

@@ -1,0 +1,220 @@
+#include "msu/fastmodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ecms::msu {
+
+namespace {
+double series_cap(double a, double b) {
+  if (a <= 0.0 || b <= 0.0) return 0.0;
+  return a * b / (a + b);
+}
+
+// Fraction of a bridged neighbour's capacitance that survives into the
+// measurement. Transistor-level simulation of the default 5 kOhm bridge in a
+// 4x4 macro-cell shows most of the neighbour's charge is lost before the
+// share: during step 2 the neighbour's storage node sits in a resistive
+// divider between its VDD bit line and the grounded target bit line, and in
+// step 3 recharging it to ground is paid for by the already-floating plate.
+// The surviving contribution is a slightly elevated code; the *reliable*
+// bridge signature is the static supply current (see msu::Disambiguator).
+constexpr double kBridgeChargeEfficiency = 0.15;
+}  // namespace
+
+double design_ramp_imax(const edram::MacroCell& mc, const StructureParams& p) {
+  StructureParams q = p;
+  q.ramp_i_max = 0.0;  // the constructor derives it below
+  const FastModel m(mc, q);
+  return m.i_max();
+}
+
+FastModel::FastModel(const edram::MacroCell& mc, const StructureParams& p)
+    : mc_(mc), params_(p), steps_(p.ramp_steps) {
+  ECMS_REQUIRE(p.ramp_steps > 0, "ramp needs at least one step");
+  const auto& t = mc.tech();
+  ref_params_ = t.nmos(p.ref_w, p.ref_l);
+
+  // Receiving side: REF gate input capacitance, the trim capacitor, and the
+  // LEC pass device's source-side junction/overlap.
+  const circuit::MosParams pass = t.nmos(p.pass_w, t.l_min);
+  cref_side_ = p.cref_total(t) + pass.c_junction() + pass.c_overlap();
+
+  // Storage-node parasitic of a cell whose access device is off.
+  const circuit::MosParams acc =
+      t.nmos(mc.spec().access_w, mc.spec().access_l);
+  c_stor_par_ = acc.c_junction() + 2.0 * acc.c_overlap();
+
+  // Floating bit line: routing plus the select and access device loads
+  // (shared definition with the sense path).
+  cbl_float_ = mc.bitline_total_cap();
+
+  // Structure devices on the plate: STD source, PRG source, LEC drain.
+  const circuit::MosParams stdm = t.nmos(p.std_w, t.l_min);
+  struct_junctions_ = 2.0 * (pass.c_junction() + pass.c_overlap()) +
+                      stdm.c_junction() + stdm.c_overlap();
+
+  ref_offset_ = plate_offset(0, 0);
+  auto_ramp_ = p.ramp_i_max <= 0.0;
+  const double imax = auto_ramp_
+                          ? decision_current(p.spec_hi_f + ref_offset_)
+                          : p.ramp_i_max;
+  delta_i_ = imax / static_cast<double>(steps_);
+}
+
+void FastModel::set_vgs_correction(double volts) {
+  vgs_correction_ = volts;
+  if (auto_ramp_) {
+    delta_i_ = decision_current(params_.spec_hi_f + ref_offset_) /
+               static_cast<double>(steps_);
+  }
+}
+
+double FastModel::floating_cell_load(std::size_t r, std::size_t c) const {
+  const tech::DefectElectrical e = tech::electrical_of(mc_.defect(r, c));
+  const double cs =
+      e.disconnected ? e.residual_cap : mc_.true_cap(r, c) * e.cap_scale;
+  return series_cap(cs, c_stor_par_);
+}
+
+double FastModel::row_coupling(std::size_t r, std::size_t exclude_col) const {
+  double sum = 0.0;
+  for (std::size_t c = 0; c < mc_.cols(); ++c) {
+    if (c == exclude_col) continue;
+    const tech::DefectElectrical e = tech::electrical_of(mc_.defect(r, c));
+    if (e.shunt_r > 0.0) {
+      // A shorted cell on the target row ties its floating bit line
+      // resistively to the plate: the full bit-line capacitance rides along.
+      sum += cbl_float_;
+      continue;
+    }
+    const double cs =
+        e.disconnected ? e.residual_cap : mc_.true_cap(r, c) * e.cap_scale;
+    sum += series_cap(cs, cbl_float_);
+  }
+  return sum;
+}
+
+double FastModel::base_offset(std::size_t target_row) const {
+  double sum = mc_.plate_parasitic() + struct_junctions_;
+  for (std::size_t r = 0; r < mc_.rows(); ++r) {
+    if (r == target_row) continue;
+    for (std::size_t c = 0; c < mc_.cols(); ++c)
+      sum += floating_cell_load(r, c);
+  }
+  return sum;
+}
+
+double FastModel::plate_offset(std::size_t r, std::size_t c) const {
+  ECMS_REQUIRE(r < mc_.rows() && c < mc_.cols(), "cell index out of range");
+  return base_offset(r) + row_coupling(r, c);
+}
+
+double FastModel::vgs_of_total(double total) const {
+  const double vdd = mc_.tech().vdd;
+  return vdd * total / (total + cref_side_);
+}
+
+double FastModel::miller_boost(double total) const {
+  // During the conversion the sense node creeps up toward VDD/2 as the
+  // injected current approaches REF's capability; that rise couples back
+  // into the V_GS island through REF's gate-drain overlap and defers the
+  // flip. Modeled at the decision point (sense = VDD/2).
+  const double c_ov = ref_params_.c_overlap();
+  return c_ov * (mc_.tech().vdd / 2.0) / (total + cref_side_);
+}
+
+double FastModel::decision_current(double total) const {
+  return ref_current(vgs_of_total(total) + miller_boost(total) +
+                     vgs_correction_);
+}
+
+double FastModel::vgs_of_cap(double cm_eff) const {
+  ECMS_REQUIRE(cm_eff >= 0.0, "capacitance must be non-negative");
+  return vgs_of_total(cm_eff + ref_offset_);
+}
+
+double FastModel::ref_current(double vgs) const {
+  const double vdd = mc_.tech().vdd;
+  return circuit::mos_ids(ref_params_, vgs, vdd / 2.0);
+}
+
+int FastModel::code_of_vgs_current(double i) const {
+  const int k = static_cast<int>(std::floor(std::max(i, 0.0) / delta_i_));
+  return std::clamp(k, 0, steps_);
+}
+
+int FastModel::code_of_cap(double cm_eff) const {
+  ECMS_REQUIRE(cm_eff >= 0.0, "capacitance must be non-negative");
+  return code_of_vgs_current(decision_current(cm_eff + ref_offset_));
+}
+
+int FastModel::code_of_cap(double cm_eff, const MeasureNoise& noise,
+                           Rng& rng) const {
+  if (!noise.enabled) return code_of_cap(cm_eff);
+  const double total = cm_eff + ref_offset_;
+  double vgs = vgs_of_total(total) + miller_boost(total) + vgs_correction_;
+  if (noise.vgs_sigma > 0.0) vgs += rng.normal(0.0, noise.vgs_sigma);
+  double i = ref_current(std::max(vgs, 0.0));
+  if (noise.comparator_sigma_i > 0.0)
+    i += rng.normal(0.0, noise.comparator_sigma_i);
+  return code_of_vgs_current(i);
+}
+
+double FastModel::measured_cap_of_cell(std::size_t r, std::size_t c) const {
+  const tech::DefectElectrical e = tech::electrical_of(mc_.defect(r, c));
+  if (e.shunt_r > 0.0) return 0.0;  // charge drains before the comparison
+  double cm =
+      e.disconnected ? e.residual_cap : mc_.true_cap(r, c) * e.cap_scale;
+  // A bridge grounds the partner's storage node through the target's bit
+  // line, so part of the partner's capacitor is measured along (most of its
+  // charge is lost to the step-2 divider; see kBridgeChargeEfficiency).
+  if (const auto partner = mc_.bridge_partner_col(r, c)) {
+    cm += kBridgeChargeEfficiency * mc_.effective_cap(r, *partner);
+  }
+  return cm;
+}
+
+int FastModel::code_of_cell(std::size_t r, std::size_t c) const {
+  const tech::DefectElectrical e = tech::electrical_of(mc_.defect(r, c));
+  if (e.shunt_r > 0.0) return 0;
+  const double total = measured_cap_of_cell(r, c) + plate_offset(r, c);
+  return code_of_vgs_current(decision_current(total));
+}
+
+int FastModel::code_of_cell(std::size_t r, std::size_t c,
+                            const MeasureNoise& noise, Rng& rng) const {
+  if (!noise.enabled) return code_of_cell(r, c);
+  const tech::DefectElectrical e = tech::electrical_of(mc_.defect(r, c));
+  if (e.shunt_r > 0.0) return 0;
+  const double total = measured_cap_of_cell(r, c) + plate_offset(r, c);
+  double vgs = vgs_of_total(total) + miller_boost(total) + vgs_correction_;
+  if (noise.vgs_sigma > 0.0) vgs += rng.normal(0.0, noise.vgs_sigma);
+  double i = ref_current(std::max(vgs, 0.0));
+  if (noise.comparator_sigma_i > 0.0)
+    i += rng.normal(0.0, noise.comparator_sigma_i);
+  return code_of_vgs_current(i);
+}
+
+double FastModel::cap_at_code_boundary(int k) const {
+  ECMS_REQUIRE(k >= 1 && k <= steps_, "code boundary index out of range");
+  const double i_target = static_cast<double>(k) * delta_i_;
+  // The decision current is monotone in capacitance; bisect.
+  const auto i_of = [&](double cm) { return decision_current(cm + ref_offset_); };
+  double lo = 0.0, hi = 1e-12;  // 1 pF upper bracket
+  if (i_of(lo) >= i_target) return -1.0;
+  if (i_of(hi) < i_target) return hi;
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (i_of(mid) < i_target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace ecms::msu

@@ -1,0 +1,94 @@
+#include "msu/structure.hpp"
+
+#include "util/error.hpp"
+
+namespace ecms::msu {
+
+double StructureParams::cref_total(const tech::Technology& t) const {
+  const circuit::MosParams ref = t.nmos(ref_w, ref_l);
+  return ref.c_gate_input() + cref_trim;
+}
+
+StructureNet build_structure(circuit::Circuit& ckt, circuit::NodeId plate,
+                             const tech::Technology& t,
+                             const StructureParams& p,
+                             const std::string& prefix) {
+  using circuit::kGround;
+  using circuit::NodeId;
+  using circuit::SourceWave;
+  ECMS_REQUIRE(p.ramp_steps > 0, "ramp needs at least one step");
+  ECMS_REQUIRE(p.ref_w > 0 && p.ref_l > 0, "REF geometry must be positive");
+
+  StructureNet net;
+  const std::string& px = prefix;
+
+  // Supply rails (shared across instances if already present).
+  const NodeId vdd = ckt.node("vdd");
+  if (ckt.find("V_VDD") == nullptr) {
+    ckt.add_vsource("V_VDD", vdd, kGround, SourceWave::dc(t.vdd));
+  }
+  const NodeId vdd_half = ckt.node("vdd_half");
+  if (ckt.find("V_VDDH") == nullptr) {
+    ckt.add_vsource("V_VDDH", vdd_half, kGround, SourceWave::dc(t.vdd / 2.0));
+  }
+
+  // Control pins.
+  net.in = ckt.node(px + "msu_in");
+  const NodeId prg_g = ckt.node(px + "msu_prg_g");
+  const NodeId lec_g = ckt.node(px + "msu_lec_g");
+  const NodeId std_g = ckt.node(px + "msu_std_g");
+  net.in_source = px + "V_IN";
+  net.prg_source = px + "V_PRG";
+  net.lec_source = px + "V_LEC";
+  net.std_source = px + "V_STD";
+  ckt.add_vsource(net.in_source, net.in, kGround, SourceWave::dc(0.0));
+  ckt.add_vsource(net.prg_source, prg_g, kGround, SourceWave::dc(0.0));
+  ckt.add_vsource(net.lec_source, lec_g, kGround, SourceWave::dc(0.0));
+  // STD defaults to on (standard mode) until a sequencer reprograms it.
+  ckt.add_vsource(net.std_source, std_g, kGround, SourceWave::dc(t.vpp));
+
+  // Plate-bias device: plate <- VDD/2 when STD on.
+  ckt.add_mosfet(px + "MSTD", vdd_half, std_g, plate, kGround,
+                 t.nmos(p.std_w, t.l_min));
+
+  // Charging select: IN <-> plate.
+  ckt.add_mosfet(px + "MPRG", net.in, prg_g, plate, kGround,
+                 t.nmos(p.pass_w, t.l_min));
+
+  // Sharing select: plate <-> REF gate.
+  net.vgs = ckt.node(px + "msu_vgs");
+  ckt.add_mosfet(px + "MLEC", plate, lec_g, net.vgs, kGround,
+                 t.nmos(p.pass_w, t.l_min));
+
+  // REF transistor: C_REF is its gate capacitance; drain is the comparison
+  // node fed by I_REFP.
+  net.sense = ckt.node(px + "msu_sense");
+  ckt.add_mosfet(px + "MREF", net.sense, net.vgs, kGround, kGround,
+                 t.nmos(p.ref_w, p.ref_l));
+  if (p.cref_trim > 0.0) {
+    ckt.add_capacitor(px + "CREF_TRIM", net.vgs, kGround, p.cref_trim);
+  }
+
+  // Programmable current reference (waveform programmed by the sequencer).
+  // The clamp diode models the mirror's compliance: a real PMOS current
+  // source cannot push its output above the rail, so the sense node is
+  // limited to ~VDD + Vf once REF stops sinking the injected current.
+  net.irefp_source = px + "I_REFP";
+  ckt.add_isource(net.irefp_source, vdd, net.sense, SourceWave::dc(0.0));
+  ckt.add_diode(px + "DCLAMP", net.sense, vdd, {});
+
+  // Two-inverter sense chain: sense -> inv1 -> out.
+  const NodeId inv1 = ckt.node(px + "msu_inv1");
+  net.out = ckt.node(px + "msu_out");
+  ckt.add_mosfet(px + "MP1", inv1, net.sense, vdd, vdd,
+                 t.pmos(p.inv_wp, t.l_min));
+  ckt.add_mosfet(px + "MN1", inv1, net.sense, kGround, kGround,
+                 t.nmos(p.inv_wn, t.l_min));
+  ckt.add_mosfet(px + "MP2", net.out, inv1, vdd, vdd,
+                 t.pmos(p.inv_wp, t.l_min));
+  ckt.add_mosfet(px + "MN2", net.out, inv1, kGround, kGround,
+                 t.nmos(p.inv_wn, t.l_min));
+  return net;
+}
+
+}  // namespace ecms::msu

@@ -1,0 +1,84 @@
+// The paper's embedded capacitor-measurement structure (Figure 1, right).
+//
+// Connected to the macro-cell plate node:
+//   * STD   — NMOS holding the plate at VDD/2 in standard operation,
+//             switched off in test mode;
+//   * PRG   — NMOS select from the IN pin to the plate (charging path);
+//   * LEC   — NMOS select from the plate to the gate of REF (sharing path);
+//   * REF   — NMOS whose gate input capacitance *is* C_REF and which performs
+//             the analog-to-digital conversion: a programmable current source
+//             I_REFP injects a 20-step linear staircase into its drain, and
+//             the drain flips a two-inverter sense chain once the injected
+//             current exceeds what REF can sink at V_GS;
+//   * OUT   — digital output of the second inverter.
+//
+// All control gates are driven at the boosted level VPP so the NMOS switches
+// pass full rails (standard DRAM word-line practice; without it PRG would
+// charge the plate only to VDD - Vth).
+#pragma once
+
+#include <string>
+
+#include "circuit/netlist.hpp"
+#include "tech/tech.hpp"
+
+namespace ecms::msu {
+
+/// Design parameters of the measurement structure.
+struct StructureParams {
+  // REF transistor geometry: its gate input capacitance is the reference
+  // capacitor C_REF of the charge-sharing step. The default (C_REF ~ 90 fF)
+  // is sized so that, with the ~19 fF plate offset of a 4x4 macro-cell, the
+  // spec window 10-55 fF spans subthreshold-to-strong-inversion on REF and
+  // therefore the full 0..20 code range: the measured window of this design
+  // is [10.4, 55.0] fF (see msu::explore_designs / auto_size_structure and
+  // the C_REF ablation bench for the sizing trade-off).
+  double ref_w = 25.0e-6;
+  double ref_l = 0.35e-6;
+  /// Optional explicit trim capacitor at the REF gate (F); 0 = none.
+  double cref_trim = 0.0;
+
+  // Switch transistor widths (minimum length).
+  double pass_w = 1.0e-6;  ///< PRG and LEC
+  double std_w = 1.0e-6;   ///< STD plate-bias device
+
+  // Sense inverters.
+  double inv_wn = 0.5e-6;
+  double inv_wp = 1.0e-6;
+
+  // Programmable current reference I_REFP.
+  int ramp_steps = 20;
+  /// Full-scale ramp current (A). 0 = auto-design: pinned so that the
+  /// specification-window top spec_hi_f maps to the last code (see
+  /// design_ramp_imax()).
+  double ramp_i_max = 0.0;
+
+  // Specification window the structure is scaled for (the paper: 10-55 fF).
+  double spec_lo_f = 10e-15;
+  double spec_hi_f = 55e-15;
+
+  /// C_REF estimate: REF gate input capacitance plus the trim capacitor.
+  double cref_total(const tech::Technology& t) const;
+};
+
+/// Handles to the structure's nets and control sources.
+struct StructureNet {
+  circuit::NodeId vgs = 0;    ///< REF gate (charge-sharing node)
+  circuit::NodeId sense = 0;  ///< REF drain (current comparison node)
+  circuit::NodeId out = 0;    ///< digital output
+  circuit::NodeId in = 0;     ///< IN pin (charging input)
+  std::string in_source;      ///< "V_IN"
+  std::string prg_source;     ///< "V_PRG" (gate)
+  std::string lec_source;     ///< "V_LEC" (gate)
+  std::string std_source;     ///< "V_STD" (gate)
+  std::string irefp_source;   ///< "I_REFP" (current staircase)
+};
+
+/// Builds the measurement structure into `ckt`, attached to `plate`.
+/// Creates rails "vdd" and "vdd_half" (driven) if not present.
+StructureNet build_structure(circuit::Circuit& ckt, circuit::NodeId plate,
+                             const tech::Technology& t,
+                             const StructureParams& p,
+                             const std::string& prefix = "");
+
+}  // namespace ecms::msu

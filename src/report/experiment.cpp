@@ -1,0 +1,43 @@
+#include "report/experiment.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ecms::report {
+
+Experiment::Experiment(std::string id, std::string title)
+    : id_(std::move(id)), title_(std::move(title)) {
+  ECMS_REQUIRE(!id_.empty(), "experiment id must be non-empty");
+}
+
+void Experiment::check(const std::string& claim, const std::string& measured,
+                       bool reproduced) {
+  checks_.push_back({claim, measured, reproduced});
+}
+
+void Experiment::note(const std::string& text) { notes_.push_back(text); }
+
+bool Experiment::all_reproduced() const {
+  for (const auto& c : checks_)
+    if (!c.reproduced) return false;
+  return true;
+}
+
+std::string Experiment::render() const {
+  std::ostringstream os;
+  os << "== " << id_ << ": " << title_ << " ==\n";
+  for (const auto& c : checks_) {
+    os << "  [" << (c.reproduced ? "ok" : "DIFF") << "] paper: " << c.claim
+       << " | measured: " << c.measured << '\n';
+  }
+  for (const auto& n : notes_) os << "  note: " << n << '\n';
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Experiment& e) {
+  return os << e.render();
+}
+
+}  // namespace ecms::report

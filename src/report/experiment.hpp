@@ -1,0 +1,50 @@
+// Experiment records: paper-expected vs measured, for EXPERIMENTS.md.
+//
+// Every bench registers what the paper claims and what this reproduction
+// measured, then renders a uniform report block so paper-vs-measured is
+// greppable in one format across all experiments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ecms::report {
+
+struct Check {
+  std::string claim;     ///< what the paper states
+  std::string measured;  ///< what this run produced
+  bool reproduced = false;
+};
+
+class Experiment {
+ public:
+  Experiment(std::string id, std::string title);
+
+  /// Adds a paper-vs-measured check.
+  void check(const std::string& claim, const std::string& measured,
+             bool reproduced);
+  /// Adds a free-form note (assumption, substitution, caveat).
+  void note(const std::string& text);
+
+  const std::string& id() const { return id_; }
+  bool all_reproduced() const;
+  std::size_t check_count() const { return checks_.size(); }
+  const std::vector<Check>& checks() const { return checks_; }
+
+  /// Renders the block:
+  ///   == FIG3: Abacus ==
+  ///   [ok] claim ... | measured ...
+  ///   note: ...
+  std::string render() const;
+
+ private:
+  std::string id_;
+  std::string title_;
+  std::vector<Check> checks_;
+  std::vector<std::string> notes_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Experiment& e);
+
+}  // namespace ecms::report

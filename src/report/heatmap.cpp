@@ -1,0 +1,32 @@
+#include "report/heatmap.hpp"
+
+#include "util/ascii_plot.hpp"
+
+namespace ecms::report {
+
+std::string render_code_heatmap(const bitmap::AnalogBitmap& bm) {
+  std::vector<double> field;
+  field.reserve(bm.codes().size());
+  for (int code : bm.codes()) field.push_back(static_cast<double>(code));
+  return render_heatmap(field, bm.rows(), bm.cols(), 0.0,
+                        static_cast<double>(bm.ramp_steps()));
+}
+
+std::string render_signature_map(const bitmap::SignatureMap& sig) {
+  return render_charmap(sig.letters(), sig.rows(), sig.cols());
+}
+
+std::string render_defect_truth(const tech::DefectMap& defects) {
+  return render_charmap(defects.letters(), defects.rows(), defects.cols());
+}
+
+std::string render_fail_map(const bitmap::DigitalBitmap& fails) {
+  std::vector<char> cells;
+  cells.reserve(fails.rows() * fails.cols());
+  for (std::size_t r = 0; r < fails.rows(); ++r)
+    for (std::size_t c = 0; c < fails.cols(); ++c)
+      cells.push_back(fails.fails(r, c) ? 'X' : '.');
+  return render_charmap(cells, fails.rows(), fails.cols());
+}
+
+}  // namespace ecms::report

@@ -1,0 +1,25 @@
+// Rendering helpers that tie bitmap data structures to the ASCII plotting
+// substrate (code heatmaps, signature maps, defect-truth maps).
+#pragma once
+
+#include <string>
+
+#include "bitmap/analog_bitmap.hpp"
+#include "bitmap/signature.hpp"
+#include "tech/defects.hpp"
+
+namespace ecms::report {
+
+/// Shaded heatmap of the analog bitmap's codes (0..ramp_steps).
+std::string render_code_heatmap(const bitmap::AnalogBitmap& bm);
+
+/// Letter map of signature categories ('0','l','.','h','F').
+std::string render_signature_map(const bitmap::SignatureMap& sig);
+
+/// Letter map of ground-truth defects ('.','S','O','P','B').
+std::string render_defect_truth(const tech::DefectMap& defects);
+
+/// Letter map of a digital fail bitmap ('X' fail, '.' pass).
+std::string render_fail_map(const bitmap::DigitalBitmap& fails);
+
+}  // namespace ecms::report

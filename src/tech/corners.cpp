@@ -1,0 +1,73 @@
+#include "tech/corners.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ecms::tech {
+
+std::string corner_name(Corner c) {
+  switch (c) {
+    case Corner::kTT:
+      return "TT";
+    case Corner::kFF:
+      return "FF";
+    case Corner::kSS:
+      return "SS";
+    case Corner::kFS:
+      return "FS";
+    case Corner::kSF:
+      return "SF";
+  }
+  return "?";
+}
+
+namespace {
+// +1 = fast, -1 = slow, 0 = typical.
+struct Speed {
+  int n;
+  int p;
+};
+Speed speed_of(Corner c) {
+  switch (c) {
+    case Corner::kTT:
+      return {0, 0};
+    case Corner::kFF:
+      return {+1, +1};
+    case Corner::kSS:
+      return {-1, -1};
+    case Corner::kFS:
+      return {+1, -1};
+    case Corner::kSF:
+      return {-1, +1};
+  }
+  return {0, 0};
+}
+}  // namespace
+
+Technology apply_corner(const Technology& base, Corner corner,
+                        const CornerSpread& spread) {
+  const Speed s = speed_of(corner);
+  Technology t = base;
+  t.name = base.name + "-" + corner_name(corner);
+  t.n_vth0 -= s.n * spread.vth_shift;
+  t.n_kp *= 1.0 + s.n * spread.kp_ratio;
+  t.p_vth0 -= s.p * spread.vth_shift;
+  t.p_kp *= 1.0 + s.p * spread.kp_ratio;
+  return t;
+}
+
+double vth_mismatch_sigma(const MatchingCoeffs& coeffs, double w, double l) {
+  ECMS_REQUIRE(w > 0 && l > 0, "geometry must be positive");
+  return coeffs.a_vth / std::sqrt(w * l);
+}
+
+void apply_mismatch(circuit::MosParams& p, const MatchingCoeffs& coeffs,
+                    Rng& rng) {
+  const double sigma_vth = vth_mismatch_sigma(coeffs, p.w, p.l);
+  const double sigma_beta = coeffs.a_beta / std::sqrt(p.w * p.l);
+  p.vth0 += rng.normal(0.0, sigma_vth);
+  p.kp *= 1.0 + rng.normal(0.0, sigma_beta);
+}
+
+}  // namespace ecms::tech

@@ -1,0 +1,50 @@
+// Process corners and Pelgrom-style local mismatch.
+//
+// Corners shift the global device parameters (fast/slow NMOS and PMOS);
+// mismatch adds per-instance Vth/beta deviations scaled by 1/sqrt(W*L).
+// Both act on a Technology, so any netlist built afterwards inherits them.
+#pragma once
+
+#include <string>
+
+#include "tech/tech.hpp"
+#include "util/rng.hpp"
+
+namespace ecms::tech {
+
+enum class Corner { kTT, kFF, kSS, kFS, kSF };
+
+/// Human-readable corner name ("TT", "FF", ...).
+std::string corner_name(Corner c);
+
+/// All five corners (for sweeps).
+inline constexpr Corner kAllCorners[] = {Corner::kTT, Corner::kFF, Corner::kSS,
+                                         Corner::kFS, Corner::kSF};
+
+/// Corner strength knobs. Defaults are typical 3-sigma digital-process
+/// spreads at 0.18 um.
+struct CornerSpread {
+  double vth_shift = 0.06;  ///< +- threshold shift at a fast/slow corner (V)
+  double kp_ratio = 0.12;   ///< +- relative kp change at a fast/slow corner
+};
+
+/// Returns `base` adjusted to the given corner. Fast = lower Vth, higher kp.
+/// First letter is NMOS, second is PMOS (kFS = fast NMOS, slow PMOS).
+Technology apply_corner(const Technology& base, Corner corner,
+                        const CornerSpread& spread = {});
+
+/// Pelgrom matching coefficients.
+struct MatchingCoeffs {
+  double a_vth = 3.5e-9;   ///< V*m: sigma(Vth) = a_vth / sqrt(W*L)
+  double a_beta = 0.01e-6; ///< m: sigma(dbeta/beta) = a_beta / sqrt(W*L)
+};
+
+/// Samples per-instance Vth/beta deviations for a device of the given
+/// geometry and applies them to `p`. Deterministic given the rng state.
+void apply_mismatch(circuit::MosParams& p, const MatchingCoeffs& coeffs,
+                    Rng& rng);
+
+/// Sigma of Vth mismatch for a geometry (exposed for tests/analyses).
+double vth_mismatch_sigma(const MatchingCoeffs& coeffs, double w, double l);
+
+}  // namespace ecms::tech

@@ -1,0 +1,47 @@
+#include "tech/tech.hpp"
+
+#include "util/error.hpp"
+
+namespace ecms::tech {
+
+circuit::MosParams Technology::nmos(double w, double l) const {
+  ECMS_REQUIRE(w > 0 && l > 0, "device geometry must be positive");
+  circuit::MosParams p;
+  p.type = circuit::MosType::kNmos;
+  p.model = circuit::MosModel::kEkv;
+  p.w = w;
+  p.l = l;
+  p.kp = n_kp;
+  p.vth0 = n_vth0;
+  p.lambda = n_lambda;
+  p.n_slope = n_slope;
+  p.temp_k = temp_k;
+  p.cox_per_area = cox_per_area;
+  p.cov_per_w = cov_per_w;
+  p.cj_per_area = cj_per_area;
+  p.diff_len = diff_len;
+  return p;
+}
+
+circuit::MosParams Technology::pmos(double w, double l) const {
+  ECMS_REQUIRE(w > 0 && l > 0, "device geometry must be positive");
+  circuit::MosParams p;
+  p.type = circuit::MosType::kPmos;
+  p.model = circuit::MosModel::kEkv;
+  p.w = w;
+  p.l = l;
+  p.kp = p_kp;
+  p.vth0 = p_vth0;
+  p.lambda = p_lambda;
+  p.n_slope = p_slope;
+  p.temp_k = temp_k;
+  p.cox_per_area = cox_per_area;
+  p.cov_per_w = cov_per_w;
+  p.cj_per_area = cj_per_area;
+  p.diff_len = diff_len;
+  return p;
+}
+
+Technology tech018() { return Technology{}; }
+
+}  // namespace ecms::tech

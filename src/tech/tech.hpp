@@ -1,0 +1,63 @@
+// Technology description: a representative 0.18 um, 1.8 V eDRAM process.
+//
+// The paper validates its structure on the ST-Microelectronics 0.18 um eDRAM
+// design kit, which is proprietary. This module provides a public-parameter
+// stand-in of the same class: VDD = 1.8 V, Vth ~ 0.45 V, tox ~ 4 nm, boosted
+// word-line level VPP, and a ~30 fF storage capacitor. Every circuit in the
+// library sizes its devices through this table, so corner/mismatch/defect
+// models can perturb one place.
+#pragma once
+
+#include "circuit/mosfet.hpp"
+
+namespace ecms::tech {
+
+/// Full set of process/supply parameters used to build netlists.
+struct Technology {
+  std::string name = "generic018";
+  double vdd = 1.8;   ///< core supply (V)
+  double vpp = 3.3;   ///< boosted word-line / control-gate level (V); must
+                      ///< exceed VDD + body-effected Vth so NMOS pass gates
+                      ///< transfer the full rail (thick-oxide driver level)
+  double temp_k = 300.0;
+
+  // NMOS electrical parameters.
+  double n_kp = 170e-6;
+  double n_vth0 = 0.45;
+  double n_lambda = 0.06;
+  double n_slope = 1.35;
+
+  // PMOS electrical parameters.
+  double p_kp = 60e-6;
+  double p_vth0 = 0.45;
+  double p_lambda = 0.08;
+  double p_slope = 1.35;
+
+  // Shared geometry-derived parameters.
+  double l_min = 0.18e-6;          ///< minimum channel length (m)
+  double cox_per_area = 8.6e-3;    ///< F/m^2 (tox ~ 4 nm)
+  double cov_per_w = 3.0e-10;      ///< overlap capacitance (F/m)
+  double cj_per_area = 1.0e-3;     ///< junction capacitance (F/m^2)
+  double diff_len = 0.48e-6;       ///< diffusion length (m)
+
+  // eDRAM cell defaults.
+  double cell_cap_nominal = 30e-15;  ///< storage capacitor (F)
+  /// Bit-line routing parasitic per attached cell (F), excluding the access
+  /// devices' junction/overlap loads (counted from geometry elsewhere).
+  double bitline_cap_per_cell = 0.5e-15;
+  double plate_cap_fixed = 1.5e-15;    ///< plate-node routing parasitic (F)
+  double wl_r_per_cell = 20.0;         ///< word-line resistance per cell (ohm)
+
+  /// NMOS instance parameters for a given W/L (meters).
+  circuit::MosParams nmos(double w, double l) const;
+  /// NMOS with minimum length.
+  circuit::MosParams nmos_min(double w) const { return nmos(w, l_min); }
+  /// PMOS instance parameters for a given W/L (meters).
+  circuit::MosParams pmos(double w, double l) const;
+  circuit::MosParams pmos_min(double w) const { return pmos(w, l_min); }
+};
+
+/// The default technology used across examples, tests and benches.
+Technology tech018();
+
+}  // namespace ecms::tech

@@ -1,0 +1,155 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ecms {
+
+LinePlot::LinePlot(PlotOptions opts) : opts_(opts) {
+  ECMS_REQUIRE(opts_.width >= 16 && opts_.height >= 4,
+               "plot area too small to be legible");
+}
+
+void LinePlot::add_series(const std::string& name, std::span<const double> xs,
+                          std::span<const double> ys) {
+  ECMS_REQUIRE(xs.size() == ys.size() && !xs.empty(),
+               "series must be equal-length and non-empty");
+  Series s;
+  s.name = name;
+  s.xs.assign(xs.begin(), xs.end());
+  s.ys.assign(ys.begin(), ys.end());
+  series_.push_back(std::move(s));
+}
+
+void LinePlot::set_x_range(double lo, double hi) {
+  ECMS_REQUIRE(hi > lo, "x range must be non-degenerate");
+  has_x_range_ = true;
+  x_lo_ = lo;
+  x_hi_ = hi;
+}
+
+void LinePlot::set_y_range(double lo, double hi) {
+  ECMS_REQUIRE(hi > lo, "y range must be non-degenerate");
+  has_y_range_ = true;
+  y_lo_ = lo;
+  y_hi_ = hi;
+}
+
+std::string LinePlot::render() const {
+  if (series_.empty()) return "(empty plot)\n";
+  double xlo = x_lo_, xhi = x_hi_, ylo = y_lo_, yhi = y_hi_;
+  if (!has_x_range_ || !has_y_range_) {
+    double axlo = series_[0].xs[0], axhi = axlo;
+    double aylo = series_[0].ys[0], ayhi = aylo;
+    for (const auto& s : series_) {
+      for (double x : s.xs) {
+        axlo = std::min(axlo, x);
+        axhi = std::max(axhi, x);
+      }
+      for (double y : s.ys) {
+        aylo = std::min(aylo, y);
+        ayhi = std::max(ayhi, y);
+      }
+    }
+    if (axhi == axlo) axhi = axlo + 1.0;
+    if (ayhi == aylo) ayhi = aylo + 1.0;
+    if (!has_x_range_) {
+      xlo = axlo;
+      xhi = axhi;
+    }
+    if (!has_y_range_) {
+      // 5% headroom so extremes do not sit on the frame.
+      const double pad = 0.05 * (ayhi - aylo);
+      ylo = aylo - pad;
+      yhi = ayhi + pad;
+    }
+  }
+
+  const std::size_t W = opts_.width, H = opts_.height;
+  std::vector<std::string> canvas(H, std::string(W, ' '));
+  static constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#'};
+
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const auto& s = series_[si];
+    const char g = kGlyphs[si % sizeof(kGlyphs)];
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      const double fx = (s.xs[i] - xlo) / (xhi - xlo);
+      const double fy = (s.ys[i] - ylo) / (yhi - ylo);
+      if (fx < 0 || fx > 1 || fy < 0 || fy > 1) continue;
+      auto cx = static_cast<std::size_t>(
+          std::min(fx * static_cast<double>(W), static_cast<double>(W - 1)));
+      auto cy = static_cast<std::size_t>(
+          std::min(fy * static_cast<double>(H), static_cast<double>(H - 1)));
+      canvas[H - 1 - cy][cx] = g;
+    }
+  }
+
+  std::ostringstream os;
+  os << std::setprecision(4);
+  if (!opts_.y_label.empty()) os << opts_.y_label << '\n';
+  for (std::size_t r = 0; r < H; ++r) {
+    if (opts_.show_axes) {
+      if (r == 0)
+        os << std::setw(10) << yhi << " |";
+      else if (r == H - 1)
+        os << std::setw(10) << ylo << " |";
+      else
+        os << std::string(10, ' ') << " |";
+    }
+    os << canvas[r] << '\n';
+  }
+  if (opts_.show_axes) {
+    os << std::string(11, ' ') << '+' << std::string(W, '-') << '\n';
+    os << std::string(11, ' ') << ' ' << xlo << " ... " << xhi;
+    if (!opts_.x_label.empty()) os << "  (" << opts_.x_label << ")";
+    os << '\n';
+  }
+  // Legend.
+  for (std::size_t si = 0; si < series_.size(); ++si)
+    os << "  " << kGlyphs[si % sizeof(kGlyphs)] << " = " << series_[si].name
+       << '\n';
+  return os.str();
+}
+
+std::string render_heatmap(std::span<const double> values, std::size_t rows,
+                           std::size_t cols, double lo, double hi) {
+  ECMS_REQUIRE(values.size() == rows * cols, "heatmap size mismatch");
+  ECMS_REQUIRE(hi > lo, "heatmap range must be non-degenerate");
+  static constexpr const char* kRamp = " .:-=+*#%@";
+  static constexpr std::size_t kLevels = 10;
+  std::string out;
+  out.reserve(rows * (cols + 1));
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double v = values[r * cols + c];
+      if (std::isnan(v)) {
+        out += '?';
+        continue;
+      }
+      const double t = std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
+      auto idx = static_cast<std::size_t>(t * static_cast<double>(kLevels));
+      idx = std::min(idx, kLevels - 1);
+      out += kRamp[idx];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_charmap(std::span<const char> cells, std::size_t rows,
+                           std::size_t cols) {
+  ECMS_REQUIRE(cells.size() == rows * cols, "charmap size mismatch");
+  std::string out;
+  out.reserve(rows * (cols + 1));
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) out += cells[r * cols + c];
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ecms

@@ -1,0 +1,61 @@
+// Terminal rendering of waveforms (line plots) and bitmaps (heatmaps).
+//
+// Figure 2 of the paper is a set of transient waveforms and the analog bitmap
+// is a 2-D field; examples render both as ASCII so the reproduction is
+// inspectable without a plotting stack.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ecms {
+
+/// Options for LinePlot rendering.
+struct PlotOptions {
+  std::size_t width = 72;   ///< plot area width in characters
+  std::size_t height = 16;  ///< plot area height in characters
+  bool show_axes = true;
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Multi-series scatter/line plot on a character canvas. Series are drawn in
+/// order with the glyphs '*', '+', 'o', 'x', '#', cycling.
+class LinePlot {
+ public:
+  explicit LinePlot(PlotOptions opts = {});
+
+  /// Adds a named series; xs/ys must be equal length and non-empty.
+  void add_series(const std::string& name, std::span<const double> xs,
+                  std::span<const double> ys);
+
+  /// Fixes the axis ranges (otherwise auto-scaled to the data).
+  void set_x_range(double lo, double hi);
+  void set_y_range(double lo, double hi);
+
+  std::string render() const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<double> xs, ys;
+  };
+  PlotOptions opts_;
+  std::vector<Series> series_;
+  bool has_x_range_ = false, has_y_range_ = false;
+  double x_lo_ = 0, x_hi_ = 1, y_lo_ = 0, y_hi_ = 1;
+};
+
+/// Renders a row-major numeric grid as a shaded heatmap using the ramp
+/// " .:-=+*#%@" between [lo, hi]; NaN renders as '?'.
+std::string render_heatmap(std::span<const double> values, std::size_t rows,
+                           std::size_t cols, double lo, double hi);
+
+/// Heatmap with per-cell single characters supplied by the caller (used for
+/// signature maps where each category has a letter).
+std::string render_charmap(std::span<const char> cells, std::size_t rows,
+                           std::size_t cols);
+
+}  // namespace ecms

@@ -1,0 +1,53 @@
+// Error handling for the ecms library.
+//
+// The library throws `ecms::Error` for precondition violations and solver
+// failures. `ECMS_REQUIRE` is the standard precondition check used at public
+// API boundaries (always on — these guard user input, not internal bugs).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ecms {
+
+/// Base exception for all ecms library failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a netlist is malformed (dangling node, duplicate name, ...).
+class NetlistError : public Error {
+ public:
+  explicit NetlistError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a numerical solve fails (singular matrix, Newton divergence).
+class SolverError : public Error {
+ public:
+  explicit SolverError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a measurement / extraction cannot be interpreted.
+class MeasureError : public Error {
+ public:
+  explicit MeasureError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  throw Error(std::string("requirement failed: ") + expr + " at " + file +
+              ":" + std::to_string(line) + (msg.empty() ? "" : ": " + msg));
+}
+}  // namespace detail
+
+}  // namespace ecms
+
+/// Precondition check at API boundaries; throws ecms::Error on failure.
+#define ECMS_REQUIRE(expr, msg)                                         \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::ecms::detail::require_failed(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                   \
+  } while (false)

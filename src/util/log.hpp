@@ -1,0 +1,50 @@
+// Minimal leveled logger.
+//
+// The solvers log convergence diagnostics at Debug; benches and examples run
+// at Info by default. A global level keeps the hot paths cheap (a single
+// comparison when disabled).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ecms {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log level (defaults to kWarn so library users are quiet by default).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+/// Streams a log line if `level` is enabled. Usage:
+///   ECMS_LOG(LogLevel::kInfo) << "converged in " << iters << " iters";
+#define ECMS_LOG(level)                            \
+  if ((level) < ::ecms::log_level()) {             \
+  } else                                           \
+    ::ecms::detail::LogLine(level)
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace ecms

@@ -1,0 +1,192 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ecms {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::mean() const {
+  ECMS_REQUIRE(n_ > 0, "mean of empty sample");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  ECMS_REQUIRE(n_ > 0, "min of empty sample");
+  return min_;
+}
+
+double RunningStats::max() const {
+  ECMS_REQUIRE(n_ > 0, "max of empty sample");
+  return max_;
+}
+
+double percentile(std::span<const double> xs, double p) {
+  ECMS_REQUIRE(!xs.empty(), "percentile of empty sample");
+  ECMS_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p out of [0,100]");
+  std::vector<double> s(xs.begin(), xs.end());
+  std::sort(s.begin(), s.end());
+  if (s.size() == 1) return s[0];
+  const double rank = p / 100.0 * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= s.size()) return s.back();
+  return s[lo] * (1.0 - frac) + s[lo + 1] * frac;
+}
+
+double mad_sigma(std::span<const double> xs) {
+  ECMS_REQUIRE(!xs.empty(), "mad of empty sample");
+  const double med = percentile(xs, 50.0);
+  std::vector<double> dev(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) dev[i] = std::abs(xs[i] - med);
+  return 1.4826 * percentile(dev, 50.0);
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  ECMS_REQUIRE(xs.size() == ys.size() && xs.size() >= 2,
+               "pearson needs two equal samples of size >= 2");
+  RunningStats sx, sy;
+  for (double x : xs) sx.add(x);
+  for (double y : ys) sy.add(y);
+  double cov = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    cov += (xs[i] - sx.mean()) * (ys[i] - sy.mean());
+  cov /= static_cast<double>(xs.size() - 1);
+  const double denom = sx.stddev() * sy.stddev();
+  if (denom == 0.0) return 0.0;
+  return cov / denom;
+}
+
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  ECMS_REQUIRE(xs.size() == ys.size() && xs.size() >= 2,
+               "fit_line needs two equal samples of size >= 2");
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const auto n = static_cast<double>(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  ECMS_REQUIRE(denom != 0.0, "fit_line: degenerate x sample");
+  LinearFit f;
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  double ss_res = 0.0, ss_tot = 0.0;
+  const double ymean = sy / n;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double pred = f.intercept + f.slope * xs[i];
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - ymean) * (ys[i] - ymean);
+  }
+  f.r2 = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return f;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  ECMS_REQUIRE(hi > lo, "histogram needs hi > lo");
+  ECMS_REQUIRE(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<long>(t * static_cast<double>(counts_.size()));
+  bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_low(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_high(std::size_t i) const { return bin_low(i + 1); }
+
+std::size_t Histogram::mode_bin() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < counts_.size(); ++i)
+    if (counts_[i] > counts_[best]) best = i;
+  return best;
+}
+
+std::string Histogram::ascii(std::size_t height) const {
+  const std::size_t peak = counts_[mode_bin()];
+  std::string out;
+  if (peak == 0) return out;
+  for (std::size_t row = height; row > 0; --row) {
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+      const double frac =
+          static_cast<double>(counts_[b]) / static_cast<double>(peak);
+      out += frac * static_cast<double>(height) >=
+                     static_cast<double>(row) - 0.5
+                 ? '#'
+                 : ' ';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+double welch_t(const RunningStats& a, const RunningStats& b, double* df_out) {
+  ECMS_REQUIRE(a.count() >= 2 && b.count() >= 2,
+               "welch_t needs >= 2 samples per group");
+  const double va = a.variance() / static_cast<double>(a.count());
+  const double vb = b.variance() / static_cast<double>(b.count());
+  const double se = std::sqrt(va + vb);
+  if (df_out) {
+    const double num = (va + vb) * (va + vb);
+    const double den = va * va / static_cast<double>(a.count() - 1) +
+                       vb * vb / static_cast<double>(b.count() - 1);
+    *df_out = den > 0 ? num / den : 1.0;
+  }
+  if (se == 0.0) return 0.0;
+  return (a.mean() - b.mean()) / se;
+}
+
+double two_sided_p_from_z(double z) {
+  // Complementary error function gives the normal tail exactly.
+  return std::erfc(std::abs(z) / std::sqrt(2.0));
+}
+
+}  // namespace ecms

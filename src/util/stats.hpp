@@ -1,0 +1,88 @@
+// Small statistics toolkit used by Monte-Carlo experiments, calibration and
+// bitmap analysis: streaming moments, order statistics, histograms, and a
+// couple of hypothesis-test helpers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ecms {
+
+/// Streaming mean/variance/min/max (Welford's algorithm — numerically stable,
+/// single pass).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Unbiased sample variance (n-1 denominator). 0 for n < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Linear-interpolated percentile (p in [0,100]) of a sample. Sorts a copy.
+double percentile(std::span<const double> xs, double p);
+
+/// Median absolute deviation scaled to be consistent with sigma for normal
+/// data (x1.4826). Robust spread estimator used for outlier screens.
+double mad_sigma(std::span<const double> xs);
+
+/// Pearson correlation of two equal-length samples.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Result of an ordinary least squares fit y = a + b*x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+};
+
+/// Least-squares line fit. Requires at least two points.
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+/// Fixed-bin histogram over [lo, hi); values outside are clamped to the edge
+/// bins so totals are preserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_low(std::size_t i) const;
+  double bin_high(std::size_t i) const;
+  /// Index of the fullest bin.
+  std::size_t mode_bin() const;
+  /// Renders a vertical-bar ASCII sketch, `width` characters tall at the mode.
+  std::string ascii(std::size_t height = 8) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Two-sample Welch t statistic (used to detect lot-mean drift in the
+/// process-monitoring experiment). Returns the t value; degrees of freedom
+/// via Welch–Satterthwaite in `df_out` if non-null.
+double welch_t(const RunningStats& a, const RunningStats& b,
+               double* df_out = nullptr);
+
+/// Approximate two-sided normal-tail p-value for a z (or large-df t) score.
+double two_sided_p_from_z(double z);
+
+}  // namespace ecms

@@ -1,0 +1,48 @@
+// Column-aligned text / markdown / CSV table emission.
+//
+// Benches and examples print the paper's tables and figure data as plain
+// tables; this keeps the formatting logic in one place.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ecms {
+
+/// A simple row/column string table with alignment-aware renderers.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+  /// Formats integers.
+  static std::string num(long long v);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return headers_.size(); }
+  const std::string& cell(std::size_t r, std::size_t c) const;
+
+  /// Space-padded, pipe-free rendering for terminals.
+  std::string to_text() const;
+  /// GitHub-flavoured markdown rendering.
+  std::string to_markdown() const;
+  /// RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  std::string to_csv() const;
+
+  /// Writes to_csv() to a file, throwing ecms::Error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+}  // namespace ecms

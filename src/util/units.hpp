@@ -1,0 +1,90 @@
+// SI unit literals and physical constants used across the library.
+//
+// All internal quantities are plain `double` in base SI units (volts, amps,
+// farads, seconds, meters). The literals below exist so that source code can
+// say `30_fF` or `10_ns` instead of magic exponents.
+#pragma once
+
+namespace ecms {
+
+/// Physical constants (SI).
+namespace phys {
+inline constexpr double kBoltzmann = 1.380649e-23;  ///< J/K
+inline constexpr double kElectronCharge = 1.602176634e-19;  ///< C
+inline constexpr double kEps0 = 8.8541878128e-12;  ///< F/m
+inline constexpr double kEpsSiO2 = 3.9;  ///< relative permittivity of SiO2
+inline constexpr double kRoomTempK = 300.0;  ///< default simulation temp (K)
+
+/// Thermal voltage kT/q at temperature `temp_k`.
+constexpr double thermal_voltage(double temp_k) {
+  return kBoltzmann * temp_k / kElectronCharge;
+}
+}  // namespace phys
+
+inline namespace literals {
+
+// --- capacitance ---
+constexpr double operator""_F(long double v) { return static_cast<double>(v); }
+constexpr double operator""_pF(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_fF(long double v) { return static_cast<double>(v) * 1e-15; }
+constexpr double operator""_pF(unsigned long long v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_fF(unsigned long long v) { return static_cast<double>(v) * 1e-15; }
+
+// --- time ---
+constexpr double operator""_s(long double v) { return static_cast<double>(v); }
+constexpr double operator""_ms(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_us(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_ns(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_ps(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_ms(unsigned long long v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_us(unsigned long long v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_ns(unsigned long long v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_ps(unsigned long long v) { return static_cast<double>(v) * 1e-12; }
+
+// --- voltage ---
+constexpr double operator""_V(long double v) { return static_cast<double>(v); }
+constexpr double operator""_mV(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_V(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_mV(unsigned long long v) { return static_cast<double>(v) * 1e-3; }
+
+// --- current ---
+constexpr double operator""_A(long double v) { return static_cast<double>(v); }
+constexpr double operator""_mA(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_uA(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nA(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_pA(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_uA(unsigned long long v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nA(unsigned long long v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_pA(unsigned long long v) { return static_cast<double>(v) * 1e-12; }
+
+// --- resistance ---
+constexpr double operator""_Ohm(long double v) { return static_cast<double>(v); }
+constexpr double operator""_kOhm(long double v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_MOhm(long double v) { return static_cast<double>(v) * 1e6; }
+constexpr double operator""_Ohm(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_kOhm(unsigned long long v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_MOhm(unsigned long long v) { return static_cast<double>(v) * 1e6; }
+
+// --- length ---
+constexpr double operator""_m(long double v) { return static_cast<double>(v); }
+constexpr double operator""_um(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nm(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_um(unsigned long long v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nm(unsigned long long v) { return static_cast<double>(v) * 1e-9; }
+
+}  // namespace literals
+
+/// Convert to display units (used by reports; keeps magic numbers out of call
+/// sites).
+namespace to_unit {
+constexpr double fF(double farads) { return farads * 1e15; }
+constexpr double pF(double farads) { return farads * 1e12; }
+constexpr double ns(double seconds) { return seconds * 1e9; }
+constexpr double ps(double seconds) { return seconds * 1e12; }
+constexpr double uA(double amps) { return amps * 1e6; }
+constexpr double nA(double amps) { return amps * 1e9; }
+constexpr double mV(double volts) { return volts * 1e3; }
+constexpr double um(double meters) { return meters * 1e6; }
+}  // namespace to_unit
+
+}  // namespace ecms

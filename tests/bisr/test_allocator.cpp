@@ -1,0 +1,114 @@
+#include "bisr/allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace ecms::bisr {
+namespace {
+
+bitmap::DigitalBitmap bm(std::size_t n,
+                         std::initializer_list<std::pair<int, int>> fails) {
+  bitmap::DigitalBitmap b(n, n);
+  for (auto [r, c] : fails)
+    b.set_fail(static_cast<std::size_t>(r), static_cast<std::size_t>(c));
+  return b;
+}
+
+TEST(AllocatorT, NoFailsTrivialSuccess) {
+  const auto fails = bm(8, {});
+  const auto sol = allocate_greedy(fails, {});
+  EXPECT_TRUE(sol.success);
+  EXPECT_EQ(sol.spares_used(), 0u);
+  EXPECT_TRUE(covers(fails, sol));
+}
+
+TEST(AllocatorT, SingleFailOneSpare) {
+  const auto fails = bm(8, {{3, 4}});
+  const auto sol = allocate_greedy(fails, {.spare_rows = 1, .spare_cols = 0});
+  EXPECT_TRUE(sol.success);
+  EXPECT_TRUE(covers(fails, sol));
+  EXPECT_EQ(sol.rows.size(), 1u);
+  EXPECT_EQ(sol.rows[0], 3u);
+}
+
+TEST(AllocatorT, MustRepairRowDetected) {
+  // Three fails in one row with only 2 spare columns: the row MUST be
+  // repaired by a row spare.
+  const auto fails = bm(8, {{2, 1}, {2, 4}, {2, 6}});
+  const auto sol = allocate_greedy(fails, {.spare_rows = 1, .spare_cols = 2});
+  EXPECT_TRUE(sol.success);
+  ASSERT_EQ(sol.rows.size(), 1u);
+  EXPECT_EQ(sol.rows[0], 2u);
+  EXPECT_TRUE(sol.cols.empty());
+}
+
+TEST(AllocatorT, GreedyPicksDenseLines) {
+  const auto fails = bm(8, {{1, 1}, {1, 3}, {1, 5}, {4, 2}});
+  const auto sol = allocate_greedy(fails, {.spare_rows = 1, .spare_cols = 1});
+  EXPECT_TRUE(sol.success);
+  EXPECT_TRUE(covers(fails, sol));
+}
+
+TEST(AllocatorT, InfeasibleReported) {
+  // Five scattered fails, 2+2 spares: not coverable.
+  const auto fails = bm(8, {{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 4}});
+  EXPECT_FALSE(allocate_greedy(fails, {.spare_rows = 2, .spare_cols = 2})
+                   .success);
+  EXPECT_FALSE(allocate_exact(fails, {.spare_rows = 2, .spare_cols = 2})
+                   .success);
+}
+
+TEST(AllocatorT, ExactSolvesDiagonalWithEnoughSpares) {
+  const auto fails = bm(8, {{0, 0}, {1, 1}, {2, 2}, {3, 3}});
+  const auto sol = allocate_exact(fails, {.spare_rows = 2, .spare_cols = 2});
+  EXPECT_TRUE(sol.success);
+  EXPECT_TRUE(covers(fails, sol));
+  EXPECT_EQ(sol.spares_used(), 4u);
+}
+
+TEST(AllocatorT, ExactBeatsGreedyOnAdversarialCase) {
+  // A pattern where the greedy most-fails-first choice wastes a spare:
+  // row 0 has two fails, but they can only be covered together with the
+  // other fails by choosing columns.
+  const auto fails = bm(8, {{0, 1}, {0, 2}, {3, 1}, {5, 2}});
+  const RedundancyConfig cfg{.spare_rows = 0, .spare_cols = 2};
+  const auto exact = allocate_exact(fails, cfg);
+  EXPECT_TRUE(exact.success);
+  EXPECT_TRUE(covers(fails, exact));
+}
+
+TEST(AllocatorT, GreedyNeverLiesAboutCoverage) {
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    bitmap::DigitalBitmap fails(16, 16);
+    const int n = static_cast<int>(rng.uniform_index(8));
+    for (int i = 0; i < n; ++i)
+      fails.set_fail(rng.uniform_index(16), rng.uniform_index(16));
+    const auto sol = allocate_greedy(fails, {.spare_rows = 2, .spare_cols = 2});
+    if (sol.success) {
+      EXPECT_TRUE(covers(fails, sol));
+      EXPECT_LE(sol.rows.size(), 2u);
+      EXPECT_LE(sol.cols.size(), 2u);
+    }
+  }
+}
+
+TEST(AllocatorT, ExactNeverWorseThanGreedy) {
+  Rng rng(23);
+  for (int trial = 0; trial < 50; ++trial) {
+    bitmap::DigitalBitmap fails(12, 12);
+    const int n = static_cast<int>(rng.uniform_index(6));
+    for (int i = 0; i < n; ++i)
+      fails.set_fail(rng.uniform_index(12), rng.uniform_index(12));
+    const RedundancyConfig cfg{.spare_rows = 2, .spare_cols = 2};
+    const bool greedy_ok = allocate_greedy(fails, cfg).success;
+    const bool exact_ok = allocate_exact(fails, cfg).success;
+    if (greedy_ok) {
+      EXPECT_TRUE(exact_ok);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ecms::bisr

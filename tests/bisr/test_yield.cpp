@@ -1,0 +1,78 @@
+#include "bisr/yield.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ecms::bisr {
+namespace {
+
+YieldExperiment small_exp() {
+  YieldExperiment e;
+  e.rows = 16;
+  e.cols = 16;
+  e.trials = 40;
+  e.redundancy = {.spare_rows = 3, .spare_cols = 3};
+  e.defect_rates = {.short_rate = 0.002,
+                    .open_rate = 0.002,
+                    .partial_rate = 0.004,
+                    .bridge_rate = 0.0};
+  return e;
+}
+
+TEST(YieldT, Deterministic) {
+  const auto a = estimate_repair_yield(small_exp());
+  const auto b = estimate_repair_yield(small_exp());
+  EXPECT_EQ(a.survive_burn_in_digital, b.survive_burn_in_digital);
+  EXPECT_EQ(a.survive_burn_in_analog, b.survive_burn_in_analog);
+}
+
+TEST(YieldT, AnalogPolicyNeverWorseOnAverage) {
+  // The analog bitmap's preventive repair must not lose to digital-only
+  // repair under a burn-in model where marginal cells degrade.
+  auto e = small_exp();
+  e.trials = 80;
+  const auto rep = estimate_repair_yield(e);
+  EXPECT_EQ(rep.trials, 80u);
+  EXPECT_GE(rep.survive_burn_in_analog, rep.survive_burn_in_digital);
+}
+
+TEST(YieldT, AnalogWinsWhenMarginalsDegrade) {
+  auto e = small_exp();
+  e.trials = 120;
+  e.burn_in.marginal_fail_prob = 0.9;  // marginal cells almost surely die
+  const auto rep = estimate_repair_yield(e);
+  EXPECT_GT(rep.yield_analog(), rep.yield_digital());
+}
+
+TEST(YieldT, PoliciesTieWithoutBurnIn) {
+  auto e = small_exp();
+  e.trials = 60;
+  e.burn_in.marginal_fail_prob = 0.0;
+  e.burn_in.nominal_fail_prob = 0.0;
+  const auto rep = estimate_repair_yield(e);
+  // With no degradation, preventive repair buys nothing but may cost spares;
+  // yields must be within a few trials of each other and digital can only
+  // be >= analog here.
+  EXPECT_GE(rep.survive_burn_in_digital, rep.survive_burn_in_analog);
+  EXPECT_NEAR(rep.yield_digital(), rep.yield_analog(), 0.15);
+}
+
+TEST(YieldT, CleanProcessIsHighYield) {
+  auto e = small_exp();
+  e.trials = 40;
+  e.defect_rates = {};  // no defects at all
+  e.burn_in.nominal_fail_prob = 0.0;
+  const auto rep = estimate_repair_yield(e);
+  EXPECT_DOUBLE_EQ(rep.yield_digital(), 1.0);
+  EXPECT_DOUBLE_EQ(rep.yield_analog(), 1.0);
+}
+
+TEST(YieldT, ZeroTrialsRejected) {
+  auto e = small_exp();
+  e.trials = 0;
+  EXPECT_THROW(estimate_repair_yield(e), Error);
+}
+
+}  // namespace
+}  // namespace ecms::bisr

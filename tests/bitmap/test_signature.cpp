@@ -1,0 +1,77 @@
+#include "bitmap/signature.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ecms::bitmap {
+namespace {
+
+AnalogBitmap make_bm(std::initializer_list<int> codes, std::size_t rows,
+                     std::size_t cols, int steps = 20) {
+  AnalogBitmap bm(rows, cols, steps);
+  std::size_t i = 0;
+  for (int code : codes) {
+    bm.set(i / cols, i % cols, code);
+    ++i;
+  }
+  return bm;
+}
+
+TEST(SignatureT, CategoryBoundaries) {
+  const AnalogBitmap bm =
+      make_bm({0, 1, 3, 4, 10, 16, 17, 19, 20}, 3, 3);
+  const SignatureMap sig = SignatureMap::categorize(bm);
+  EXPECT_EQ(sig.at(0, 0), CellSignature::kUnderRange);    // 0
+  EXPECT_EQ(sig.at(0, 1), CellSignature::kMarginalLow);   // 1
+  EXPECT_EQ(sig.at(0, 2), CellSignature::kMarginalLow);   // 3
+  EXPECT_EQ(sig.at(1, 0), CellSignature::kNominal);       // 4
+  EXPECT_EQ(sig.at(1, 1), CellSignature::kNominal);       // 10
+  EXPECT_EQ(sig.at(1, 2), CellSignature::kNominal);       // 16
+  EXPECT_EQ(sig.at(2, 0), CellSignature::kMarginalHigh);  // 17
+  EXPECT_EQ(sig.at(2, 1), CellSignature::kMarginalHigh);  // 19
+  EXPECT_EQ(sig.at(2, 2), CellSignature::kOverRange);     // 20
+}
+
+TEST(SignatureT, CustomBands) {
+  const AnalogBitmap bm = make_bm({1, 5, 15, 19}, 2, 2);
+  SignatureParams p;
+  p.marginal_low_codes = 5;
+  p.marginal_high_codes = 1;
+  const SignatureMap sig = SignatureMap::categorize(bm, p);
+  EXPECT_EQ(sig.at(0, 0), CellSignature::kMarginalLow);
+  EXPECT_EQ(sig.at(0, 1), CellSignature::kMarginalLow);
+  EXPECT_EQ(sig.at(1, 0), CellSignature::kNominal);
+  EXPECT_EQ(sig.at(1, 1), CellSignature::kMarginalHigh);
+}
+
+TEST(SignatureT, CountsAndMask) {
+  const AnalogBitmap bm = make_bm({0, 10, 10, 20}, 2, 2);
+  const SignatureMap sig = SignatureMap::categorize(bm);
+  EXPECT_EQ(sig.count(CellSignature::kNominal), 2u);
+  EXPECT_EQ(sig.anomalous_count(), 2u);
+  const auto mask = sig.anomaly_mask();
+  EXPECT_EQ(mask[0], 1);
+  EXPECT_EQ(mask[1], 0);
+  EXPECT_EQ(mask[3], 1);
+}
+
+TEST(SignatureT, Letters) {
+  const AnalogBitmap bm = make_bm({0, 2, 10, 18, 20, 10}, 2, 3);
+  const auto letters = SignatureMap::categorize(bm).letters();
+  EXPECT_EQ(letters[0], '0');
+  EXPECT_EQ(letters[1], 'l');
+  EXPECT_EQ(letters[2], '.');
+  EXPECT_EQ(letters[3], 'h');
+  EXPECT_EQ(letters[4], 'F');
+}
+
+TEST(SignatureT, NamesUnique) {
+  EXPECT_EQ(signature_name(CellSignature::kUnderRange), "under-range");
+  EXPECT_EQ(signature_name(CellSignature::kOverRange), "over-range");
+  EXPECT_NE(signature_letter(CellSignature::kMarginalLow),
+            signature_letter(CellSignature::kMarginalHigh));
+}
+
+}  // namespace
+}  // namespace ecms::bitmap

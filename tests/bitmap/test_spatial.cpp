@@ -1,0 +1,133 @@
+#include "bitmap/spatial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ecms::bitmap {
+namespace {
+
+std::vector<char> empty_mask(std::size_t n) { return std::vector<char>(n, 0); }
+
+TEST(SpatialT, NoAnomaliesNoComponents) {
+  EXPECT_TRUE(find_components(empty_mask(64), 8, 8).empty());
+}
+
+TEST(SpatialT, SingleCell) {
+  auto mask = empty_mask(64);
+  mask[3 * 8 + 5] = 1;
+  const auto comps = find_components(mask, 8, 8);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].kind, PatternKind::kSingle);
+  EXPECT_EQ(comps[0].cells[0], (Cell{3, 5}));
+}
+
+TEST(SpatialT, FullRowIsRowLine) {
+  auto mask = empty_mask(64);
+  for (std::size_t c = 0; c < 8; ++c) mask[2 * 8 + c] = 1;
+  const auto comps = find_components(mask, 8, 8);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].kind, PatternKind::kRowLine);
+  EXPECT_EQ(comps[0].size(), 8u);
+}
+
+TEST(SpatialT, PartialRowBelowFillIsCluster) {
+  auto mask = empty_mask(64);
+  for (std::size_t c = 0; c < 3; ++c) mask[2 * 8 + c] = 1;  // 3/8 < 0.6
+  const auto comps = find_components(mask, 8, 8);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].kind, PatternKind::kCluster);
+}
+
+TEST(SpatialT, FullColumnIsColumnLine) {
+  auto mask = empty_mask(64);
+  for (std::size_t r = 0; r < 8; ++r) mask[r * 8 + 6] = 1;
+  const auto comps = find_components(mask, 8, 8);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].kind, PatternKind::kColumnLine);
+}
+
+TEST(SpatialT, BlobIsCluster) {
+  auto mask = empty_mask(64);
+  for (std::size_t r = 2; r <= 4; ++r)
+    for (std::size_t c = 3; c <= 5; ++c) mask[r * 8 + c] = 1;
+  const auto comps = find_components(mask, 8, 8);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].kind, PatternKind::kCluster);
+  EXPECT_EQ(comps[0].size(), 9u);
+  EXPECT_EQ(comps[0].height(), 3u);
+  EXPECT_EQ(comps[0].width(), 3u);
+}
+
+TEST(SpatialT, DiagonalCellsAreSeparate) {
+  // 4-connectivity: diagonal neighbours are distinct components.
+  auto mask = empty_mask(16);
+  mask[0] = 1;           // (0,0)
+  mask[1 * 4 + 1] = 1;   // (1,1)
+  const auto comps = find_components(mask, 4, 4);
+  EXPECT_EQ(comps.size(), 2u);
+}
+
+TEST(SpatialT, ComponentsSortedBySize) {
+  auto mask = empty_mask(64);
+  mask[0] = 1;  // single
+  for (std::size_t c = 0; c < 8; ++c) mask[4 * 8 + c] = 1;  // row of 8
+  const auto comps = find_components(mask, 8, 8);
+  ASSERT_EQ(comps.size(), 2u);
+  EXPECT_GT(comps[0].size(), comps[1].size());
+}
+
+TEST(SpatialT, MaskSizeValidated) {
+  EXPECT_THROW(find_components(empty_mask(10), 8, 8), Error);
+}
+
+TEST(PlaneFitT, FlatField) {
+  const std::vector<double> field(12, 5.0);
+  const PlaneFit f = fit_plane(field, 3, 4);
+  EXPECT_NEAR(f.mean, 5.0, 1e-12);
+  EXPECT_NEAR(f.grad_x, 0.0, 1e-12);
+  EXPECT_NEAR(f.grad_y, 0.0, 1e-12);
+}
+
+TEST(PlaneFitT, RecoversLinearGradient) {
+  std::vector<double> field;
+  for (std::size_t r = 0; r < 6; ++r)
+    for (std::size_t c = 0; c < 6; ++c)
+      field.push_back(2.0 + 0.5 * static_cast<double>(c) -
+                      0.25 * static_cast<double>(r));
+  const PlaneFit f = fit_plane(field, 6, 6);
+  EXPECT_NEAR(f.grad_x, 0.5, 1e-12);
+  EXPECT_NEAR(f.grad_y, -0.25, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(PlaneFitT, NoisyGradientStillDetected) {
+  Rng rng(5);
+  std::vector<double> field;
+  for (std::size_t r = 0; r < 16; ++r)
+    for (std::size_t c = 0; c < 16; ++c)
+      field.push_back(0.3 * static_cast<double>(c) + rng.normal(0.0, 0.5));
+  const PlaneFit f = fit_plane(field, 16, 16);
+  EXPECT_NEAR(f.grad_x, 0.3, 0.05);
+  EXPECT_NEAR(f.grad_y, 0.0, 0.05);
+  EXPECT_GT(f.r2, 0.5);
+}
+
+TEST(ZScoresT, OutlierStandsOut) {
+  std::vector<double> field(100, 10.0);
+  Rng rng(7);
+  for (auto& v : field) v += rng.normal(0.0, 0.1);
+  field[42] = 20.0;
+  const auto z = robust_zscores(field);
+  EXPECT_GT(z[42], 10.0);
+  EXPECT_LT(std::abs(z[10]), 4.0);
+}
+
+TEST(ZScoresT, ConstantFieldAllZero) {
+  const std::vector<double> field(10, 3.0);
+  for (double z : robust_zscores(field)) EXPECT_DOUBLE_EQ(z, 0.0);
+}
+
+}  // namespace
+}  // namespace ecms::bitmap

@@ -1,0 +1,127 @@
+// Small-signal AC analysis: filters, capacitance metering, and linearized
+// transistor behaviour.
+#include "circuit/ac.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tech/tech.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ecms::circuit {
+namespace {
+
+TEST(AcT, RcLowPassMagnitudeAndPhase) {
+  // R = 1k, C = 1nF: corner at 1/(2 pi RC) ~ 159 kHz.
+  Circuit c;
+  c.add_vsource("VIN", c.node("in"), kGround, SourceWave::dc(0.0));
+  c.add_resistor("R1", c.node("in"), c.node("out"), 1_kOhm);
+  c.add_capacitor("C1", c.node("out"), kGround, 1e-9);
+  const double fc = 1.0 / (2.0 * M_PI * 1e3 * 1e-9);
+  const AcResult res =
+      ac_analysis(c, "VIN", {fc / 100.0, fc, 100.0 * fc}, {"out"});
+  EXPECT_NEAR(res.magnitude("out", 0), 1.0, 0.01);            // passband
+  EXPECT_NEAR(res.magnitude("out", 1), 1.0 / std::sqrt(2.0), 0.01);
+  EXPECT_NEAR(res.magnitude("out", 2), 0.01, 0.005);          // -40 dB
+  EXPECT_NEAR(res.phase_deg("out", 1), -45.0, 1.0);
+}
+
+TEST(AcT, MeasureCapacitanceOfPlainCap) {
+  Circuit c;
+  c.add_vsource("VM", c.node("n"), kGround, SourceWave::dc(0.0));
+  c.add_capacitor("C1", c.node("n"), kGround, 47_fF);
+  EXPECT_NEAR(to_unit::fF(measure_capacitance(c, "VM")), 47.0, 0.1);
+}
+
+TEST(AcT, ParallelCapsSum) {
+  Circuit c;
+  c.add_vsource("VM", c.node("n"), kGround, SourceWave::dc(0.0));
+  c.add_capacitor("C1", c.node("n"), kGround, 10_fF);
+  c.add_capacitor("C2", c.node("n"), c.node("m"), 20_fF);
+  c.add_vsource("VGND", c.node("m"), kGround, SourceWave::dc(0.0));
+  EXPECT_NEAR(to_unit::fF(measure_capacitance(c, "VM")), 30.0, 0.1);
+}
+
+TEST(AcT, SeriesCapsCombine) {
+  Circuit c;
+  c.add_vsource("VM", c.node("a"), kGround, SourceWave::dc(0.0));
+  c.add_capacitor("C1", c.node("a"), c.node("mid"), 30_fF);
+  c.add_capacitor("C2", c.node("mid"), kGround, 10_fF);
+  EXPECT_NEAR(to_unit::fF(measure_capacitance(c, "VM")), 7.5, 0.1);
+}
+
+TEST(AcT, RefGateCapacitanceMatchesGeometry) {
+  // The paper's C_REF *is* the REF transistor's gate input capacitance; the
+  // AC meter must read back what the geometry predicts (channel + both
+  // overlaps with source, drain and bulk at AC ground).
+  const auto t = tech::tech018();
+  const auto ref = t.nmos(25e-6, 0.35e-6);
+  Circuit c;
+  c.add_vsource("VG", c.node("g"), kGround, SourceWave::dc(0.6));
+  c.add_mosfet("MREF", c.node("d"), c.node("g"), kGround, kGround, ref);
+  c.add_vsource("VD", c.node("d"), kGround, SourceWave::dc(0.9));
+  const double measured = measure_capacitance(c, "VG");
+  EXPECT_NEAR(to_unit::fF(measured), to_unit::fF(ref.c_gate_input()), 0.5);
+}
+
+TEST(AcT, ResistorIsNotACapacitor) {
+  Circuit c;
+  c.add_vsource("VM", c.node("n"), kGround, SourceWave::dc(0.0));
+  c.add_resistor("R1", c.node("n"), kGround, 1_MOhm);
+  EXPECT_NEAR(to_unit::fF(measure_capacitance(c, "VM")), 0.0, 0.5);
+}
+
+TEST(AcT, CommonSourceGainIsGmTimesR) {
+  const auto t = tech::tech018();
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  c.add_vsource("VDD", vdd, kGround, SourceWave::dc(t.vdd));
+  c.add_vsource("VIN", c.node("g"), kGround, SourceWave::dc(0.9));
+  auto& m = c.add_mosfet("M1", c.node("d"), c.node("g"), kGround, kGround,
+                         t.nmos_min(2e-6));
+  c.add_resistor("RL", vdd, c.node("d"), 10_kOhm);
+  // Expected gm from the model at the operating point.
+  const auto dc = dc_operating_point(c);
+  StampContext ctx;
+  ctx.x = dc.x;
+  const MosEval e = mos_eval(m.params(), 0.9, ctx.v(c.find_node("d")), 0, 0);
+  const AcResult res = ac_analysis(c, "VIN", {1e3}, {"d"});
+  // Low frequency: |gain| = gm * (RL || ro) with ro = 1/gds.
+  const double r_out = 1.0 / (1.0 / 1e4 + e.d_vd);
+  EXPECT_NEAR(res.magnitude("d", 0), e.d_vg * r_out, 0.02 * e.d_vg * r_out);
+  // Inverting stage: ~180 degrees.
+  EXPECT_NEAR(std::abs(res.phase_deg("d", 0)), 180.0, 5.0);
+}
+
+TEST(AcT, Validation) {
+  Circuit c;
+  c.add_vsource("VIN", c.node("in"), kGround, SourceWave::dc(0.0));
+  c.add_resistor("R1", c.node("in"), kGround, 1_kOhm);
+  EXPECT_THROW(ac_analysis(c, "VIN", {}, {"in"}), Error);
+  EXPECT_THROW(ac_analysis(c, "VIN", {-1.0}, {"in"}), Error);
+  EXPECT_THROW(ac_analysis(c, "NOPE", {1e3}, {"in"}), NetlistError);
+  const AcResult res = ac_analysis(c, "VIN", {1e3}, {"in"});
+  EXPECT_THROW(res.at("nope", 0), MeasureError);
+}
+
+TEST(AcT, GroundProbeIsZero) {
+  Circuit c;
+  c.add_vsource("VIN", c.node("in"), kGround, SourceWave::dc(0.0));
+  c.add_resistor("R1", c.node("in"), kGround, 1_kOhm);
+  const AcResult res = ac_analysis(c, "VIN", {1e3}, {"0"});
+  EXPECT_EQ(res.at("0", 0), std::complex<double>{});
+}
+
+TEST(AcT, BranchCurrentProbe) {
+  Circuit c;
+  c.add_vsource("VIN", c.node("in"), kGround, SourceWave::dc(0.0));
+  c.add_resistor("R1", c.node("in"), kGround, 1_kOhm);
+  const AcResult res = ac_analysis(c, "VIN", {1e3}, {"I(VIN)"});
+  // 1 V across 1k: the source sinks -1 mA (current flows out of p).
+  EXPECT_NEAR(res.at("I(VIN)", 0).real(), -1e-3, 1e-6);
+}
+
+}  // namespace
+}  // namespace ecms::circuit

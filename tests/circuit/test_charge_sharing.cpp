@@ -1,0 +1,120 @@
+// Miniature versions of the paper's measurement steps, validated against the
+// closed-form charge-sharing equations. This is the physics the whole MSU
+// module depends on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/transient.hpp"
+#include "util/units.hpp"
+
+namespace ecms::circuit {
+namespace {
+
+constexpr double kVdd = 1.8;
+constexpr double kVpp = 2.8;  // boosted control-gate level
+
+MosParams pass_nmos() {
+  MosParams p;
+  p.type = MosType::kNmos;
+  p.w = 2_um;
+  p.l = 0.18_um;
+  return p;
+}
+
+// Charge Cm to VDD (0-20ns), isolate (20ns), connect to Cref via a pass
+// NMOS (25ns on). Returns the shared voltage at t=60ns.
+double shared_voltage(double cm, double cref) {
+  Circuit c;
+  const NodeId plate = c.node("plate");
+  const NodeId vref = c.node("vref");
+  const NodeId in = c.node("in");
+
+  c.add_capacitor("CM", plate, kGround, cm);
+  c.add_capacitor("CREF", vref, kGround, cref);
+
+  // PRG-like charging switch.
+  c.add_vsource("VIN", in, kGround, SourceWave::dc(kVdd));
+  c.add_mosfet("MPRG", in, c.node("prg"), plate, kGround, pass_nmos());
+  c.add_vsource("VPRG", c.node("prg"), kGround,
+                SourceWave::pwl({{0.0, kVpp}, {20_ns, kVpp}, {20.2_ns, 0.0}}));
+
+  // LEC-like sharing switch.
+  c.add_mosfet("MLEC", plate, c.node("lec"), vref, kGround, pass_nmos());
+  c.add_vsource("VLEC", c.node("lec"), kGround,
+                SourceWave::pwl({{0.0, 0.0}, {25_ns, 0.0}, {25.2_ns, kVpp}}));
+
+  TranParams tp;
+  tp.t_stop = 60_ns;
+  tp.dt = 20_ps;
+  tp.uic = true;  // everything starts discharged (the paper's step 1)
+  const auto res =
+      transient(c, tp, {.nodes = {"plate", "vref"}, .device_currents = {}});
+  // Both nodes should equalize.
+  EXPECT_NEAR(res.trace.final_value("plate"), res.trace.final_value("vref"),
+              0.02);
+  return res.trace.final_value("vref");
+}
+
+// The pass devices add parasitic junction/overlap charge, so allow a few
+// percent against the ideal two-capacitor formula.
+TEST(ChargeSharing, MatchesIdealFormulaAt30fF) {
+  const double cm = 30_fF, cref = 25_fF;
+  const double v = shared_voltage(cm, cref);
+  const double ideal = kVdd * cm / (cm + cref);
+  EXPECT_NEAR(v, ideal, 0.12);
+}
+
+TEST(ChargeSharing, MonotonicInCm) {
+  double prev = -1.0;
+  for (double cm_fF : {10.0, 20.0, 30.0, 40.0, 55.0}) {
+    const double v = shared_voltage(cm_fF * 1e-15, 25_fF);
+    EXPECT_GT(v, prev) << "cm=" << cm_fF;
+    prev = v;
+  }
+}
+
+TEST(ChargeSharing, LargerCrefLowersVoltage) {
+  const double v_small = shared_voltage(30_fF, 15_fF);
+  const double v_large = shared_voltage(30_fF, 45_fF);
+  EXPECT_GT(v_small, v_large + 0.2);
+}
+
+TEST(ChargeSharing, ScaleInvariance) {
+  // v depends on the ratio Cm/Cref: scaling both by 2 changes little
+  // (residual differences come from the fixed transistor parasitics).
+  const double v1 = shared_voltage(20_fF, 25_fF);
+  const double v2 = shared_voltage(40_fF, 50_fF);
+  EXPECT_NEAR(v1, v2, 0.08);
+}
+
+// The full five-step skeleton on a single cell: discharge, charge, isolate,
+// share. Checks that the plate is properly discharged first and that the
+// stored charge survives isolation.
+TEST(ChargeSharing, FiveStepSkeletonHoldsCharge) {
+  Circuit c;
+  const NodeId plate = c.node("plate");
+  const NodeId in = c.node("in");
+  c.add_capacitor("CM", plate, kGround, 30_fF);
+  c.add_vsource("VIN", in, kGround,
+                SourceWave::pwl({{0.0, 0.0}, {10_ns, 0.0}, {10.2_ns, kVdd}}));
+  c.add_mosfet("MPRG", in, c.node("prg"), plate, kGround, pass_nmos());
+  // PRG on during discharge (step 1) and charge (step 2), off afterwards.
+  c.add_vsource("VPRG", c.node("prg"), kGround,
+                SourceWave::pwl({{0.0, kVpp}, {20_ns, kVpp}, {20.2_ns, 0.0}}));
+  TranParams tp;
+  tp.t_stop = 50_ns;
+  tp.dt = 20_ps;
+  tp.uic = true;
+  const auto res =
+      transient(c, tp, {.nodes = {"plate"}, .device_currents = {}});
+  // End of step 1: plate fully discharged.
+  EXPECT_NEAR(res.trace.value_at("plate", 10_ns), 0.0, 0.02);
+  // End of step 2: plate at VDD.
+  EXPECT_NEAR(res.trace.value_at("plate", 20_ns), kVdd, 0.05);
+  // Isolated: charge held to the end (leakage only through gmin).
+  EXPECT_NEAR(res.trace.final_value("plate"), kVdd, 0.08);
+}
+
+}  // namespace
+}  // namespace ecms::circuit

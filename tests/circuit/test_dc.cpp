@@ -1,0 +1,157 @@
+// Nonlinear DC: inverter transfer curve, diode clamp, switch, and solver
+// fallback paths.
+#include <gtest/gtest.h>
+
+#include "circuit/dc.hpp"
+#include "circuit/netlist.hpp"
+#include "util/units.hpp"
+
+namespace ecms::circuit {
+namespace {
+
+constexpr double kVdd = 1.8;
+
+MosParams nmos(double w_um) {
+  MosParams p;
+  p.type = MosType::kNmos;
+  p.w = w_um * 1e-6;
+  p.l = 0.18_um;
+  return p;
+}
+
+MosParams pmos(double w_um) {
+  MosParams p = nmos(w_um);
+  p.type = MosType::kPmos;
+  p.kp = 60e-6;  // holes are slower
+  return p;
+}
+
+// Builds a CMOS inverter driven by a DC input and returns v(out).
+double inverter_out(double vin) {
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add_vsource("VDD", vdd, kGround, SourceWave::dc(kVdd));
+  c.add_vsource("VIN", in, kGround, SourceWave::dc(vin));
+  c.add_mosfet("MP", out, in, vdd, vdd, pmos(2.0));
+  c.add_mosfet("MN", out, in, kGround, kGround, nmos(1.0));
+  const auto r = dc_operating_point(c);
+  return dc_voltage(c, r, "out");
+}
+
+TEST(InverterDc, RailsAtExtremes) {
+  EXPECT_NEAR(inverter_out(0.0), kVdd, 0.01);
+  EXPECT_NEAR(inverter_out(kVdd), 0.0, 0.01);
+}
+
+TEST(InverterDc, TransferCurveIsMonotonicallyFalling) {
+  double prev = kVdd + 1.0;
+  for (double vin = 0.0; vin <= kVdd + 1e-9; vin += 0.1) {
+    const double vo = inverter_out(vin);
+    EXPECT_LT(vo, prev + 1e-6) << "vin=" << vin;
+    prev = vo;
+  }
+}
+
+TEST(InverterDc, SwitchingThresholdNearMidrail) {
+  // Find where vout crosses VDD/2 by bisection on the DC curve.
+  double lo = 0.0, hi = kVdd;
+  for (int i = 0; i < 40; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (inverter_out(mid) > kVdd / 2) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  // With this kp ratio the threshold sits near 0.8-1.0 V.
+  EXPECT_GT(lo, 0.55);
+  EXPECT_LT(lo, 1.15);
+}
+
+TEST(DiodeDc, ForwardDropAbout0p6) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId k = c.node("k");
+  c.add_vsource("V1", a, kGround, SourceWave::dc(3.0));
+  c.add_resistor("R1", a, k, 1_kOhm);
+  c.add_diode("D1", k, kGround, {});
+  const auto r = dc_operating_point(c);
+  const double vd = dc_voltage(c, r, "k");
+  EXPECT_GT(vd, 0.45);
+  EXPECT_LT(vd, 0.8);
+}
+
+TEST(DiodeDc, ReverseBiasBlocksCurrent) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add_vsource("V1", a, kGround, SourceWave::dc(-3.0));
+  c.add_resistor("R1", a, c.node("k"), 1_kOhm);
+  c.add_diode("D1", c.node("k"), kGround, {});
+  const auto r = dc_operating_point(c);
+  // Nearly the full -3 V appears across the diode: no conduction.
+  EXPECT_NEAR(dc_voltage(c, r, "k"), -3.0, 0.01);
+}
+
+TEST(SwitchDc, OnAndOffStates) {
+  for (const bool on : {true, false}) {
+    Circuit c;
+    const NodeId in = c.node("in");
+    const NodeId out = c.node("out");
+    const NodeId ctl = c.node("ctl");
+    c.add_vsource("VIN", in, kGround, SourceWave::dc(1.0));
+    c.add_vsource("VC", ctl, kGround, SourceWave::dc(on ? 1.8 : 0.0));
+    VcSwitch::Params sp;
+    c.add_switch("S1", in, out, ctl, kGround, sp);
+    c.add_resistor("RL", out, kGround, 100_kOhm);
+    const auto r = dc_operating_point(c);
+    const double vo = dc_voltage(c, r, "out");
+    if (on) {
+      EXPECT_GT(vo, 0.99);
+    } else {
+      EXPECT_LT(vo, 0.05);
+    }
+  }
+}
+
+TEST(DcSolver, PassTransistorDegradedHigh) {
+  // NMOS pass gate at VDD passes VDD - Vth(eff): the classic reason the
+  // measurement structure drives control gates at a boosted VPP.
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId out = c.node("out");
+  c.add_vsource("VDD", vdd, kGround, SourceWave::dc(kVdd));
+  c.add_mosfet("MPASS", vdd, vdd, out, kGround, nmos(1.0));
+  c.add_resistor("RL", out, kGround, 100_MOhm);
+  const auto r = dc_operating_point(c);
+  const double vo = dc_voltage(c, r, "out");
+  EXPECT_GT(vo, 0.9);
+  EXPECT_LT(vo, kVdd - 0.3);  // visibly degraded
+}
+
+TEST(DcSolver, BoostedGatePassesFullRail) {
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId vpp = c.node("vpp");
+  const NodeId out = c.node("out");
+  c.add_vsource("VDD", vdd, kGround, SourceWave::dc(kVdd));
+  c.add_vsource("VPP", vpp, kGround, SourceWave::dc(2.8));
+  c.add_mosfet("MPASS", vdd, vpp, out, kGround, nmos(1.0));
+  c.add_resistor("RL", out, kGround, 100_MOhm);
+  const auto r = dc_operating_point(c);
+  EXPECT_NEAR(dc_voltage(c, r, "out"), kVdd, 0.05);
+}
+
+TEST(DcSolver, ReportsIterations) {
+  Circuit c;
+  c.add_vsource("V1", c.node("a"), kGround, SourceWave::dc(1.0));
+  c.add_resistor("R1", c.node("a"), kGround, 1_kOhm);
+  const auto r = dc_operating_point(c);
+  EXPECT_GT(r.total_newton_iterations, 0);
+  EXPECT_FALSE(r.used_gmin_stepping);
+  EXPECT_FALSE(r.used_source_stepping);
+}
+
+}  // namespace
+}  // namespace ecms::circuit

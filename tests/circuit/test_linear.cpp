@@ -1,0 +1,134 @@
+// DC behaviour of linear networks: dividers, superposition, floating-node
+// safety, probe currents.
+#include <gtest/gtest.h>
+
+#include "circuit/dc.hpp"
+#include "circuit/netlist.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ecms::circuit {
+namespace {
+
+TEST(LinearDc, ResistorDivider) {
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId mid = c.node("mid");
+  c.add_vsource("V1", vdd, kGround, SourceWave::dc(2.0));
+  c.add_resistor("R1", vdd, mid, 1_kOhm);
+  c.add_resistor("R2", mid, kGround, 1_kOhm);
+  const auto r = dc_operating_point(c);
+  EXPECT_NEAR(dc_voltage(c, r, "mid"), 1.0, 1e-9);
+  EXPECT_NEAR(dc_voltage(c, r, "vdd"), 2.0, 1e-12);
+}
+
+TEST(LinearDc, UnevenDivider) {
+  Circuit c;
+  c.add_vsource("V1", c.node("in"), kGround, SourceWave::dc(3.0));
+  c.add_resistor("R1", c.node("in"), c.node("out"), 2_kOhm);
+  c.add_resistor("R2", c.node("out"), kGround, 1_kOhm);
+  const auto r = dc_operating_point(c);
+  EXPECT_NEAR(dc_voltage(c, r, "out"), 1.0, 1e-9);
+}
+
+TEST(LinearDc, CurrentSourceIntoResistor) {
+  Circuit c;
+  const NodeId n = c.node("n");
+  c.add_isource("I1", kGround, n, SourceWave::dc(1e-3));  // 1 mA into n
+  c.add_resistor("R1", n, kGround, 1_kOhm);
+  const auto r = dc_operating_point(c);
+  EXPECT_NEAR(dc_voltage(c, r, "n"), 1.0, 1e-6);
+}
+
+TEST(LinearDc, SuperpositionOfTwoSources) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add_vsource("V1", a, kGround, SourceWave::dc(2.0));
+  c.add_resistor("R1", a, c.node("n"), 1_kOhm);
+  c.add_isource("I1", kGround, c.node("n"), SourceWave::dc(1e-3));
+  c.add_resistor("R2", c.node("n"), kGround, 1_kOhm);
+  // v(n) = (2/1k + 1mA) / (2/1k) wait -- solve: (v-2)/1k + v/1k = 1mA
+  // => 2v - 2 = 1 => v = 1.5
+  const auto r = dc_operating_point(c);
+  EXPECT_NEAR(dc_voltage(c, r, "n"), 1.5, 1e-9);
+}
+
+TEST(LinearDc, FloatingNodeDoesNotBlowUp) {
+  Circuit c;
+  c.node("float");  // completely disconnected node
+  c.add_vsource("V1", c.node("a"), kGround, SourceWave::dc(1.0));
+  c.add_resistor("R1", c.node("a"), kGround, 1_kOhm);
+  const auto r = dc_operating_point(c);
+  // gmin to ground pulls the floating node to 0.
+  EXPECT_NEAR(dc_voltage(c, r, "float"), 0.0, 1e-9);
+}
+
+TEST(LinearDc, VsourceBranchCurrent) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  auto& v1 = c.add_vsource("V1", a, kGround, SourceWave::dc(2.0));
+  c.add_resistor("R1", a, kGround, 1_kOhm);
+  const auto r = dc_operating_point(c);
+  StampContext ctx;
+  ctx.x = r.x;
+  // 2 mA flows out of the source's + terminal, so the branch current
+  // (p through source to n) is -2 mA.
+  EXPECT_NEAR(v1.probe_current(ctx), -2e-3, 1e-9);
+}
+
+TEST(LinearDc, ResistorProbeCurrent) {
+  Circuit c;
+  c.add_vsource("V1", c.node("a"), kGround, SourceWave::dc(2.0));
+  auto& r1 = c.add_resistor("R1", c.node("a"), kGround, 1_kOhm);
+  const auto r = dc_operating_point(c);
+  StampContext ctx;
+  ctx.x = r.x;
+  EXPECT_NEAR(r1.probe_current(ctx), 2e-3, 1e-9);
+}
+
+TEST(LinearDc, SeriesVoltageSources) {
+  Circuit c;
+  c.add_vsource("V1", c.node("a"), kGround, SourceWave::dc(1.0));
+  c.add_vsource("V2", c.node("b"), c.node("a"), SourceWave::dc(0.5));
+  c.add_resistor("RL", c.node("b"), kGround, 1_kOhm);
+  const auto r = dc_operating_point(c);
+  EXPECT_NEAR(dc_voltage(c, r, "b"), 1.5, 1e-9);
+}
+
+TEST(NetlistT, DuplicateDeviceNameThrows) {
+  Circuit c;
+  c.add_resistor("R1", c.node("a"), kGround, 1.0);
+  EXPECT_THROW(c.add_resistor("R1", c.node("b"), kGround, 1.0), Error);
+}
+
+TEST(NetlistT, NodeNamesAreStable) {
+  Circuit c;
+  const NodeId a = c.node("alpha");
+  EXPECT_EQ(c.node("alpha"), a);
+  EXPECT_EQ(c.node_name(a), "alpha");
+  EXPECT_EQ(c.node("gnd"), kGround);
+  EXPECT_EQ(c.node("0"), kGround);
+}
+
+TEST(NetlistT, FindNodeThrowsOnUnknown) {
+  const Circuit c;
+  EXPECT_THROW(c.find_node("nope"), NetlistError);
+}
+
+TEST(NetlistT, TypedGet) {
+  Circuit c;
+  c.add_resistor("R1", c.node("a"), kGround, 1.0);
+  EXPECT_NO_THROW(c.get<Resistor>("R1"));
+  EXPECT_THROW(c.get<Capacitor>("R1"), NetlistError);
+  EXPECT_THROW(c.get<Resistor>("nope"), NetlistError);
+}
+
+TEST(NetlistT, InvalidDeviceParamsThrow) {
+  Circuit c;
+  EXPECT_THROW(c.add_resistor("Rbad", c.node("a"), kGround, -1.0), Error);
+  EXPECT_THROW(c.add_capacitor("Cbad", c.node("a"), c.node("a"), 1e-15),
+               Error);
+}
+
+}  // namespace
+}  // namespace ecms::circuit

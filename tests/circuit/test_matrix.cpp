@@ -1,0 +1,124 @@
+#include "circuit/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ecms::circuit {
+namespace {
+
+TEST(MatrixT, ClearZeroes) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 5.0;
+  m.clear();
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+}
+
+TEST(MatrixT, Multiply) {
+  Matrix m(2, 3);
+  // [1 2 3; 4 5 6] * [1 1 1]^T = [6 15]^T
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      m.at(r, c) = static_cast<double>(r * 3 + c + 1);
+  std::vector<double> x = {1, 1, 1}, y(2);
+  m.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(LuT, SolvesIdentity) {
+  Matrix m(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) m.at(i, i) = 1.0;
+  std::vector<double> b = {1, 2, 3};
+  const auto x = LuFactorization(m).solve(b);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+  EXPECT_DOUBLE_EQ(x[2], 3.0);
+}
+
+TEST(LuT, SolvesKnownSystem) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 2;
+  m.at(0, 1) = 1;
+  m.at(1, 0) = 1;
+  m.at(1, 1) = 3;
+  std::vector<double> b = {5, 10};
+  const auto x = LuFactorization(m).solve(b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LuT, RequiresPivoting) {
+  // Zero on the diagonal forces a row swap.
+  Matrix m(2, 2);
+  m.at(0, 0) = 0;
+  m.at(0, 1) = 1;
+  m.at(1, 0) = 1;
+  m.at(1, 1) = 0;
+  std::vector<double> b = {2, 3};
+  const auto x = LuFactorization(m).solve(b);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(LuT, SingularThrows) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 1;
+  m.at(0, 1) = 2;
+  m.at(1, 0) = 2;
+  m.at(1, 1) = 4;
+  EXPECT_THROW(LuFactorization{m}, SolverError);
+}
+
+TEST(LuT, NonSquareThrows) {
+  Matrix m(2, 3);
+  EXPECT_THROW(LuFactorization{m}, Error);
+}
+
+// Property sweep: LU(A) must reproduce b = A x for random well-conditioned
+// systems of several sizes.
+class LuRandomTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LuRandomTest, ResidualIsTiny) {
+  const std::size_t n = GetParam();
+  Rng rng(100 + n);
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a.at(r, c) = rng.uniform(-1.0, 1.0);
+    a.at(r, r) += static_cast<double>(n);  // diagonal dominance
+  }
+  std::vector<double> x_true(n);
+  for (auto& v : x_true) v = rng.uniform(-5.0, 5.0);
+  std::vector<double> b(n);
+  a.multiply(x_true, b);
+  const auto x = LuFactorization(a).solve(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuRandomTest,
+                         ::testing::Values<std::size_t>(1, 2, 3, 5, 8, 13, 21,
+                                                        34, 55, 89, 144));
+
+TEST(LuT, PivotRatioReflectsConditioning) {
+  Matrix good(2, 2);
+  good.at(0, 0) = 1;
+  good.at(1, 1) = 1;
+  EXPECT_NEAR(LuFactorization(good).pivot_ratio(), 1.0, 1e-12);
+
+  Matrix bad(2, 2);
+  bad.at(0, 0) = 1;
+  bad.at(1, 1) = 1e-12;
+  EXPECT_LT(LuFactorization(bad).pivot_ratio(), 1e-9);
+}
+
+TEST(MaxNorm, Basics) {
+  std::vector<double> v = {1.0, -7.0, 3.0};
+  EXPECT_DOUBLE_EQ(max_norm(v), 7.0);
+  EXPECT_DOUBLE_EQ(max_norm(std::vector<double>{}), 0.0);
+}
+
+}  // namespace
+}  // namespace ecms::circuit

@@ -1,0 +1,186 @@
+// Transient solver validation against closed-form RC solutions, plus
+// breakpoint handling, trace measurements, and integrator accuracy ordering.
+#include "circuit/transient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/netlist.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ecms::circuit {
+namespace {
+
+// RC charging from 0 to 1V through 1k into 1nF (tau = 1us).
+Circuit rc_charge_circuit() {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add_vsource("V1", in, kGround,
+                SourceWave::pwl({{0.0, 0.0}, {1e-9, 1.0}}));
+  c.add_resistor("R1", in, out, 1_kOhm);
+  c.add_capacitor("C1", out, kGround, 1e-9);
+  return c;
+}
+
+TEST(TransientT, RcChargeMatchesAnalytic) {
+  Circuit c = rc_charge_circuit();
+  TranParams tp;
+  tp.t_stop = 5e-6;
+  tp.dt = 5e-9;
+  const auto res = transient(c, tp, {.nodes = {"out"}, .device_currents = {}});
+  const double tau = 1e-6;
+  for (double t : {0.5e-6, 1e-6, 2e-6, 4e-6}) {
+    const double expected = 1.0 - std::exp(-(t - 1e-9) / tau);
+    EXPECT_NEAR(res.trace.value_at("out", t), expected, 0.002) << "t=" << t;
+  }
+}
+
+TEST(TransientT, RcFinalValueSettles) {
+  Circuit c = rc_charge_circuit();
+  TranParams tp;
+  tp.t_stop = 10e-6;
+  tp.dt = 10e-9;
+  const auto res = transient(c, tp, {.nodes = {"out"}, .device_currents = {}});
+  EXPECT_NEAR(res.trace.final_value("out"), 1.0, 1e-3);
+}
+
+TEST(TransientT, TrapezoidalMoreAccurateThanBe) {
+  const double tau = 1e-6;
+  auto max_err = [&](Integrator m) {
+    Circuit c = rc_charge_circuit();
+    TranParams tp;
+    tp.t_stop = 3e-6;
+    tp.dt = 20e-9;
+    tp.method = m;
+    tp.be_after_breakpoint = false;
+    const auto res =
+        transient(c, tp, {.nodes = {"out"}, .device_currents = {}});
+    double worst = 0.0;
+    const auto& ts = res.trace.times();
+    const auto& ys = res.trace.channel("out");
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      if (ts[i] < 2e-9) continue;
+      const double expected = 1.0 - std::exp(-(ts[i] - 1e-9) / tau);
+      worst = std::max(worst, std::abs(ys[i] - expected));
+    }
+    return worst;
+  };
+  EXPECT_LT(max_err(Integrator::kTrapezoidal),
+            0.5 * max_err(Integrator::kBackwardEuler));
+}
+
+TEST(TransientT, ChargeConservationTwoCaps) {
+  // A charged 10fF cap shares with an uncharged 20fF cap through a resistor:
+  // final voltage = C1*V0/(C1+C2), independent of R.
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  // Charge a to 1.5V for 50ns, then disconnect (PWL-driven switch).
+  c.add_vsource("VCHG", c.node("chg"), kGround,
+                SourceWave::pwl({{0.0, 1.5}, {100e-9, 1.5}}));
+  VcSwitch::Params sw;
+  sw.r_on = 100.0;
+  c.add_switch("S1", c.node("chg"), a, c.node("ctl1"), kGround, sw);
+  c.add_vsource("VC1", c.node("ctl1"), kGround,
+                SourceWave::pwl({{0.0, 1.8}, {50e-9, 1.8}, {51e-9, 0.0}}));
+  c.add_switch("S2", a, b, c.node("ctl2"), kGround, sw);
+  c.add_vsource("VC2", c.node("ctl2"), kGround,
+                SourceWave::pwl({{0.0, 0.0}, {60e-9, 0.0}, {61e-9, 1.8}}));
+  c.add_capacitor("C1", a, kGround, 10_fF);
+  c.add_capacitor("C2", b, kGround, 20_fF);
+  TranParams tp;
+  tp.t_stop = 200e-9;
+  tp.dt = 50e-12;
+  tp.uic = true;  // start with both caps discharged
+  const auto res =
+      transient(c, tp, {.nodes = {"a", "b"}, .device_currents = {}});
+  const double expected = 1.5 * 10.0 / 30.0;
+  EXPECT_NEAR(res.trace.final_value("a"), expected, 0.02);
+  EXPECT_NEAR(res.trace.final_value("b"), expected, 0.02);
+}
+
+TEST(TransientT, BreakpointsAreHitExactly) {
+  Circuit c = rc_charge_circuit();
+  TranParams tp;
+  tp.t_stop = 3e-6;
+  tp.dt = 0.3e-6;  // deliberately commensurate with nothing
+  const auto res = transient(c, tp, {.nodes = {"out"}, .device_currents = {}});
+  // The PWL corner at 1ns must be an exact sample point.
+  const auto& ts = res.trace.times();
+  const bool hit = std::any_of(ts.begin(), ts.end(), [](double t) {
+    return std::abs(t - 1e-9) < 1e-15;
+  });
+  EXPECT_TRUE(hit);
+}
+
+TEST(TransientT, DeviceCurrentProbe) {
+  Circuit c = rc_charge_circuit();
+  TranParams tp;
+  tp.t_stop = 12e-6;  // 12 tau: fully settled
+  tp.dt = 5e-9;
+  const auto res =
+      transient(c, tp, {.nodes = {"out"}, .device_currents = {"V1"}});
+  // Right after the edge, ~1V across 1k: the source sinks ~-1 mA.
+  const double i_early = res.trace.value_at("I(V1)", 20e-9);
+  EXPECT_NEAR(i_early, -1e-3, 0.1e-3);
+  // After settling, no current.
+  EXPECT_NEAR(res.trace.final_value("I(V1)"), 0.0, 1e-7);
+}
+
+TEST(TransientT, StatsArepopulated) {
+  Circuit c = rc_charge_circuit();
+  TranParams tp;
+  tp.t_stop = 1e-6;
+  tp.dt = 10e-9;
+  const auto res = transient(c, tp, {.nodes = {"out"}, .device_currents = {}});
+  EXPECT_GT(res.stats.accepted_steps, 90u);
+  EXPECT_GT(res.stats.newton_iterations, res.stats.accepted_steps);
+}
+
+TEST(TransientT, RejectsBadParams) {
+  Circuit c = rc_charge_circuit();
+  TranParams tp;
+  tp.t_stop = 0.0;
+  EXPECT_THROW(transient(c, tp, {}), Error);
+}
+
+TEST(TransientT, UnknownProbeNodeThrows) {
+  Circuit c = rc_charge_circuit();
+  TranParams tp;
+  tp.t_stop = 1e-6;
+  EXPECT_THROW(transient(c, tp, {.nodes = {"nope"}, .device_currents = {}}),
+               NetlistError);
+}
+
+TEST(TraceT, CrossingMeasurements) {
+  Trace tr({"v"});
+  tr.append(0.0, {0.0});
+  tr.append(1.0, {1.0});
+  tr.append(2.0, {0.0});
+  const auto up = first_crossing(tr, "v", 0.5, Edge::kRising);
+  ASSERT_TRUE(up.has_value());
+  EXPECT_NEAR(*up, 0.5, 1e-12);
+  const auto down = first_crossing(tr, "v", 0.5, Edge::kFalling);
+  ASSERT_TRUE(down.has_value());
+  EXPECT_NEAR(*down, 1.5, 1e-12);
+  EXPECT_FALSE(first_crossing(tr, "v", 2.0, Edge::kRising).has_value());
+  EXPECT_NEAR(channel_max(tr, 0, 0.0, 2.0), 1.0, 1e-12);
+  EXPECT_NEAR(channel_min(tr, 0, 0.0, 2.0), 0.0, 1e-12);
+}
+
+TEST(TraceT, CrossingFromOffset) {
+  Trace tr({"v"});
+  tr.append(0.0, {0.0});
+  tr.append(1.0, {1.0});
+  tr.append(2.0, {0.0});
+  tr.append(3.0, {1.0});
+  const auto second = first_crossing(tr, "v", 0.5, Edge::kRising, 1.6);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_NEAR(*second, 2.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace ecms::circuit

@@ -1,0 +1,82 @@
+#include "circuit/wave.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ecms::circuit {
+namespace {
+
+TEST(WaveT, DcIsConstant) {
+  const auto w = SourceWave::dc(1.8);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 1.8);
+  EXPECT_DOUBLE_EQ(w.value(1e-6), 1.8);
+  EXPECT_DOUBLE_EQ(w.value(-1.0), 1.8);
+}
+
+TEST(WaveT, PwlInterpolatesAndClamps) {
+  const auto w = SourceWave::pwl({{1.0, 0.0}, {2.0, 10.0}});
+  EXPECT_DOUBLE_EQ(w.value(0.5), 0.0);    // clamp before
+  EXPECT_DOUBLE_EQ(w.value(1.5), 5.0);    // midpoint
+  EXPECT_DOUBLE_EQ(w.value(3.0), 10.0);   // clamp after
+  EXPECT_DOUBLE_EQ(w.value(1.25), 2.5);
+}
+
+TEST(WaveT, PwlRejectsNonMonotonicTimes) {
+  EXPECT_THROW(SourceWave::pwl({{1.0, 0.0}, {1.0, 1.0}}), Error);
+  EXPECT_THROW(SourceWave::pwl({{2.0, 0.0}, {1.0, 1.0}}), Error);
+  EXPECT_THROW(SourceWave::pwl({}), Error);
+}
+
+TEST(WaveT, BreakpointsMatchCorners) {
+  const auto w = SourceWave::pwl({{1.0, 0.0}, {2.0, 1.0}, {3.0, 0.0}});
+  EXPECT_EQ(w.breakpoints().size(), 3u);
+  EXPECT_DOUBLE_EQ(w.breakpoints()[1], 2.0);
+}
+
+TEST(WaveT, PulseShape) {
+  const auto w = SourceWave::pulse(0.0, 1.8, 10_ns, 20_ns, 0.1_ns);
+  EXPECT_DOUBLE_EQ(w.value(5_ns), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(15_ns), 1.8);
+  EXPECT_DOUBLE_EQ(w.value(25_ns), 0.0);
+  // Mid-edge is halfway up.
+  EXPECT_NEAR(w.value(10.05_ns), 0.9, 1e-9);
+}
+
+TEST(WaveT, PulseAtTimeZero) {
+  const auto w = SourceWave::pulse(0.0, 1.0, 0.0, 10_ns, 0.1_ns);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(5_ns), 1.0);
+}
+
+TEST(WaveT, StepRampLevels) {
+  // 4 steps of 1 uA every 1 ns starting at 10 ns, 0.1 ns risers.
+  const auto w = SourceWave::step_ramp(10_ns, 1_ns, 1e-6, 4, 0.1_ns);
+  EXPECT_DOUBLE_EQ(w.value(5_ns), 0.0);
+  EXPECT_NEAR(w.value(10.5_ns), 1e-6, 1e-12);   // after first riser
+  EXPECT_NEAR(w.value(11.5_ns), 2e-6, 1e-12);
+  EXPECT_NEAR(w.value(13.5_ns), 4e-6, 1e-12);
+  EXPECT_NEAR(w.value(20_ns), 4e-6, 1e-12);     // holds the top
+}
+
+TEST(WaveT, StepRampStepIndex) {
+  const auto w = SourceWave::step_ramp(10_ns, 1_ns, 1e-6, 4, 0.1_ns);
+  EXPECT_EQ(w.ramp_step_at(5_ns), 0);
+  EXPECT_EQ(w.ramp_step_at(10.5_ns), 1);
+  EXPECT_EQ(w.ramp_step_at(11.5_ns), 2);
+  EXPECT_EQ(w.ramp_step_at(13.9_ns), 4);
+  EXPECT_EQ(w.ramp_step_at(100_ns), 4);  // clamped at the top
+}
+
+TEST(WaveT, StepRampValidation) {
+  EXPECT_THROW(SourceWave::step_ramp(0, 1_ns, 1e-6, 0, 0.1_ns), Error);
+  EXPECT_THROW(SourceWave::step_ramp(0, 1_ns, 1e-6, 4, 2_ns), Error);
+}
+
+TEST(WaveT, NonRampStepIndexIsZero) {
+  EXPECT_EQ(SourceWave::dc(1.0).ramp_step_at(1.0), 0);
+}
+
+}  // namespace
+}  // namespace ecms::circuit

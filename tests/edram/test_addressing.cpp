@@ -1,0 +1,85 @@
+#include "edram/addressing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace ecms::edram {
+namespace {
+
+TEST(Addressing, LinearIsIdentity) {
+  const AddressMap m(4, 8, Scramble::kLinear);
+  EXPECT_EQ(m.physical_of(0), (CellAddr{0, 0}));
+  EXPECT_EQ(m.physical_of(9), (CellAddr{1, 1}));
+  EXPECT_EQ(m.logical_of({3, 7}), 31u);
+}
+
+TEST(Addressing, InterleaveSplitsParity) {
+  const AddressMap m(8, 1, Scramble::kRowInterleave);
+  // Even logical rows occupy the top half.
+  EXPECT_EQ(m.physical_of(0).row, 0u);
+  EXPECT_EQ(m.physical_of(2 * 1).row, 1u);
+  // Odd logical rows start at the middle.
+  EXPECT_EQ(m.physical_of(1).row, 4u);
+  EXPECT_EQ(m.physical_of(3).row, 5u);
+}
+
+TEST(Addressing, BitReversalInvolution) {
+  const AddressMap m(8, 2, Scramble::kBitReversalRow);
+  EXPECT_EQ(m.physical_of(0 * 2).row, 0u);
+  EXPECT_EQ(m.physical_of(1 * 2).row, 4u);  // 001 -> 100
+  EXPECT_EQ(m.physical_of(3 * 2).row, 6u);  // 011 -> 110
+}
+
+TEST(Addressing, BitReversalNeedsPowerOfTwo) {
+  EXPECT_THROW(AddressMap(6, 2, Scramble::kBitReversalRow), Error);
+  EXPECT_NO_THROW(AddressMap(16, 2, Scramble::kBitReversalRow));
+}
+
+// Every scheme must be a bijection with a consistent inverse.
+class AddressBijectionTest : public ::testing::TestWithParam<Scramble> {};
+
+TEST_P(AddressBijectionTest, RoundTripsAndCovers) {
+  const AddressMap m(8, 4, GetParam());
+  std::set<std::pair<std::size_t, std::size_t>> seen;
+  for (std::size_t a = 0; a < m.cell_count(); ++a) {
+    const CellAddr p = m.physical_of(a);
+    ASSERT_LT(p.row, 8u);
+    ASSERT_LT(p.col, 4u);
+    seen.insert({p.row, p.col});
+    EXPECT_EQ(m.logical_of(p), a);
+  }
+  EXPECT_EQ(seen.size(), m.cell_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, AddressBijectionTest,
+                         ::testing::Values(Scramble::kLinear,
+                                           Scramble::kRowInterleave,
+                                           Scramble::kBitReversalRow),
+                         [](const auto& info) {
+                           return scramble_name(info.param) == "linear"
+                                      ? std::string("linear")
+                                  : scramble_name(info.param) ==
+                                          "row-interleave"
+                                      ? std::string("interleave")
+                                      : std::string("bitrev");
+                         });
+
+TEST(Addressing, OutOfRangeThrows) {
+  const AddressMap m(2, 2, Scramble::kLinear);
+  EXPECT_THROW(m.physical_of(4), Error);
+  EXPECT_THROW(m.logical_of({2, 0}), Error);
+}
+
+TEST(Addressing, OddRowsInterleaveStillBijective) {
+  const AddressMap m(7, 3, Scramble::kRowInterleave);
+  std::set<std::size_t> rows;
+  for (std::size_t lr = 0; lr < 7; ++lr)
+    rows.insert(m.physical_of(lr * 3).row);
+  EXPECT_EQ(rows.size(), 7u);
+}
+
+}  // namespace
+}  // namespace ecms::edram

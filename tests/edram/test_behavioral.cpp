@@ -1,0 +1,142 @@
+#include "edram/behavioral.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tech/tech.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ecms::edram {
+namespace {
+
+MacroCell healthy(std::size_t rows = 8, std::size_t cols = 8) {
+  return MacroCell::uniform({.rows = rows, .cols = cols}, tech::tech018(),
+                            30_fF);
+}
+
+TEST(Behavioral, WriteReadRoundTrip) {
+  const auto mc = healthy();
+  BehavioralArray a(mc);
+  a.write(3, 4, true);
+  a.write(3, 5, false);
+  EXPECT_TRUE(a.read(3, 4));
+  EXPECT_FALSE(a.read(3, 5));
+}
+
+TEST(Behavioral, WriteSetsFullLevels) {
+  const auto mc = healthy();
+  BehavioralArray a(mc);
+  a.write(0, 0, true);
+  EXPECT_DOUBLE_EQ(a.storage_voltage(0, 0), 1.8);
+  a.write(0, 0, false);
+  EXPECT_DOUBLE_EQ(a.storage_voltage(0, 0), 0.0);
+}
+
+TEST(Behavioral, ReadSwingFollowsChargeSharing) {
+  const auto mc = healthy();
+  BehavioralArray a(mc);
+  a.write(1, 1, true);
+  const double cm = 30_fF, cbl = mc.bitline_total_cap();
+  const double expected = (1.8 - 0.9) * cm / (cm + cbl);
+  EXPECT_NEAR(a.read_swing(1, 1), expected, 1e-6);
+  a.write(1, 1, false);
+  EXPECT_NEAR(a.read_swing(1, 1), -expected, 1e-6);
+}
+
+TEST(Behavioral, ShortedCellSitsAtPlateBias) {
+  auto mc = healthy();
+  mc.set_defect(2, 2, tech::make_short());
+  BehavioralArray a(mc);
+  EXPECT_NEAR(a.storage_voltage(2, 2), 0.9, 1e-9);
+  a.write(2, 2, true);
+  // The short drags it right back.
+  EXPECT_NEAR(a.storage_voltage(2, 2), 0.9, 1e-9);
+  // Sense swing ~0: the ambiguous read resolves to the bias value (0).
+  EXPECT_FALSE(a.read(2, 2));
+}
+
+TEST(Behavioral, OpenCellCannotBeRead) {
+  auto mc = healthy();
+  mc.set_defect(1, 0, tech::make_open());
+  BehavioralArray a(mc);
+  a.write(1, 0, true);
+  // The fringe residual gives a sub-offset swing.
+  EXPECT_LT(std::abs(a.read_swing(1, 0)), a.sense().sense_offset);
+  EXPECT_FALSE(a.read(1, 0));
+}
+
+TEST(Behavioral, MarginalPartialCellStillPasses) {
+  // The paper's key diagnostic gap: a 40% capacitor still reads correctly,
+  // so the digital bitmap cannot see it.
+  auto mc = healthy();
+  mc.set_defect(4, 4, tech::make_partial(0.4));
+  BehavioralArray a(mc);
+  a.write(4, 4, true);
+  EXPECT_TRUE(a.read(4, 4));
+  a.write(4, 4, false);
+  EXPECT_FALSE(a.read(4, 4));
+}
+
+TEST(Behavioral, SeverePartialFailsOnTallArray) {
+  // Same defect, larger bit-line capacitance: the swing drops below the
+  // sense margin and the cell fails functionally.
+  auto mc = healthy(64, 4);
+  mc.set_defect(10, 1, tech::make_partial(0.1));  // 3 fF
+  BehavioralArray a(mc);
+  a.write(10, 1, true);
+  EXPECT_FALSE(a.read(10, 1));  // swing ~0.9*3/131 = 20 mV < 80 mV margin
+}
+
+TEST(Behavioral, ReadIsDestructiveWithWriteBack) {
+  const auto mc = healthy();
+  BehavioralArray a(mc);
+  a.write(0, 1, true);
+  (void)a.read(0, 1);
+  EXPECT_DOUBLE_EQ(a.storage_voltage(0, 1), 1.8);  // restored full level
+}
+
+TEST(Behavioral, BridgedPairEqualizes) {
+  auto mc = healthy();
+  mc.set_defect(3, 3, tech::make_bridge());
+  BehavioralArray a(mc);
+  a.write(3, 4, true);   // neighbour high
+  a.write(3, 3, false);  // writing the bridged cell equalizes the pair
+  EXPECT_NEAR(a.storage_voltage(3, 3), 0.9, 0.01);
+  EXPECT_NEAR(a.storage_voltage(3, 4), 0.9, 0.01);
+}
+
+TEST(Behavioral, RetentionDecay) {
+  const auto mc = healthy();
+  BehavioralArray a(mc);
+  a.write(0, 0, true);
+  // tau = 30 fF / 1 fS = 30 s; after 30 s the level is 1/e.
+  a.idle(30.0);
+  EXPECT_NEAR(a.storage_voltage(0, 0), 1.8 * std::exp(-1.0), 0.01);
+  // Long enough idle and the cell reads 0.
+  a.write(0, 0, true);
+  a.idle(300.0);
+  EXPECT_FALSE(a.read(0, 0));
+}
+
+TEST(Behavioral, SmallerCapDecaysFaster) {
+  auto mc = healthy();
+  mc.set_defect(0, 1, tech::make_partial(0.3));
+  BehavioralArray a(mc);
+  a.write(0, 0, true);
+  a.write(0, 1, true);
+  a.idle(20.0);
+  EXPECT_LT(a.storage_voltage(0, 1), a.storage_voltage(0, 0));
+}
+
+TEST(Behavioral, OutOfRangeThrows) {
+  const auto mc = healthy(2, 2);
+  BehavioralArray a(mc);
+  EXPECT_THROW(a.write(2, 0, true), Error);
+  EXPECT_THROW(a.read(0, 2), Error);
+  EXPECT_THROW(a.idle(-1.0), Error);
+}
+
+}  // namespace
+}  // namespace ecms::edram

@@ -1,0 +1,56 @@
+#include "edram/macrocell.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tech/tech.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ecms::edram {
+namespace {
+
+TEST(MacroCellT, UniformConstruction) {
+  const auto mc = MacroCell::uniform({.rows = 4, .cols = 8},
+                                     tech::tech018(), 30_fF);
+  EXPECT_EQ(mc.rows(), 4u);
+  EXPECT_EQ(mc.cols(), 8u);
+  EXPECT_EQ(mc.cell_count(), 32u);
+  EXPECT_DOUBLE_EQ(mc.true_cap(3, 7), 30_fF);
+  EXPECT_EQ(mc.defect(0, 0).type, tech::DefectType::kNone);
+}
+
+TEST(MacroCellT, ProbeSetsOnlyTarget) {
+  const auto mc = MacroCell::probe({}, tech::tech018(), 1, 2, 12_fF, 30_fF);
+  EXPECT_DOUBLE_EQ(mc.true_cap(1, 2), 12_fF);
+  EXPECT_DOUBLE_EQ(mc.true_cap(0, 0), 30_fF);
+  EXPECT_DOUBLE_EQ(mc.true_cap(1, 1), 30_fF);
+}
+
+TEST(MacroCellT, EffectiveCapAppliesDefects) {
+  auto mc = MacroCell::uniform({}, tech::tech018(), 30_fF);
+  mc.set_defect(0, 0, tech::make_partial(0.5));
+  mc.set_defect(0, 1, tech::make_open());
+  EXPECT_DOUBLE_EQ(mc.effective_cap(0, 0), 15_fF);
+  EXPECT_LT(mc.effective_cap(0, 1), 1_fF);  // only the fringe residual
+  EXPECT_DOUBLE_EQ(mc.effective_cap(1, 1), 30_fF);
+}
+
+TEST(MacroCellT, BitlineCapScalesWithRows) {
+  const auto t = tech::tech018();
+  const auto small = MacroCell::uniform({.rows = 4, .cols = 4}, t, 30_fF);
+  const auto tall = MacroCell::uniform({.rows = 16, .cols = 4}, t, 30_fF);
+  EXPECT_NEAR(tall.bitline_cap(), 4.0 * small.bitline_cap(), 1e-20);
+}
+
+TEST(MacroCellT, MismatchedFieldShapeThrows) {
+  const auto t = tech::tech018();
+  tech::CapProcessParams cp;
+  tech::CapField field(cp, 2, 2, 1);
+  tech::DefectMap defects(4, 4);
+  EXPECT_THROW(
+      MacroCell({.rows = 4, .cols = 4}, t, std::move(field), std::move(defects)),
+      Error);
+}
+
+}  // namespace
+}  // namespace ecms::edram

@@ -1,0 +1,116 @@
+// Netlister structural tests plus a couple of electrical sanity transients
+// on the generated array.
+#include "edram/netlister.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/transient.hpp"
+#include "tech/tech.hpp"
+#include "util/units.hpp"
+
+namespace ecms::edram {
+namespace {
+
+MacroCell small() {
+  return MacroCell::uniform({.rows = 2, .cols = 2}, tech::tech018(), 30_fF);
+}
+
+TEST(Netlister, CreatesExpectedNets) {
+  circuit::Circuit ckt;
+  const auto mc = small();
+  const ArrayNet net = build_array(ckt, mc);
+  EXPECT_EQ(net.wl_sources.size(), 2u);
+  EXPECT_EQ(net.sbl_sources.size(), 2u);
+  EXPECT_EQ(net.inbl_sources.size(), 2u);
+  EXPECT_EQ(net.storage.size(), 4u);
+  EXPECT_TRUE(ckt.has_node("plate"));
+  EXPECT_TRUE(ckt.has_node("stor1_1"));
+  EXPECT_NE(ckt.find("MACC0_0"), nullptr);
+  EXPECT_NE(ckt.find("CS1_1"), nullptr);
+  EXPECT_NE(ckt.find("V_WL0"), nullptr);
+}
+
+TEST(Netlister, StorageCapMatchesGroundTruth) {
+  circuit::Circuit ckt;
+  auto mc = small();
+  mc.set_true_cap(0, 1, 17_fF);
+  build_array(ckt, mc);
+  EXPECT_DOUBLE_EQ(ckt.get<circuit::Capacitor>("CS0_1").capacitance(), 17_fF);
+}
+
+TEST(Netlister, ShortBecomesShuntResistor) {
+  circuit::Circuit ckt;
+  auto mc = small();
+  mc.set_defect(0, 0, tech::make_short(1234.0));
+  build_array(ckt, mc);
+  EXPECT_DOUBLE_EQ(ckt.get<circuit::Resistor>("Rshort0_0").resistance(),
+                   1234.0);
+}
+
+TEST(Netlister, OpenLeavesOnlyResidual) {
+  circuit::Circuit ckt;
+  auto mc = small();
+  mc.set_defect(0, 0, tech::make_open());
+  build_array(ckt, mc);
+  EXPECT_LT(ckt.get<circuit::Capacitor>("CS0_0").capacitance(), 1_fF);
+}
+
+TEST(Netlister, BridgeConnectsNeighbours) {
+  circuit::Circuit ckt;
+  auto mc = small();
+  mc.set_defect(0, 1, tech::make_bridge(5000.0));  // last column bridges back
+  build_array(ckt, mc);
+  auto& r = ckt.get<circuit::Resistor>("Rbridge0_1");
+  EXPECT_DOUBLE_EQ(r.resistance(), 5000.0);
+}
+
+TEST(Netlister, PrefixIsolatesInstances) {
+  circuit::Circuit ckt;
+  const auto mc = small();
+  build_array(ckt, mc, {.prefix = "a_"});
+  build_array(ckt, mc, {.prefix = "b_"});
+  EXPECT_TRUE(ckt.has_node("a_plate"));
+  EXPECT_TRUE(ckt.has_node("b_plate"));
+  EXPECT_NE(ckt.find("a_MACC0_0"), nullptr);
+  EXPECT_NE(ckt.find("b_MACC0_0"), nullptr);
+}
+
+TEST(Netlister, WordlineResistanceOptional) {
+  circuit::Circuit ckt;
+  const auto mc = small();
+  NetlistOptions opts;
+  opts.include_wordline_resistance = true;
+  build_array(ckt, mc, opts);
+  EXPECT_NE(ckt.find("Rwl0"), nullptr);
+  EXPECT_TRUE(ckt.has_node("wl0"));
+}
+
+// Electrical sanity: select a cell and write VDD onto its bit line; the
+// storage node must follow (word line boosted), then hold after deselect.
+TEST(Netlister, CellWritesAndHoldsCharge) {
+  circuit::Circuit ckt;
+  const auto mc = small();
+  const auto t = mc.tech();
+  const ArrayNet net = build_array(ckt, mc);
+  using circuit::SourceWave;
+  // WL0 and SBL0 on; drive INBL0 to VDD then isolate everything at 20 ns.
+  ckt.get<circuit::VSource>("V_WL0").set_wave(SourceWave::pwl(
+      {{0.0, 0.0}, {0.2_ns, t.vpp}, {20_ns, t.vpp}, {20.2_ns, 0.0}}));
+  ckt.get<circuit::VSource>("V_SBL0").set_wave(SourceWave::pwl(
+      {{0.0, 0.0}, {0.2_ns, t.vpp}, {20_ns, t.vpp}, {20.2_ns, 0.0}}));
+  ckt.get<circuit::VSource>("V_INBL0").set_wave(
+      SourceWave::pwl({{0.0, 0.0}, {1_ns, 0.0}, {1.2_ns, t.vdd}}));
+  circuit::TranParams tp;
+  tp.t_stop = 40_ns;
+  tp.dt = 20_ps;
+  tp.uic = true;
+  const auto res = circuit::transient(
+      ckt, tp, {.nodes = {"stor0_0", "plate"}, .device_currents = {}});
+  // Written to full VDD while selected...
+  EXPECT_NEAR(res.trace.value_at("stor0_0", 19_ns), t.vdd, 0.05);
+  // ...and held after isolation (small feedthrough dip allowed).
+  EXPECT_GT(res.trace.final_value("stor0_0"), t.vdd - 0.3);
+}
+
+}  // namespace
+}  // namespace ecms::edram

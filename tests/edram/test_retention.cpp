@@ -1,0 +1,119 @@
+#include "edram/retention.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tech/tech.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace ecms::edram {
+namespace {
+
+MacroCell mc8() {
+  return MacroCell::uniform({.rows = 8, .cols = 8}, tech::tech018(), 30_fF);
+}
+
+TEST(RetentionTime, ClosedFormSanity) {
+  // 30 fF, 1 fS: tau = 30 s; with vdd = 1.8 and a modest margin the cell
+  // retains for a good fraction of tau.
+  const double t = retention_time(30_fF, 1e-15, 1.8, 8_fF, 0.08);
+  EXPECT_GT(t, 5.0);
+  EXPECT_LT(t, 30.0);
+}
+
+TEST(RetentionTime, ScalesWithCapAndLeak) {
+  const double base = retention_time(30_fF, 1e-15, 1.8, 8_fF, 0.08);
+  EXPECT_GT(retention_time(60_fF, 1e-15, 1.8, 8_fF, 0.08), 1.8 * base);
+  EXPECT_NEAR(retention_time(30_fF, 2e-15, 1.8, 8_fF, 0.08), base / 2.0,
+              1e-9);
+}
+
+TEST(RetentionTime, TinyCapCannotRead) {
+  // Swing below margin even fully charged: retention is zero.
+  EXPECT_DOUBLE_EQ(retention_time(0.5_fF, 1e-15, 1.8, 8_fF, 0.08), 0.0);
+  EXPECT_DOUBLE_EQ(retention_time(0.0, 1e-15, 1.8, 8_fF, 0.08), 0.0);
+}
+
+TEST(RetentionField, DeterministicAndPositive) {
+  const auto mc = mc8();
+  const RetentionField a(mc, {}, 0.08, 7);
+  const RetentionField b(mc, {}, 0.08, 7);
+  EXPECT_EQ(a.values(), b.values());
+  for (double t : a.values()) EXPECT_GT(t, 0.0);
+}
+
+TEST(RetentionField, ShortHasZeroRetention) {
+  auto mc = mc8();
+  mc.set_defect(2, 2, tech::make_short());
+  const RetentionField f(mc, {}, 0.08, 7);
+  // The shunt discharges the cell in picoseconds: retention is effectively
+  // zero (any refresh period is far too long).
+  EXPECT_LT(f.retention(2, 2), 1e-9);
+  EXPECT_GT(f.retention(0, 0), 1.0);
+}
+
+TEST(RetentionField, SmallCapsRetainLess) {
+  auto mc = mc8();
+  mc.set_true_cap(1, 1, 12_fF);
+  LeakPopulation pop;
+  pop.sigma_log = 0.0;  // isolate the capacitance effect
+  pop.tail_fraction = 0.0;
+  const RetentionField f(mc, pop, 0.08, 7);
+  EXPECT_LT(f.retention(1, 1), 0.5 * f.retention(0, 0));
+}
+
+TEST(RetentionField, TailCellsExist) {
+  LeakPopulation pop;
+  pop.tail_fraction = 0.05;
+  const auto mc = MacroCell::uniform({.rows = 32, .cols = 32},
+                                     tech::tech018(), 30_fF);
+  const RetentionField f(mc, pop, 0.08, 11);
+  // The 1st percentile must sit far below the median: a real tail.
+  EXPECT_LT(f.percentile_time(0.01), 0.3 * f.percentile_time(0.5));
+}
+
+TEST(RetentionField, PercentileMonotone) {
+  const auto mc = mc8();
+  const RetentionField f(mc, {}, 0.08, 3);
+  EXPECT_LE(f.percentile_time(0.01), f.percentile_time(0.5));
+  EXPECT_LE(f.percentile_time(0.5), f.percentile_time(1.0));
+  EXPECT_THROW(f.percentile_time(0.0), Error);
+}
+
+TEST(RetentionPredict, MedianLeakMatchesTruth) {
+  // With no leakage spread the predictor is exact.
+  LeakPopulation pop;
+  pop.sigma_log = 0.0;
+  pop.tail_fraction = 0.0;
+  const auto mc = mc8();
+  const RetentionField f(mc, pop, 0.08, 5);
+  const double pred = predict_retention(30_fF, pop, 1.8,
+                                        mc.bitline_total_cap(), 0.08);
+  EXPECT_NEAR(pred, f.retention(3, 3), 1e-9);
+}
+
+TEST(RetentionPredict, CapacitanceRankingSurvivesLeakSpread) {
+  // The predictor only sees capacitance; with realistic leakage spread the
+  // *ranking* from capacitance must still correlate with true retention.
+  auto mc = MacroCell::uniform({.rows = 16, .cols = 16}, tech::tech018(),
+                               30_fF);
+  Rng rng(9);
+  std::vector<double> caps, t_true;
+  for (std::size_t r = 0; r < 16; ++r)
+    for (std::size_t c = 0; c < 16; ++c)
+      mc.set_true_cap(r, c, rng.uniform(12e-15, 50e-15));
+  const RetentionField f(mc, {}, 0.08, 13);
+  for (std::size_t r = 0; r < 16; ++r) {
+    for (std::size_t c = 0; c < 16; ++c) {
+      caps.push_back(mc.true_cap(r, c));
+      t_true.push_back(f.retention(r, c));
+    }
+  }
+  EXPECT_GT(pearson(caps, t_true), 0.5);
+}
+
+}  // namespace
+}  // namespace ecms::edram

@@ -1,0 +1,106 @@
+// AC cross-validation of the fast model's parasitic bookkeeping: meter the
+// capacitance actually hanging on the plate (and on the REF gate) in the
+// generated netlist and compare with the closed-form predictions. This
+// validates the plate-offset story independently of the transient flow.
+#include <gtest/gtest.h>
+
+#include "circuit/ac.hpp"
+#include "edram/netlister.hpp"
+#include "msu/fastmodel.hpp"
+#include "tech/tech.hpp"
+#include "util/units.hpp"
+
+namespace ecms {
+namespace {
+
+using circuit::SourceWave;
+
+struct MeterRig {
+  circuit::Circuit ckt;
+  edram::ArrayNet arr;
+  msu::StructureNet net;
+  edram::MacroCell mc;
+  msu::StructureParams params;
+
+  MeterRig() : mc(edram::MacroCell::uniform({}, tech::tech018(), 30_fF)) {
+    arr = edram::build_array(ckt, mc);
+    net = msu::build_structure(ckt, arr.plate, mc.tech(), params);
+  }
+
+  // Puts the control sources into the paper's step-3 state for target
+  // (0, 0): target word line and select on, everything else off, plate
+  // isolated (PRG off, LEC off, STD off).
+  void step3_state() {
+    const double vpp = mc.tech().vpp;
+    ckt.get<circuit::VSource>(arr.wl_sources[0]).set_wave(SourceWave::dc(vpp));
+    for (std::size_t r = 1; r < mc.rows(); ++r)
+      ckt.get<circuit::VSource>(arr.wl_sources[r]).set_wave(SourceWave::dc(0));
+    ckt.get<circuit::VSource>(arr.sbl_sources[0]).set_wave(SourceWave::dc(vpp));
+    for (std::size_t c = 1; c < mc.cols(); ++c)
+      ckt.get<circuit::VSource>(arr.sbl_sources[c]).set_wave(SourceWave::dc(0));
+    for (const auto& s : arr.inbl_sources)
+      ckt.get<circuit::VSource>(s).set_wave(SourceWave::dc(0));
+    ckt.get<circuit::VSource>(net.prg_source).set_wave(SourceWave::dc(0));
+    ckt.get<circuit::VSource>(net.lec_source).set_wave(SourceWave::dc(0));
+    ckt.get<circuit::VSource>(net.std_source).set_wave(SourceWave::dc(0));
+  }
+};
+
+TEST(AcOffset, PlateCapacitanceMatchesFastModel) {
+  MeterRig s;
+  s.step3_state();
+  // Meter the plate with a dedicated AC source at the standard plate bias.
+  s.ckt.add_vsource("VMETER", s.arr.plate, circuit::kGround,
+                    SourceWave::dc(0.9));
+  const double measured = circuit::measure_capacitance(s.ckt, "VMETER");
+
+  const msu::FastModel model(s.mc, s.params);
+  // What hangs on the plate in step 3: the target cell's capacitor (its
+  // storage node is clamped by the grounded bit line) plus the plate offset.
+  const double predicted = s.mc.true_cap(0, 0) + model.plate_offset(0, 0);
+  EXPECT_NEAR(to_unit::fF(measured), to_unit::fF(predicted), 2.5)
+      << "plate capacitance bookkeeping diverged";
+}
+
+TEST(AcOffset, RefGateSideMatchesFastModel) {
+  MeterRig s;
+  s.step3_state();
+  s.ckt.add_vsource("VMETER", s.ckt.find_node("msu_vgs"), circuit::kGround,
+                    SourceWave::dc(0.45));
+  const double measured = circuit::measure_capacitance(s.ckt, "VMETER");
+  const msu::FastModel model(s.mc, s.params);
+  EXPECT_NEAR(to_unit::fF(measured), to_unit::fF(model.cref_side()), 3.0)
+      << "C_REF-side bookkeeping diverged";
+}
+
+TEST(AcOffset, OpenCellDropsItsContribution) {
+  // Removing the target's neighbour capacitor must lower the plate load by
+  // roughly series(Cs, C_bl_float) — the row-coupling term.
+  MeterRig healthy;
+  healthy.step3_state();
+  healthy.ckt.add_vsource("VMETER", healthy.arr.plate, circuit::kGround,
+                          SourceWave::dc(0.9));
+  const double c_healthy =
+      circuit::measure_capacitance(healthy.ckt, "VMETER");
+
+  MeterRig open_nb;
+  open_nb.mc.set_defect(0, 1, tech::make_open());
+  open_nb.ckt = circuit::Circuit{};
+  open_nb.arr = edram::build_array(open_nb.ckt, open_nb.mc);
+  open_nb.net = msu::build_structure(open_nb.ckt, open_nb.arr.plate,
+                                     open_nb.mc.tech(), open_nb.params);
+  open_nb.step3_state();
+  open_nb.ckt.add_vsource("VMETER", open_nb.arr.plate, circuit::kGround,
+                          SourceWave::dc(0.9));
+  const double c_open = circuit::measure_capacitance(open_nb.ckt, "VMETER");
+
+  const msu::FastModel model(healthy.mc, healthy.params);
+  const double cbl = model.floating_bitline_cap();
+  const double cs = 30_fF;
+  const double expected_drop = cs * cbl / (cs + cbl);
+  EXPECT_NEAR(to_unit::fF(c_healthy - c_open), to_unit::fF(expected_drop),
+              1.5);
+}
+
+}  // namespace
+}  // namespace ecms

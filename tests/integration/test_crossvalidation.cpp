@@ -1,0 +1,97 @@
+// Fast-model vs circuit-level cross-validation: after one calibration pass
+// (the paper's "abacus obtained from a set of simulation"), the closed-form
+// model must track the transistor-level reference within one code step
+// across the whole specification window.
+#include <gtest/gtest.h>
+
+#include "msu/calibrate.hpp"
+#include "tech/tech.hpp"
+#include "util/units.hpp"
+
+namespace ecms::msu {
+namespace {
+
+class CrossValidation : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    mc_ = new edram::MacroCell(
+        edram::MacroCell::uniform({}, tech::tech018(), 30_fF));
+    model_ = new FastModel(*mc_, StructureParams{});
+    calibration_ = new CalibrationResult(calibrate_fast_model(*model_));
+  }
+  static void TearDownTestSuite() {
+    delete calibration_;
+    delete model_;
+    delete mc_;
+    calibration_ = nullptr;
+    model_ = nullptr;
+    mc_ = nullptr;
+  }
+
+  static int circuit_code(double cm) {
+    auto probe = *mc_;
+    probe.set_true_cap(0, 0, cm);
+    return extract_cell(probe, 0, 0, model_->params(), {},
+                        {.dt = 20e-12,
+                         .record_trace = false,
+                         .delta_i = model_->delta_i()})
+        .code;
+  }
+
+  static edram::MacroCell* mc_;
+  static FastModel* model_;
+  static CalibrationResult* calibration_;
+};
+
+edram::MacroCell* CrossValidation::mc_ = nullptr;
+FastModel* CrossValidation::model_ = nullptr;
+CalibrationResult* CrossValidation::calibration_ = nullptr;
+
+TEST_F(CrossValidation, CorrectionIsSmallAndNegative) {
+  // Switch feedthrough costs charge: the circuit's V_GS sits a bit below the
+  // closed form. A huge correction would mean the model is wrong.
+  EXPECT_LT(calibration_->vgs_correction, 0.0);
+  EXPECT_GT(calibration_->vgs_correction, -0.06);
+}
+
+TEST_F(CrossValidation, SharedVgsTracksWithinMillivolts) {
+  for (const auto& pt : calibration_->points) {
+    EXPECT_NEAR(pt.vgs_circuit - pt.vgs_fast, calibration_->vgs_correction,
+                0.01)
+        << "cap " << pt.cm;
+  }
+}
+
+TEST_F(CrossValidation, CodesAgreeWithinOneStep) {
+  for (double fF : {5.0, 12.0, 20.0, 30.0, 40.0, 50.0, 60.0}) {
+    const int fast = model_->code_of_cap(fF * 1e-15);
+    const int ckt = circuit_code(fF * 1e-15);
+    EXPECT_NEAR(fast, ckt, 1) << "Cm = " << fF << " fF";
+  }
+}
+
+TEST_F(CrossValidation, WindowEndpointsAgree) {
+  // Both views must call ~2 fF under-range and ~65 fF full-scale.
+  EXPECT_LE(circuit_code(2_fF), 1);
+  EXPECT_EQ(model_->code_of_cap(2_fF), 0);
+  EXPECT_EQ(circuit_code(65_fF), 20);
+  EXPECT_EQ(model_->code_of_cap(65_fF), 20);
+}
+
+TEST_F(CrossValidation, DefectCodesAgree) {
+  for (const tech::Defect d :
+       {tech::make_short(), tech::make_open(), tech::make_partial(0.3)}) {
+    auto probe = *mc_;
+    probe.set_defect(0, 0, d);
+    const FastModel m(probe, model_->params());
+    const auto res = extract_cell(probe, 0, 0, model_->params(), {},
+                                  {.dt = 20e-12,
+                                   .record_trace = false,
+                                   .delta_i = model_->delta_i()});
+    EXPECT_NEAR(m.code_of_cell(0, 0), res.code, 1)
+        << tech::defect_name(d.type);
+  }
+}
+
+}  // namespace
+}  // namespace ecms::msu

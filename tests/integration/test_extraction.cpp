@@ -1,0 +1,114 @@
+// Circuit-level (transistor-level transient) extraction tests: the paper's
+// own validation methodology, asserted. These are the slowest tests in the
+// suite (~0.1-0.2 s each).
+#include <gtest/gtest.h>
+
+#include "msu/extract.hpp"
+#include "msu/fastmodel.hpp"
+#include "tech/tech.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ecms::msu {
+namespace {
+
+edram::MacroCell probe(double target_fF) {
+  return edram::MacroCell::probe({}, tech::tech018(), 0, 0, target_fF * 1e-15,
+                                 30_fF);
+}
+
+ExtractOptions fast_opts() { return {.dt = 20e-12, .record_trace = false}; }
+
+TEST(ExtractionT, FlowEstablishesPaperConditions) {
+  const auto mc = probe(30.0);
+  const auto res = extract_cell(mc, 0, 0, {}, {}, {.dt = 20e-12});
+  // Step 2 charges the plate to the full rail (boosted PRG gate).
+  EXPECT_NEAR(res.v_plate_charged, 1.8, 0.02);
+  // Step 4 leaves V_GS between the rails, proportional to Cm.
+  EXPECT_GT(res.vgs_shared, 0.3);
+  EXPECT_LT(res.vgs_shared, 1.0);
+  // The code is in range for a nominal capacitor.
+  EXPECT_GT(res.code, 1);
+  EXPECT_LT(res.code, 19);
+  ASSERT_TRUE(res.t_out_rise.has_value());
+  EXPECT_GT(*res.t_out_rise, res.schedule.t_ramp_start);
+}
+
+TEST(ExtractionT, TraceChannelsRecorded) {
+  const auto mc = probe(30.0);
+  const auto res = extract_cell(mc, 0, 0, {}, {}, {.dt = 20e-12});
+  EXPECT_EQ(res.trace.channel_count(), 5u);
+  EXPECT_GT(res.trace.sample_count(), 1000u);
+  // OUT is digital: ends at a rail.
+  const double out_final = res.trace.final_value("msu_out");
+  EXPECT_TRUE(out_final < 0.1 || out_final > 1.7);
+}
+
+TEST(ExtractionT, Figure2Ordering) {
+  // Fig. 2: the OUT switch happens at a later current step for 40 fF than
+  // for 20 fF, and V_GS after sharing is higher for the larger capacitor.
+  const auto r20 = extract_cell(probe(20.0), 0, 0, {}, {}, fast_opts());
+  const auto r40 = extract_cell(probe(40.0), 0, 0, {}, {}, fast_opts());
+  EXPECT_GT(r40.vgs_shared, r20.vgs_shared + 0.05);
+  EXPECT_GT(r40.code, r20.code + 3);
+  ASSERT_TRUE(r20.t_out_rise && r40.t_out_rise);
+  EXPECT_GT(*r40.t_out_rise, *r20.t_out_rise);
+}
+
+TEST(ExtractionT, CodeMonotoneAcrossWindow) {
+  int prev = -1;
+  for (double fF : {5.0, 20.0, 35.0, 50.0, 65.0}) {
+    const auto res = extract_cell(probe(fF), 0, 0, {}, {}, fast_opts());
+    EXPECT_GE(res.code, prev) << fF;
+    prev = res.code;
+  }
+}
+
+TEST(ExtractionT, FullScaleAboveWindowTop) {
+  const auto res = extract_cell(probe(65.0), 0, 0, {}, {}, fast_opts());
+  EXPECT_EQ(res.code, 20);
+  EXPECT_FALSE(res.t_out_rise.has_value());  // OUT never flips
+}
+
+TEST(ExtractionT, ShortReadsZeroAtCircuitLevel) {
+  auto mc = probe(30.0);
+  mc.set_defect(0, 0, tech::make_short());
+  const auto res = extract_cell(mc, 0, 0, {}, {}, fast_opts());
+  EXPECT_EQ(res.code, 0);
+  // The shorted plate cannot hold the shared charge.
+  EXPECT_LT(res.vgs_shared, 0.1);
+}
+
+TEST(ExtractionT, OpenReadsZeroAtCircuitLevel) {
+  auto mc = probe(30.0);
+  mc.set_defect(0, 0, tech::make_open());
+  const auto res = extract_cell(mc, 0, 0, {}, {}, fast_opts());
+  EXPECT_LE(res.code, 1);  // fringe residual only
+}
+
+TEST(ExtractionT, NonCornerTargetCell) {
+  // Measuring an interior cell works the same way (different word/bit line).
+  const auto mc =
+      edram::MacroCell::probe({}, tech::tech018(), 2, 3, 40_fF, 30_fF);
+  const auto res = extract_cell(mc, 2, 3, {}, {}, fast_opts());
+  EXPECT_GT(res.code, 5);
+  EXPECT_LT(res.code, 20);
+}
+
+TEST(ExtractionT, DeltaOverrideRespected) {
+  const auto mc = probe(30.0);
+  auto opts = fast_opts();
+  opts.delta_i = 100e-6;  // much coarser ramp -> lower code
+  const auto coarse = extract_cell(mc, 0, 0, {}, {}, opts);
+  const auto normal = extract_cell(mc, 0, 0, {}, {}, fast_opts());
+  EXPECT_NEAR(coarse.delta_i, 100e-6, 1e-12);
+  EXPECT_LT(coarse.code, normal.code);
+}
+
+TEST(ExtractionT, InvalidTargetThrows) {
+  const auto mc = probe(30.0);
+  EXPECT_THROW(extract_cell(mc, 7, 0, {}, {}, fast_opts()), Error);
+}
+
+}  // namespace
+}  // namespace ecms::msu

@@ -1,0 +1,70 @@
+#include "march/element.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ecms::march {
+namespace {
+
+TEST(MarchElementT, OpProperties) {
+  EXPECT_TRUE(op_is_read(OpKind::kRead0));
+  EXPECT_TRUE(op_is_read(OpKind::kRead1));
+  EXPECT_FALSE(op_is_read(OpKind::kWrite0));
+  EXPECT_TRUE(op_value(OpKind::kWrite1));
+  EXPECT_FALSE(op_value(OpKind::kRead0));
+  EXPECT_EQ(op_name(OpKind::kWrite0), "w0");
+}
+
+TEST(MarchElementT, ParseRoundTrip) {
+  const MarchTest t =
+      parse_march("X", "{any(w0); up(r0,w1); down(r1,w0)}");
+  EXPECT_EQ(t.elements.size(), 3u);
+  EXPECT_EQ(t.elements[0].order, AddressOrder::kAny);
+  EXPECT_EQ(t.elements[1].order, AddressOrder::kUp);
+  EXPECT_EQ(t.elements[2].order, AddressOrder::kDown);
+  EXPECT_EQ(t.elements[1].ops.size(), 2u);
+  EXPECT_EQ(t.elements[1].ops[0], OpKind::kRead0);
+  EXPECT_EQ(t.notation(), "{any(w0); up(r0,w1); down(r1,w0)}");
+}
+
+TEST(MarchElementT, ParseToleratesWhitespace) {
+  const MarchTest t = parse_march("W", "  up ( r0 , w1 ) ;  down(r1,w0) ");
+  EXPECT_EQ(t.elements.size(), 2u);
+  EXPECT_EQ(t.elements[0].ops.size(), 2u);
+}
+
+TEST(MarchElementT, ParseErrors) {
+  EXPECT_THROW(parse_march("bad", ""), Error);
+  EXPECT_THROW(parse_march("bad", "{sideways(w0)}"), Error);
+  EXPECT_THROW(parse_march("bad", "{up(w2)}"), Error);
+  EXPECT_THROW(parse_march("bad", "{up}"), Error);
+  EXPECT_THROW(parse_march("bad", "{up()}"), Error);
+}
+
+TEST(MarchElementT, OpsPerCell) {
+  EXPECT_EQ(mats_plus().ops_per_cell(), 5u);
+  EXPECT_EQ(march_x().ops_per_cell(), 6u);
+  EXPECT_EQ(march_y().ops_per_cell(), 8u);
+  EXPECT_EQ(march_c_minus().ops_per_cell(), 10u);
+}
+
+TEST(MarchElementT, StandardTestsWellFormed) {
+  for (const auto& t : standard_tests()) {
+    EXPECT_FALSE(t.name.empty());
+    EXPECT_FALSE(t.elements.empty());
+    // Every element alternates between sane ops.
+    for (const auto& e : t.elements) EXPECT_FALSE(e.ops.empty());
+  }
+}
+
+TEST(MarchElementT, MarchCMinusStructure) {
+  const MarchTest t = march_c_minus();
+  EXPECT_EQ(t.name, "March C-");
+  EXPECT_EQ(t.elements.size(), 6u);
+  EXPECT_EQ(t.elements[0].order, AddressOrder::kAny);
+  EXPECT_EQ(t.elements[3].order, AddressOrder::kDown);
+}
+
+}  // namespace
+}  // namespace ecms::march

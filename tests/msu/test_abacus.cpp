@@ -1,0 +1,110 @@
+#include "msu/abacus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "msu/fastmodel.hpp"
+#include "tech/tech.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ecms::msu {
+namespace {
+
+// A synthetic, exactly known staircase: code = clamp(floor(cm/5fF), 0, 10).
+int staircase(double cm) {
+  const int k = static_cast<int>(std::floor(cm / 5e-15));
+  return std::clamp(k, 0, 10);
+}
+
+TEST(AbacusT, RecoversKnownStaircase) {
+  const Abacus a = Abacus::build(staircase, 10, 0.0, 60e-15, 601);
+  EXPECT_TRUE(a.monotonic());
+  EXPECT_EQ(a.codes_used(), 11u);
+  const auto b3 = a.bin(3);
+  ASSERT_TRUE(b3.has_value());
+  EXPECT_NEAR(b3->lo, 15e-15, 0.2e-15);
+  EXPECT_NEAR(b3->hi, 20e-15, 0.2e-15);
+  EXPECT_NEAR(a.estimate_cap(3), 17.5e-15, 0.2e-15);
+}
+
+TEST(AbacusT, RefineSharpensBoundaries) {
+  Abacus a = Abacus::build(staircase, 10, 0.0, 60e-15, 61);  // coarse sweep
+  a.refine(staircase, 1e-18);
+  const auto b3 = a.bin(3);
+  ASSERT_TRUE(b3.has_value());
+  EXPECT_NEAR(b3->lo, 15e-15, 2e-18);
+  EXPECT_NEAR(b3->hi, 20e-15, 2e-18);
+}
+
+TEST(AbacusT, RangeEndpoints) {
+  const Abacus a = Abacus::build(staircase, 10, 0.0, 60e-15, 601);
+  EXPECT_NEAR(a.range_lo(), 5e-15, 0.2e-15);   // first code >= 1
+  EXPECT_NEAR(a.range_hi(), 50e-15, 0.2e-15);  // first full-scale
+}
+
+TEST(AbacusT, AccuracyOfUniformStaircase) {
+  const Abacus a = Abacus::build(staircase, 10, 0.0, 60e-15, 601);
+  // Bin k spans [5k, 5k+5): relative half-width = 2.5/(5k+2.5).
+  EXPECT_NEAR(a.bin(5)->relative_halfwidth(), 2.5 / 27.5, 0.01);
+  EXPECT_NEAR(a.worst_accuracy(1, 9), 2.5 / 7.5, 0.02);  // worst at code 1
+  EXPECT_LT(a.mean_accuracy(4, 9), a.worst_accuracy(1, 9));
+}
+
+TEST(AbacusT, HalfOpenCodesRejected) {
+  const Abacus a = Abacus::build(staircase, 10, 0.0, 60e-15, 601);
+  EXPECT_THROW(a.estimate_cap(0), MeasureError);
+  EXPECT_THROW(a.estimate_cap(10), MeasureError);
+  EXPECT_THROW(a.estimate_cap(42), MeasureError);
+}
+
+TEST(AbacusT, UnobservedCodeHasNoBin) {
+  // Sweep only the low half: high codes never appear.
+  const Abacus a = Abacus::build(staircase, 10, 0.0, 20e-15, 201);
+  EXPECT_FALSE(a.bin(9).has_value());
+  EXPECT_THROW(a.range_hi(), MeasureError);
+}
+
+TEST(AbacusT, NonMonotoneDetected) {
+  const auto wobble = [](double cm) {
+    const int k = staircase(cm);
+    return cm > 22e-15 && cm < 23e-15 ? k - 2 : k;
+  };
+  const Abacus a = Abacus::build(wobble, 10, 0.0, 60e-15, 601);
+  EXPECT_FALSE(a.monotonic());
+}
+
+TEST(AbacusT, SamplesExposedForPlotting) {
+  const Abacus a = Abacus::build(staircase, 10, 0.0, 60e-15, 61);
+  EXPECT_EQ(a.samples().size(), 61u);
+  EXPECT_DOUBLE_EQ(a.samples().front().cm, 0.0);
+  EXPECT_DOUBLE_EQ(a.samples().back().cm, 60e-15);
+}
+
+TEST(AbacusT, ValidationErrors) {
+  EXPECT_THROW(Abacus::build(staircase, 0, 0.0, 1e-15, 10), Error);
+  EXPECT_THROW(Abacus::build(staircase, 10, 1e-15, 0.0, 10), Error);
+  EXPECT_THROW(Abacus::build(staircase, 10, 0.0, 1e-15, 1), Error);
+  EXPECT_THROW(Abacus::build([](double) { return 99; }, 10, 0.0, 1e-15, 4),
+               Error);
+}
+
+// End-to-end with the real fast model: the abacus built from the model's
+// code function must reproduce the paper's window properties.
+TEST(AbacusT, FastModelAbacusMatchesPaperWindow) {
+  const auto mc = edram::MacroCell::uniform({}, tech::tech018(), 30_fF);
+  const FastModel m(mc, {});
+  Abacus a = Abacus::build([&](double cm) { return m.code_of_cap(cm); }, 20,
+                           1e-15, 75e-15, 371);
+  a.refine([&](double cm) { return m.code_of_cap(cm); }, 1e-18);
+  EXPECT_TRUE(a.monotonic());
+  EXPECT_EQ(a.codes_used(), 21u);
+  EXPECT_NEAR(to_unit::fF(a.range_lo()), 10.0, 3.0);
+  EXPECT_NEAR(to_unit::fF(a.range_hi()), 55.0, 2.0);
+  // Mid-window accuracy in the few-percent regime the paper quotes (6%).
+  EXPECT_LT(a.mean_accuracy(5, 15), 0.08);
+}
+
+}  // namespace
+}  // namespace ecms::msu

@@ -1,0 +1,66 @@
+#include "msu/designer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tech/tech.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ecms::msu {
+namespace {
+
+edram::MacroCell mc4() {
+  return edram::MacroCell::uniform({}, tech::tech018(), 30_fF);
+}
+
+TEST(DesignerT, EvaluateDefaultDesign) {
+  const DesignPoint d = evaluate_design(mc4(), {});
+  EXPECT_TRUE(d.monotonic);
+  EXPECT_EQ(d.codes_used, 21u);
+  EXPECT_NEAR(to_unit::fF(d.range_lo), 10.0, 3.0);
+  EXPECT_NEAR(to_unit::fF(d.range_hi), 55.0, 2.0);
+  EXPECT_GT(d.score, 0.5);
+}
+
+TEST(DesignerT, TinyRefIsWorse) {
+  StructureParams small;
+  small.ref_w = 3e-6;  // C_REF too small: dynamic range collapses
+  const DesignPoint d = evaluate_design(mc4(), small);
+  const DesignPoint base = evaluate_design(mc4(), {});
+  EXPECT_LT(d.score, base.score);
+}
+
+TEST(DesignerT, ExploreSortsBestFirst) {
+  const auto points = explore_designs(mc4(), {}, {5e-6, 15e-6, 30e-6, 60e-6});
+  ASSERT_EQ(points.size(), 4u);
+  for (std::size_t i = 1; i < points.size(); ++i)
+    EXPECT_GE(points[i - 1].score, points[i].score);
+}
+
+TEST(DesignerT, DefaultNearTopOfSweep) {
+  // The shipped default REF width should be competitive within its own
+  // neighbourhood sweep.
+  const auto points =
+      explore_designs(mc4(), {}, {10e-6, 20e-6, 30e-6, 40e-6, 50e-6});
+  const DesignPoint base = evaluate_design(mc4(), {});
+  EXPECT_GE(base.score, points.front().score - 0.1);
+}
+
+TEST(DesignerT, TrimCapsExplored) {
+  const auto points = explore_designs(mc4(), {}, {30e-6}, {0.0, 20e-15});
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_NE(points[0].cref, points[1].cref);
+}
+
+TEST(DesignerT, CrefReportedMatchesParams) {
+  const auto t = tech::tech018();
+  const DesignPoint d = evaluate_design(mc4(), {});
+  EXPECT_NEAR(d.cref, StructureParams{}.cref_total(t), 1e-18);
+}
+
+TEST(DesignerT, EmptyWidthListThrows) {
+  EXPECT_THROW(explore_designs(mc4(), {}, {}), Error);
+}
+
+}  // namespace
+}  // namespace ecms::msu

@@ -1,0 +1,101 @@
+#include "msu/disambig.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tech/tech.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ecms::msu {
+namespace {
+
+edram::MacroCell mc4() {
+  return edram::MacroCell::uniform({}, tech::tech018(), 30_fF);
+}
+
+TEST(DisambigT, HealthyCellIsNotZero) {
+  const auto mc = mc4();
+  const FastModel m(mc, {});
+  const Disambiguator d(m);
+  EXPECT_EQ(d.classify(0, 0).cause, ZeroCodeCause::kNotZero);
+}
+
+TEST(DisambigT, ShortDetectedByStaticCurrent) {
+  auto mc = mc4();
+  mc.set_defect(1, 1, tech::make_short());
+  const FastModel m(mc, {});
+  const Disambiguator d(m);
+  const auto res = d.classify(1, 1);
+  EXPECT_EQ(res.cause, ZeroCodeCause::kShort);
+  EXPECT_GT(res.in_current, 100_uA);
+}
+
+TEST(DisambigT, OpenResolvedByFineRamp) {
+  auto mc = mc4();
+  mc.set_defect(2, 0, tech::make_open());
+  const FastModel m(mc, {});
+  const Disambiguator d(m);
+  const auto res = d.classify(2, 0);
+  EXPECT_EQ(res.cause, ZeroCodeCause::kOpen);
+  EXPECT_LT(res.est_cap, 2_fF);
+  EXPECT_NEAR(res.in_current, 0.0, 1e-9);
+}
+
+TEST(DisambigT, UnderRangeResolvedByFineRamp) {
+  auto mc = mc4();
+  mc.set_true_cap(3, 3, 6_fF);  // real but below the window
+  const FastModel m(mc, {});
+  ASSERT_EQ(m.code_of_cell(3, 3), 0);
+  const Disambiguator d(m);
+  const auto res = d.classify(3, 3);
+  EXPECT_EQ(res.cause, ZeroCodeCause::kUnderRange);
+  EXPECT_GT(res.fine_code, 0);
+  EXPECT_NEAR(to_unit::fF(res.est_cap), 6.0, 3.0);
+}
+
+TEST(DisambigT, PartialBelowWindowIsUnderRange) {
+  auto mc = mc4();
+  mc.set_defect(0, 2, tech::make_partial(0.25));  // 7.5 fF
+  const FastModel m(mc, {});
+  const Disambiguator d(m);
+  EXPECT_EQ(d.classify(0, 2).cause, ZeroCodeCause::kUnderRange);
+}
+
+TEST(DisambigT, AllThreePaperCausesDistinct) {
+  // The paper's statement: code 0 admits three diagnoses. Our procedure
+  // separates all three in one array.
+  auto mc = mc4();
+  mc.set_defect(0, 0, tech::make_short());
+  mc.set_defect(1, 1, tech::make_open());
+  mc.set_true_cap(2, 2, 5_fF);
+  const FastModel m(mc, {});
+  const Disambiguator d(m);
+  EXPECT_EQ(d.classify(0, 0).cause, ZeroCodeCause::kShort);
+  EXPECT_EQ(d.classify(1, 1).cause, ZeroCodeCause::kOpen);
+  EXPECT_EQ(d.classify(2, 2).cause, ZeroCodeCause::kUnderRange);
+}
+
+TEST(DisambigT, BridgeShowsStaticCurrentSignature) {
+  auto mc = mc4();
+  mc.set_defect(1, 1, tech::make_bridge());
+  const FastModel m(mc, {});
+  const Disambiguator d(m);
+  EXPECT_GT(d.static_in_current(1, 1), 50_uA);
+  // ... and the neighbour sees it too (the bridge is a pair phenomenon).
+  EXPECT_GT(d.static_in_current(1, 2), 50_uA);
+}
+
+TEST(DisambigT, CauseNames) {
+  EXPECT_EQ(zero_code_cause_name(ZeroCodeCause::kShort), "short");
+  EXPECT_EQ(zero_code_cause_name(ZeroCodeCause::kOpen), "open");
+  EXPECT_EQ(zero_code_cause_name(ZeroCodeCause::kUnderRange), "under-range");
+}
+
+TEST(DisambigT, FineRatioValidated) {
+  const auto mc = mc4();
+  const FastModel m(mc, {});
+  EXPECT_THROW(Disambiguator(m, {.fine_ratio = 1}), Error);
+}
+
+}  // namespace
+}  // namespace ecms::msu

@@ -1,0 +1,198 @@
+#include "msu/fastmodel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tech/tech.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ecms::msu {
+namespace {
+
+edram::MacroCell probe_mc(double target_fF, std::size_t rows = 4,
+                          std::size_t cols = 4) {
+  return edram::MacroCell::probe({.rows = rows, .cols = cols},
+                                 tech::tech018(), 0, 0, target_fF * 1e-15,
+                                 30_fF);
+}
+
+TEST(FastModelT, DesignQuantitiesAreSane) {
+  const auto mc = probe_mc(30.0);
+  const FastModel m(mc, {});
+  EXPECT_GT(m.reference_offset(), 10_fF);   // plate offset is real
+  EXPECT_LT(m.reference_offset(), 60_fF);
+  EXPECT_GT(m.cref_side(), 80_fF);
+  EXPECT_GT(m.delta_i(), 1_uA);
+  EXPECT_EQ(m.ramp_steps(), 20);
+  EXPECT_NEAR(m.i_max(), 20.0 * m.delta_i(), 1e-12);
+}
+
+TEST(FastModelT, VgsIsMonotoneAndBounded) {
+  const auto mc = probe_mc(30.0);
+  const FastModel m(mc, {});
+  double prev = -1.0;
+  for (double c = 0.0; c <= 100e-15; c += 5e-15) {
+    const double v = m.vgs_of_cap(c);
+    EXPECT_GT(v, prev);
+    EXPECT_GT(v, 0.0);
+    EXPECT_LT(v, mc.tech().vdd);
+    prev = v;
+  }
+}
+
+TEST(FastModelT, CodeIsMonotoneInCapacitance) {
+  const auto mc = probe_mc(30.0);
+  const FastModel m(mc, {});
+  int prev = -1;
+  for (double c = 0.0; c <= 80e-15; c += 1e-15) {
+    const int code = m.code_of_cap(c);
+    EXPECT_GE(code, prev);
+    prev = code;
+  }
+}
+
+TEST(FastModelT, PaperWindowReproduced) {
+  // The paper: range 10-55 fF over codes 0..20; code 0 below the window,
+  // code 20 at/above the top.
+  const auto mc = probe_mc(30.0);
+  const FastModel m(mc, {});
+  EXPECT_EQ(m.code_of_cap(2_fF), 0);
+  EXPECT_GE(m.code_of_cap(11_fF), 1);
+  EXPECT_EQ(m.code_of_cap(55_fF), 20);
+  EXPECT_EQ(m.code_of_cap(70_fF), 20);
+  EXPECT_LT(m.code_of_cap(50_fF), 20);
+}
+
+TEST(FastModelT, AllCodesReachable) {
+  const auto mc = probe_mc(30.0);
+  const FastModel m(mc, {});
+  std::set<int> seen;
+  for (double c = 0.0; c <= 60e-15; c += 0.05e-15)
+    seen.insert(m.code_of_cap(c));
+  EXPECT_EQ(seen.size(), 21u);  // 0..20 all exercised
+}
+
+TEST(FastModelT, CodeBoundariesConsistent) {
+  const auto mc = probe_mc(30.0);
+  const FastModel m(mc, {});
+  for (int k = 1; k <= 20; ++k) {
+    const double b = m.cap_at_code_boundary(k);
+    if (b < 0.0) continue;
+    EXPECT_LT(m.code_of_cap(std::max(b - 0.05e-15, 0.0)), k);
+    EXPECT_GE(m.code_of_cap(b + 0.05e-15), k);
+  }
+}
+
+TEST(FastModelT, BoundariesIncrease) {
+  const auto mc = probe_mc(30.0);
+  const FastModel m(mc, {});
+  double prev = -1.0;
+  for (int k = 1; k <= 20; ++k) {
+    const double b = m.cap_at_code_boundary(k);
+    EXPECT_GT(b, prev) << "k=" << k;
+    prev = b;
+  }
+}
+
+TEST(FastModelT, DefectCodes) {
+  auto mc = probe_mc(30.0);
+  mc.set_defect(0, 0, tech::make_short());
+  mc.set_defect(1, 1, tech::make_open());
+  mc.set_defect(2, 2, tech::make_partial(0.3));  // 9 fF: below window
+  const FastModel m(mc, {});
+  EXPECT_EQ(m.code_of_cell(0, 0), 0);  // short
+  EXPECT_EQ(m.code_of_cell(1, 1), 0);  // open
+  EXPECT_EQ(m.code_of_cell(2, 2), 0);  // under-range
+  EXPECT_GT(m.code_of_cell(3, 3), 3);  // healthy neighbour unaffected
+}
+
+TEST(FastModelT, PartialInWindowGivesLowCode) {
+  auto mc = probe_mc(30.0);
+  mc.set_defect(2, 2, tech::make_partial(0.5));  // 15 fF
+  const FastModel m(mc, {});
+  const int code = m.code_of_cell(2, 2);
+  EXPECT_GE(code, 1);
+  EXPECT_LT(code, m.code_of_cell(3, 3));
+}
+
+TEST(FastModelT, BridgeElevatesBothCells) {
+  auto mc = edram::MacroCell::uniform({}, tech::tech018(), 30_fF);
+  const FastModel healthy(mc, {});
+  const int base = healthy.code_of_cell(1, 1);
+  mc.set_defect(1, 1, tech::make_bridge());
+  const FastModel m(mc, {});
+  EXPECT_GT(m.code_of_cell(1, 1), base);
+  EXPECT_GE(m.code_of_cell(1, 2), base);  // the neighbour reads high too
+}
+
+TEST(FastModelT, PlateOffsetGrowsWithArraySize) {
+  const FastModel small(probe_mc(30.0, 4, 4), {});
+  const FastModel wide(probe_mc(30.0, 4, 16), {});
+  // More columns on the target row couple through floating bit lines.
+  EXPECT_GT(wide.plate_offset(0, 0), small.plate_offset(0, 0) + 20_fF);
+}
+
+TEST(FastModelT, OffsetDependsOnNeighbourCaps) {
+  // Second-order effect: the target-row neighbours' capacitances leak into
+  // the offset, attenuated by the floating-bit-line series division.
+  auto lo = probe_mc(30.0);
+  auto hi = probe_mc(30.0);
+  for (std::size_t c = 1; c < 4; ++c) {
+    lo.set_true_cap(0, c, 15_fF);
+    hi.set_true_cap(0, c, 45_fF);
+  }
+  const FastModel mlo(lo, {});
+  const FastModel mhi(hi, {});
+  const double diff = mhi.plate_offset(0, 0) - mlo.plate_offset(0, 0);
+  EXPECT_GT(diff, 0.0);
+  EXPECT_LT(diff, 10_fF);  // strongly attenuated vs the 90 fF raw difference
+}
+
+TEST(FastModelT, NoiselessNoiseMatchesPlain) {
+  const auto mc = probe_mc(30.0);
+  const FastModel m(mc, {});
+  Rng rng(1);
+  MeasureNoise off;  // disabled
+  for (double c : {5e-15, 20e-15, 40e-15})
+    EXPECT_EQ(m.code_of_cap(c, off, rng), m.code_of_cap(c));
+}
+
+TEST(FastModelT, NoiseBlursCodeBoundary) {
+  const auto mc = probe_mc(30.0);
+  const FastModel m(mc, {});
+  const double boundary = m.cap_at_code_boundary(10);
+  MeasureNoise noise;
+  noise.enabled = true;
+  noise.comparator_sigma_i = m.delta_i();  // 1 LSB of comparison noise
+  Rng rng(2);
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(m.code_of_cap(boundary, noise, rng));
+  EXPECT_GT(seen.size(), 1u);  // boundary cell flickers between codes
+}
+
+TEST(FastModelT, ExplicitRampOverridesAutoDesign) {
+  const auto mc = probe_mc(30.0);
+  StructureParams p;
+  p.ramp_i_max = 100_uA;
+  const FastModel m(mc, p);
+  EXPECT_NEAR(m.i_max(), 100e-6, 1e-12);
+  EXPECT_NEAR(m.delta_i(), 5e-6, 1e-12);
+}
+
+TEST(FastModelT, DesignRampHelperMatchesConstructor) {
+  const auto mc = probe_mc(30.0);
+  const StructureParams p;
+  const FastModel m(mc, p);
+  EXPECT_NEAR(design_ramp_imax(mc, p), m.i_max(), 1e-12);
+}
+
+TEST(FastModelT, NegativeCapRejected) {
+  const auto mc = probe_mc(30.0);
+  const FastModel m(mc, {});
+  EXPECT_THROW(m.code_of_cap(-1e-15), Error);
+  EXPECT_THROW(m.cap_at_code_boundary(0), Error);
+  EXPECT_THROW(m.cap_at_code_boundary(21), Error);
+}
+
+}  // namespace
+}  // namespace ecms::msu

@@ -1,0 +1,165 @@
+// Sequencer waveform-programming tests: verifies the five-step flow's
+// control levels at representative times without running any transient.
+#include "msu/sequencer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "edram/netlister.hpp"
+#include "msu/fastmodel.hpp"
+#include "tech/tech.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ecms::msu {
+namespace {
+
+struct Fixture {
+  tech::Technology t = tech::tech018();
+  edram::MacroCell mc = edram::MacroCell::uniform({}, t, 30_fF);
+  circuit::Circuit ckt;
+  edram::ArrayNet arr;
+  StructureNet msu;
+  StructureParams params;
+  Schedule sched;
+
+  explicit Fixture(std::size_t row = 1, std::size_t col = 2) {
+    arr = edram::build_array(ckt, mc);
+    msu = build_structure(ckt, arr.plate, t, params);
+    const FastModel model(mc, params);
+    sched = program_measurement(ckt, arr, msu, mc, row, col, model.delta_i(),
+                                params);
+  }
+
+  double v(const std::string& source, double time) {
+    return ckt.get<circuit::VSource>(source).value_at(time);
+  }
+};
+
+TEST(SequencerT, Step1EverythingOnAndGrounded) {
+  Fixture f;
+  const double t1 = 5_ns;
+  for (const auto& wl : f.arr.wl_sources) EXPECT_NEAR(f.v(wl, t1), f.t.vpp, 1e-9);
+  for (const auto& sb : f.arr.sbl_sources) EXPECT_NEAR(f.v(sb, t1), f.t.vpp, 1e-9);
+  for (const auto& in : f.arr.inbl_sources) EXPECT_NEAR(f.v(in, t1), 0.0, 1e-9);
+  EXPECT_NEAR(f.v(f.msu.lec_source, t1), f.t.vpp, 1e-9);
+  EXPECT_NEAR(f.v(f.msu.prg_source, t1), f.t.vpp, 1e-9);
+  EXPECT_NEAR(f.v(f.msu.in_source, t1), 0.0, 1e-9);
+  EXPECT_NEAR(f.v(f.msu.std_source, t1), 0.0, 1e-9);  // test mode
+}
+
+TEST(SequencerT, Step2OnlyTargetRowOnAndOthersCharging) {
+  Fixture f(1, 2);
+  const double t2 = 15_ns;
+  EXPECT_NEAR(f.v("V_WL1", t2), f.t.vpp, 1e-9);
+  EXPECT_NEAR(f.v("V_WL0", t2), 0.0, 1e-9);
+  EXPECT_NEAR(f.v("V_WL3", t2), 0.0, 1e-9);
+  // Non-target bit lines at VDD; target bit line grounded.
+  EXPECT_NEAR(f.v("V_INBL0", t2), f.t.vdd, 1e-9);
+  EXPECT_NEAR(f.v("V_INBL2", t2), 0.0, 1e-9);
+  // LEC off during charge, IN high through PRG.
+  EXPECT_NEAR(f.v(f.msu.lec_source, t2), 0.0, 1e-9);
+  EXPECT_NEAR(f.v(f.msu.in_source, t2), f.t.vdd, 1e-9);
+  EXPECT_NEAR(f.v(f.msu.prg_source, t2), f.t.vpp, 1e-9);
+}
+
+TEST(SequencerT, LecFullyOffBeforeChargingStarts) {
+  // The edge-ordering hazard: IN must not rise until LEC has closed.
+  Fixture f;
+  double lec_off_time = 0.0;
+  for (double t = 10_ns; t < 12_ns; t += 1e-12) {
+    if (f.v(f.msu.lec_source, t) < 0.01) {
+      lec_off_time = t;
+      break;
+    }
+  }
+  double in_rise_time = 0.0;
+  for (double t = 10_ns; t < 12_ns; t += 1e-12) {
+    if (f.v(f.msu.in_source, t) > 0.01) {
+      in_rise_time = t;
+      break;
+    }
+  }
+  EXPECT_GT(in_rise_time, lec_off_time);
+}
+
+TEST(SequencerT, Step3OnlyTargetSelectRemains) {
+  Fixture f(1, 2);
+  const double t3 = 25_ns;
+  EXPECT_NEAR(f.v("V_SBL2", t3), f.t.vpp, 1e-9);
+  EXPECT_NEAR(f.v("V_SBL0", t3), 0.0, 1e-9);
+  EXPECT_NEAR(f.v(f.msu.prg_source, t3), 0.0, 1e-9);  // plate isolated
+}
+
+TEST(SequencerT, SelectsOpenWhilePlateStillDriven) {
+  Fixture f;
+  // S_BL(other) reaches 0 before PRG starts falling.
+  double sbl_off = 0.0;
+  for (double t = 19_ns; t < 22_ns; t += 1e-12) {
+    if (f.v("V_SBL0", t) < 0.01) {
+      sbl_off = t;
+      break;
+    }
+  }
+  double prg_fall_start = 0.0;
+  for (double t = 19_ns; t < 22_ns; t += 1e-12) {
+    if (f.v(f.msu.prg_source, t) < f.t.vpp - 0.01) {
+      prg_fall_start = t;
+      break;
+    }
+  }
+  EXPECT_LT(sbl_off, prg_fall_start);
+}
+
+TEST(SequencerT, Step4SharingAndStep5Ramp) {
+  Fixture f;
+  EXPECT_NEAR(f.v(f.msu.lec_source, 35_ns), f.t.vpp, 1e-9);
+  EXPECT_DOUBLE_EQ(f.sched.t_share, 30_ns);
+  EXPECT_DOUBLE_EQ(f.sched.t_ramp_start, 40_ns);
+  EXPECT_EQ(f.sched.ramp_steps, 20);
+  // The ramp holds zero before step 5 and reaches full scale at the end.
+  EXPECT_DOUBLE_EQ(f.sched.ramp.value(39_ns), 0.0);
+  EXPECT_NEAR(f.sched.ramp.value(50_ns), 20.0 * f.sched.delta_i, 1e-12);
+  // Mid-step 5: about half scale.
+  EXPECT_NEAR(f.sched.ramp.value(45.3_ns), 11.0 * f.sched.delta_i,
+              f.sched.delta_i);
+}
+
+TEST(SequencerT, CodeOfFlipTimeConvention) {
+  Fixture f;
+  const Schedule& s = f.sched;
+  const double dur = 10_ns / 20;
+  // A flip late in step 1 (after latency compensation) means code 0.
+  EXPECT_EQ(s.code_of_flip_time(s.t_ramp_start + 0.4 * dur +
+                                s.decision_latency),
+            0);
+  // A flip in step 5's 10th step means the structure withstood 9.
+  EXPECT_EQ(s.code_of_flip_time(s.t_ramp_start + 9.5 * dur +
+                                s.decision_latency),
+            9);
+}
+
+TEST(SequencerT, TargetValidation) {
+  Fixture f;
+  const FastModel model(f.mc, f.params);
+  EXPECT_THROW(program_measurement(f.ckt, f.arr, f.msu, f.mc, 9, 0,
+                                   model.delta_i(), f.params),
+               Error);
+  EXPECT_THROW(program_measurement(f.ckt, f.arr, f.msu, f.mc, 0, 0, -1.0,
+                                   f.params),
+               Error);
+}
+
+TEST(SequencerT, TimingScalesWithStep) {
+  Fixture f;
+  MeasurementTiming timing;
+  timing.step = 20_ns;
+  const FastModel model(f.mc, f.params);
+  const Schedule s = program_measurement(f.ckt, f.arr, f.msu, f.mc, 0, 0,
+                                         model.delta_i(), f.params, timing);
+  EXPECT_DOUBLE_EQ(s.t_ramp_start, 80_ns);
+  EXPECT_DOUBLE_EQ(s.t_share, 60_ns);
+  EXPECT_NEAR(s.t_end, 101_ns, 1e-12);
+}
+
+}  // namespace
+}  // namespace ecms::msu

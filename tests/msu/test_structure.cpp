@@ -1,0 +1,100 @@
+#include "msu/structure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/dc.hpp"
+#include "tech/tech.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ecms::msu {
+namespace {
+
+TEST(StructureT, CrefFollowsRefGeometry) {
+  const auto t = tech::tech018();
+  StructureParams p;
+  const double base = p.cref_total(t);
+  EXPECT_GT(base, 50_fF);  // the default REF is a big capacitor on purpose
+  p.ref_w *= 2.0;          // doubling W doubles channel + overlap caps
+  EXPECT_NEAR(p.cref_total(t), 2.0 * base, 1e-18);
+}
+
+TEST(StructureT, TrimCapAddsExactly) {
+  const auto t = tech::tech018();
+  StructureParams a, b;
+  b.cref_trim = 20_fF;
+  EXPECT_NEAR(b.cref_total(t) - a.cref_total(t), 20_fF, 1e-20);
+}
+
+TEST(StructureT, BuildCreatesNetsAndDevices) {
+  const auto t = tech::tech018();
+  circuit::Circuit ckt;
+  const auto plate = ckt.node("plate");
+  const StructureNet net = build_structure(ckt, plate, t, {});
+  EXPECT_NE(ckt.find("MSTD"), nullptr);
+  EXPECT_NE(ckt.find("MPRG"), nullptr);
+  EXPECT_NE(ckt.find("MLEC"), nullptr);
+  EXPECT_NE(ckt.find("MREF"), nullptr);
+  EXPECT_NE(ckt.find("I_REFP"), nullptr);
+  EXPECT_NE(ckt.find("DCLAMP"), nullptr);
+  EXPECT_NE(ckt.find("MP1"), nullptr);
+  EXPECT_NE(ckt.find("MN2"), nullptr);
+  EXPECT_TRUE(ckt.has_node("msu_vgs"));
+  EXPECT_TRUE(ckt.has_node("msu_out"));
+  EXPECT_EQ(net.in_source, "V_IN");
+}
+
+TEST(StructureT, SharedRailsNotDuplicated) {
+  const auto t = tech::tech018();
+  circuit::Circuit ckt;
+  build_structure(ckt, ckt.node("p1"), t, {}, "a_");
+  EXPECT_NO_THROW(build_structure(ckt, ckt.node("p2"), t, {}, "b_"));
+  EXPECT_NE(ckt.find("a_MREF"), nullptr);
+  EXPECT_NE(ckt.find("b_MREF"), nullptr);
+}
+
+TEST(StructureT, StandardModeHoldsPlateAtHalfVdd) {
+  // With STD on (default wave) and nothing else driving, the DC plate
+  // voltage is VDD/2 — the paper's standard-operation plate bias.
+  const auto t = tech::tech018();
+  circuit::Circuit ckt;
+  const auto plate = ckt.node("plate");
+  ckt.add_capacitor("Cplate", plate, circuit::kGround, 100_fF);
+  build_structure(ckt, plate, t, {});
+  const auto dc = circuit::dc_operating_point(ckt);
+  EXPECT_NEAR(circuit::dc_voltage(ckt, dc, "plate"), t.vdd / 2.0, 0.05);
+}
+
+TEST(StructureT, OutIsLowWhenSenseGrounded) {
+  // Sense at 0 -> first inverter high -> OUT low: the pre-conversion state.
+  const auto t = tech::tech018();
+  circuit::Circuit ckt;
+  const auto plate = ckt.node("plate");
+  build_structure(ckt, plate, t, {});
+  ckt.add_resistor("Rsense_gnd", ckt.find_node("msu_sense"), circuit::kGround,
+                   1.0);
+  const auto dc = circuit::dc_operating_point(ckt);
+  EXPECT_LT(circuit::dc_voltage(ckt, dc, "msu_out"), 0.1);
+}
+
+TEST(StructureT, OutGoesHighWhenSenseHigh) {
+  const auto t = tech::tech018();
+  circuit::Circuit ckt;
+  const auto plate = ckt.node("plate");
+  build_structure(ckt, plate, t, {});
+  ckt.add_vsource("Vforce", ckt.find_node("msu_sense"), circuit::kGround,
+                  circuit::SourceWave::dc(t.vdd));
+  const auto dc = circuit::dc_operating_point(ckt);
+  EXPECT_GT(circuit::dc_voltage(ckt, dc, "msu_out"), t.vdd - 0.1);
+}
+
+TEST(StructureT, InvalidParamsThrow) {
+  const auto t = tech::tech018();
+  circuit::Circuit ckt;
+  StructureParams p;
+  p.ramp_steps = 0;
+  EXPECT_THROW(build_structure(ckt, ckt.node("p"), t, p), Error);
+}
+
+}  // namespace
+}  // namespace ecms::msu

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "report/experiment.hpp"
+#include "report/heatmap.hpp"
+#include "tech/tech.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ecms::report {
+namespace {
+
+TEST(ExperimentT, RenderFormat) {
+  Experiment e("FIG3", "Abacus");
+  e.check("range 10-55 fF", "range 10.1-55.0 fF", true);
+  e.check("accuracy 6%", "mean 4.5%", false);
+  e.note("substituted simulator");
+  const std::string s = e.render();
+  EXPECT_NE(s.find("== FIG3: Abacus =="), std::string::npos);
+  EXPECT_NE(s.find("[ok] paper: range 10-55 fF"), std::string::npos);
+  EXPECT_NE(s.find("[DIFF]"), std::string::npos);
+  EXPECT_NE(s.find("note: substituted simulator"), std::string::npos);
+  EXPECT_FALSE(e.all_reproduced());
+  EXPECT_EQ(e.check_count(), 2u);
+}
+
+TEST(ExperimentT, AllReproduced) {
+  Experiment e("X", "t");
+  EXPECT_TRUE(e.all_reproduced());  // vacuously
+  e.check("a", "a", true);
+  EXPECT_TRUE(e.all_reproduced());
+}
+
+TEST(ExperimentT, EmptyIdThrows) { EXPECT_THROW(Experiment("", "t"), Error); }
+
+TEST(HeatmapRenderT, CodeHeatmapShape) {
+  bitmap::AnalogBitmap bm(2, 3, 20);
+  bm.set(0, 0, 0);
+  bm.set(1, 2, 20);
+  const std::string s = render_code_heatmap(bm);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);
+  EXPECT_EQ(s[0], ' ');        // code 0 -> low end of ramp
+  EXPECT_EQ(s[s.size() - 2], '@');  // code 20 -> high end
+}
+
+TEST(HeatmapRenderT, SignatureMapLetters) {
+  bitmap::AnalogBitmap bm(1, 3, 20);
+  bm.set(0, 0, 0);
+  bm.set(0, 1, 10);
+  bm.set(0, 2, 20);
+  const auto sig = bitmap::SignatureMap::categorize(bm);
+  EXPECT_EQ(render_signature_map(sig), "0.F\n");
+}
+
+TEST(HeatmapRenderT, DefectTruthLetters) {
+  tech::DefectMap m(1, 2);
+  m.set(0, 1, tech::make_open());
+  EXPECT_EQ(render_defect_truth(m), ".O\n");
+}
+
+TEST(HeatmapRenderT, FailMap) {
+  bitmap::DigitalBitmap bm(2, 2);
+  bm.set_fail(0, 1);
+  EXPECT_EQ(render_fail_map(bm), ".X\n..\n");
+}
+
+}  // namespace
+}  // namespace ecms::report

@@ -1,0 +1,102 @@
+#include "tech/capmodel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace ecms::tech {
+namespace {
+
+TEST(CapField, UniformWhenNoVariation) {
+  CapProcessParams p;
+  p.local_sigma_rel = 0.0;
+  const CapField f(p, 4, 4, 1);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c)
+      EXPECT_DOUBLE_EQ(f.at(r, c), p.nominal);
+}
+
+TEST(CapField, DeterministicForSeed) {
+  CapProcessParams p;
+  const CapField a(p, 8, 8, 99), b(p, 8, 8, 99);
+  EXPECT_EQ(a.values(), b.values());
+  const CapField c(p, 8, 8, 100);
+  EXPECT_NE(a.values(), c.values());
+}
+
+TEST(CapField, LocalSigmaMatches) {
+  CapProcessParams p;
+  p.local_sigma_rel = 0.05;
+  const CapField f(p, 64, 64, 7);
+  RunningStats s;
+  for (double v : f.values()) s.add(v / p.nominal);
+  EXPECT_NEAR(s.mean(), 1.0, 0.01);
+  EXPECT_NEAR(s.stddev(), 0.05, 0.01);
+}
+
+TEST(CapField, GradientSpansRequestedRange) {
+  CapProcessParams p;
+  p.local_sigma_rel = 0.0;
+  p.gradient_x_rel = 0.2;  // 20% from left to right
+  const CapField f(p, 4, 8, 1);
+  EXPECT_NEAR(f.at(0, 7) - f.at(0, 0), 0.2 * p.nominal, 1e-18);
+  // Monotone along a row.
+  for (std::size_t c = 1; c < 8; ++c) EXPECT_GT(f.at(2, c), f.at(2, c - 1));
+}
+
+TEST(CapField, GradientYActsOnRows) {
+  CapProcessParams p;
+  p.local_sigma_rel = 0.0;
+  p.gradient_y_rel = -0.1;
+  const CapField f(p, 8, 4, 1);
+  EXPECT_LT(f.at(7, 0), f.at(0, 0));
+  EXPECT_NEAR(f.at(7, 1) - f.at(0, 1), -0.1 * p.nominal, 1e-18);
+}
+
+TEST(CapField, LotOffsetShiftsEverything) {
+  CapProcessParams p;
+  p.local_sigma_rel = 0.0;
+  p.lot_offset_rel = 0.08;
+  const CapField f(p, 4, 4, 1);
+  EXPECT_NEAR(f.mean(), 1.08 * p.nominal, 1e-18);
+}
+
+TEST(CapField, RadialBowlRaisesCorners) {
+  CapProcessParams p;
+  p.local_sigma_rel = 0.0;
+  p.radial_rel = 0.1;
+  const CapField f(p, 9, 9, 1);
+  EXPECT_NEAR(f.at(4, 4), p.nominal, 1e-18);           // center untouched
+  EXPECT_NEAR(f.at(0, 0), 1.1 * p.nominal, 1e-17);     // corner +10%
+  EXPECT_GT(f.at(0, 4), f.at(4, 4));                   // edges in between
+  EXPECT_LT(f.at(0, 4), f.at(0, 0));
+}
+
+TEST(CapField, SetOverridesOneCell) {
+  CapProcessParams p;
+  p.local_sigma_rel = 0.0;
+  CapField f(p, 4, 4, 1);
+  f.set(2, 3, 12e-15);
+  EXPECT_DOUBLE_EQ(f.at(2, 3), 12e-15);
+  EXPECT_DOUBLE_EQ(f.at(2, 2), p.nominal);
+}
+
+TEST(CapField, NeverNegative) {
+  CapProcessParams p;
+  p.local_sigma_rel = 1.5;  // absurd spread
+  const CapField f(p, 32, 32, 3);
+  for (double v : f.values()) EXPECT_GT(v, 0.0);
+}
+
+TEST(CapField, Validation) {
+  CapProcessParams p;
+  EXPECT_THROW(CapField(p, 0, 4, 1), Error);
+  p.nominal = -1.0;
+  EXPECT_THROW(CapField(p, 4, 4, 1), Error);
+  const CapField ok(CapProcessParams{}, 2, 2, 1);
+  EXPECT_THROW(ok.at(2, 0), Error);
+}
+
+}  // namespace
+}  // namespace ecms::tech

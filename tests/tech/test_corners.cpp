@@ -1,0 +1,99 @@
+#include "tech/corners.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/mosfet.hpp"
+#include "util/stats.hpp"
+
+namespace ecms::tech {
+namespace {
+
+TEST(Corners, NamesRoundTrip) {
+  EXPECT_EQ(corner_name(Corner::kTT), "TT");
+  EXPECT_EQ(corner_name(Corner::kFS), "FS");
+  EXPECT_EQ(std::size(kAllCorners), 5u);
+}
+
+TEST(Corners, TtIsIdentity) {
+  const Technology base = tech018();
+  const Technology tt = apply_corner(base, Corner::kTT);
+  EXPECT_DOUBLE_EQ(tt.n_vth0, base.n_vth0);
+  EXPECT_DOUBLE_EQ(tt.n_kp, base.n_kp);
+  EXPECT_DOUBLE_EQ(tt.p_kp, base.p_kp);
+}
+
+TEST(Corners, FfLowersVthRaisesKp) {
+  const Technology base = tech018();
+  const Technology ff = apply_corner(base, Corner::kFF);
+  EXPECT_LT(ff.n_vth0, base.n_vth0);
+  EXPECT_GT(ff.n_kp, base.n_kp);
+  EXPECT_LT(ff.p_vth0, base.p_vth0);
+  EXPECT_GT(ff.p_kp, base.p_kp);
+}
+
+TEST(Corners, SsIsMirrorOfFf) {
+  const Technology base = tech018();
+  const Technology ff = apply_corner(base, Corner::kFF);
+  const Technology ss = apply_corner(base, Corner::kSS);
+  EXPECT_NEAR(ff.n_vth0 + ss.n_vth0, 2 * base.n_vth0, 1e-12);
+  EXPECT_NEAR(ff.n_kp + ss.n_kp, 2 * base.n_kp, 1e-9);
+}
+
+TEST(Corners, SkewedCornersSplitNAndP) {
+  const Technology base = tech018();
+  const Technology fs = apply_corner(base, Corner::kFS);
+  EXPECT_LT(fs.n_vth0, base.n_vth0);  // fast NMOS
+  EXPECT_GT(fs.p_vth0, base.p_vth0);  // slow PMOS
+  const Technology sf = apply_corner(base, Corner::kSF);
+  EXPECT_GT(sf.n_vth0, base.n_vth0);
+  EXPECT_LT(sf.p_vth0, base.p_vth0);
+}
+
+TEST(Corners, FastCornerReallyFaster) {
+  // On-current of the same device must rank SS < TT < FF.
+  const Technology base = tech018();
+  auto ion = [&](Corner c) {
+    const Technology t = apply_corner(base, c);
+    return circuit::mos_ids(t.nmos_min(1e-6), 1.8, 1.8);
+  };
+  EXPECT_LT(ion(Corner::kSS), ion(Corner::kTT));
+  EXPECT_LT(ion(Corner::kTT), ion(Corner::kFF));
+}
+
+TEST(Mismatch, SigmaFollowsPelgrom) {
+  const MatchingCoeffs mc;
+  const double s1 = vth_mismatch_sigma(mc, 1e-6, 1e-6);
+  const double s4 = vth_mismatch_sigma(mc, 2e-6, 2e-6);
+  EXPECT_NEAR(s1 / s4, 2.0, 1e-9);  // 4x area -> half sigma
+}
+
+TEST(Mismatch, AppliedStatisticsMatchSigma) {
+  const Technology t = tech018();
+  const MatchingCoeffs mc;
+  Rng rng(3);
+  RunningStats vth;
+  for (int i = 0; i < 4000; ++i) {
+    auto p = t.nmos(1e-6, 0.18e-6);
+    apply_mismatch(p, mc, rng);
+    vth.add(p.vth0);
+  }
+  EXPECT_NEAR(vth.mean(), t.n_vth0, 0.001);
+  EXPECT_NEAR(vth.stddev(), vth_mismatch_sigma(mc, 1e-6, 0.18e-6), 0.001);
+}
+
+TEST(Mismatch, BetaMismatchIsRelative) {
+  const Technology t = tech018();
+  const MatchingCoeffs mc;
+  Rng rng(5);
+  RunningStats kp;
+  for (int i = 0; i < 4000; ++i) {
+    auto p = t.nmos(1e-6, 0.18e-6);
+    apply_mismatch(p, mc, rng);
+    kp.add(p.kp / t.n_kp);
+  }
+  EXPECT_NEAR(kp.mean(), 1.0, 0.002);
+  EXPECT_GT(kp.stddev(), 0.0);
+}
+
+}  // namespace
+}  // namespace ecms::tech

@@ -1,0 +1,111 @@
+#include "tech/defects.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ecms::tech {
+namespace {
+
+TEST(Defects, NamesAndLetters) {
+  EXPECT_EQ(defect_name(DefectType::kShort), "short");
+  EXPECT_EQ(defect_letter(DefectType::kNone), '.');
+  EXPECT_EQ(defect_letter(DefectType::kOpen), 'O');
+}
+
+TEST(Defects, ElectricalInterpretation) {
+  const auto none = electrical_of({});
+  EXPECT_DOUBLE_EQ(none.cap_scale, 1.0);
+  EXPECT_FALSE(none.disconnected);
+  EXPECT_DOUBLE_EQ(none.shunt_r, 0.0);
+
+  const auto sh = electrical_of(make_short(2e3));
+  EXPECT_DOUBLE_EQ(sh.shunt_r, 2e3);
+
+  const auto op = electrical_of(make_open());
+  EXPECT_TRUE(op.disconnected);
+  EXPECT_GT(op.residual_cap, 0.0);
+  EXPECT_LT(op.residual_cap, 2e-15);
+
+  const auto pa = electrical_of(make_partial(0.4));
+  EXPECT_DOUBLE_EQ(pa.cap_scale, 0.4);
+
+  const auto br = electrical_of(make_bridge(7e3));
+  EXPECT_DOUBLE_EQ(br.bridge_r, 7e3);
+}
+
+TEST(DefectMapT, StartsClean) {
+  const DefectMap m(4, 4);
+  EXPECT_EQ(m.total_defective(), 0u);
+  EXPECT_EQ(m.count(DefectType::kNone), 16u);
+}
+
+TEST(DefectMapT, SetAndCount) {
+  DefectMap m(4, 4);
+  m.set(1, 2, make_short());
+  m.set(3, 3, make_open());
+  EXPECT_EQ(m.count(DefectType::kShort), 1u);
+  EXPECT_EQ(m.count(DefectType::kOpen), 1u);
+  EXPECT_EQ(m.total_defective(), 2u);
+  EXPECT_EQ(m.at(1, 2).type, DefectType::kShort);
+}
+
+TEST(DefectMapT, PartialSeverityValidated) {
+  DefectMap m(2, 2);
+  EXPECT_THROW(m.set(0, 0, {DefectType::kPartial, 0.0}), Error);
+  EXPECT_THROW(m.set(0, 0, {DefectType::kPartial, 1.0}), Error);
+  EXPECT_NO_THROW(m.set(0, 0, make_partial(0.5)));
+}
+
+TEST(DefectMapT, RandomRatesApproximatelyHold) {
+  Rng rng(11);
+  DefectRates rates;
+  rates.short_rate = 0.01;
+  rates.open_rate = 0.02;
+  const DefectMap m = DefectMap::random(100, 100, rates, rng);
+  EXPECT_NEAR(static_cast<double>(m.count(DefectType::kShort)) / 1e4, 0.01,
+              0.005);
+  EXPECT_NEAR(static_cast<double>(m.count(DefectType::kOpen)) / 1e4, 0.02,
+              0.006);
+  EXPECT_EQ(m.count(DefectType::kPartial), 0u);
+}
+
+TEST(DefectMapT, ClusterIsADisk) {
+  DefectMap m(9, 9);
+  m.inject_cluster(4, 4, 1.5, make_open());
+  // Center plus the 4-neighborhood (and diagonals within 1.5).
+  EXPECT_EQ(m.at(4, 4).type, DefectType::kOpen);
+  EXPECT_EQ(m.at(3, 4).type, DefectType::kOpen);
+  EXPECT_EQ(m.at(3, 3).type, DefectType::kOpen);  // sqrt(2) < 1.5
+  EXPECT_EQ(m.at(2, 4).type, DefectType::kNone);  // distance 2 > 1.5
+  EXPECT_GE(m.total_defective(), 9u);
+}
+
+TEST(DefectMapT, ClusterClippedAtEdges) {
+  DefectMap m(4, 4);
+  m.inject_cluster(0, 0, 1.0, make_short());
+  EXPECT_EQ(m.at(0, 0).type, DefectType::kShort);
+  EXPECT_EQ(m.total_defective(), 3u);  // (0,0),(0,1),(1,0)
+}
+
+TEST(DefectMapT, RowAndColumnInjection) {
+  DefectMap m(4, 6);
+  m.inject_row(2, make_partial(0.5));
+  EXPECT_EQ(m.count(DefectType::kPartial), 6u);
+  m.inject_column(1, make_open());
+  EXPECT_EQ(m.count(DefectType::kOpen), 4u);
+  // The intersection cell was overwritten by the column.
+  EXPECT_EQ(m.at(2, 1).type, DefectType::kOpen);
+}
+
+TEST(DefectMapT, LettersRowMajor) {
+  DefectMap m(2, 2);
+  m.set(0, 1, make_short());
+  const auto letters = m.letters();
+  EXPECT_EQ(letters.size(), 4u);
+  EXPECT_EQ(letters[0], '.');
+  EXPECT_EQ(letters[1], 'S');
+}
+
+}  // namespace
+}  // namespace ecms::tech

@@ -1,0 +1,52 @@
+#include "tech/tech.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ecms::tech {
+namespace {
+
+TEST(TechT, DefaultsAreA018Node) {
+  const Technology t = tech018();
+  EXPECT_DOUBLE_EQ(t.vdd, 1.8);
+  EXPECT_GT(t.vpp, t.vdd + t.n_vth0 + 0.5);  // full-rail pass guaranteed
+  EXPECT_DOUBLE_EQ(t.l_min, 0.18e-6);
+  EXPECT_NEAR(to_unit::fF(t.cell_cap_nominal), 30.0, 1e-9);
+}
+
+TEST(TechT, NmosFactoryFillsGeometry) {
+  const Technology t = tech018();
+  const auto p = t.nmos(2e-6, 0.3e-6);
+  EXPECT_EQ(p.type, circuit::MosType::kNmos);
+  EXPECT_DOUBLE_EQ(p.w, 2e-6);
+  EXPECT_DOUBLE_EQ(p.l, 0.3e-6);
+  EXPECT_DOUBLE_EQ(p.kp, t.n_kp);
+  EXPECT_DOUBLE_EQ(p.vth0, t.n_vth0);
+}
+
+TEST(TechT, PmosFactoryUsesPmosParams) {
+  const Technology t = tech018();
+  const auto p = t.pmos_min(1e-6);
+  EXPECT_EQ(p.type, circuit::MosType::kPmos);
+  EXPECT_DOUBLE_EQ(p.kp, t.p_kp);
+  EXPECT_DOUBLE_EQ(p.l, t.l_min);
+  EXPECT_LT(p.kp, t.n_kp);  // holes slower than electrons
+}
+
+TEST(TechT, InvalidGeometryThrows) {
+  const Technology t = tech018();
+  EXPECT_THROW(t.nmos(0.0, 1e-6), Error);
+  EXPECT_THROW(t.pmos(1e-6, -1e-6), Error);
+}
+
+TEST(TechT, GateCapDensityMatchesTox) {
+  // 4 nm SiO2: Cox = eps0*3.9/4nm = 8.63e-3 F/m^2.
+  const Technology t = tech018();
+  const double cox = phys::kEps0 * phys::kEpsSiO2 / 4e-9;
+  EXPECT_NEAR(t.cox_per_area, cox, 0.1e-3);
+}
+
+}  // namespace
+}  // namespace ecms::tech

@@ -1,0 +1,93 @@
+#include "util/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ecms {
+namespace {
+
+TEST(LinePlotT, EmptyPlotRenders) {
+  LinePlot p;
+  EXPECT_EQ(p.render(), "(empty plot)\n");
+}
+
+TEST(LinePlotT, SeriesAppearsOnCanvas) {
+  LinePlot p;
+  std::vector<double> xs = {0, 1, 2, 3};
+  std::vector<double> ys = {0, 1, 2, 3};
+  p.add_series("line", xs, ys);
+  const std::string s = p.render();
+  EXPECT_NE(s.find('*'), std::string::npos);
+  EXPECT_NE(s.find("line"), std::string::npos);
+}
+
+TEST(LinePlotT, MultipleSeriesUseDistinctGlyphs) {
+  LinePlot p;
+  std::vector<double> xs = {0, 1};
+  std::vector<double> y1 = {0, 0};
+  std::vector<double> y2 = {1, 1};
+  p.add_series("a", xs, y1);
+  p.add_series("b", xs, y2);
+  const std::string s = p.render();
+  EXPECT_NE(s.find('*'), std::string::npos);
+  EXPECT_NE(s.find('+'), std::string::npos);
+}
+
+TEST(LinePlotT, MismatchedSeriesThrows) {
+  LinePlot p;
+  std::vector<double> xs = {0, 1};
+  std::vector<double> ys = {0};
+  EXPECT_THROW(p.add_series("bad", xs, ys), Error);
+}
+
+TEST(LinePlotT, TinyCanvasRejected) {
+  PlotOptions o;
+  o.width = 2;
+  EXPECT_THROW(LinePlot{o}, Error);
+}
+
+TEST(LinePlotT, FixedRangeClipsOutliers) {
+  PlotOptions o;
+  LinePlot p(o);
+  std::vector<double> xs = {0, 1, 2};
+  std::vector<double> ys = {0, 100, 0};
+  p.add_series("s", xs, ys);
+  p.set_y_range(-1.0, 1.0);
+  // Should not throw; the 100 point is simply clipped.
+  EXPECT_FALSE(p.render().empty());
+}
+
+TEST(HeatmapT, SizeMismatchThrows) {
+  std::vector<double> v(5, 0.0);
+  EXPECT_THROW(render_heatmap(v, 2, 3, 0, 1), Error);
+}
+
+TEST(HeatmapT, ExtremesUseRampEnds) {
+  std::vector<double> v = {0.0, 1.0};
+  const std::string s = render_heatmap(v, 1, 2, 0.0, 1.0);
+  EXPECT_EQ(s[0], ' ');  // low end of ramp
+  EXPECT_EQ(s[1], '@');  // high end of ramp
+}
+
+TEST(HeatmapT, NanRendersQuestionMark) {
+  std::vector<double> v = {std::nan("")};
+  EXPECT_EQ(render_heatmap(v, 1, 1, 0.0, 1.0)[0], '?');
+}
+
+TEST(HeatmapT, RowsSeparatedByNewlines) {
+  std::vector<double> v(6, 0.5);
+  const std::string s = render_heatmap(v, 2, 3, 0.0, 1.0);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);
+}
+
+TEST(CharmapT, RendersVerbatim) {
+  std::vector<char> cells = {'a', 'b', 'c', 'd'};
+  EXPECT_EQ(render_charmap(cells, 2, 2), "ab\ncd\n");
+}
+
+}  // namespace
+}  // namespace ecms

@@ -1,0 +1,187 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ecms {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyThrows) {
+  RunningStats s;
+  EXPECT_THROW(s.mean(), Error);
+  EXPECT_THROW(s.min(), Error);
+}
+
+TEST(RunningStats, SingleSampleVarianceZero) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng r(5);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsNoop) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Percentile, KnownValues) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 10), 1.0);
+}
+
+TEST(Percentile, UnsortedInput) {
+  const std::vector<double> xs = {9, 1, 5, 3, 7};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 5.0);
+}
+
+TEST(MadSigma, MatchesSigmaForNormal) {
+  Rng r(7);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = r.normal(0.0, 3.0);
+  EXPECT_NEAR(mad_sigma(xs), 3.0, 0.15);
+}
+
+TEST(MadSigma, RobustToOutliers) {
+  Rng r(7);
+  std::vector<double> xs(1000);
+  for (auto& x : xs) x = r.normal(0.0, 1.0);
+  for (int i = 0; i < 50; ++i) xs[static_cast<std::size_t>(i)] = 1000.0;
+  EXPECT_LT(mad_sigma(xs), 2.0);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(FitLine, RecoversLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 + 0.5 * i);
+  }
+  const LinearFit f = fit_line(xs, ys);
+  EXPECT_NEAR(f.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(f.slope, 0.5, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(FitLine, NoisyR2BelowOne) {
+  Rng r(9);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 200; ++i) {
+    xs.push_back(i);
+    ys.push_back(2.0 * i + r.normal(0.0, 20.0));
+  }
+  const LinearFit f = fit_line(xs, ys);
+  EXPECT_NEAR(f.slope, 2.0, 0.2);
+  EXPECT_LT(f.r2, 1.0);
+  EXPECT_GT(f.r2, 0.8);
+}
+
+TEST(HistogramT, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bin 0
+  h.add(9.99);  // bin 9
+  h.add(-5.0);  // clamps to bin 0
+  h.add(50.0);  // clamps to bin 9
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(HistogramT, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_low(4), 8.0);
+}
+
+TEST(HistogramT, ModeBin) {
+  Histogram h(0.0, 3.0, 3);
+  h.add(1.5);
+  h.add(1.6);
+  h.add(0.1);
+  EXPECT_EQ(h.mode_bin(), 1u);
+}
+
+TEST(WelchT, DetectsShift) {
+  Rng r(11);
+  RunningStats a, b;
+  for (int i = 0; i < 500; ++i) {
+    a.add(r.normal(0.0, 1.0));
+    b.add(r.normal(0.5, 1.0));
+  }
+  double df = 0.0;
+  const double t = welch_t(a, b, &df);
+  EXPECT_LT(t, -4.0);  // strong negative shift
+  EXPECT_GT(df, 100.0);
+  EXPECT_LT(two_sided_p_from_z(t), 1e-4);
+}
+
+TEST(WelchT, NoShiftSmallT) {
+  Rng r(13);
+  RunningStats a, b;
+  for (int i = 0; i < 2000; ++i) {
+    a.add(r.normal(0.0, 1.0));
+    b.add(r.normal(0.0, 1.0));
+  }
+  EXPECT_LT(std::abs(welch_t(a, b)), 3.0);
+}
+
+TEST(PValue, Extremes) {
+  EXPECT_NEAR(two_sided_p_from_z(0.0), 1.0, 1e-12);
+  EXPECT_LT(two_sided_p_from_z(5.0), 1e-5);
+}
+
+}  // namespace
+}  // namespace ecms

@@ -1,0 +1,81 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ecms {
+namespace {
+
+TEST(TableT, BasicShape) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t.cell(1, 0), "3");
+}
+
+TEST(TableT, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), Error);
+}
+
+TEST(TableT, EmptyHeadersThrow) { EXPECT_THROW(Table({}), Error); }
+
+TEST(TableT, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(static_cast<long long>(42)), "42");
+  EXPECT_EQ(Table::num(-1.5, 1), "-1.5");
+}
+
+TEST(TableT, TextRenderingAligned) {
+  Table t({"name", "v"});
+  t.add_row({"x", "1"});
+  const std::string s = t.to_text();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_NE(s.find('x'), std::string::npos);
+}
+
+TEST(TableT, MarkdownHasSeparatorRow) {
+  Table t({"h1", "h2"});
+  t.add_row({"a", "b"});
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| h1 | h2 |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+}
+
+TEST(TableT, CsvEscaping) {
+  Table t({"c"});
+  t.add_row({"plain"});
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("plain\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TableT, CellOutOfRangeThrows) {
+  Table t({"a"});
+  t.add_row({"1"});
+  EXPECT_THROW(t.cell(1, 0), Error);
+  EXPECT_THROW(t.cell(0, 1), Error);
+}
+
+TEST(TableT, WriteCsvRoundtrip) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  const std::string path = testing::TempDir() + "/ecms_table_test.csv";
+  t.write_csv(path);
+  FILE* f = fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  ASSERT_NE(fgets(buf, sizeof buf, f), nullptr);
+  EXPECT_STREQ(buf, "a,b\n");
+  fclose(f);
+}
+
+}  // namespace
+}  // namespace ecms

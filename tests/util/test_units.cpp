@@ -1,0 +1,47 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecms {
+namespace {
+
+TEST(Units, CapacitanceLiterals) {
+  EXPECT_DOUBLE_EQ(30.0_fF, 30e-15);
+  EXPECT_DOUBLE_EQ(1.5_pF, 1.5e-12);
+  EXPECT_DOUBLE_EQ(1_pF, 1e-12);
+}
+
+TEST(Units, TimeLiterals) {
+  EXPECT_DOUBLE_EQ(10_ns, 1e-8);
+  EXPECT_DOUBLE_EQ(2.5_us, 2.5e-6);
+  EXPECT_DOUBLE_EQ(100_ps, 1e-10);
+}
+
+TEST(Units, VoltageCurrentLiterals) {
+  EXPECT_DOUBLE_EQ(1.8_V, 1.8);
+  EXPECT_DOUBLE_EQ(900_mV, 0.9);
+  EXPECT_DOUBLE_EQ(20_uA, 2e-5);
+  EXPECT_DOUBLE_EQ(1.0_nA, 1e-9);
+}
+
+TEST(Units, ResistanceLengthLiterals) {
+  EXPECT_DOUBLE_EQ(10_kOhm, 1e4);
+  EXPECT_DOUBLE_EQ(1_MOhm, 1e6);
+  EXPECT_DOUBLE_EQ(0.18_um, 1.8e-7);
+  EXPECT_DOUBLE_EQ(4_nm, 4e-9);
+}
+
+TEST(Units, DisplayConversionsInvertLiterals) {
+  EXPECT_DOUBLE_EQ(to_unit::fF(30_fF), 30.0);
+  EXPECT_DOUBLE_EQ(to_unit::ns(10_ns), 10.0);
+  EXPECT_DOUBLE_EQ(to_unit::uA(5_uA), 5.0);
+  EXPECT_DOUBLE_EQ(to_unit::mV(1.8_V), 1800.0);
+  EXPECT_DOUBLE_EQ(to_unit::um(0.18_um), 0.18);
+}
+
+TEST(Units, ThermalVoltageAt300K) {
+  EXPECT_NEAR(phys::thermal_voltage(300.0), 0.02585, 1e-4);
+}
+
+}  // namespace
+}  // namespace ecms

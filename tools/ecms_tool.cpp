@@ -1,0 +1,209 @@
+// ecms_tool — command-line driver for the library.
+//
+//   ecms_tool abacus  [--ref-w <um>] [--steps <n>] [--rows <n>] [--cols <n>]
+//   ecms_tool extract --row <r> --col <c> [--cap <fF>] [--defect short|open]
+//   ecms_tool bitmap  [--rows <n>] [--cols <n>] [--seed <s>]
+//                     [--shorts <p>] [--opens <p>] [--partials <p>]
+//                     [--gradient <rel>] [--drift <rel>]
+//   ecms_tool design  [--rows <n>] [--cols <n>]
+//   ecms_tool spice   [--rows <n>] [--cols <n>]
+//
+// Everything prints to stdout; exit code 0 on success, 1 on usage errors.
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "bitmap/compare.hpp"
+#include "bitmap/diagnosis.hpp"
+#include "circuit/spice_io.hpp"
+#include "edram/behavioral.hpp"
+#include "edram/netlister.hpp"
+#include "march/runner.hpp"
+#include "msu/abacus.hpp"
+#include "msu/designer.hpp"
+#include "msu/extract.hpp"
+#include "report/heatmap.hpp"
+#include "tech/tech.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+using namespace ecms;
+
+class Args {
+ public:
+  Args(int argc, char** argv, int from) {
+    for (int i = from; i + 1 < argc; i += 2) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        throw ecms::Error("expected --option, got '" + key + "'");
+      }
+      kv_[key.substr(2)] = argv[i + 1];
+    }
+    if ((argc - from) % 2 != 0) {
+      throw ecms::Error("dangling option without a value");
+    }
+  }
+
+  double num(const std::string& key, double fallback) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? fallback : std::stod(it->second);
+  }
+  std::string str(const std::string& key, const std::string& fallback) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? fallback : it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+edram::MacroCellSpec spec_of(const Args& args) {
+  edram::MacroCellSpec spec;
+  spec.rows = static_cast<std::size_t>(args.num("rows", 4));
+  spec.cols = static_cast<std::size_t>(args.num("cols", 4));
+  return spec;
+}
+
+int cmd_abacus(const Args& args) {
+  msu::StructureParams p;
+  if (args.num("ref-w", 0) > 0) p.ref_w = args.num("ref-w", 0) * 1e-6;
+  p.ramp_steps = static_cast<int>(args.num("steps", 20));
+  const auto mc =
+      edram::MacroCell::uniform(spec_of(args), tech::tech018(), 30_fF);
+  const msu::FastModel model(mc, p);
+  msu::Abacus ab = msu::Abacus::build(
+      [&](double cm) { return model.code_of_cap(cm); }, p.ramp_steps, 1e-15,
+      75e-15, 741);
+  ab.refine([&](double cm) { return model.code_of_cap(cm); }, 1e-19);
+
+  Table t({"code", "Cm low (fF)", "Cm high (fF)", "accuracy (%)"});
+  for (int code = 1; code < p.ramp_steps; ++code) {
+    const auto bin = ab.bin(code);
+    if (!bin) continue;
+    t.add_row({Table::num(static_cast<long long>(code)),
+               Table::num(to_unit::fF(bin->lo), 2),
+               Table::num(to_unit::fF(bin->hi), 2),
+               Table::num(100 * bin->relative_halfwidth(), 1)});
+  }
+  std::cout << t;
+  std::printf("\nwindow %.1f - %.1f fF, mean accuracy %.1f%%\n",
+              to_unit::fF(ab.range_lo()), to_unit::fF(ab.range_hi()),
+              100 * ab.mean_accuracy(1, p.ramp_steps - 1));
+  return 0;
+}
+
+int cmd_extract(const Args& args) {
+  const auto r = static_cast<std::size_t>(args.num("row", 0));
+  const auto c = static_cast<std::size_t>(args.num("col", 0));
+  auto mc = edram::MacroCell::uniform(spec_of(args), tech::tech018(), 30_fF);
+  mc.set_true_cap(r, c, args.num("cap", 30.0) * 1e-15);
+  const std::string defect = args.str("defect", "");
+  if (defect == "short") mc.set_defect(r, c, tech::make_short());
+  if (defect == "open") mc.set_defect(r, c, tech::make_open());
+
+  const auto res = msu::extract_cell(mc, r, c, {});
+  std::printf("cell (%zu,%zu): code %d / %d\n", r, c, res.code,
+              res.schedule.ramp_steps);
+  std::printf("  plate after charge : %.3f V\n", res.v_plate_charged);
+  std::printf("  V_GS after share   : %.3f V\n", res.vgs_shared);
+  if (res.t_out_rise) {
+    std::printf("  OUT flip           : %.2f ns\n",
+                to_unit::ns(*res.t_out_rise));
+  } else {
+    std::printf("  OUT did not flip (full-scale)\n");
+  }
+  std::printf("  transient steps    : %zu\n", res.stats.accepted_steps);
+  return 0;
+}
+
+int cmd_bitmap(const Args& args) {
+  const auto rows = static_cast<std::size_t>(args.num("rows", 32));
+  const auto cols = static_cast<std::size_t>(args.num("cols", 32));
+  const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
+
+  tech::CapProcessParams cp;
+  cp.local_sigma_rel = 0.02;
+  cp.gradient_x_rel = args.num("gradient", 0.0);
+  cp.lot_offset_rel = args.num("drift", 0.0);
+  tech::CapField field(cp, rows, cols, seed);
+  Rng rng(seed);
+  tech::DefectRates rates;
+  rates.short_rate = args.num("shorts", 0.002);
+  rates.open_rate = args.num("opens", 0.002);
+  rates.partial_rate = args.num("partials", 0.005);
+  tech::DefectMap defects = tech::DefectMap::random(rows, cols, rates, rng);
+  const edram::MacroCell mc({.rows = rows, .cols = cols}, tech::tech018(),
+                            std::move(field), std::move(defects));
+
+  const auto analog = bitmap::AnalogBitmap::extract_tiled(mc, {});
+  std::printf("analog bitmap (codes 0..20):\n%s\n",
+              report::render_code_heatmap(analog).c_str());
+  const auto sig = bitmap::SignatureMap::categorize(analog);
+  std::printf("signatures:\n%s\n", report::render_signature_map(sig).c_str());
+
+  const auto findings = bitmap::diagnose(
+      analog, bitmap::make_tiled_disambiguator(mc, {}), std::nullopt);
+  std::printf("findings (%zu):\n", findings.size());
+  for (const auto& f : findings)
+    std::printf("  [%s] %s\n", bitmap::diagnosis_name(f.kind).c_str(),
+                f.detail.c_str());
+  return 0;
+}
+
+int cmd_design(const Args& args) {
+  const auto mc =
+      edram::MacroCell::uniform(spec_of(args), tech::tech018(), 30_fF);
+  const msu::StructureParams best = msu::auto_size_structure(mc);
+  const msu::DesignPoint d = msu::evaluate_design(mc, best);
+  std::printf("auto-sized structure for %zux%zu macro-cell:\n", mc.rows(),
+              mc.cols());
+  std::printf("  REF            : W = %.1f um, L = %.2f um\n",
+              to_unit::um(best.ref_w), to_unit::um(best.ref_l));
+  std::printf("  C_REF          : %.1f fF\n", to_unit::fF(d.cref));
+  std::printf("  window         : %.1f - %.1f fF\n", to_unit::fF(d.range_lo),
+              to_unit::fF(d.range_hi));
+  std::printf("  codes used     : %zu\n", d.codes_used);
+  std::printf("  mean accuracy  : %.1f %%\n", 100 * d.mean_acc);
+  std::printf("  score          : %.3f\n", d.score);
+  return 0;
+}
+
+int cmd_spice(const Args& args) {
+  const auto mc =
+      edram::MacroCell::uniform(spec_of(args), tech::tech018(), 30_fF);
+  circuit::Circuit ckt;
+  const auto arr = edram::build_array(ckt, mc);
+  msu::build_structure(ckt, arr.plate, mc.tech(), {});
+  circuit::write_spice(ckt, std::cout,
+                       "eDRAM macro-cell + measurement structure");
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ecms_tool <abacus|extract|bitmap|design|spice> "
+               "[--option value ...]\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (cmd == "abacus") return cmd_abacus(args);
+    if (cmd == "extract") return cmd_extract(args);
+    if (cmd == "bitmap") return cmd_bitmap(args);
+    if (cmd == "design") return cmd_design(args);
+    if (cmd == "spice") return cmd_spice(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
