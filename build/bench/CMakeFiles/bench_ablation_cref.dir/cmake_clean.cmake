@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cref.dir/bench_ablation_cref.cpp.o"
+  "CMakeFiles/bench_ablation_cref.dir/bench_ablation_cref.cpp.o.d"
+  "bench_ablation_cref"
+  "bench_ablation_cref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

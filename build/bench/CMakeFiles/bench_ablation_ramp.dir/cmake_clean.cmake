@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ramp.dir/bench_ablation_ramp.cpp.o"
+  "CMakeFiles/bench_ablation_ramp.dir/bench_ablation_ramp.cpp.o.d"
+  "bench_ablation_ramp"
+  "bench_ablation_ramp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ramp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

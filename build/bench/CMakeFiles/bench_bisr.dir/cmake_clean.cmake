@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bisr.dir/bench_bisr.cpp.o"
+  "CMakeFiles/bench_bisr.dir/bench_bisr.cpp.o.d"
+  "bench_bisr"
+  "bench_bisr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bisr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bitmap_vs_digital.dir/bench_bitmap_vs_digital.cpp.o"
+  "CMakeFiles/bench_bitmap_vs_digital.dir/bench_bitmap_vs_digital.cpp.o.d"
+  "bench_bitmap_vs_digital"
+  "bench_bitmap_vs_digital.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bitmap_vs_digital.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_extraction.dir/bench_fig2_extraction.cpp.o"
+  "CMakeFiles/bench_fig2_extraction.dir/bench_fig2_extraction.cpp.o.d"
+  "bench_fig2_extraction"
+  "bench_fig2_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

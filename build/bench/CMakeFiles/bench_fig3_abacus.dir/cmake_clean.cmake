@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_abacus.dir/bench_fig3_abacus.cpp.o"
+  "CMakeFiles/bench_fig3_abacus.dir/bench_fig3_abacus.cpp.o.d"
+  "bench_fig3_abacus"
+  "bench_fig3_abacus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_abacus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/analog_bitmap.cpp" "examples/CMakeFiles/analog_bitmap.dir/analog_bitmap.cpp.o" "gcc" "examples/CMakeFiles/analog_bitmap.dir/analog_bitmap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/report/CMakeFiles/ecms_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/bisr/CMakeFiles/ecms_bisr.dir/DependInfo.cmake"
+  "/root/repo/build/src/march/CMakeFiles/ecms_march.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitmap/CMakeFiles/ecms_bitmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/msu/CMakeFiles/ecms_msu.dir/DependInfo.cmake"
+  "/root/repo/build/src/edram/CMakeFiles/ecms_edram.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/ecms_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/ecms_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analog_bitmap.dir/analog_bitmap.cpp.o"
+  "CMakeFiles/analog_bitmap.dir/analog_bitmap.cpp.o.d"
+  "analog_bitmap"
+  "analog_bitmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analog_bitmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_analysis.dir/failure_analysis.cpp.o"
+  "CMakeFiles/failure_analysis.dir/failure_analysis.cpp.o.d"
+  "failure_analysis"
+  "failure_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

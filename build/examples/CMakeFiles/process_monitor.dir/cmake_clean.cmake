@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_monitor.dir/process_monitor.cpp.o"
+  "CMakeFiles/process_monitor.dir/process_monitor.cpp.o.d"
+  "process_monitor"
+  "process_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

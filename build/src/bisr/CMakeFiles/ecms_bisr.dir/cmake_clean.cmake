@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecms_bisr.dir/allocator.cpp.o"
+  "CMakeFiles/ecms_bisr.dir/allocator.cpp.o.d"
+  "CMakeFiles/ecms_bisr.dir/yield.cpp.o"
+  "CMakeFiles/ecms_bisr.dir/yield.cpp.o.d"
+  "libecms_bisr.a"
+  "libecms_bisr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecms_bisr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ecms_bisr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecms_bitmap.dir/analog_bitmap.cpp.o"
+  "CMakeFiles/ecms_bitmap.dir/analog_bitmap.cpp.o.d"
+  "CMakeFiles/ecms_bitmap.dir/compare.cpp.o"
+  "CMakeFiles/ecms_bitmap.dir/compare.cpp.o.d"
+  "CMakeFiles/ecms_bitmap.dir/diagnosis.cpp.o"
+  "CMakeFiles/ecms_bitmap.dir/diagnosis.cpp.o.d"
+  "CMakeFiles/ecms_bitmap.dir/signature.cpp.o"
+  "CMakeFiles/ecms_bitmap.dir/signature.cpp.o.d"
+  "CMakeFiles/ecms_bitmap.dir/spatial.cpp.o"
+  "CMakeFiles/ecms_bitmap.dir/spatial.cpp.o.d"
+  "libecms_bitmap.a"
+  "libecms_bitmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecms_bitmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

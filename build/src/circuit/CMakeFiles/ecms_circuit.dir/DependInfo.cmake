@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/ac.cpp" "src/circuit/CMakeFiles/ecms_circuit.dir/ac.cpp.o" "gcc" "src/circuit/CMakeFiles/ecms_circuit.dir/ac.cpp.o.d"
+  "/root/repo/src/circuit/dc.cpp" "src/circuit/CMakeFiles/ecms_circuit.dir/dc.cpp.o" "gcc" "src/circuit/CMakeFiles/ecms_circuit.dir/dc.cpp.o.d"
+  "/root/repo/src/circuit/device.cpp" "src/circuit/CMakeFiles/ecms_circuit.dir/device.cpp.o" "gcc" "src/circuit/CMakeFiles/ecms_circuit.dir/device.cpp.o.d"
+  "/root/repo/src/circuit/diode.cpp" "src/circuit/CMakeFiles/ecms_circuit.dir/diode.cpp.o" "gcc" "src/circuit/CMakeFiles/ecms_circuit.dir/diode.cpp.o.d"
+  "/root/repo/src/circuit/matrix.cpp" "src/circuit/CMakeFiles/ecms_circuit.dir/matrix.cpp.o" "gcc" "src/circuit/CMakeFiles/ecms_circuit.dir/matrix.cpp.o.d"
+  "/root/repo/src/circuit/mosfet.cpp" "src/circuit/CMakeFiles/ecms_circuit.dir/mosfet.cpp.o" "gcc" "src/circuit/CMakeFiles/ecms_circuit.dir/mosfet.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/circuit/CMakeFiles/ecms_circuit.dir/netlist.cpp.o" "gcc" "src/circuit/CMakeFiles/ecms_circuit.dir/netlist.cpp.o.d"
+  "/root/repo/src/circuit/newton.cpp" "src/circuit/CMakeFiles/ecms_circuit.dir/newton.cpp.o" "gcc" "src/circuit/CMakeFiles/ecms_circuit.dir/newton.cpp.o.d"
+  "/root/repo/src/circuit/passive.cpp" "src/circuit/CMakeFiles/ecms_circuit.dir/passive.cpp.o" "gcc" "src/circuit/CMakeFiles/ecms_circuit.dir/passive.cpp.o.d"
+  "/root/repo/src/circuit/sources.cpp" "src/circuit/CMakeFiles/ecms_circuit.dir/sources.cpp.o" "gcc" "src/circuit/CMakeFiles/ecms_circuit.dir/sources.cpp.o.d"
+  "/root/repo/src/circuit/spice_io.cpp" "src/circuit/CMakeFiles/ecms_circuit.dir/spice_io.cpp.o" "gcc" "src/circuit/CMakeFiles/ecms_circuit.dir/spice_io.cpp.o.d"
+  "/root/repo/src/circuit/transient.cpp" "src/circuit/CMakeFiles/ecms_circuit.dir/transient.cpp.o" "gcc" "src/circuit/CMakeFiles/ecms_circuit.dir/transient.cpp.o.d"
+  "/root/repo/src/circuit/wave.cpp" "src/circuit/CMakeFiles/ecms_circuit.dir/wave.cpp.o" "gcc" "src/circuit/CMakeFiles/ecms_circuit.dir/wave.cpp.o.d"
+  "/root/repo/src/circuit/waveform.cpp" "src/circuit/CMakeFiles/ecms_circuit.dir/waveform.cpp.o" "gcc" "src/circuit/CMakeFiles/ecms_circuit.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ecms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

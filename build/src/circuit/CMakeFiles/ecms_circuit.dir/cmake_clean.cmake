@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecms_circuit.dir/ac.cpp.o"
+  "CMakeFiles/ecms_circuit.dir/ac.cpp.o.d"
+  "CMakeFiles/ecms_circuit.dir/dc.cpp.o"
+  "CMakeFiles/ecms_circuit.dir/dc.cpp.o.d"
+  "CMakeFiles/ecms_circuit.dir/device.cpp.o"
+  "CMakeFiles/ecms_circuit.dir/device.cpp.o.d"
+  "CMakeFiles/ecms_circuit.dir/diode.cpp.o"
+  "CMakeFiles/ecms_circuit.dir/diode.cpp.o.d"
+  "CMakeFiles/ecms_circuit.dir/matrix.cpp.o"
+  "CMakeFiles/ecms_circuit.dir/matrix.cpp.o.d"
+  "CMakeFiles/ecms_circuit.dir/mosfet.cpp.o"
+  "CMakeFiles/ecms_circuit.dir/mosfet.cpp.o.d"
+  "CMakeFiles/ecms_circuit.dir/netlist.cpp.o"
+  "CMakeFiles/ecms_circuit.dir/netlist.cpp.o.d"
+  "CMakeFiles/ecms_circuit.dir/newton.cpp.o"
+  "CMakeFiles/ecms_circuit.dir/newton.cpp.o.d"
+  "CMakeFiles/ecms_circuit.dir/passive.cpp.o"
+  "CMakeFiles/ecms_circuit.dir/passive.cpp.o.d"
+  "CMakeFiles/ecms_circuit.dir/sources.cpp.o"
+  "CMakeFiles/ecms_circuit.dir/sources.cpp.o.d"
+  "CMakeFiles/ecms_circuit.dir/spice_io.cpp.o"
+  "CMakeFiles/ecms_circuit.dir/spice_io.cpp.o.d"
+  "CMakeFiles/ecms_circuit.dir/transient.cpp.o"
+  "CMakeFiles/ecms_circuit.dir/transient.cpp.o.d"
+  "CMakeFiles/ecms_circuit.dir/wave.cpp.o"
+  "CMakeFiles/ecms_circuit.dir/wave.cpp.o.d"
+  "CMakeFiles/ecms_circuit.dir/waveform.cpp.o"
+  "CMakeFiles/ecms_circuit.dir/waveform.cpp.o.d"
+  "libecms_circuit.a"
+  "libecms_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecms_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

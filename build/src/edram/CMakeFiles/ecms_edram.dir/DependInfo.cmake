@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edram/addressing.cpp" "src/edram/CMakeFiles/ecms_edram.dir/addressing.cpp.o" "gcc" "src/edram/CMakeFiles/ecms_edram.dir/addressing.cpp.o.d"
+  "/root/repo/src/edram/behavioral.cpp" "src/edram/CMakeFiles/ecms_edram.dir/behavioral.cpp.o" "gcc" "src/edram/CMakeFiles/ecms_edram.dir/behavioral.cpp.o.d"
+  "/root/repo/src/edram/macrocell.cpp" "src/edram/CMakeFiles/ecms_edram.dir/macrocell.cpp.o" "gcc" "src/edram/CMakeFiles/ecms_edram.dir/macrocell.cpp.o.d"
+  "/root/repo/src/edram/netlister.cpp" "src/edram/CMakeFiles/ecms_edram.dir/netlister.cpp.o" "gcc" "src/edram/CMakeFiles/ecms_edram.dir/netlister.cpp.o.d"
+  "/root/repo/src/edram/retention.cpp" "src/edram/CMakeFiles/ecms_edram.dir/retention.cpp.o" "gcc" "src/edram/CMakeFiles/ecms_edram.dir/retention.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tech/CMakeFiles/ecms_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/ecms_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecms_edram.dir/addressing.cpp.o"
+  "CMakeFiles/ecms_edram.dir/addressing.cpp.o.d"
+  "CMakeFiles/ecms_edram.dir/behavioral.cpp.o"
+  "CMakeFiles/ecms_edram.dir/behavioral.cpp.o.d"
+  "CMakeFiles/ecms_edram.dir/macrocell.cpp.o"
+  "CMakeFiles/ecms_edram.dir/macrocell.cpp.o.d"
+  "CMakeFiles/ecms_edram.dir/netlister.cpp.o"
+  "CMakeFiles/ecms_edram.dir/netlister.cpp.o.d"
+  "CMakeFiles/ecms_edram.dir/retention.cpp.o"
+  "CMakeFiles/ecms_edram.dir/retention.cpp.o.d"
+  "libecms_edram.a"
+  "libecms_edram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecms_edram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecms_march.dir/element.cpp.o"
+  "CMakeFiles/ecms_march.dir/element.cpp.o.d"
+  "CMakeFiles/ecms_march.dir/memory.cpp.o"
+  "CMakeFiles/ecms_march.dir/memory.cpp.o.d"
+  "CMakeFiles/ecms_march.dir/runner.cpp.o"
+  "CMakeFiles/ecms_march.dir/runner.cpp.o.d"
+  "libecms_march.a"
+  "libecms_march.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecms_march.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

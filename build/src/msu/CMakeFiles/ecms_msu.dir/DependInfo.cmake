@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/msu/abacus.cpp" "src/msu/CMakeFiles/ecms_msu.dir/abacus.cpp.o" "gcc" "src/msu/CMakeFiles/ecms_msu.dir/abacus.cpp.o.d"
+  "/root/repo/src/msu/calibrate.cpp" "src/msu/CMakeFiles/ecms_msu.dir/calibrate.cpp.o" "gcc" "src/msu/CMakeFiles/ecms_msu.dir/calibrate.cpp.o.d"
+  "/root/repo/src/msu/designer.cpp" "src/msu/CMakeFiles/ecms_msu.dir/designer.cpp.o" "gcc" "src/msu/CMakeFiles/ecms_msu.dir/designer.cpp.o.d"
+  "/root/repo/src/msu/disambig.cpp" "src/msu/CMakeFiles/ecms_msu.dir/disambig.cpp.o" "gcc" "src/msu/CMakeFiles/ecms_msu.dir/disambig.cpp.o.d"
+  "/root/repo/src/msu/extract.cpp" "src/msu/CMakeFiles/ecms_msu.dir/extract.cpp.o" "gcc" "src/msu/CMakeFiles/ecms_msu.dir/extract.cpp.o.d"
+  "/root/repo/src/msu/fastmodel.cpp" "src/msu/CMakeFiles/ecms_msu.dir/fastmodel.cpp.o" "gcc" "src/msu/CMakeFiles/ecms_msu.dir/fastmodel.cpp.o.d"
+  "/root/repo/src/msu/sequencer.cpp" "src/msu/CMakeFiles/ecms_msu.dir/sequencer.cpp.o" "gcc" "src/msu/CMakeFiles/ecms_msu.dir/sequencer.cpp.o.d"
+  "/root/repo/src/msu/structure.cpp" "src/msu/CMakeFiles/ecms_msu.dir/structure.cpp.o" "gcc" "src/msu/CMakeFiles/ecms_msu.dir/structure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/edram/CMakeFiles/ecms_edram.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/ecms_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/ecms_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

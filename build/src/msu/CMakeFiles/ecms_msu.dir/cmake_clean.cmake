@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecms_msu.dir/abacus.cpp.o"
+  "CMakeFiles/ecms_msu.dir/abacus.cpp.o.d"
+  "CMakeFiles/ecms_msu.dir/calibrate.cpp.o"
+  "CMakeFiles/ecms_msu.dir/calibrate.cpp.o.d"
+  "CMakeFiles/ecms_msu.dir/designer.cpp.o"
+  "CMakeFiles/ecms_msu.dir/designer.cpp.o.d"
+  "CMakeFiles/ecms_msu.dir/disambig.cpp.o"
+  "CMakeFiles/ecms_msu.dir/disambig.cpp.o.d"
+  "CMakeFiles/ecms_msu.dir/extract.cpp.o"
+  "CMakeFiles/ecms_msu.dir/extract.cpp.o.d"
+  "CMakeFiles/ecms_msu.dir/fastmodel.cpp.o"
+  "CMakeFiles/ecms_msu.dir/fastmodel.cpp.o.d"
+  "CMakeFiles/ecms_msu.dir/sequencer.cpp.o"
+  "CMakeFiles/ecms_msu.dir/sequencer.cpp.o.d"
+  "CMakeFiles/ecms_msu.dir/structure.cpp.o"
+  "CMakeFiles/ecms_msu.dir/structure.cpp.o.d"
+  "libecms_msu.a"
+  "libecms_msu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecms_msu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecms_report.dir/experiment.cpp.o"
+  "CMakeFiles/ecms_report.dir/experiment.cpp.o.d"
+  "CMakeFiles/ecms_report.dir/heatmap.cpp.o"
+  "CMakeFiles/ecms_report.dir/heatmap.cpp.o.d"
+  "libecms_report.a"
+  "libecms_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecms_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libecms_report.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tech/capmodel.cpp" "src/tech/CMakeFiles/ecms_tech.dir/capmodel.cpp.o" "gcc" "src/tech/CMakeFiles/ecms_tech.dir/capmodel.cpp.o.d"
+  "/root/repo/src/tech/corners.cpp" "src/tech/CMakeFiles/ecms_tech.dir/corners.cpp.o" "gcc" "src/tech/CMakeFiles/ecms_tech.dir/corners.cpp.o.d"
+  "/root/repo/src/tech/defects.cpp" "src/tech/CMakeFiles/ecms_tech.dir/defects.cpp.o" "gcc" "src/tech/CMakeFiles/ecms_tech.dir/defects.cpp.o.d"
+  "/root/repo/src/tech/tech.cpp" "src/tech/CMakeFiles/ecms_tech.dir/tech.cpp.o" "gcc" "src/tech/CMakeFiles/ecms_tech.dir/tech.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/ecms_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

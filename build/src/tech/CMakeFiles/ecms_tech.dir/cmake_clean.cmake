@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecms_tech.dir/capmodel.cpp.o"
+  "CMakeFiles/ecms_tech.dir/capmodel.cpp.o.d"
+  "CMakeFiles/ecms_tech.dir/corners.cpp.o"
+  "CMakeFiles/ecms_tech.dir/corners.cpp.o.d"
+  "CMakeFiles/ecms_tech.dir/defects.cpp.o"
+  "CMakeFiles/ecms_tech.dir/defects.cpp.o.d"
+  "CMakeFiles/ecms_tech.dir/tech.cpp.o"
+  "CMakeFiles/ecms_tech.dir/tech.cpp.o.d"
+  "libecms_tech.a"
+  "libecms_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecms_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

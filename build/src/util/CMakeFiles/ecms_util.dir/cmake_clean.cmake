@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecms_util.dir/ascii_plot.cpp.o"
+  "CMakeFiles/ecms_util.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/ecms_util.dir/log.cpp.o"
+  "CMakeFiles/ecms_util.dir/log.cpp.o.d"
+  "CMakeFiles/ecms_util.dir/rng.cpp.o"
+  "CMakeFiles/ecms_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ecms_util.dir/stats.cpp.o"
+  "CMakeFiles/ecms_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ecms_util.dir/table.cpp.o"
+  "CMakeFiles/ecms_util.dir/table.cpp.o.d"
+  "libecms_util.a"
+  "libecms_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecms_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisr_tests.dir/bisr/test_allocator.cpp.o"
+  "CMakeFiles/bisr_tests.dir/bisr/test_allocator.cpp.o.d"
+  "CMakeFiles/bisr_tests.dir/bisr/test_yield.cpp.o"
+  "CMakeFiles/bisr_tests.dir/bisr/test_yield.cpp.o.d"
+  "bisr_tests"
+  "bisr_tests.pdb"
+  "bisr_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisr_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

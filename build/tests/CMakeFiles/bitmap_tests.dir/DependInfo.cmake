@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bitmap/test_analog_bitmap.cpp" "tests/CMakeFiles/bitmap_tests.dir/bitmap/test_analog_bitmap.cpp.o" "gcc" "tests/CMakeFiles/bitmap_tests.dir/bitmap/test_analog_bitmap.cpp.o.d"
+  "/root/repo/tests/bitmap/test_compare.cpp" "tests/CMakeFiles/bitmap_tests.dir/bitmap/test_compare.cpp.o" "gcc" "tests/CMakeFiles/bitmap_tests.dir/bitmap/test_compare.cpp.o.d"
+  "/root/repo/tests/bitmap/test_diagnosis.cpp" "tests/CMakeFiles/bitmap_tests.dir/bitmap/test_diagnosis.cpp.o" "gcc" "tests/CMakeFiles/bitmap_tests.dir/bitmap/test_diagnosis.cpp.o.d"
+  "/root/repo/tests/bitmap/test_signature.cpp" "tests/CMakeFiles/bitmap_tests.dir/bitmap/test_signature.cpp.o" "gcc" "tests/CMakeFiles/bitmap_tests.dir/bitmap/test_signature.cpp.o.d"
+  "/root/repo/tests/bitmap/test_spatial.cpp" "tests/CMakeFiles/bitmap_tests.dir/bitmap/test_spatial.cpp.o" "gcc" "tests/CMakeFiles/bitmap_tests.dir/bitmap/test_spatial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bitmap/CMakeFiles/ecms_bitmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/march/CMakeFiles/ecms_march.dir/DependInfo.cmake"
+  "/root/repo/build/src/msu/CMakeFiles/ecms_msu.dir/DependInfo.cmake"
+  "/root/repo/build/src/edram/CMakeFiles/ecms_edram.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/ecms_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/ecms_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

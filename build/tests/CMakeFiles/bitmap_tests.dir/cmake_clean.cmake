@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitmap_tests.dir/bitmap/test_analog_bitmap.cpp.o"
+  "CMakeFiles/bitmap_tests.dir/bitmap/test_analog_bitmap.cpp.o.d"
+  "CMakeFiles/bitmap_tests.dir/bitmap/test_compare.cpp.o"
+  "CMakeFiles/bitmap_tests.dir/bitmap/test_compare.cpp.o.d"
+  "CMakeFiles/bitmap_tests.dir/bitmap/test_diagnosis.cpp.o"
+  "CMakeFiles/bitmap_tests.dir/bitmap/test_diagnosis.cpp.o.d"
+  "CMakeFiles/bitmap_tests.dir/bitmap/test_signature.cpp.o"
+  "CMakeFiles/bitmap_tests.dir/bitmap/test_signature.cpp.o.d"
+  "CMakeFiles/bitmap_tests.dir/bitmap/test_spatial.cpp.o"
+  "CMakeFiles/bitmap_tests.dir/bitmap/test_spatial.cpp.o.d"
+  "bitmap_tests"
+  "bitmap_tests.pdb"
+  "bitmap_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitmap_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/circuit/test_ac.cpp" "tests/CMakeFiles/circuit_tests.dir/circuit/test_ac.cpp.o" "gcc" "tests/CMakeFiles/circuit_tests.dir/circuit/test_ac.cpp.o.d"
+  "/root/repo/tests/circuit/test_charge_sharing.cpp" "tests/CMakeFiles/circuit_tests.dir/circuit/test_charge_sharing.cpp.o" "gcc" "tests/CMakeFiles/circuit_tests.dir/circuit/test_charge_sharing.cpp.o.d"
+  "/root/repo/tests/circuit/test_dc.cpp" "tests/CMakeFiles/circuit_tests.dir/circuit/test_dc.cpp.o" "gcc" "tests/CMakeFiles/circuit_tests.dir/circuit/test_dc.cpp.o.d"
+  "/root/repo/tests/circuit/test_linear.cpp" "tests/CMakeFiles/circuit_tests.dir/circuit/test_linear.cpp.o" "gcc" "tests/CMakeFiles/circuit_tests.dir/circuit/test_linear.cpp.o.d"
+  "/root/repo/tests/circuit/test_matrix.cpp" "tests/CMakeFiles/circuit_tests.dir/circuit/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/circuit_tests.dir/circuit/test_matrix.cpp.o.d"
+  "/root/repo/tests/circuit/test_mosfet.cpp" "tests/CMakeFiles/circuit_tests.dir/circuit/test_mosfet.cpp.o" "gcc" "tests/CMakeFiles/circuit_tests.dir/circuit/test_mosfet.cpp.o.d"
+  "/root/repo/tests/circuit/test_solver_paths.cpp" "tests/CMakeFiles/circuit_tests.dir/circuit/test_solver_paths.cpp.o" "gcc" "tests/CMakeFiles/circuit_tests.dir/circuit/test_solver_paths.cpp.o.d"
+  "/root/repo/tests/circuit/test_spice_io.cpp" "tests/CMakeFiles/circuit_tests.dir/circuit/test_spice_io.cpp.o" "gcc" "tests/CMakeFiles/circuit_tests.dir/circuit/test_spice_io.cpp.o.d"
+  "/root/repo/tests/circuit/test_transient.cpp" "tests/CMakeFiles/circuit_tests.dir/circuit/test_transient.cpp.o" "gcc" "tests/CMakeFiles/circuit_tests.dir/circuit/test_transient.cpp.o.d"
+  "/root/repo/tests/circuit/test_wave.cpp" "tests/CMakeFiles/circuit_tests.dir/circuit/test_wave.cpp.o" "gcc" "tests/CMakeFiles/circuit_tests.dir/circuit/test_wave.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/ecms_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/ecms_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/edram/CMakeFiles/ecms_edram.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_tests.dir/circuit/test_ac.cpp.o"
+  "CMakeFiles/circuit_tests.dir/circuit/test_ac.cpp.o.d"
+  "CMakeFiles/circuit_tests.dir/circuit/test_charge_sharing.cpp.o"
+  "CMakeFiles/circuit_tests.dir/circuit/test_charge_sharing.cpp.o.d"
+  "CMakeFiles/circuit_tests.dir/circuit/test_dc.cpp.o"
+  "CMakeFiles/circuit_tests.dir/circuit/test_dc.cpp.o.d"
+  "CMakeFiles/circuit_tests.dir/circuit/test_linear.cpp.o"
+  "CMakeFiles/circuit_tests.dir/circuit/test_linear.cpp.o.d"
+  "CMakeFiles/circuit_tests.dir/circuit/test_matrix.cpp.o"
+  "CMakeFiles/circuit_tests.dir/circuit/test_matrix.cpp.o.d"
+  "CMakeFiles/circuit_tests.dir/circuit/test_mosfet.cpp.o"
+  "CMakeFiles/circuit_tests.dir/circuit/test_mosfet.cpp.o.d"
+  "CMakeFiles/circuit_tests.dir/circuit/test_solver_paths.cpp.o"
+  "CMakeFiles/circuit_tests.dir/circuit/test_solver_paths.cpp.o.d"
+  "CMakeFiles/circuit_tests.dir/circuit/test_spice_io.cpp.o"
+  "CMakeFiles/circuit_tests.dir/circuit/test_spice_io.cpp.o.d"
+  "CMakeFiles/circuit_tests.dir/circuit/test_transient.cpp.o"
+  "CMakeFiles/circuit_tests.dir/circuit/test_transient.cpp.o.d"
+  "CMakeFiles/circuit_tests.dir/circuit/test_wave.cpp.o"
+  "CMakeFiles/circuit_tests.dir/circuit/test_wave.cpp.o.d"
+  "circuit_tests"
+  "circuit_tests.pdb"
+  "circuit_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

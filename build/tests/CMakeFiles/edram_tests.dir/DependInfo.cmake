@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/edram/test_addressing.cpp" "tests/CMakeFiles/edram_tests.dir/edram/test_addressing.cpp.o" "gcc" "tests/CMakeFiles/edram_tests.dir/edram/test_addressing.cpp.o.d"
+  "/root/repo/tests/edram/test_behavioral.cpp" "tests/CMakeFiles/edram_tests.dir/edram/test_behavioral.cpp.o" "gcc" "tests/CMakeFiles/edram_tests.dir/edram/test_behavioral.cpp.o.d"
+  "/root/repo/tests/edram/test_macrocell.cpp" "tests/CMakeFiles/edram_tests.dir/edram/test_macrocell.cpp.o" "gcc" "tests/CMakeFiles/edram_tests.dir/edram/test_macrocell.cpp.o.d"
+  "/root/repo/tests/edram/test_netlister.cpp" "tests/CMakeFiles/edram_tests.dir/edram/test_netlister.cpp.o" "gcc" "tests/CMakeFiles/edram_tests.dir/edram/test_netlister.cpp.o.d"
+  "/root/repo/tests/edram/test_retention.cpp" "tests/CMakeFiles/edram_tests.dir/edram/test_retention.cpp.o" "gcc" "tests/CMakeFiles/edram_tests.dir/edram/test_retention.cpp.o.d"
+  "/root/repo/tests/edram/test_tiling.cpp" "tests/CMakeFiles/edram_tests.dir/edram/test_tiling.cpp.o" "gcc" "tests/CMakeFiles/edram_tests.dir/edram/test_tiling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/edram/CMakeFiles/ecms_edram.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/ecms_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/ecms_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

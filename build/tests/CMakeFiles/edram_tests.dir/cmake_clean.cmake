@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edram_tests.dir/edram/test_addressing.cpp.o"
+  "CMakeFiles/edram_tests.dir/edram/test_addressing.cpp.o.d"
+  "CMakeFiles/edram_tests.dir/edram/test_behavioral.cpp.o"
+  "CMakeFiles/edram_tests.dir/edram/test_behavioral.cpp.o.d"
+  "CMakeFiles/edram_tests.dir/edram/test_macrocell.cpp.o"
+  "CMakeFiles/edram_tests.dir/edram/test_macrocell.cpp.o.d"
+  "CMakeFiles/edram_tests.dir/edram/test_netlister.cpp.o"
+  "CMakeFiles/edram_tests.dir/edram/test_netlister.cpp.o.d"
+  "CMakeFiles/edram_tests.dir/edram/test_retention.cpp.o"
+  "CMakeFiles/edram_tests.dir/edram/test_retention.cpp.o.d"
+  "CMakeFiles/edram_tests.dir/edram/test_tiling.cpp.o"
+  "CMakeFiles/edram_tests.dir/edram/test_tiling.cpp.o.d"
+  "edram_tests"
+  "edram_tests.pdb"
+  "edram_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edram_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

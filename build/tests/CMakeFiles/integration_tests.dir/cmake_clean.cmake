@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_tests.dir/integration/test_ac_offset.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/test_ac_offset.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/test_crossvalidation.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/test_crossvalidation.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/test_extract_all.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/test_extract_all.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/test_extraction.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/test_extraction.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/test_pipeline.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/test_pipeline.cpp.o.d"
+  "integration_tests"
+  "integration_tests.pdb"
+  "integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/march_tests.dir/march/test_element.cpp.o"
+  "CMakeFiles/march_tests.dir/march/test_element.cpp.o.d"
+  "CMakeFiles/march_tests.dir/march/test_faults.cpp.o"
+  "CMakeFiles/march_tests.dir/march/test_faults.cpp.o.d"
+  "CMakeFiles/march_tests.dir/march/test_runner_edram.cpp.o"
+  "CMakeFiles/march_tests.dir/march/test_runner_edram.cpp.o.d"
+  "march_tests"
+  "march_tests.pdb"
+  "march_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/march_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/msu/test_abacus.cpp" "tests/CMakeFiles/msu_tests.dir/msu/test_abacus.cpp.o" "gcc" "tests/CMakeFiles/msu_tests.dir/msu/test_abacus.cpp.o.d"
+  "/root/repo/tests/msu/test_designer.cpp" "tests/CMakeFiles/msu_tests.dir/msu/test_designer.cpp.o" "gcc" "tests/CMakeFiles/msu_tests.dir/msu/test_designer.cpp.o.d"
+  "/root/repo/tests/msu/test_disambig.cpp" "tests/CMakeFiles/msu_tests.dir/msu/test_disambig.cpp.o" "gcc" "tests/CMakeFiles/msu_tests.dir/msu/test_disambig.cpp.o.d"
+  "/root/repo/tests/msu/test_fastmodel.cpp" "tests/CMakeFiles/msu_tests.dir/msu/test_fastmodel.cpp.o" "gcc" "tests/CMakeFiles/msu_tests.dir/msu/test_fastmodel.cpp.o.d"
+  "/root/repo/tests/msu/test_sequencer.cpp" "tests/CMakeFiles/msu_tests.dir/msu/test_sequencer.cpp.o" "gcc" "tests/CMakeFiles/msu_tests.dir/msu/test_sequencer.cpp.o.d"
+  "/root/repo/tests/msu/test_structure.cpp" "tests/CMakeFiles/msu_tests.dir/msu/test_structure.cpp.o" "gcc" "tests/CMakeFiles/msu_tests.dir/msu/test_structure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/msu/CMakeFiles/ecms_msu.dir/DependInfo.cmake"
+  "/root/repo/build/src/edram/CMakeFiles/ecms_edram.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/ecms_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/ecms_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

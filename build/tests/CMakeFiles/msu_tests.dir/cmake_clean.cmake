@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msu_tests.dir/msu/test_abacus.cpp.o"
+  "CMakeFiles/msu_tests.dir/msu/test_abacus.cpp.o.d"
+  "CMakeFiles/msu_tests.dir/msu/test_designer.cpp.o"
+  "CMakeFiles/msu_tests.dir/msu/test_designer.cpp.o.d"
+  "CMakeFiles/msu_tests.dir/msu/test_disambig.cpp.o"
+  "CMakeFiles/msu_tests.dir/msu/test_disambig.cpp.o.d"
+  "CMakeFiles/msu_tests.dir/msu/test_fastmodel.cpp.o"
+  "CMakeFiles/msu_tests.dir/msu/test_fastmodel.cpp.o.d"
+  "CMakeFiles/msu_tests.dir/msu/test_sequencer.cpp.o"
+  "CMakeFiles/msu_tests.dir/msu/test_sequencer.cpp.o.d"
+  "CMakeFiles/msu_tests.dir/msu/test_structure.cpp.o"
+  "CMakeFiles/msu_tests.dir/msu/test_structure.cpp.o.d"
+  "msu_tests"
+  "msu_tests.pdb"
+  "msu_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msu_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

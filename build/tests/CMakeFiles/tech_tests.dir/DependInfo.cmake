@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tech/test_capmodel.cpp" "tests/CMakeFiles/tech_tests.dir/tech/test_capmodel.cpp.o" "gcc" "tests/CMakeFiles/tech_tests.dir/tech/test_capmodel.cpp.o.d"
+  "/root/repo/tests/tech/test_corners.cpp" "tests/CMakeFiles/tech_tests.dir/tech/test_corners.cpp.o" "gcc" "tests/CMakeFiles/tech_tests.dir/tech/test_corners.cpp.o.d"
+  "/root/repo/tests/tech/test_defects.cpp" "tests/CMakeFiles/tech_tests.dir/tech/test_defects.cpp.o" "gcc" "tests/CMakeFiles/tech_tests.dir/tech/test_defects.cpp.o.d"
+  "/root/repo/tests/tech/test_tech.cpp" "tests/CMakeFiles/tech_tests.dir/tech/test_tech.cpp.o" "gcc" "tests/CMakeFiles/tech_tests.dir/tech/test_tech.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tech/CMakeFiles/ecms_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/ecms_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

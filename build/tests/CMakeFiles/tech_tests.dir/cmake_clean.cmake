@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tech_tests.dir/tech/test_capmodel.cpp.o"
+  "CMakeFiles/tech_tests.dir/tech/test_capmodel.cpp.o.d"
+  "CMakeFiles/tech_tests.dir/tech/test_corners.cpp.o"
+  "CMakeFiles/tech_tests.dir/tech/test_corners.cpp.o.d"
+  "CMakeFiles/tech_tests.dir/tech/test_defects.cpp.o"
+  "CMakeFiles/tech_tests.dir/tech/test_defects.cpp.o.d"
+  "CMakeFiles/tech_tests.dir/tech/test_tech.cpp.o"
+  "CMakeFiles/tech_tests.dir/tech/test_tech.cpp.o.d"
+  "tech_tests"
+  "tech_tests.pdb"
+  "tech_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tech_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_tests.dir/util/test_plot.cpp.o"
+  "CMakeFiles/util_tests.dir/util/test_plot.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/test_rng.cpp.o"
+  "CMakeFiles/util_tests.dir/util/test_rng.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/test_stats.cpp.o"
+  "CMakeFiles/util_tests.dir/util/test_stats.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/test_table.cpp.o"
+  "CMakeFiles/util_tests.dir/util/test_table.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/test_units.cpp.o"
+  "CMakeFiles/util_tests.dir/util/test_units.cpp.o.d"
+  "util_tests"
+  "util_tests.pdb"
+  "util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_tests[1]_include.cmake")
+include("/root/repo/build/tests/circuit_tests[1]_include.cmake")
+include("/root/repo/build/tests/tech_tests[1]_include.cmake")
+include("/root/repo/build/tests/edram_tests[1]_include.cmake")
+include("/root/repo/build/tests/msu_tests[1]_include.cmake")
+include("/root/repo/build/tests/bitmap_tests[1]_include.cmake")
+include("/root/repo/build/tests/march_tests[1]_include.cmake")
+include("/root/repo/build/tests/bisr_tests[1]_include.cmake")
+include("/root/repo/build/tests/report_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecms_tool.dir/ecms_tool.cpp.o"
+  "CMakeFiles/ecms_tool.dir/ecms_tool.cpp.o.d"
+  "ecms_tool"
+  "ecms_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecms_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
