@@ -8,9 +8,12 @@
 // plate segmentation (one structure per tile).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "bitmap/analog_bitmap.hpp"
 #include "msu/designer.hpp"
@@ -18,6 +21,7 @@
 #include "report/experiment.hpp"
 #include "tech/tech.hpp"
 #include "util/table.hpp"
+#include "util/threadpool.hpp"
 #include "util/units.hpp"
 
 namespace {
@@ -82,6 +86,84 @@ void run_scaling() {
   std::printf("\n");
 }
 
+// A realistic (variation + defects) 64x64 array for the parallel runs.
+edram::MacroCell varied_array64() {
+  constexpr std::size_t kN = 64;
+  tech::CapProcessParams cp;
+  cp.local_sigma_rel = 0.03;
+  tech::CapField field(cp, kN, kN, 11);
+  Rng rng(11);
+  tech::DefectRates rates;
+  rates.short_rate = 0.002;
+  rates.open_rate = 0.002;
+  rates.partial_rate = 0.01;
+  tech::DefectMap defects = tech::DefectMap::random(kN, kN, rates, rng);
+  return edram::MacroCell({.rows = kN, .cols = kN}, tech::tech018(),
+                          std::move(field), std::move(defects));
+}
+
+template <typename Fn>
+double best_of_3_seconds(Fn&& fn) {
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+// EXT-A6 — parallel extraction acceptance: the thread-pool path must return
+// the exact codes of the serial path (for every thread count), and speedup
+// is reported against the serial wall time.
+void run_parallel_acceptance(std::size_t jobs) {
+  std::printf("EXT-A6: parallel tiled extraction, %zu-thread pool vs serial\n\n",
+              jobs);
+  report::Experiment exp("EXT-A6", "parallel extraction determinism + speedup");
+  const edram::MacroCell mc = varied_array64();
+
+  bitmap::AnalogBitmap serial = bitmap::AnalogBitmap::extract_tiled(mc, {});
+  const double t_serial =
+      best_of_3_seconds([&] { serial = bitmap::AnalogBitmap::extract_tiled(mc, {}); });
+
+  util::ThreadPool pool(jobs);
+  bitmap::AnalogBitmap par =
+      bitmap::AnalogBitmap::extract_tiled(mc, {}, 4, 4, &pool);
+  const double t_par = best_of_3_seconds(
+      [&] { par = bitmap::AnalogBitmap::extract_tiled(mc, {}, 4, 4, &pool); });
+
+  const bool clean_identical = serial.codes() == par.codes();
+  exp.check("parallel codes are bit-identical to serial (clean extraction)",
+            clean_identical ? "identical" : "MISMATCH", clean_identical);
+
+  // Noisy path: per-tile Rng::fork must make noise reproducible across
+  // thread counts too.
+  msu::MeasureNoise noise;
+  noise.enabled = true;
+  noise.vgs_sigma = 2e-3;
+  Rng rng_serial(7), rng_par(7);
+  const auto noisy_serial =
+      bitmap::AnalogBitmap::extract_tiled(mc, {}, noise, rng_serial);
+  const auto noisy_par =
+      bitmap::AnalogBitmap::extract_tiled(mc, {}, noise, rng_par, 4, 4, &pool);
+  const bool noisy_identical = noisy_serial.codes() == noisy_par.codes();
+  exp.check("noisy codes are bit-identical to serial (per-tile RNG fork)",
+            noisy_identical ? "identical" : "MISMATCH", noisy_identical);
+
+  const double speedup = t_par > 0.0 ? t_serial / t_par : 0.0;
+  std::printf("  serial   : %8.3f ms\n", 1e3 * t_serial);
+  std::printf("  %2zu-thread: %8.3f ms  (speedup %.2fx)\n", jobs, 1e3 * t_par,
+              speedup);
+  exp.note("64x64 array, 4x4 tiles, " + std::to_string(jobs) +
+           "-thread pool: speedup " + Table::num(speedup, 2) + "x (host has " +
+           std::to_string(std::thread::hardware_concurrency()) +
+           " hardware threads; >= 3x expected on >= 8-core hosts)");
+  std::cout << exp << '\n';
+}
+
 void BM_CircuitExtractionBySize(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto mc = edram::MacroCell::uniform({.rows = n, .cols = n},
@@ -106,10 +188,45 @@ void BM_TiledBitmap64(benchmark::State& state) {
 }
 BENCHMARK(BM_TiledBitmap64)->Unit(benchmark::kMillisecond);
 
+void BM_TiledBitmap64Parallel(benchmark::State& state) {
+  const auto mc = edram::MacroCell::uniform({.rows = 64, .cols = 64},
+                                            tech::tech018(), 30_fF);
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto bm = bitmap::AnalogBitmap::extract_tiled(mc, {}, 4, 4, &pool);
+    benchmark::DoNotOptimize(bm.count_code(0));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " threads");
+}
+BENCHMARK(BM_TiledBitmap64Parallel)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Consumes "--jobs N" (thread count for EXT-A6, default 8) before the
+// remaining flags go to the benchmark library.
+std::size_t take_jobs_flag(int& argc, char** argv, std::size_t fallback) {
+  std::size_t jobs = fallback;
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--jobs" && i + 1 < argc) {
+      // strtol (not stoul): garbage parses to 0 -> fallback, and negatives
+      // stay negative instead of wrapping to a huge worker count.
+      const long v = std::strtol(argv[i + 1], nullptr, 10);
+      jobs = v < 1 ? 0 : static_cast<std::size_t>(std::min<long>(v, 512));
+      ++i;
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  argc = w;
+  return jobs == 0 ? fallback : jobs;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::size_t jobs = take_jobs_flag(argc, argv, 8);
   run_scaling();
+  run_parallel_acceptance(jobs);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -6,17 +6,21 @@
 // burn-in model where marginal cells degrade into failures.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "bisr/yield.hpp"
 #include "report/experiment.hpp"
 #include "util/table.hpp"
+#include "util/threadpool.hpp"
 
 namespace {
 using namespace ecms;
 
-void run_bisr() {
+void run_bisr(util::ThreadPool* pool) {
   std::printf("EXT-A5: repair yield, digital-only vs analog-aware spares\n\n");
   Table table({"marginal fail prob", "t0 repairable (dig)",
                "t0 repairable (ana)", "post-burn-in yield (dig)",
@@ -35,7 +39,7 @@ void run_bisr() {
                       .partial_rate = 0.004,
                       .bridge_rate = 0.0};
     e.burn_in.marginal_fail_prob = p;
-    const auto rep = bisr::estimate_repair_yield(e);
+    const auto rep = bisr::estimate_repair_yield(e, pool);
     table.add_row(
         {Table::num(p, 2),
          Table::num(static_cast<long long>(rep.repaired_time_zero_digital)),
@@ -94,10 +98,45 @@ void BM_YieldTrial(benchmark::State& state) {
 }
 BENCHMARK(BM_YieldTrial)->Unit(benchmark::kMillisecond);
 
+void BM_YieldTrialParallel(benchmark::State& state) {
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  bisr::YieldExperiment e;
+  e.rows = 32;
+  e.cols = 32;
+  e.trials = 5;
+  for (auto _ : state) {
+    auto rep = bisr::estimate_repair_yield(e, &pool);
+    benchmark::DoNotOptimize(rep.survive_burn_in_analog);
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " threads");
+}
+BENCHMARK(BM_YieldTrialParallel)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// Consumes "--jobs N" (worker threads for the yield sweep; default serial).
+std::size_t take_jobs_flag(int& argc, char** argv) {
+  std::size_t jobs = 1;
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--jobs" && i + 1 < argc) {
+      // strtol (not stoul): garbage parses to 0 -> serial, and negatives
+      // stay negative instead of wrapping to a huge worker count.
+      const long v = std::strtol(argv[i + 1], nullptr, 10);
+      jobs = v < 1 ? 0 : static_cast<std::size_t>(std::min<long>(v, 512));
+      ++i;
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  argc = w;
+  return jobs == 0 ? 1 : jobs;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  run_bisr();
+  const std::size_t jobs = take_jobs_flag(argc, argv);
+  util::ThreadPool pool(jobs);
+  run_bisr(jobs > 1 ? &pool : nullptr);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

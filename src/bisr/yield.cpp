@@ -1,5 +1,7 @@
 #include "bisr/yield.hpp"
 
+#include <vector>
+
 #include "edram/behavioral.hpp"
 #include "march/runner.hpp"
 #include "msu/fastmodel.hpp"
@@ -34,16 +36,32 @@ bitmap::DigitalBitmap analog_repair_targets(
 
 }  // namespace
 
-YieldReport estimate_repair_yield(const YieldExperiment& exp) {
+namespace {
+
+/// One Monte-Carlo trial's pass/fail outcomes (reduced after the loop so
+/// the counters are identical whatever order the trials finish in).
+struct TrialOutcome {
+  bool repaired_digital = false;
+  bool repaired_analog = false;
+  bool survive_digital = false;
+  bool survive_analog = false;
+};
+
+}  // namespace
+
+YieldReport estimate_repair_yield(const YieldExperiment& exp,
+                                  util::ThreadPool* pool) {
   ECMS_REQUIRE(exp.trials > 0, "yield experiment needs trials");
-  Rng rng(exp.seed);
+  const Rng rng(exp.seed);
   const tech::Technology t = tech::tech018();
   YieldReport rep;
   rep.trials = exp.trials;
 
-  for (std::size_t trial = 0; trial < exp.trials; ++trial) {
-    // Fabricate one array.
-    Rng trial_rng = rng.split();
+  std::vector<TrialOutcome> outcomes(exp.trials);
+  util::ThreadPool::run(pool, exp.trials, 1, [&](std::size_t trial) {
+    // Fabricate one array; every draw of this trial comes from a stream
+    // keyed by the trial index, independent of scheduling.
+    Rng trial_rng = rng.fork(trial);
     edram::MacroCellSpec spec;
     spec.rows = exp.rows;
     spec.cols = exp.cols;
@@ -72,8 +90,8 @@ YieldReport estimate_repair_yield(const YieldExperiment& exp) {
     const RepairSolution rep_analog =
         allocate_greedy(analog_targets, exp.redundancy);
 
-    if (rep_digital.success) ++rep.repaired_time_zero_digital;
-    if (rep_analog.success) ++rep.repaired_time_zero_analog;
+    outcomes[trial].repaired_digital = rep_digital.success;
+    outcomes[trial].repaired_analog = rep_analog.success;
 
     // Burn-in: decide which cells degrade into failures (same draw for both
     // policies so the comparison is paired).
@@ -108,8 +126,15 @@ YieldReport estimate_repair_yield(const YieldExperiment& exp) {
       return true;
     };
 
-    if (survives(rep_digital, digital)) ++rep.survive_burn_in_digital;
-    if (survives(rep_analog, digital)) ++rep.survive_burn_in_analog;
+    outcomes[trial].survive_digital = survives(rep_digital, digital);
+    outcomes[trial].survive_analog = survives(rep_analog, digital);
+  });
+
+  for (const TrialOutcome& o : outcomes) {
+    if (o.repaired_digital) ++rep.repaired_time_zero_digital;
+    if (o.repaired_analog) ++rep.repaired_time_zero_analog;
+    if (o.survive_digital) ++rep.survive_burn_in_digital;
+    if (o.survive_analog) ++rep.survive_burn_in_analog;
   }
   return rep;
 }

@@ -16,6 +16,7 @@
 #include "bitmap/signature.hpp"
 #include "tech/capmodel.hpp"
 #include "tech/defects.hpp"
+#include "util/threadpool.hpp"
 
 namespace ecms::bisr {
 
@@ -62,7 +63,9 @@ struct YieldReport {
 };
 
 /// Runs the Monte-Carlo comparison. Deterministic for a given experiment
-/// seed.
-YieldReport estimate_repair_yield(const YieldExperiment& exp);
+/// seed: each trial samples from Rng::fork(trial), so a non-null `pool`
+/// distributes trials across workers without changing any count.
+YieldReport estimate_repair_yield(const YieldExperiment& exp,
+                                  util::ThreadPool* pool = nullptr);
 
 }  // namespace ecms::bisr

@@ -46,24 +46,32 @@ AnalogBitmap AnalogBitmap::extract(const msu::FastModel& model,
 }
 
 namespace {
-template <typename PerTileFn>
+// Runs one independent MSU flow per tile, fanning the tiles out on `pool`
+// when given one. `coder_for_tile(model, tile_index)` returns the per-cell
+// code function for that tile; any tile-local state (e.g. a forked noise
+// Rng) lives inside the returned callable, so tiles never share mutable
+// state and the extraction is race-free and order-independent.
+template <typename CoderForTile>
 AnalogBitmap tiled_impl(const edram::MacroCell& mc,
                         const msu::StructureParams& params,
                         std::size_t tile_rows, std::size_t tile_cols,
-                        PerTileFn&& per_tile) {
+                        util::ThreadPool* pool, CoderForTile&& coder_for_tile) {
   ECMS_REQUIRE(tile_rows > 0 && tile_cols > 0, "tile must be non-empty");
   ECMS_REQUIRE(mc.rows() % tile_rows == 0 && mc.cols() % tile_cols == 0,
                "array dimensions must be divisible by the tile dimensions");
   AnalogBitmap bm(mc.rows(), mc.cols(), params.ramp_steps);
-  for (std::size_t tr = 0; tr < mc.rows(); tr += tile_rows) {
-    for (std::size_t tc = 0; tc < mc.cols(); tc += tile_cols) {
-      const edram::MacroCell tile = mc.tile(tr, tc, tile_rows, tile_cols);
-      const msu::FastModel model(tile, params);
-      for (std::size_t r = 0; r < tile_rows; ++r)
-        for (std::size_t c = 0; c < tile_cols; ++c)
-          bm.set(tr + r, tc + c, per_tile(model, r, c));
-    }
-  }
+  const std::size_t tiles_per_row = mc.cols() / tile_cols;
+  const std::size_t n_tiles = (mc.rows() / tile_rows) * tiles_per_row;
+  util::ThreadPool::run(pool, n_tiles, 1, [&](std::size_t t) {
+    const std::size_t tr = (t / tiles_per_row) * tile_rows;
+    const std::size_t tc = (t % tiles_per_row) * tile_cols;
+    const edram::MacroCell tile = mc.tile(tr, tc, tile_rows, tile_cols);
+    const msu::FastModel model(tile, params);
+    auto code_of = coder_for_tile(model, t);
+    for (std::size_t r = 0; r < tile_rows; ++r)
+      for (std::size_t c = 0; c < tile_cols; ++c)
+        bm.set(tr + r, tc + c, code_of(r, c));
+  });
   return bm;
 }
 }  // namespace
@@ -71,10 +79,13 @@ AnalogBitmap tiled_impl(const edram::MacroCell& mc,
 AnalogBitmap AnalogBitmap::extract_tiled(const edram::MacroCell& mc,
                                          const msu::StructureParams& params,
                                          std::size_t tile_rows,
-                                         std::size_t tile_cols) {
-  return tiled_impl(mc, params, tile_rows, tile_cols,
-                    [](const msu::FastModel& m, std::size_t r, std::size_t c) {
-                      return m.code_of_cell(r, c);
+                                         std::size_t tile_cols,
+                                         util::ThreadPool* pool) {
+  return tiled_impl(mc, params, tile_rows, tile_cols, pool,
+                    [](const msu::FastModel& m, std::size_t) {
+                      return [&m](std::size_t r, std::size_t c) {
+                        return m.code_of_cell(r, c);
+                      };
                     });
 }
 
@@ -82,12 +93,18 @@ AnalogBitmap AnalogBitmap::extract_tiled(const edram::MacroCell& mc,
                                          const msu::StructureParams& params,
                                          const msu::MeasureNoise& noise,
                                          Rng& rng, std::size_t tile_rows,
-                                         std::size_t tile_cols) {
-  return tiled_impl(mc, params, tile_rows, tile_cols,
-                    [&](const msu::FastModel& m, std::size_t r,
-                        std::size_t c) {
-                      return m.code_of_cell(r, c, noise, rng);
-                    });
+                                         std::size_t tile_cols,
+                                         util::ThreadPool* pool) {
+  // Each tile draws from its own forked stream, keyed by tile index, so the
+  // noise a tile sees does not depend on tile visit order or thread count.
+  return tiled_impl(
+      mc, params, tile_rows, tile_cols, pool,
+      [&](const msu::FastModel& m, std::size_t t) {
+        return [&m, &noise, tile_rng = rng.fork(t)](std::size_t r,
+                                                    std::size_t c) mutable {
+          return m.code_of_cell(r, c, noise, tile_rng);
+        };
+      });
 }
 
 double AnalogBitmap::mean_in_range_code() const {

@@ -15,6 +15,7 @@
 #include "edram/macrocell.hpp"
 #include "msu/abacus.hpp"
 #include "msu/fastmodel.hpp"
+#include "util/threadpool.hpp"
 
 namespace ecms::bitmap {
 
@@ -41,15 +42,23 @@ class AnalogBitmap {
   /// (the structure's dynamic range only covers macro-cell-sized plate
   /// loads — the reason the paper scopes it to a macro-cell). Array
   /// dimensions must be divisible by the tile dimensions.
+  ///
+  /// Tiles are independent by construction, so a non-null `pool` fans them
+  /// out across its workers. The noisy overload draws each tile's noise
+  /// from `rng.fork(tile_index)` (the caller's generator is not advanced),
+  /// which makes the result a pure function of (array, params, noise, rng
+  /// state) — bit-identical for any worker count, including serial.
   static AnalogBitmap extract_tiled(const edram::MacroCell& mc,
                                     const msu::StructureParams& params,
                                     std::size_t tile_rows = 4,
-                                    std::size_t tile_cols = 4);
+                                    std::size_t tile_cols = 4,
+                                    util::ThreadPool* pool = nullptr);
   static AnalogBitmap extract_tiled(const edram::MacroCell& mc,
                                     const msu::StructureParams& params,
                                     const msu::MeasureNoise& noise, Rng& rng,
                                     std::size_t tile_rows = 4,
-                                    std::size_t tile_cols = 4);
+                                    std::size_t tile_cols = 4,
+                                    util::ThreadPool* pool = nullptr);
 
   /// Mean / stddev of in-range codes (code 0 and full-scale excluded).
   double mean_in_range_code() const;

@@ -41,6 +41,11 @@ struct MeasureNoise {
   double vgs_sigma = 0.0;           ///< rms charge-sharing voltage noise (V)
 };
 
+/// Immutable after construction (set_vgs_correction aside): every code_*
+/// query is const with no hidden caches, so one FastModel may be read from
+/// many ThreadPool workers concurrently — the contract the parallel tiled
+/// extraction relies on. Noise draws go through the caller-supplied Rng,
+/// which must not be shared across threads (use Rng::fork per task).
 class FastModel {
  public:
   FastModel(const edram::MacroCell& mc, const StructureParams& p);

@@ -76,6 +76,19 @@ bool Rng::bernoulli(double p) { return uniform() < p; }
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+Rng Rng::fork(std::uint64_t stream) const {
+  // Fold the four state words and the stream index through splitmix64.
+  // Each absorption step xors in new material and re-mixes, so child seeds
+  // differ for any change of parent state or stream index.
+  std::uint64_t x = stream ^ 0xD1B54A32D192ED03ull;
+  std::uint64_t seed = splitmix64(x);
+  for (std::uint64_t s : s_) {
+    x ^= s;
+    seed ^= splitmix64(x);
+  }
+  return Rng(seed);
+}
+
 std::vector<std::size_t> Rng::permutation(std::size_t n) {
   std::vector<std::size_t> idx(n);
   for (std::size_t i = 0; i < n; ++i) idx[i] = i;

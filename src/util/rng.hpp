@@ -41,8 +41,17 @@ class Rng {
   bool bernoulli(double p);
 
   /// Creates an independent child generator (jump-free stream split via
-  /// reseeding from this stream; adequate for our MC workloads).
+  /// reseeding from this stream; adequate for our MC workloads). Advances
+  /// this generator.
   Rng split();
+
+  /// Derives an independent child stream from the current state and a
+  /// stream index (splitmix-style remix), WITHOUT advancing this generator.
+  /// fork(i) is a pure function of (state, i): the same parent state always
+  /// yields the same child, and distinct indices yield decorrelated
+  /// streams. This is what makes parallel per-tile / per-trial sampling
+  /// bit-identical to the serial order regardless of thread count.
+  Rng fork(std::uint64_t stream) const;
 
   /// Fisher–Yates shuffle of an index vector [0, n).
   std::vector<std::size_t> permutation(std::size_t n);

@@ -1,0 +1,129 @@
+#include "util/threadpool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+#include "util/error.hpp"
+
+namespace ecms::util {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+namespace {
+
+// Shared loop state: workers (and the caller) claim chunks from `next`
+// until the range is exhausted or an item threw.
+struct ForState {
+  std::atomic<std::size_t> next{0};
+  std::size_t n = 0;
+  std::size_t chunk = 1;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::mutex m;
+  std::condition_variable done_cv;
+  std::size_t pending = 0;
+  std::exception_ptr error;
+
+  void drain() {
+    for (;;) {
+      const std::size_t begin = next.fetch_add(chunk);
+      if (begin >= n) return;
+      const std::size_t end = std::min(begin + chunk, n);
+      try {
+        for (std::size_t i = begin; i < end; ++i) (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(m);
+        if (!error) error = std::current_exception();
+        next.store(n);  // abandon the remaining chunks
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t chunk,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  ECMS_REQUIRE(chunk > 0, "parallel_for needs a positive chunk size");
+
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  state->chunk = chunk;
+  state->fn = &fn;
+
+  const std::size_t total_chunks = (n + chunk - 1) / chunk;
+  // The caller drains too, so at most total_chunks - 1 helpers are useful.
+  const std::size_t helpers =
+      std::min(threads_.size(), total_chunks > 0 ? total_chunks - 1 : 0);
+  {
+    std::lock_guard<std::mutex> lk(state->m);
+    state->pending = helpers;
+  }
+  for (std::size_t i = 0; i < helpers; ++i) {
+    submit([state] {
+      state->drain();
+      std::lock_guard<std::mutex> lk(state->m);
+      if (--state->pending == 0) state->done_cv.notify_all();
+    });
+  }
+
+  state->drain();
+
+  std::unique_lock<std::mutex> lk(state->m);
+  state->done_cv.wait(lk, [&] { return state->pending == 0; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+void ThreadPool::run(ThreadPool* pool, std::size_t n, std::size_t chunk,
+                     const std::function<void(std::size_t)>& fn) {
+  if (pool == nullptr || pool->worker_count() <= 1) {
+    ECMS_REQUIRE(chunk > 0 || n == 0, "parallel_for needs a positive chunk size");
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  pool->parallel_for(n, chunk, fn);
+}
+
+}  // namespace ecms::util

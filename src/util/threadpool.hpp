@@ -1,0 +1,61 @@
+// Fixed-size worker pool for the embarrassingly parallel array-scale paths
+// (tiled bitmap extraction, Monte-Carlo lots, BISR yield trials).
+//
+// Design constraints:
+//   * Determinism is the caller's contract: parallel_for hands out index
+//     ranges, and every ecms workload derives its randomness from the item
+//     index (Rng::fork), so results are bit-identical at any worker count.
+//   * Exceptions thrown by the body are captured and rethrown on the calling
+//     thread (first one wins; remaining chunks are abandoned).
+//   * The calling thread participates in the work, so a pool is never
+//     dead-locked by its own parallel_for and a 1-worker pool still makes
+//     progress while the queue is busy.
+//
+// parallel_for must not be called from inside a pool task (no nesting).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ecms::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return threads_.size(); }
+
+  /// Runs fn(i) for every i in [0, n), handing out `chunk`-sized index
+  /// ranges to the workers (and to the calling thread). Blocks until all
+  /// items are done; rethrows the first exception any item threw.
+  void parallel_for(std::size_t n, std::size_t chunk,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Serial-by-default entry point used by library call sites: runs the
+  /// loop inline (in index order) when pool is null, on the pool otherwise.
+  static void run(ThreadPool* pool, std::size_t n, std::size_t chunk,
+                  const std::function<void(std::size_t)>& fn);
+
+ private:
+  void submit(std::function<void()> job);
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace ecms::util

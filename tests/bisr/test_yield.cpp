@@ -27,6 +27,24 @@ TEST(YieldT, Deterministic) {
   EXPECT_EQ(a.survive_burn_in_analog, b.survive_burn_in_analog);
 }
 
+TEST(YieldT, ParallelTrialsMatchSerialExactly) {
+  // Trials sample from per-trial forked streams, so running them on a pool
+  // must not change a single counter.
+  const auto serial = estimate_repair_yield(small_exp());
+  for (std::size_t jobs : {2u, 8u}) {
+    util::ThreadPool pool(jobs);
+    const auto par = estimate_repair_yield(small_exp(), &pool);
+    EXPECT_EQ(serial.repaired_time_zero_digital,
+              par.repaired_time_zero_digital) << "jobs = " << jobs;
+    EXPECT_EQ(serial.repaired_time_zero_analog,
+              par.repaired_time_zero_analog) << "jobs = " << jobs;
+    EXPECT_EQ(serial.survive_burn_in_digital, par.survive_burn_in_digital)
+        << "jobs = " << jobs;
+    EXPECT_EQ(serial.survive_burn_in_analog, par.survive_burn_in_analog)
+        << "jobs = " << jobs;
+  }
+}
+
 TEST(YieldT, AnalogPolicyNeverWorseOnAverage) {
   // The analog bitmap's preventive repair must not lose to digital-only
   // repair under a burn-in model where marginal cells degrade.

@@ -1,0 +1,97 @@
+// Determinism contract of the parallel tiled extraction: for any worker
+// count, the thread-pool path must produce codes bit-identical to the
+// serial path — including the noisy overload, whose per-tile randomness is
+// derived via Rng::fork(tile_index) rather than a shared sequential stream.
+#include <gtest/gtest.h>
+
+#include "bitmap/analog_bitmap.hpp"
+#include "tech/tech.hpp"
+#include "util/threadpool.hpp"
+#include "util/units.hpp"
+
+namespace ecms::bitmap {
+namespace {
+
+// 16x16 array with process variation and a few defects, so codes actually
+// vary from cell to cell.
+edram::MacroCell varied16() {
+  tech::CapProcessParams cp;
+  cp.local_sigma_rel = 0.04;
+  tech::CapField field(cp, 16, 16, 99);
+  Rng rng(99);
+  tech::DefectRates rates;
+  rates.short_rate = 0.01;
+  rates.open_rate = 0.01;
+  rates.partial_rate = 0.02;
+  tech::DefectMap defects = tech::DefectMap::random(16, 16, rates, rng);
+  return edram::MacroCell({.rows = 16, .cols = 16}, tech::tech018(),
+                          std::move(field), std::move(defects));
+}
+
+TEST(ParallelExtractT, CleanCodesIdenticalAtAnyJobCount) {
+  const auto mc = varied16();
+  const AnalogBitmap serial = AnalogBitmap::extract_tiled(mc, {});
+  for (std::size_t jobs : {1u, 2u, 8u}) {
+    util::ThreadPool pool(jobs);
+    const AnalogBitmap par = AnalogBitmap::extract_tiled(mc, {}, 4, 4, &pool);
+    EXPECT_EQ(serial.codes(), par.codes()) << "jobs = " << jobs;
+  }
+}
+
+TEST(ParallelExtractT, NoisyCodesIdenticalAtAnyJobCount) {
+  const auto mc = varied16();
+  msu::MeasureNoise noise;
+  noise.enabled = true;
+  noise.vgs_sigma = 3e-3;
+  Rng serial_rng(7);
+  const AnalogBitmap serial =
+      AnalogBitmap::extract_tiled(mc, {}, noise, serial_rng);
+  for (std::size_t jobs : {1u, 2u, 8u}) {
+    util::ThreadPool pool(jobs);
+    Rng rng(7);
+    const AnalogBitmap par =
+        AnalogBitmap::extract_tiled(mc, {}, noise, rng, 4, 4, &pool);
+    EXPECT_EQ(serial.codes(), par.codes()) << "jobs = " << jobs;
+  }
+}
+
+TEST(ParallelExtractT, NoisyExtractionIsAPureFunctionOfRngState) {
+  // fork() does not consume the caller's stream, so repeating the call with
+  // an equally seeded Rng reproduces the exact bitmap.
+  const auto mc = varied16();
+  msu::MeasureNoise noise;
+  noise.enabled = true;
+  noise.vgs_sigma = 3e-3;
+  Rng r1(21), r2(21);
+  const AnalogBitmap a = AnalogBitmap::extract_tiled(mc, {}, noise, r1);
+  const AnalogBitmap b = AnalogBitmap::extract_tiled(mc, {}, noise, r2);
+  EXPECT_EQ(a.codes(), b.codes());
+}
+
+TEST(ParallelExtractT, NoiseStillPerturbsCodes) {
+  const auto mc = varied16();
+  const AnalogBitmap clean = AnalogBitmap::extract_tiled(mc, {});
+  msu::MeasureNoise noise;
+  noise.enabled = true;
+  noise.vgs_sigma = 5e-3;
+  util::ThreadPool pool(4);
+  Rng rng(3);
+  const AnalogBitmap noisy =
+      AnalogBitmap::extract_tiled(mc, {}, noise, rng, 4, 4, &pool);
+  std::size_t diffs = 0;
+  for (std::size_t i = 0; i < clean.codes().size(); ++i)
+    if (clean.codes()[i] != noisy.codes()[i]) ++diffs;
+  EXPECT_GT(diffs, 0u);
+}
+
+TEST(ParallelExtractT, NonSquareTilingWorksInParallel) {
+  const auto mc = varied16();
+  util::ThreadPool pool(3);
+  const AnalogBitmap serial = AnalogBitmap::extract_tiled(mc, {}, 2, 8);
+  const AnalogBitmap par =
+      AnalogBitmap::extract_tiled(mc, {}, 2, 8, &pool);
+  EXPECT_EQ(serial.codes(), par.codes());
+}
+
+}  // namespace
+}  // namespace ecms::bitmap

@@ -101,6 +101,58 @@ TEST(Rng, SplitStreamsAreIndependent) {
   EXPECT_NE(parent.next_u64(), child.next_u64());
 }
 
+TEST(Rng, ForkIsDeterministic) {
+  const Rng parent(29);
+  Rng a = parent.fork(5);
+  Rng b = parent.fork(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+  Rng parent(29);
+  Rng untouched(29);
+  (void)parent.fork(0);
+  (void)parent.fork(123);
+  // The parent stream is exactly where an unforked twin is.
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(parent.next_u64(), untouched.next_u64());
+}
+
+TEST(Rng, ForkStreamsDiverge) {
+  const Rng parent(29);
+  Rng a = parent.fork(0);
+  Rng b = parent.fork(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkDependsOnParentState) {
+  Rng p1(1), p2(2);
+  Rng a = p1.fork(7);
+  Rng b = p2.fork(7);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+  // Advancing the parent changes what fork(i) yields.
+  Rng p3(1);
+  (void)p3.next_u64();
+  Rng c = Rng(1).fork(7);
+  Rng d = p3.fork(7);
+  EXPECT_NE(c.next_u64(), d.next_u64());
+}
+
+TEST(Rng, ForkedStreamsLookUniform) {
+  const Rng parent(31);
+  // Mean over many forked streams' first draws should still be ~0.5.
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    Rng child = parent.fork(static_cast<std::uint64_t>(i));
+    sum += child.uniform();
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
 TEST(Rng, PermutationIsAPermutation) {
   Rng r(31);
   const auto p = r.permutation(100);

@@ -1,0 +1,110 @@
+#include "util/threadpool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ecms::util {
+namespace {
+
+TEST(ThreadPoolT, DefaultWorkerCountIsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.worker_count(), 1u);
+}
+
+TEST(ThreadPoolT, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> visits(kN);
+  pool.parallel_for(kN, 7, [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(visits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolT, ParallelForComputesSum) {
+  ThreadPool pool(8);
+  constexpr std::size_t kN = 4096;
+  std::atomic<long long> sum{0};
+  pool.parallel_for(kN, 16,
+                    [&](std::size_t i) { sum += static_cast<long long>(i); });
+  EXPECT_EQ(sum.load(), static_cast<long long>(kN) * (kN - 1) / 2);
+}
+
+TEST(ThreadPoolT, EmptyRangeIsANoop) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, 1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  // Even a zero chunk is fine when there is nothing to do.
+  pool.parallel_for(0, 0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolT, ZeroChunkRejected) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(5, 0, [](std::size_t) {}), Error);
+}
+
+TEST(ThreadPoolT, FewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> visits(3);
+  pool.parallel_for(3, 1, [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ThreadPoolT, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100, 1,
+                                 [](std::size_t i) {
+                                   if (i == 37)
+                                     throw std::runtime_error("boom at 37");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolT, PoolIsUsableAfterAnException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(
+                   10, 1, [](std::size_t) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  std::atomic<int> calls{0};
+  pool.parallel_for(10, 1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 10);
+}
+
+TEST(ThreadPoolT, SerialFallbackRunsInIndexOrder) {
+  std::vector<std::size_t> order;
+  ThreadPool::run(nullptr, 5, 2, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolT, RunDispatchesToThePool) {
+  ThreadPool pool(4);
+  std::atomic<long long> sum{0};
+  ThreadPool::run(&pool, 100, 3,
+                  [&](std::size_t i) { sum += static_cast<long long>(i); });
+  EXPECT_EQ(sum.load(), 100LL * 99 / 2);
+}
+
+TEST(ThreadPoolT, SingleWorkerPoolCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> calls{0};
+  pool.parallel_for(50, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 50);
+}
+
+TEST(ThreadPoolT, BackToBackLoopsReuseWorkers) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> calls{0};
+    pool.parallel_for(64, 1, [&](std::size_t) { ++calls; });
+    ASSERT_EQ(calls.load(), 64);
+  }
+}
+
+}  // namespace
+}  // namespace ecms::util

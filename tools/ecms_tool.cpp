@@ -4,11 +4,12 @@
 //   ecms_tool extract --row <r> --col <c> [--cap <fF>] [--defect short|open]
 //   ecms_tool bitmap  [--rows <n>] [--cols <n>] [--seed <s>]
 //                     [--shorts <p>] [--opens <p>] [--partials <p>]
-//                     [--gradient <rel>] [--drift <rel>]
+//                     [--gradient <rel>] [--drift <rel>] [--jobs <n>]
 //   ecms_tool design  [--rows <n>] [--cols <n>]
 //   ecms_tool spice   [--rows <n>] [--cols <n>]
 //
 // Everything prints to stdout; exit code 0 on success, 1 on usage errors.
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <map>
@@ -27,6 +28,7 @@
 #include "tech/tech.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
+#include "util/threadpool.hpp"
 #include "util/units.hpp"
 
 namespace {
@@ -138,7 +140,15 @@ int cmd_bitmap(const Args& args) {
   const edram::MacroCell mc({.rows = rows, .cols = cols}, tech::tech018(),
                             std::move(field), std::move(defects));
 
-  const auto analog = bitmap::AnalogBitmap::extract_tiled(mc, {});
+  // Codes are bit-identical whatever --jobs says (per-tile RNG streams);
+  // the pool only changes wall time.
+  const double jobs_arg = args.num("jobs", 1);
+  const auto jobs =
+      jobs_arg < 1 ? 1 : static_cast<std::size_t>(std::min(jobs_arg, 512.0));
+  util::ThreadPool pool(jobs);
+  util::ThreadPool* pool_ptr = pool.worker_count() > 1 ? &pool : nullptr;
+  const auto analog =
+      bitmap::AnalogBitmap::extract_tiled(mc, {}, 4, 4, pool_ptr);
   std::printf("analog bitmap (codes 0..20):\n%s\n",
               report::render_code_heatmap(analog).c_str());
   const auto sig = bitmap::SignatureMap::categorize(analog);
