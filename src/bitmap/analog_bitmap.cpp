@@ -1,7 +1,9 @@
 #include "bitmap/analog_bitmap.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <mutex>
 
 #include "util/error.hpp"
 #include "util/stats.hpp"
@@ -74,6 +76,82 @@ AnalogBitmap tiled_impl(const edram::MacroCell& mc,
   });
   return bm;
 }
+// Robust counterpart of tiled_impl: `coder_for_tile(model, t)` returns a
+// callable code_of(r, c, attempt) so each attempt can decorrelate its noise.
+// Per-cell failures are retried and then contained (policy.contain) as
+// kUnmeasurable; the shared failure list is the only cross-tile state and
+// is mutex-guarded, then sorted row-major so the report is deterministic
+// regardless of tile completion order.
+template <typename CoderForTile>
+TiledExtraction robust_tiled_impl(const edram::MacroCell& mc,
+                                  const msu::StructureParams& params,
+                                  const ExtractPolicy& policy,
+                                  std::size_t tile_rows, std::size_t tile_cols,
+                                  util::ThreadPool* pool,
+                                  CoderForTile&& coder_for_tile) {
+  ECMS_REQUIRE(tile_rows > 0 && tile_cols > 0, "tile must be non-empty");
+  ECMS_REQUIRE(mc.rows() % tile_rows == 0 && mc.cols() % tile_cols == 0,
+               "array dimensions must be divisible by the tile dimensions");
+  TiledExtraction out{AnalogBitmap(mc.rows(), mc.cols(), params.ramp_steps),
+                      std::vector<CellStatus>(mc.cell_count(), CellStatus::kOk),
+                      {}};
+  out.report.cells_total = mc.cell_count();
+  const int filler =
+      std::clamp(policy.unmeasurable_code, 0, params.ramp_steps);
+
+  std::mutex report_mutex;
+  std::size_t recovered = 0;
+  std::vector<CellFailure> failures;
+
+  const std::size_t tiles_per_row = mc.cols() / tile_cols;
+  const std::size_t n_tiles = (mc.rows() / tile_rows) * tiles_per_row;
+  util::ThreadPool::run(pool, n_tiles, 1, [&](std::size_t t) {
+    const std::size_t tr = (t / tiles_per_row) * tile_rows;
+    const std::size_t tc = (t % tiles_per_row) * tile_cols;
+    const edram::MacroCell tile = mc.tile(tr, tc, tile_rows, tile_cols);
+    const msu::FastModel model(tile, params);
+    auto code_of = coder_for_tile(model, t);
+    for (std::size_t r = 0; r < tile_rows; ++r) {
+      for (std::size_t c = 0; c < tile_cols; ++c) {
+        const std::size_t ar = tr + r;
+        const std::size_t ac = tc + c;
+        int code = filler;
+        const util::RetryResult rr =
+            util::run_with_retry(policy.retry, [&](int attempt) {
+              if (policy.cell_hook) policy.cell_hook(ar, ac, attempt);
+              code = code_of(r, c, attempt);
+            });
+        if (rr.ok) {
+          out.bitmap.set(ar, ac, code);
+          if (rr.recovered()) {
+            out.status[ar * mc.cols() + ac] = CellStatus::kRecovered;
+            const std::lock_guard<std::mutex> lock(report_mutex);
+            ++recovered;
+          }
+        } else {
+          if (!policy.contain) {
+            throw MeasureError("cell (" + std::to_string(ar) + "," +
+                               std::to_string(ac) +
+                               ") unmeasurable: " + rr.last_error);
+          }
+          out.bitmap.set(ar, ac, filler);
+          out.status[ar * mc.cols() + ac] = CellStatus::kUnmeasurable;
+          const std::lock_guard<std::mutex> lock(report_mutex);
+          failures.push_back({ar, ac, rr.last_error});
+        }
+      }
+    }
+  });
+
+  std::sort(failures.begin(), failures.end(),
+            [](const CellFailure& a, const CellFailure& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  out.report.recovered = recovered;
+  out.report.failures = std::move(failures);
+  return out;
+}
+
 }  // namespace
 
 AnalogBitmap AnalogBitmap::extract_tiled(const edram::MacroCell& mc,
@@ -103,6 +181,38 @@ AnalogBitmap AnalogBitmap::extract_tiled(const edram::MacroCell& mc,
         return [&m, &noise, tile_rng = rng.fork(t)](std::size_t r,
                                                     std::size_t c) mutable {
           return m.code_of_cell(r, c, noise, tile_rng);
+        };
+      });
+}
+
+TiledExtraction AnalogBitmap::extract_tiled_robust(
+    const edram::MacroCell& mc, const msu::StructureParams& params,
+    const ExtractPolicy& policy, std::size_t tile_rows, std::size_t tile_cols,
+    util::ThreadPool* pool) {
+  return robust_tiled_impl(mc, params, policy, tile_rows, tile_cols, pool,
+                           [](const msu::FastModel& m, std::size_t) {
+                             return [&m](std::size_t r, std::size_t c,
+                                         int /*attempt*/) {
+                               return m.code_of_cell(r, c);
+                             };
+                           });
+}
+
+TiledExtraction AnalogBitmap::extract_tiled_robust(
+    const edram::MacroCell& mc, const msu::StructureParams& params,
+    const msu::MeasureNoise& noise, Rng& rng, const ExtractPolicy& policy,
+    std::size_t tile_rows, std::size_t tile_cols, util::ThreadPool* pool) {
+  // Per-cell (not per-tile-sequential) streams: a cell's draws depend only
+  // on (rng state, tile, cell, attempt), so containment of one cell's
+  // failure cannot shift any other cell's noise.
+  return robust_tiled_impl(
+      mc, params, policy, tile_rows, tile_cols, pool,
+      [&, tile_cols](const msu::FastModel& m, std::size_t t) {
+        return [&m, &noise, tile_rng = rng.fork(t), tile_cols](
+                   std::size_t r, std::size_t c, int attempt) {
+          Rng cell_rng = tile_rng.fork(r * tile_cols + c)
+                             .fork(static_cast<std::uint64_t>(attempt));
+          return m.code_of_cell(r, c, noise, cell_rng);
         };
       });
 }

@@ -72,7 +72,13 @@ DcResult dc_operating_point(Circuit& ckt, const DcOptions& opts) {
     }
   }
 
-  throw SolverError("DC operating point failed to converge");
+  SolverDiagnostics diag;
+  diag.newton_iterations = static_cast<std::size_t>(res.total_newton_iterations);
+  throw SolverError(
+      "DC operating point failed to converge (plain Newton, gmin stepping "
+      "and source stepping all exhausted after " +
+          std::to_string(res.total_newton_iterations) + " Newton iterations)",
+      std::move(diag));
 }
 
 double dc_voltage(const Circuit& ckt, const DcResult& r,

@@ -31,16 +31,27 @@ NewtonResult newton_solve(const Circuit& ckt, const StampContext& ctx_proto,
   std::vector<double> b_vec;
   NewtonResult res;
 
+  if (opts.hooks != nullptr && opts.hooks->force_stall &&
+      opts.hooks->force_stall(ctx_proto, opts)) {
+    res.stalled = true;
+    return res;
+  }
+
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
     StampContext ctx = ctx_proto;
     ctx.x = x;
     assemble(ckt, ctx, opts.gmin_ground, a_mat, b_vec);
+    if (opts.hooks != nullptr && opts.hooks->make_singular &&
+        opts.hooks->make_singular(ctx, opts)) {
+      for (std::size_t j = 0; j < n; ++j) a_mat.at(0, j) = 0.0;
+    }
 
     std::vector<double> x_new;
     try {
       x_new = LuFactorization(a_mat).solve(b_vec);
     } catch (const SolverError&) {
       res.converged = false;
+      res.singular = true;
       res.iterations = iter + 1;
       return res;
     }
@@ -48,8 +59,13 @@ NewtonResult newton_solve(const Circuit& ckt, const StampContext& ctx_proto,
     // Voltage-part damping: clamp the update so no node moves more than
     // max_delta_v per iteration (branch currents are left free).
     double max_dv = 0.0;
-    for (std::size_t i = 0; i < nv; ++i)
-      max_dv = std::max(max_dv, std::abs(x_new[i] - x[i]));
+    for (std::size_t i = 0; i < nv; ++i) {
+      const double dv = std::abs(x_new[i] - x[i]);
+      if (dv > max_dv) {
+        max_dv = dv;
+        res.worst_unknown = i;
+      }
+    }
     double scale = 1.0;
     if (max_dv > opts.max_delta_v) scale = opts.max_delta_v / max_dv;
 

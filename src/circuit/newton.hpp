@@ -5,11 +5,31 @@
 // self-consistent".
 #pragma once
 
+#include <cstddef>
+#include <functional>
+#include <limits>
 #include <vector>
 
 #include "circuit/netlist.hpp"
 
 namespace ecms::circuit {
+
+struct NewtonOptions;
+
+/// Optional instrumentation points consulted by newton_solve. Production
+/// code leaves them unset; the fault-injection harness (ecms::fault) uses
+/// them to deterministically provoke the failure modes the recovery ladder
+/// exists to survive. Both hooks may be called from worker threads
+/// concurrently and must be thread-safe.
+struct SolveHooks {
+  /// Returning true makes the solve report non-convergence immediately
+  /// (simulates a Newton stall at this time point / configuration).
+  std::function<bool(const StampContext&, const NewtonOptions&)> force_stall;
+  /// Returning true zeroes a matrix row after assembly, so the LU
+  /// factorization hits a genuinely singular system (simulates a defective
+  /// stamp); exercised once per Newton iteration.
+  std::function<bool(const StampContext&, const NewtonOptions&)> make_singular;
+};
 
 struct NewtonOptions {
   int max_iterations = 100;
@@ -18,12 +38,22 @@ struct NewtonOptions {
   double max_delta_v = 0.5;   ///< per-iteration voltage damping clamp (V)
   double gmin_ground = 1e-12; ///< always-on conductance from every node to
                               ///< ground (keeps floating nodes nonsingular)
+  /// Fault-injection / instrumentation hooks; nullptr in production. The
+  /// pointee must outlive every solve that sees this options object.
+  const SolveHooks* hooks = nullptr;
 };
+
+inline constexpr std::size_t kNoUnknown = std::numeric_limits<std::size_t>::max();
 
 struct NewtonResult {
   bool converged = false;
   int iterations = 0;
   double final_delta = 0.0;  ///< max-norm of the last update's voltage part
+  /// Voltage unknown with the largest last update (kNoUnknown if none) —
+  /// the "worst node" reported in terminal solver diagnostics.
+  std::size_t worst_unknown = kNoUnknown;
+  bool singular = false;  ///< the LU factorization found a singular system
+  bool stalled = false;   ///< non-convergence was forced by a hook
 };
 
 /// Assembles the MNA system for the given context into (a_mat, b_vec).

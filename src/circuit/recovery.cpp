@@ -1,0 +1,79 @@
+#include "circuit/recovery.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace ecms::circuit {
+
+std::string recovery_rung_name(RecoveryRung r) {
+  switch (r) {
+    case RecoveryRung::kBaseline: return "baseline";
+    case RecoveryRung::kShrinkStep: return "shrink-step";
+    case RecoveryRung::kHardenNewton: return "harden-newton";
+    case RecoveryRung::kGminStepping: return "gmin-stepping";
+    case RecoveryRung::kBackwardEuler: return "backward-euler";
+  }
+  return "?";
+}
+
+TranParams apply_recovery_rung(const TranParams& base, RecoveryRung r) {
+  const int rung = static_cast<int>(r);
+  TranParams p = base;
+  if (rung >= static_cast<int>(RecoveryRung::kShrinkStep)) {
+    p.dt = base.dt / 4.0;
+    p.dt_min = base.dt_min / 16.0;
+  }
+  if (rung >= static_cast<int>(RecoveryRung::kHardenNewton)) {
+    p.newton.max_iterations = base.newton.max_iterations * 4;
+    p.newton.max_delta_v = base.newton.max_delta_v / 4.0;
+  }
+  if (rung >= static_cast<int>(RecoveryRung::kGminStepping)) {
+    p.newton.gmin_ground = base.newton.gmin_ground * 100.0;
+  }
+  if (rung >= static_cast<int>(RecoveryRung::kBackwardEuler)) {
+    p.method = Integrator::kBackwardEuler;
+    p.be_after_breakpoint = true;
+  }
+  return p;
+}
+
+TranResult transient_with_recovery(Circuit& ckt, const TranParams& params,
+                                   const ProbeSet& probes,
+                                   const RecoveryOptions& opts,
+                                   RecoveryReport* report) {
+  if (!opts.enabled) return transient(ckt, params, probes);
+
+  const int top = std::clamp(opts.max_rung, 0, kLastRecoveryRung);
+  SolverDiagnostics last_diag;
+  std::string trail;
+  for (int rung = 0; rung <= top; ++rung) {
+    const auto r = static_cast<RecoveryRung>(rung);
+    try {
+      TranResult out = transient(ckt, apply_recovery_rung(params, r), probes);
+      if (report != nullptr) {
+        report->succeeded_at = r;
+        report->attempts = rung + 1;
+      }
+      if (rung > 0) {
+        ECMS_LOG(LogLevel::kDebug)
+            << "transient recovered at rung " << recovery_rung_name(r);
+      }
+      return out;
+    } catch (const SolverError& e) {
+      if (report != nullptr) {
+        report->attempts = rung + 1;
+        report->failures.push_back(recovery_rung_name(r) + ": " + e.what());
+      }
+      if (e.diagnostics().has_value()) last_diag = *e.diagnostics();
+      if (!trail.empty()) trail += "; ";
+      trail += recovery_rung_name(r);
+    }
+  }
+  throw SolverError("transient failed after exhausting the recovery ladder (" +
+                        trail + ")",
+                    std::move(last_diag));
+}
+
+}  // namespace ecms::circuit

@@ -1,0 +1,77 @@
+// Self-recovering transient solve ladder.
+//
+// A single Newton divergence used to abort an entire extraction: transient()
+// throws as soon as step halving runs below dt_min. The recovery ladder
+// wraps that terminal failure in a deterministic escalation — each rung
+// re-runs the transient with one more concession stacked on top of the
+// previous ones:
+//
+//   rung 0  kBaseline       the caller's parameters, unmodified
+//   rung 1  kShrinkStep     base step / 4 and a 16x deeper halving budget
+//                           (dt_min / 16): buys room under sharp edges
+//   rung 2  kHardenNewton   4x Newton iteration budget + 4x tighter damping
+//                           clamp: walks stiff nonlinearities slowly
+//   rung 3  kGminStepping   100x gmin to ground: relaxes near-floating nodes
+//                           that make the Jacobian ill-conditioned
+//   rung 4  kBackwardEuler  forced BE integration: drops trapezoidal
+//                           ringing entirely (L-stable last resort)
+//
+// Because rung 0 is the unmodified solve, enabling recovery never changes
+// the result of a run that would have succeeded anyway — concessions are
+// paid only by solves that would otherwise have thrown. The ladder is pure
+// configuration (no hidden state), so a given circuit always escalates the
+// same way: diagnoses are reproducible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/transient.hpp"
+
+namespace ecms::circuit {
+
+/// One escalation step of the ladder; rungs are cumulative.
+enum class RecoveryRung {
+  kBaseline = 0,
+  kShrinkStep,
+  kHardenNewton,
+  kGminStepping,
+  kBackwardEuler,
+};
+
+inline constexpr int kLastRecoveryRung =
+    static_cast<int>(RecoveryRung::kBackwardEuler);
+
+std::string recovery_rung_name(RecoveryRung r);
+
+struct RecoveryOptions {
+  bool enabled = true;
+  /// Highest rung to climb to (inclusive); 0 behaves like plain transient().
+  int max_rung = kLastRecoveryRung;
+};
+
+/// What the ladder did for one solve.
+struct RecoveryReport {
+  RecoveryRung succeeded_at = RecoveryRung::kBaseline;
+  int attempts = 0;                   ///< transient attempts actually run
+  std::vector<std::string> failures;  ///< one "<rung>: <what()>" per failure
+
+  /// True when the solve needed at least one escalation to finish.
+  bool recovered() const {
+    return attempts > 0 && succeeded_at != RecoveryRung::kBaseline;
+  }
+};
+
+/// Returns `base` with every concession up to and including `r` applied.
+TranParams apply_recovery_rung(const TranParams& base, RecoveryRung r);
+
+/// Runs the transient, escalating through the ladder on SolverError. Fills
+/// `report` (if non-null) whether or not the solve succeeds. If every rung
+/// fails, rethrows a SolverError carrying the last rung's diagnostics plus
+/// the per-rung failure trail in the message.
+TranResult transient_with_recovery(Circuit& ckt, const TranParams& params,
+                                   const ProbeSet& probes,
+                                   const RecoveryOptions& opts = {},
+                                   RecoveryReport* report = nullptr);
+
+}  // namespace ecms::circuit

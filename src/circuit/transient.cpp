@@ -105,8 +105,33 @@ TranResult transient(Circuit& ckt, const TranParams& params,
       ++res.stats.rejected_steps;
       dt *= 0.5;
       if (dt < params.dt_min) {
-        throw SolverError("transient step at t=" + std::to_string(t) +
-                          " failed to converge above dt_min");
+        SolverDiagnostics diag;
+        diag.time = t;
+        diag.dt = step;
+        diag.last_delta = nr.final_delta;
+        diag.accepted_steps = res.stats.accepted_steps;
+        diag.rejected_steps = res.stats.rejected_steps;
+        diag.newton_iterations = res.stats.newton_iterations;
+        const std::size_t nv = ckt.node_count() - 1;
+        if (nr.worst_unknown < nv) {
+          diag.worst_node =
+              ckt.node_name(static_cast<NodeId>(nr.worst_unknown + 1));
+        }
+        std::string what = "transient step at t=" + std::to_string(t) +
+                           " failed to converge above dt_min (last dt=" +
+                           std::to_string(step) +
+                           ", accepted=" + std::to_string(diag.accepted_steps) +
+                           ", rejected=" + std::to_string(diag.rejected_steps) +
+                           ", newton iters=" +
+                           std::to_string(diag.newton_iterations);
+        if (nr.singular) what += ", singular system";
+        if (nr.stalled) what += ", stalled by fault injection";
+        if (!diag.worst_node.empty()) {
+          what += ", worst node '" + diag.worst_node +
+                  "' last dv=" + std::to_string(diag.last_delta);
+        }
+        what += ")";
+        throw SolverError(what, std::move(diag));
       }
       continue;
     }

@@ -54,7 +54,10 @@ struct TranResult {
 };
 
 /// Runs a transient from the DC operating point at t = 0. Throws
-/// ecms::SolverError if a step cannot be made to converge above dt_min.
+/// ecms::SolverError if a step cannot be made to converge above dt_min; the
+/// exception carries SolverDiagnostics (failing time point, last step size,
+/// accepted/rejected step and Newton iteration counts, worst node). For the
+/// self-recovering entry point see circuit/recovery.hpp.
 TranResult transient(Circuit& ckt, const TranParams& params,
                      const ProbeSet& probes);
 

@@ -1,0 +1,142 @@
+#include "fault/fault.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace ecms::fault {
+
+namespace {
+
+// splitmix64 finalizer: the repo-standard way to turn a key into a
+// decorrelated 64-bit value (same construction as Rng seeding / fork).
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+// Uniform in [0, 1) from a key, as a pure function.
+double hash01(std::uint64_t key) {
+  return static_cast<double>(mix64(key) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+SolverFaultInjector::SolverFaultInjector(std::uint64_t seed) : seed_(seed) {}
+
+void SolverFaultInjector::add(const ConvergenceFault& f) {
+  faults_.push_back(f);
+}
+
+void SolverFaultInjector::set_stall_rate(double p) { stall_rate_ = p; }
+
+bool SolverFaultInjector::cleared(const ConvergenceFault& f,
+                                  const circuit::StampContext& ctx,
+                                  const circuit::NewtonOptions& opts) const {
+  switch (f.cleared_by) {
+    case ClearedBy::kNever:
+      return false;
+    case ClearedBy::kSmallStep:
+      return ctx.dt > 0.0 && ctx.dt <= f.dt_threshold;
+    case ClearedBy::kManyIterations:
+      return opts.max_iterations >= f.iter_threshold;
+    case ClearedBy::kHighGmin:
+      return ctx.gmin >= f.gmin_threshold ||
+             opts.gmin_ground >= f.gmin_threshold;
+    case ClearedBy::kBackwardEuler:
+      return ctx.method == circuit::Integrator::kBackwardEuler;
+  }
+  return false;
+}
+
+bool SolverFaultInjector::stalls(const circuit::StampContext& ctx,
+                                 const circuit::NewtonOptions& opts) const {
+  for (const auto& f : faults_) {
+    if (f.singular) continue;
+    if (ctx.time >= f.t_lo && ctx.time <= f.t_hi && !cleared(f, ctx, opts)) {
+      ++injected_;
+      return true;
+    }
+  }
+  if (stall_rate_ > 0.0) {
+    const auto bits = std::bit_cast<std::uint64_t>(ctx.time);
+    if (hash01(mix64(seed_) ^ bits) < stall_rate_) {
+      ++injected_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SolverFaultInjector::makes_singular(
+    const circuit::StampContext& ctx,
+    const circuit::NewtonOptions& opts) const {
+  for (const auto& f : faults_) {
+    if (!f.singular) continue;
+    if (ctx.time >= f.t_lo && ctx.time <= f.t_hi && !cleared(f, ctx, opts)) {
+      ++injected_;
+      return true;
+    }
+  }
+  return false;
+}
+
+circuit::SolveHooks SolverFaultInjector::hooks() const {
+  circuit::SolveHooks h;
+  h.force_stall = [this](const circuit::StampContext& ctx,
+                         const circuit::NewtonOptions& opts) {
+    return stalls(ctx, opts);
+  };
+  h.make_singular = [this](const circuit::StampContext& ctx,
+                           const circuit::NewtonOptions& opts) {
+    return makes_singular(ctx, opts);
+  };
+  return h;
+}
+
+CellFaultPlan::CellFaultPlan(double rate, std::uint64_t seed)
+    : rate_(rate), seed_(seed) {
+  ECMS_REQUIRE(rate >= 0.0 && rate <= 1.0, "fault rate must be in [0, 1]");
+}
+
+bool CellFaultPlan::fails(std::size_t r, std::size_t c) const {
+  if (rate_ <= 0.0) return false;
+  const std::uint64_t key =
+      mix64(seed_) ^ mix64((static_cast<std::uint64_t>(r) << 32) |
+                           static_cast<std::uint64_t>(c));
+  return hash01(key) < rate_;
+}
+
+std::size_t CellFaultPlan::count(std::size_t rows, std::size_t cols) const {
+  std::size_t n = 0;
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      if (fails(r, c)) ++n;
+  return n;
+}
+
+std::function<void(std::size_t, std::size_t, int)> CellFaultPlan::hook()
+    const {
+  return [plan = *this](std::size_t r, std::size_t c, int /*attempt*/) {
+    if (plan.fails(r, c)) {
+      throw MeasureError("injected cell fault at (" + std::to_string(r) +
+                         "," + std::to_string(c) + ")");
+    }
+  };
+}
+
+std::function<void(std::size_t, std::size_t, int)> CellFaultPlan::flaky_hook(
+    int fail_attempts) const {
+  return [plan = *this, fail_attempts](std::size_t r, std::size_t c,
+                                       int attempt) {
+    if (attempt < fail_attempts && plan.fails(r, c)) {
+      throw MeasureError("injected flaky cell fault at (" + std::to_string(r) +
+                         "," + std::to_string(c) + "), attempt " +
+                         std::to_string(attempt));
+    }
+  };
+}
+
+}  // namespace ecms::fault

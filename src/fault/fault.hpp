@@ -1,0 +1,115 @@
+// Seeded, deterministic fault-injection harness.
+//
+// Chaos tests need failures that are (a) reproducible bit-for-bit — the
+// whole repo's determinism contract — and (b) targeted at the exact
+// concession that is supposed to clear them, so each rung of the recovery
+// ladder can be regression-tested in isolation. Two injectors:
+//
+//   * SolverFaultInjector — plugs into circuit::SolveHooks. Declarative
+//     convergence faults are active inside a time window and "clear" once
+//     the solve configuration makes a chosen concession (small enough step,
+//     big enough Newton budget, high enough gmin, backward Euler); a fault
+//     that clears at nothing (kNever) forces ladder exhaustion. A seeded
+//     random stall mode keys the stall decision purely off (seed, solve
+//     time), so it is a pure function of the attempt — identical at any
+//     thread count and across retries of the same time point.
+//
+//   * CellFaultPlan — a pure function (seed, row, col) -> fails? used to
+//     knock out a deterministic ~rate fraction of array cells in the robust
+//     extraction paths, independent of tile shape, visit order and job
+//     count.
+//
+// Everything here is test/diagnosis infrastructure: nothing in the library
+// proper depends on it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "circuit/newton.hpp"
+
+namespace ecms::fault {
+
+/// Which solve-configuration concession clears an injected stall.
+enum class ClearedBy {
+  kNever,           ///< nothing clears it: the ladder must exhaust
+  kSmallStep,       ///< clears once ctx.dt <= dt_threshold (rung 1)
+  kManyIterations,  ///< clears once max_iterations >= iter_threshold (rung 2)
+  kHighGmin,        ///< clears once gmin >= gmin_threshold (rung 3)
+  kBackwardEuler,   ///< clears under BE integration (rung 4)
+};
+
+/// One declarative convergence fault.
+struct ConvergenceFault {
+  double t_lo = 0.0;     ///< active window start (s); DC solves run at t = 0
+  double t_hi = 1e300;   ///< active window end (s)
+  ClearedBy cleared_by = ClearedBy::kNever;
+  double dt_threshold = 0.0;
+  int iter_threshold = 0;
+  double gmin_threshold = 0.0;
+  bool singular = false;  ///< inject a singular stamp instead of a stall
+};
+
+/// Deterministic implementation of circuit::SolveHooks. Thread-safe; the
+/// injector must outlive every solve that sees its hooks.
+class SolverFaultInjector {
+ public:
+  explicit SolverFaultInjector(std::uint64_t seed = 0);
+
+  void add(const ConvergenceFault& f);
+  /// Random stalls: each solve attempt stalls with probability ~`p`, decided
+  /// purely by hashing (seed, solve time). 0 disables.
+  void set_stall_rate(double p);
+
+  /// True if any active fault (or the random stall draw) hits this attempt.
+  bool stalls(const circuit::StampContext& ctx,
+              const circuit::NewtonOptions& opts) const;
+  bool makes_singular(const circuit::StampContext& ctx,
+                      const circuit::NewtonOptions& opts) const;
+
+  /// Hooks object wired to this injector; keep the injector alive while the
+  /// returned hooks (or copies of them) are in use.
+  circuit::SolveHooks hooks() const;
+
+  /// Total faults actually delivered (stalls + singular stamps).
+  std::size_t injected() const { return injected_.load(); }
+
+ private:
+  bool cleared(const ConvergenceFault& f, const circuit::StampContext& ctx,
+               const circuit::NewtonOptions& opts) const;
+
+  std::vector<ConvergenceFault> faults_;
+  double stall_rate_ = 0.0;
+  std::uint64_t seed_;
+  mutable std::atomic<std::size_t> injected_{0};
+};
+
+/// Pure-function per-cell fault plan: fails(r, c) is a splitmix-style hash
+/// of (seed, r, c) compared against the rate — the same plan always knocks
+/// out the same cells, at any tiling and any job count.
+class CellFaultPlan {
+ public:
+  CellFaultPlan() = default;
+  CellFaultPlan(double rate, std::uint64_t seed);
+
+  double rate() const { return rate_; }
+  bool fails(std::size_t r, std::size_t c) const;
+  /// Planned failures inside a rows x cols array.
+  std::size_t count(std::size_t rows, std::size_t cols) const;
+
+  /// Cell hook for the robust extraction paths: throws ecms::MeasureError on
+  /// every planned cell, on every attempt (the cell stays unmeasurable).
+  std::function<void(std::size_t, std::size_t, int)> hook() const;
+  /// Flaky variant: planned cells throw only while attempt < fail_attempts,
+  /// so a retry budget > fail_attempts recovers them deterministically.
+  std::function<void(std::size_t, std::size_t, int)> flaky_hook(
+      int fail_attempts) const;
+
+ private:
+  double rate_ = 0.0;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace ecms::fault

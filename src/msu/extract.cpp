@@ -31,13 +31,17 @@ ExtractionResult extract_cell(const edram::MacroCell& mc, std::size_t row,
   circuit::TranParams tp;
   tp.t_stop = res.schedule.t_end;
   tp.dt = options.dt;
+  tp.newton = options.newton;
   tp.uic = true;  // the flow's own step 1 establishes the real initial state
 
   circuit::ProbeSet probes;
   probes.nodes = {"plate", "msu_vgs", "msu_sense", "msu_out"};
   probes.device_currents = {msu.irefp_source};
 
-  circuit::TranResult tr = circuit::transient(ckt, tp, probes);
+  circuit::TranResult tr = circuit::transient_with_recovery(
+      ckt, tp, probes, options.recovery, &res.recovery);
+  res.status = res.recovery.recovered() ? CellStatus::kRecovered
+                                        : CellStatus::kOk;
   res.stats = tr.stats;
 
   res.v_plate_charged =
@@ -78,6 +82,41 @@ std::vector<ExtractionResult> extract_all_cells(
   for (std::size_t r = 0; r < mc.rows(); ++r)
     for (std::size_t c = 0; c < mc.cols(); ++c)
       out.push_back(extract_cell(mc, r, c, params, timing, opts));
+  return out;
+}
+
+RobustExtraction extract_all_cells_robust(const edram::MacroCell& mc,
+                                          const StructureParams& params,
+                                          const MeasurementTiming& timing,
+                                          const ExtractOptions& options) {
+  ExtractOptions opts = options;
+  if (opts.delta_i <= 0.0) {
+    const FastModel design(mc, params);
+    opts.delta_i = design.delta_i();
+  }
+  RobustExtraction out;
+  out.results.reserve(mc.cell_count());
+  out.status.reserve(mc.cell_count());
+  out.report.cells_total = mc.cell_count();
+  for (std::size_t r = 0; r < mc.rows(); ++r) {
+    for (std::size_t c = 0; c < mc.cols(); ++c) {
+      try {
+        ExtractionResult res = extract_cell(mc, r, c, params, timing, opts);
+        if (res.status == CellStatus::kRecovered) ++out.report.recovered;
+        out.status.push_back(res.status);
+        out.results.push_back(std::move(res));
+      } catch (const std::exception& e) {
+        ECMS_LOG(LogLevel::kInfo) << "cell (" << r << "," << c
+                                  << ") unmeasurable: " << e.what();
+        ExtractionResult placeholder;
+        placeholder.delta_i = opts.delta_i;
+        placeholder.status = CellStatus::kUnmeasurable;
+        out.results.push_back(std::move(placeholder));
+        out.status.push_back(CellStatus::kUnmeasurable);
+        out.report.failures.push_back({r, c, e.what()});
+      }
+    }
+  }
   return out;
 }
 

@@ -5,12 +5,15 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "circuit/recovery.hpp"
 #include "circuit/transient.hpp"
 #include "edram/macrocell.hpp"
 #include "msu/sequencer.hpp"
 #include "msu/structure.hpp"
+#include "util/status.hpp"
 
 namespace ecms::msu {
 
@@ -22,6 +25,13 @@ struct ExtractOptions {
   /// design for this macro-cell. Pass a calibrated model's delta_i() to
   /// close the design loop (see msu::calibrate_fast_model).
   double delta_i = 0.0;
+  /// Newton configuration for the measurement transient; `newton.hooks` is
+  /// the fault-injection point of the circuit-level path.
+  circuit::NewtonOptions newton = {};
+  /// Self-recovery on non-convergence (see circuit/recovery.hpp). Enabled
+  /// by default: rung 0 is the unmodified solve, so results of healthy
+  /// cells are unchanged and concessions are paid only on failure.
+  circuit::RecoveryOptions recovery = {};
 };
 
 struct ExtractionResult {
@@ -34,6 +44,18 @@ struct ExtractionResult {
   circuit::Trace trace;  ///< channels: plate, msu_vgs, msu_sense, msu_out,
                          ///< I(I_REFP) — empty if record_trace is false
   circuit::TranStats stats;
+  /// kOk, or kRecovered when the transient needed the recovery ladder.
+  CellStatus status = CellStatus::kOk;
+  circuit::RecoveryReport recovery;  ///< what the ladder did, if anything
+};
+
+/// Whole-array circuit-level extraction with per-cell containment: cells
+/// whose solve fails even after the recovery ladder come back as
+/// kUnmeasurable placeholders instead of aborting the run.
+struct RobustExtraction {
+  std::vector<ExtractionResult> results;  ///< row-major, one per cell
+  std::vector<CellStatus> status;         ///< row-major
+  FailureReport report;
 };
 
 /// Measures cell (row, col) of `mc` at transistor level. The ramp LSB is
@@ -48,6 +70,15 @@ ExtractionResult extract_cell(const edram::MacroCell& mc, std::size_t row,
 /// results in row-major order. Practical for macro-cell sizes (~0.1 s/cell
 /// on a 4x4); use the calibrated fast model for array scale.
 std::vector<ExtractionResult> extract_all_cells(
+    const edram::MacroCell& mc, const StructureParams& params,
+    const MeasurementTiming& timing = {},
+    const ExtractOptions& options = {.dt = 20e-12, .record_trace = false});
+
+/// Like extract_all_cells, but never throws on a per-cell solve failure:
+/// the failed cell is recorded as kUnmeasurable (code 0 placeholder) in the
+/// failure report and extraction continues, so a complete array always
+/// comes back. Cells the recovery ladder rescued are kRecovered.
+RobustExtraction extract_all_cells_robust(
     const edram::MacroCell& mc, const StructureParams& params,
     const MeasurementTiming& timing = {},
     const ExtractOptions& options = {.dt = 20e-12, .record_trace = false});

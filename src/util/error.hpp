@@ -5,6 +5,8 @@
 // API boundaries (always on — these guard user input, not internal bugs).
 #pragma once
 
+#include <cstddef>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -22,10 +24,34 @@ class NetlistError : public Error {
   explicit NetlistError(const std::string& what) : Error(what) {}
 };
 
+/// Structured post-mortem of a failed numerical solve, carried by
+/// SolverError so callers (the recovery ladder, per-cell degradation, the
+/// CLI failure report) can act on *why* the solve died instead of parsing
+/// the message. Fields default to "unknown" so partially filled diagnostics
+/// from any solver stage stay meaningful.
+struct SolverDiagnostics {
+  double time = -1.0;          ///< failing time point (s); -1 = DC / unknown
+  double dt = 0.0;             ///< last attempted step size (s)
+  double last_delta = 0.0;     ///< max-norm of the last Newton voltage update
+  std::string worst_node;      ///< node with the largest last update, if known
+  std::size_t accepted_steps = 0;
+  std::size_t rejected_steps = 0;
+  std::size_t newton_iterations = 0;  ///< total Newton iterations spent
+};
+
 /// Thrown when a numerical solve fails (singular matrix, Newton divergence).
+/// Terminal solver failures attach SolverDiagnostics describing the state at
+/// the point of no return.
 class SolverError : public Error {
  public:
   explicit SolverError(const std::string& what) : Error(what) {}
+  SolverError(const std::string& what, SolverDiagnostics diag)
+      : Error(what), diag_(std::move(diag)) {}
+
+  const std::optional<SolverDiagnostics>& diagnostics() const { return diag_; }
+
+ private:
+  std::optional<SolverDiagnostics> diag_;
 };
 
 /// Thrown when a measurement / extraction cannot be interpreted.

@@ -1,0 +1,56 @@
+// Per-item retry budget for self-recovering pipelines.
+//
+// The array-scale extraction paths treat every cell as an independent item:
+// a cell whose measurement throws is retried up to the policy's budget
+// before it is declared unmeasurable, so one pathological cell never costs
+// the rest of the array. The helper deliberately retries on *any*
+// std::exception — containment is the point; the caller decides what the
+// exhausted state means.
+#pragma once
+
+#include <exception>
+#include <string>
+#include <utility>
+
+namespace ecms::util {
+
+/// How many times an item-level operation may be attempted in total.
+struct RetryPolicy {
+  int max_attempts = 2;  ///< total tries per item; 1 = fail on first error
+
+  /// Budget clamped to at least one attempt.
+  int attempts() const { return max_attempts < 1 ? 1 : max_attempts; }
+};
+
+/// What happened across the attempts of one retried operation.
+struct RetryResult {
+  bool ok = false;
+  int attempts_used = 0;
+  std::string last_error;  ///< what() of the last failed attempt
+
+  /// True when the operation needed more than one attempt to succeed.
+  bool recovered() const { return ok && attempts_used > 1; }
+};
+
+/// Runs fn(attempt) for attempt = 0, 1, ... until it returns without
+/// throwing or the policy's budget is exhausted. The attempt index lets the
+/// callee decorrelate retries (e.g. fork a fresh noise stream per attempt).
+template <typename Fn>
+RetryResult run_with_retry(const RetryPolicy& policy, Fn&& fn) {
+  RetryResult res;
+  for (int attempt = 0; attempt < policy.attempts(); ++attempt) {
+    ++res.attempts_used;
+    try {
+      std::forward<Fn>(fn)(attempt);
+      res.ok = true;
+      return res;
+    } catch (const std::exception& e) {
+      res.last_error = e.what();
+    } catch (...) {
+      res.last_error = "unknown exception";
+    }
+  }
+  return res;
+}
+
+}  // namespace ecms::util

@@ -1,0 +1,61 @@
+// Per-cell measurement status and the failure report of a degraded run.
+//
+// The paper's promise is that the MSU turns pathological cells into
+// diagnosable codes. The resilience layer extends that to the measurement
+// *process* itself: a cell whose solve/measurement fails — even after the
+// recovery ladder and retries — is recorded as `kUnmeasurable` instead of
+// aborting the whole array, so an extraction always returns a complete,
+// possibly degraded bitmap plus this report. `kUnmeasurable` is therefore a
+// fourth, structural outcome next to the paper's code-0 triple
+// (under-range / short / open): "the measurement itself could not be made".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ecms {
+
+/// Outcome of one cell's measurement in a resilient extraction.
+enum class CellStatus : unsigned char {
+  kOk = 0,        ///< measured on the first attempt, no concessions
+  kRecovered,     ///< measured, but only after retries / ladder escalation
+  kUnmeasurable,  ///< every attempt failed; the recorded code is a filler
+};
+
+inline const char* cell_status_name(CellStatus s) {
+  switch (s) {
+    case CellStatus::kOk: return "ok";
+    case CellStatus::kRecovered: return "recovered";
+    case CellStatus::kUnmeasurable: return "unmeasurable";
+  }
+  return "?";
+}
+
+/// One cell the extraction could not measure, with the terminal error.
+struct CellFailure {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  std::string reason;  ///< what() of the last attempt's exception
+};
+
+/// Aggregate failure report of a (possibly degraded) array extraction.
+struct FailureReport {
+  std::size_t cells_total = 0;
+  std::size_t recovered = 0;           ///< cells measured only via retry
+  std::vector<CellFailure> failures;   ///< unmeasurable cells, row-major
+
+  std::size_t unmeasurable() const { return failures.size(); }
+  /// True when every cell was measured (possibly after recovery).
+  bool complete() const { return failures.empty(); }
+
+  std::string summary() const {
+    const std::size_t bad = unmeasurable();
+    return std::to_string(cells_total) + " cells: " +
+           std::to_string(cells_total - recovered - bad) + " ok, " +
+           std::to_string(recovered) + " recovered, " + std::to_string(bad) +
+           " unmeasurable";
+  }
+};
+
+}  // namespace ecms

@@ -1,0 +1,256 @@
+// Regression tests for the self-recovering solve ladder: every rung is
+// exercised by a seeded convergence fault that clears at exactly that
+// rung's concession, plus the dt < dt_min terminal path and its enriched
+// SolverError diagnostics.
+#include <gtest/gtest.h>
+
+#include "circuit/dc.hpp"
+#include "circuit/recovery.hpp"
+#include "fault/fault.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ecms::circuit {
+namespace {
+
+// Plain RC low-pass driven by a DC source: trivially solvable, so any
+// non-convergence seen by these tests comes from the injected faults.
+void build_rc(Circuit& c) {
+  c.add_vsource("V1", c.node("in"), kGround, SourceWave::dc(1.0));
+  c.add_resistor("R1", c.node("in"), c.node("out"), 1_kOhm);
+  c.add_capacitor("C1", c.node("out"), kGround, 1e-12);
+}
+
+TranParams base_params(const fault::SolverFaultInjector& inj,
+                       SolveHooks& hooks) {
+  hooks = inj.hooks();
+  TranParams tp;
+  tp.t_stop = 5e-9;
+  tp.dt = 100e-12;
+  tp.dt_min = 1e-12;
+  tp.newton.hooks = &hooks;
+  return tp;
+}
+
+TEST(RecoveryT, PlainTransientThrowsEnrichedDiagnostics) {
+  // Satellite regression: the dt < dt_min divergence path must carry the
+  // full post-mortem, not just a one-line message.
+  Circuit c;
+  build_rc(c);
+  fault::SolverFaultInjector inj;
+  inj.add({.t_lo = 1e-9, .t_hi = 2e-9, .cleared_by = fault::ClearedBy::kNever});
+  SolveHooks hooks;
+  const TranParams tp = base_params(inj, hooks);
+  try {
+    transient(c, tp, {.nodes = {"out"}, .device_currents = {}});
+    FAIL() << "expected SolverError";
+  } catch (const SolverError& e) {
+    ASSERT_TRUE(e.diagnostics().has_value());
+    const SolverDiagnostics& d = *e.diagnostics();
+    EXPECT_GE(d.time, 0.9e-9);
+    EXPECT_LE(d.time, 2e-9);
+    EXPECT_GT(d.rejected_steps, 0u);
+    EXPECT_GT(d.accepted_steps, 0u);  // the pre-fault stretch was fine
+    EXPECT_GT(d.dt, 0.0);
+    EXPECT_NE(std::string(e.what()).find("rejected="), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("stalled by fault injection"),
+              std::string::npos);
+  }
+  EXPECT_GT(inj.injected(), 0u);
+}
+
+TEST(RecoveryT, WorstNodeReportedOnRealDivergence) {
+  // A genuinely hard solve (no injection): 3 V across a damped Newton with
+  // a 2-iteration budget can never settle, so the terminal error must name
+  // the node that was still moving.
+  Circuit c;
+  c.add_vsource("V1", c.node("in"), kGround, SourceWave::dc(3.0));
+  c.add_resistor("R1", c.node("in"), c.node("d"), 1_kOhm);
+  c.add_diode("D1", c.node("d"), kGround, {});
+  TranParams tp;
+  tp.t_stop = 1e-9;
+  tp.dt = 100e-12;
+  tp.dt_min = 1e-14;
+  tp.uic = true;  // skip DC: the budget must fail inside the transient
+  tp.newton.max_iterations = 2;
+  try {
+    transient(c, tp, {.nodes = {"d"}, .device_currents = {}});
+    FAIL() << "expected SolverError";
+  } catch (const SolverError& e) {
+    ASSERT_TRUE(e.diagnostics().has_value());
+    EXPECT_FALSE(e.diagnostics()->worst_node.empty());
+    EXPECT_GT(e.diagnostics()->last_delta, 0.0);
+  }
+}
+
+// One test per rung: a fault that clears at exactly that concession must be
+// survived, and the report must say which rung did it.
+TEST(RecoveryT, LadderRecoversAtShrinkStep) {
+  Circuit c;
+  build_rc(c);
+  fault::SolverFaultInjector inj;
+  // Clears only below the baseline dt_min floor: unreachable at rung 0,
+  // inside the 16x deeper halving budget of rung 1.
+  inj.add({.t_lo = 1e-9,
+           .t_hi = 1.2e-9,  // > one base step, so the window cannot be
+                            // straddled by 100 ps step endpoints
+           .cleared_by = fault::ClearedBy::kSmallStep,
+           .dt_threshold = 1e-12});
+  SolveHooks hooks;
+  const TranParams tp = base_params(inj, hooks);
+  RecoveryReport rep;
+  const TranResult r = transient_with_recovery(
+      c, tp, {.nodes = {"out"}, .device_currents = {}}, {}, &rep);
+  EXPECT_TRUE(rep.recovered());
+  EXPECT_EQ(rep.succeeded_at, RecoveryRung::kShrinkStep);
+  EXPECT_EQ(rep.attempts, 2);
+  EXPECT_EQ(rep.failures.size(), 1u);
+  EXPECT_NEAR(r.trace.final_value("out"), 1.0, 1e-3);
+}
+
+TEST(RecoveryT, LadderRecoversAtHardenNewton) {
+  Circuit c;
+  build_rc(c);
+  fault::SolverFaultInjector inj;
+  inj.add({.t_lo = 1e-9,
+           .t_hi = 2e-9,
+           .cleared_by = fault::ClearedBy::kManyIterations,
+           .iter_threshold = 150});
+  SolveHooks hooks;
+  const TranParams tp = base_params(inj, hooks);
+  RecoveryReport rep;
+  const TranResult r = transient_with_recovery(
+      c, tp, {.nodes = {"out"}, .device_currents = {}}, {}, &rep);
+  EXPECT_EQ(rep.succeeded_at, RecoveryRung::kHardenNewton);
+  EXPECT_EQ(rep.attempts, 3);
+  EXPECT_NEAR(r.trace.final_value("out"), 1.0, 1e-3);
+}
+
+TEST(RecoveryT, LadderRecoversAtGminStepping) {
+  Circuit c;
+  build_rc(c);
+  fault::SolverFaultInjector inj;
+  inj.add({.t_lo = 1e-9,
+           .t_hi = 2e-9,
+           .cleared_by = fault::ClearedBy::kHighGmin,
+           .gmin_threshold = 1e-11});
+  SolveHooks hooks;
+  const TranParams tp = base_params(inj, hooks);
+  RecoveryReport rep;
+  const TranResult r = transient_with_recovery(
+      c, tp, {.nodes = {"out"}, .device_currents = {}}, {}, &rep);
+  EXPECT_EQ(rep.succeeded_at, RecoveryRung::kGminStepping);
+  EXPECT_EQ(rep.attempts, 4);
+  EXPECT_NEAR(r.trace.final_value("out"), 1.0, 1e-3);
+}
+
+TEST(RecoveryT, LadderRecoversAtBackwardEuler) {
+  Circuit c;
+  build_rc(c);
+  fault::SolverFaultInjector inj;
+  inj.add({.t_lo = 1e-9,
+           .t_hi = 2e-9,
+           .cleared_by = fault::ClearedBy::kBackwardEuler});
+  SolveHooks hooks;
+  const TranParams tp = base_params(inj, hooks);
+  RecoveryReport rep;
+  const TranResult r = transient_with_recovery(
+      c, tp, {.nodes = {"out"}, .device_currents = {}}, {}, &rep);
+  EXPECT_EQ(rep.succeeded_at, RecoveryRung::kBackwardEuler);
+  EXPECT_EQ(rep.attempts, 5);
+  EXPECT_NEAR(r.trace.final_value("out"), 1.0, 1e-3);
+}
+
+TEST(RecoveryT, SingularStampSurvivedByLadder) {
+  Circuit c;
+  build_rc(c);
+  fault::SolverFaultInjector inj;
+  inj.add({.t_lo = 1e-9,
+           .t_hi = 2e-9,
+           .cleared_by = fault::ClearedBy::kHighGmin,
+           .gmin_threshold = 1e-11,
+           .singular = true});
+  SolveHooks hooks;
+  const TranParams tp = base_params(inj, hooks);
+  RecoveryReport rep;
+  const TranResult r = transient_with_recovery(
+      c, tp, {.nodes = {"out"}, .device_currents = {}}, {}, &rep);
+  EXPECT_EQ(rep.succeeded_at, RecoveryRung::kGminStepping);
+  EXPECT_NEAR(r.trace.final_value("out"), 1.0, 1e-3);
+}
+
+TEST(RecoveryT, ExhaustedLadderThrowsWithTrail) {
+  Circuit c;
+  build_rc(c);
+  fault::SolverFaultInjector inj;
+  inj.add({.t_lo = 1e-9, .t_hi = 2e-9, .cleared_by = fault::ClearedBy::kNever});
+  SolveHooks hooks;
+  const TranParams tp = base_params(inj, hooks);
+  RecoveryReport rep;
+  try {
+    transient_with_recovery(c, tp, {.nodes = {"out"}, .device_currents = {}},
+                            {}, &rep);
+    FAIL() << "expected SolverError";
+  } catch (const SolverError& e) {
+    EXPECT_TRUE(e.diagnostics().has_value());
+    EXPECT_NE(std::string(e.what()).find("recovery ladder"),
+              std::string::npos);
+  }
+  EXPECT_EQ(rep.attempts, kLastRecoveryRung + 1);
+  EXPECT_EQ(rep.failures.size(),
+            static_cast<std::size_t>(kLastRecoveryRung + 1));
+  EXPECT_FALSE(rep.recovered());
+}
+
+TEST(RecoveryT, DisabledRecoveryBehavesLikePlainTransient) {
+  Circuit c;
+  build_rc(c);
+  fault::SolverFaultInjector inj;
+  inj.add({.t_lo = 1e-9, .t_hi = 2e-9, .cleared_by = fault::ClearedBy::kNever});
+  SolveHooks hooks;
+  const TranParams tp = base_params(inj, hooks);
+  EXPECT_THROW(transient_with_recovery(
+                   c, tp, {.nodes = {"out"}, .device_currents = {}},
+                   {.enabled = false}, nullptr),
+               SolverError);
+}
+
+TEST(RecoveryT, NoFaultMeansNoConcessions) {
+  // Rung 0 is the caller's own parameters: a healthy solve must report
+  // kBaseline and produce the identical trace.
+  Circuit c1;
+  build_rc(c1);
+  TranParams tp;
+  tp.t_stop = 5e-9;
+  tp.dt = 100e-12;
+  RecoveryReport rep;
+  const TranResult with = transient_with_recovery(
+      c1, tp, {.nodes = {"out"}, .device_currents = {}}, {}, &rep);
+  Circuit c2;
+  build_rc(c2);
+  const TranResult without =
+      transient(c2, tp, {.nodes = {"out"}, .device_currents = {}});
+  EXPECT_EQ(rep.succeeded_at, RecoveryRung::kBaseline);
+  EXPECT_FALSE(rep.recovered());
+  EXPECT_EQ(with.stats.accepted_steps, without.stats.accepted_steps);
+  EXPECT_EQ(with.trace.final_value("out"), without.trace.final_value("out"));
+}
+
+TEST(RecoveryT, DcFailureCarriesDiagnostics) {
+  // Two ideal sources fighting: structurally singular at DC; the terminal
+  // error must carry the iteration spend.
+  Circuit c;
+  const NodeId n = c.node("n");
+  c.add_vsource("V1", n, kGround, SourceWave::dc(1.0));
+  c.add_vsource("V2", n, kGround, SourceWave::dc(2.0));
+  try {
+    dc_operating_point(c);
+    FAIL() << "expected SolverError";
+  } catch (const SolverError& e) {
+    ASSERT_TRUE(e.diagnostics().has_value());
+    EXPECT_GT(e.diagnostics()->newton_iterations, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace ecms::circuit

@@ -1,0 +1,148 @@
+// Unit tests for the seeded fault-injection harness itself: the injectors
+// must be pure functions of (seed, coordinates / solve state) — the same
+// plan always fires at the same places, at any tiling, any job count, and
+// across retries.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "fault/fault.hpp"
+#include "util/error.hpp"
+
+namespace ecms::fault {
+namespace {
+
+TEST(FaultT, CellPlanIsPureAndSeeded) {
+  const CellFaultPlan a(0.05, 42);
+  const CellFaultPlan b(0.05, 42);
+  const CellFaultPlan other(0.05, 43);
+  std::size_t differs = 0;
+  for (std::size_t r = 0; r < 64; ++r) {
+    for (std::size_t c = 0; c < 64; ++c) {
+      EXPECT_EQ(a.fails(r, c), b.fails(r, c));
+      if (a.fails(r, c) != other.fails(r, c)) ++differs;
+    }
+  }
+  EXPECT_GT(differs, 0u);  // a different seed is a different plan
+}
+
+TEST(FaultT, CellPlanHitsRoughlyTheRequestedRate) {
+  const CellFaultPlan plan(0.05, 7);
+  const std::size_t hits = plan.count(64, 64);
+  // 4096 draws at 5%: expect ~205; accept a generous +-4 sigma band.
+  EXPECT_GT(hits, 140u);
+  EXPECT_LT(hits, 270u);
+}
+
+TEST(FaultT, CellPlanEdgeRates) {
+  const CellFaultPlan none(0.0, 3);
+  const CellFaultPlan all(1.0, 3);
+  EXPECT_EQ(none.count(16, 16), 0u);
+  EXPECT_EQ(all.count(16, 16), 256u);
+  EXPECT_THROW(CellFaultPlan(-0.1, 0), ecms::Error);
+  EXPECT_THROW(CellFaultPlan(1.5, 0), ecms::Error);
+}
+
+TEST(FaultT, CellHookThrowsOnlyOnPlannedCells) {
+  const CellFaultPlan plan(0.2, 11);
+  const auto hook = plan.hook();
+  for (std::size_t r = 0; r < 16; ++r) {
+    for (std::size_t c = 0; c < 16; ++c) {
+      if (plan.fails(r, c)) {
+        EXPECT_THROW(hook(r, c, 0), ecms::MeasureError);
+        EXPECT_THROW(hook(r, c, 1), ecms::MeasureError);  // every attempt
+      } else {
+        EXPECT_NO_THROW(hook(r, c, 0));
+      }
+    }
+  }
+}
+
+TEST(FaultT, FlakyHookClearsAfterTheConfiguredAttempts) {
+  const CellFaultPlan plan(1.0, 5);  // every cell planned
+  const auto flaky = plan.flaky_hook(2);
+  EXPECT_THROW(flaky(0, 0, 0), ecms::MeasureError);  // attempts are 0-based
+  EXPECT_THROW(flaky(0, 0, 1), ecms::MeasureError);
+  EXPECT_NO_THROW(flaky(0, 0, 2));  // third attempt succeeds
+}
+
+circuit::StampContext ctx_at(double t, double dt = 10e-12) {
+  circuit::StampContext ctx;
+  ctx.time = t;
+  ctx.dt = dt;
+  return ctx;
+}
+
+TEST(FaultT, SolverFaultRespectsTimeWindow) {
+  SolverFaultInjector inj;
+  inj.add({.t_lo = 1e-9, .t_hi = 2e-9, .cleared_by = ClearedBy::kNever});
+  const circuit::NewtonOptions opts;
+  EXPECT_FALSE(inj.stalls(ctx_at(0.5e-9), opts));
+  EXPECT_TRUE(inj.stalls(ctx_at(1.5e-9), opts));
+  EXPECT_FALSE(inj.stalls(ctx_at(2.5e-9), opts));
+  EXPECT_EQ(inj.injected(), 1u);  // only delivered faults are counted
+}
+
+TEST(FaultT, SolverFaultClearingPredicates) {
+  const circuit::NewtonOptions base;
+
+  SolverFaultInjector step;
+  step.add({.cleared_by = ClearedBy::kSmallStep, .dt_threshold = 1e-12});
+  EXPECT_TRUE(step.stalls(ctx_at(0.0, 10e-12), base));
+  EXPECT_FALSE(step.stalls(ctx_at(0.0, 0.5e-12), base));
+
+  SolverFaultInjector iters;
+  iters.add({.cleared_by = ClearedBy::kManyIterations, .iter_threshold = 200});
+  circuit::NewtonOptions many = base;
+  many.max_iterations = 400;
+  EXPECT_TRUE(iters.stalls(ctx_at(0.0), base));
+  EXPECT_FALSE(iters.stalls(ctx_at(0.0), many));
+
+  SolverFaultInjector gmin;
+  gmin.add({.cleared_by = ClearedBy::kHighGmin, .gmin_threshold = 1e-10});
+  circuit::StampContext relaxed = ctx_at(0.0);
+  relaxed.gmin = 1e-9;
+  EXPECT_TRUE(gmin.stalls(ctx_at(0.0), base));
+  EXPECT_FALSE(gmin.stalls(relaxed, base));
+
+  SolverFaultInjector be;
+  be.add({.cleared_by = ClearedBy::kBackwardEuler});
+  circuit::StampContext bectx = ctx_at(0.0);
+  bectx.method = circuit::Integrator::kBackwardEuler;
+  EXPECT_TRUE(be.stalls(ctx_at(0.0), base));
+  EXPECT_FALSE(be.stalls(bectx, base));
+}
+
+TEST(FaultT, SingularFaultIsSeparateFromStall) {
+  SolverFaultInjector inj;
+  inj.add({.t_lo = 0.0, .t_hi = 1.0, .cleared_by = ClearedBy::kNever,
+           .singular = true});
+  const circuit::NewtonOptions opts;
+  EXPECT_FALSE(inj.stalls(ctx_at(0.5), opts));
+  EXPECT_TRUE(inj.makes_singular(ctx_at(0.5), opts));
+}
+
+TEST(FaultT, RandomStallIsAPureFunctionOfSeedAndTime) {
+  SolverFaultInjector a(99);
+  SolverFaultInjector b(99);
+  SolverFaultInjector other(100);
+  a.set_stall_rate(0.3);
+  b.set_stall_rate(0.3);
+  other.set_stall_rate(0.3);
+  const circuit::NewtonOptions opts;
+  std::size_t hits = 0, differs = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto ctx = ctx_at(static_cast<double>(i) * 1e-12);
+    const bool sa = a.stalls(ctx, opts);
+    EXPECT_EQ(sa, b.stalls(ctx, opts));
+    if (sa) ++hits;
+    if (sa != other.stalls(ctx, opts)) ++differs;
+  }
+  EXPECT_GT(hits, 200u);  // ~300 expected
+  EXPECT_LT(hits, 400u);
+  EXPECT_GT(differs, 0u);
+}
+
+}  // namespace
+}  // namespace ecms::fault

@@ -5,10 +5,17 @@
 //   ecms_tool bitmap  [--rows <n>] [--cols <n>] [--seed <s>]
 //                     [--shorts <p>] [--opens <p>] [--partials <p>]
 //                     [--gradient <rel>] [--drift <rel>] [--jobs <n>]
+//                     [--fault-rate <p>] [--fault-seed <s>] [--retries <n>]
+//                     [--keep-going | --fail-fast]
 //   ecms_tool design  [--rows <n>] [--cols <n>]
 //   ecms_tool spice   [--rows <n>] [--cols <n>]
 //
-// Everything prints to stdout; exit code 0 on success, 1 on usage errors.
+// Everything prints to stdout. Exit codes:
+//   0  success, every cell measured
+//   1  usage error (bad command line)
+//   2  runtime failure (extraction aborted, fail-fast hit, bad netlist, ...)
+//   3  degraded success: the run completed but some cells are unmeasurable
+//      (--keep-going, the default; the per-cell failure report lists them)
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
@@ -20,6 +27,7 @@
 #include "circuit/spice_io.hpp"
 #include "edram/behavioral.hpp"
 #include "edram/netlister.hpp"
+#include "fault/fault.hpp"
 #include "march/runner.hpp"
 #include "msu/abacus.hpp"
 #include "msu/designer.hpp"
@@ -34,18 +42,33 @@
 namespace {
 using namespace ecms;
 
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 1;
+constexpr int kExitFailure = 2;
+constexpr int kExitDegraded = 3;
+
+/// Bad command line (vs a runtime failure, which exits differently).
+class UsageError : public ecms::Error {
+ public:
+  explicit UsageError(const std::string& what) : Error(what) {}
+};
+
 class Args {
  public:
   Args(int argc, char** argv, int from) {
-    for (int i = from; i + 1 < argc; i += 2) {
+    for (int i = from; i < argc; ++i) {
       std::string key = argv[i];
       if (key.rfind("--", 0) != 0) {
-        throw ecms::Error("expected --option, got '" + key + "'");
+        throw UsageError("expected --option, got '" + key + "'");
       }
-      kv_[key.substr(2)] = argv[i + 1];
-    }
-    if ((argc - from) % 2 != 0) {
-      throw ecms::Error("dangling option without a value");
+      key = key.substr(2);
+      // A token not starting with "--" is this option's value; otherwise the
+      // option is a boolean flag (e.g. --keep-going).
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        kv_[key] = argv[++i];
+      } else {
+        kv_[key] = "1";
+      }
     }
   }
 
@@ -57,6 +80,7 @@ class Args {
     const auto it = kv_.find(key);
     return it == kv_.end() ? fallback : it->second;
   }
+  bool flag(const std::string& key) const { return kv_.count(key) > 0; }
 
  private:
   std::map<std::string, std::string> kv_;
@@ -109,6 +133,11 @@ int cmd_extract(const Args& args) {
   const auto res = msu::extract_cell(mc, r, c, {});
   std::printf("cell (%zu,%zu): code %d / %d\n", r, c, res.code,
               res.schedule.ramp_steps);
+  if (res.status == CellStatus::kRecovered) {
+    std::printf("  solver recovery    : succeeded at rung '%s' (%d attempts)\n",
+                circuit::recovery_rung_name(res.recovery.succeeded_at).c_str(),
+                res.recovery.attempts);
+  }
   std::printf("  plate after charge : %.3f V\n", res.v_plate_charged);
   std::printf("  V_GS after share   : %.3f V\n", res.vgs_shared);
   if (res.t_out_rise) {
@@ -147,8 +176,22 @@ int cmd_bitmap(const Args& args) {
       jobs_arg < 1 ? 1 : static_cast<std::size_t>(std::min(jobs_arg, 512.0));
   util::ThreadPool pool(jobs);
   util::ThreadPool* pool_ptr = pool.worker_count() > 1 ? &pool : nullptr;
-  const auto analog =
-      bitmap::AnalogBitmap::extract_tiled(mc, {}, 4, 4, pool_ptr);
+
+  if (args.flag("keep-going") && args.flag("fail-fast")) {
+    throw UsageError("--keep-going and --fail-fast are mutually exclusive");
+  }
+  const double fault_rate = args.num("fault-rate", 0.0);
+  const auto fault_seed = static_cast<std::uint64_t>(args.num("fault-seed", 1));
+  const fault::CellFaultPlan plan(fault_rate, fault_seed);
+  bitmap::ExtractPolicy policy;
+  if (fault_rate > 0.0) policy.cell_hook = plan.hook();
+  policy.retry.max_attempts = static_cast<int>(args.num("retries", 2));
+  policy.contain = !args.flag("fail-fast");
+
+  const auto extraction =
+      bitmap::AnalogBitmap::extract_tiled_robust(mc, {}, policy, 4, 4,
+                                                 pool_ptr);
+  const auto& analog = extraction.bitmap;
   std::printf("analog bitmap (codes 0..20):\n%s\n",
               report::render_code_heatmap(analog).c_str());
   const auto sig = bitmap::SignatureMap::categorize(analog);
@@ -160,7 +203,19 @@ int cmd_bitmap(const Args& args) {
   for (const auto& f : findings)
     std::printf("  [%s] %s\n", bitmap::diagnosis_name(f.kind).c_str(),
                 f.detail.c_str());
-  return 0;
+
+  const auto& rep = extraction.report;
+  std::printf("\nextraction health: %s\n", rep.summary().c_str());
+  constexpr std::size_t kMaxListed = 16;
+  for (std::size_t i = 0; i < rep.failures.size() && i < kMaxListed; ++i) {
+    const auto& f = rep.failures[i];
+    std::printf("  unmeasurable (%zu,%zu): %s\n", f.row, f.col,
+                f.reason.c_str());
+  }
+  if (rep.failures.size() > kMaxListed) {
+    std::printf("  ... and %zu more\n", rep.failures.size() - kMaxListed);
+  }
+  return rep.complete() ? kExitOk : kExitDegraded;
 }
 
 int cmd_design(const Args& args) {
@@ -195,8 +250,8 @@ int cmd_spice(const Args& args) {
 int usage() {
   std::fprintf(stderr,
                "usage: ecms_tool <abacus|extract|bitmap|design|spice> "
-               "[--option value ...]\n");
-  return 1;
+               "[--option value ...] [--keep-going|--fail-fast]\n");
+  return kExitUsage;
 }
 
 }  // namespace
@@ -212,8 +267,11 @@ int main(int argc, char** argv) {
     if (cmd == "design") return cmd_design(args);
     if (cmd == "spice") return cmd_spice(args);
     return usage();
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitUsage;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return kExitFailure;
   }
 }
