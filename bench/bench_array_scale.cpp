@@ -17,6 +17,7 @@
 
 #include "bitmap/analog_bitmap.hpp"
 #include "msu/designer.hpp"
+#include "obs/metrics.hpp"
 #include "msu/extract.hpp"
 #include "report/experiment.hpp"
 #include "tech/tech.hpp"
@@ -164,6 +165,45 @@ void run_parallel_acceptance(std::size_t jobs) {
   std::cout << exp << '\n';
 }
 
+// EXT-A7 — observability overhead contract (DESIGN.md §8): extraction with
+// the metrics registry collecting must stay within 2% of the same run with
+// metrics disabled. Tracing is NOT enabled here — spans allocate per event
+// and are priced separately; the contract covers the always-on-capable
+// metrics path, whose disabled cost is one relaxed atomic load per site.
+void run_obs_overhead() {
+  std::printf("EXT-A7: metrics overhead, enabled vs disabled extraction\n\n");
+  report::Experiment exp("EXT-A7", "metrics overhead contract (< 2%)");
+  constexpr std::size_t kN = 128;
+  const auto mc = edram::MacroCell::uniform({.rows = kN, .cols = kN},
+                                            tech::tech018(), 30_fF);
+
+  obs::set_metrics_enabled(false);
+  const double t_off = best_of_3_seconds([&] {
+    auto bm = bitmap::AnalogBitmap::extract_tiled(mc, {});
+    benchmark::DoNotOptimize(bm);
+  });
+  obs::set_metrics_enabled(true);
+  obs::Registry::global().reset();
+  const double t_on = best_of_3_seconds([&] {
+    auto bm = bitmap::AnalogBitmap::extract_tiled(mc, {});
+    benchmark::DoNotOptimize(bm);
+  });
+  obs::set_metrics_enabled(false);
+
+  // Negative deltas are timing noise; the contract bounds the upside only.
+  const double overhead = std::max(0.0, (t_on - t_off) / t_off);
+  std::printf("  metrics off: %8.3f ms\n", 1e3 * t_off);
+  std::printf("  metrics on : %8.3f ms  (overhead %.2f%%)\n", 1e3 * t_on,
+              100 * overhead);
+  exp.check("metrics-enabled extraction stays within 2% of disabled",
+            Table::num(100 * overhead, 2) + "% on a " + std::to_string(kN) +
+                "x" + std::to_string(kN) + " array",
+            overhead < 0.02);
+  exp.note("disabled-path cost is a single relaxed atomic load per site; "
+           "per-cell tallies are flushed once per tile");
+  std::cout << exp << '\n';
+}
+
 void BM_CircuitExtractionBySize(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto mc = edram::MacroCell::uniform({.rows = n, .cols = n},
@@ -227,6 +267,7 @@ int main(int argc, char** argv) {
   const std::size_t jobs = take_jobs_flag(argc, argv, 8);
   run_scaling();
   run_parallel_acceptance(jobs);
+  run_obs_overhead();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

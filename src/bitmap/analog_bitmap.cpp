@@ -1,10 +1,13 @@
 #include "bitmap/analog_bitmap.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <mutex>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 
@@ -48,6 +51,37 @@ AnalogBitmap AnalogBitmap::extract(const msu::FastModel& model,
 }
 
 namespace {
+
+// RAII per-tile instrumentation: a trace span (tile index + origin) plus a
+// wall-time observation into bitmap.tile_seconds. The clock is read only
+// when metrics are on; with obs fully off this is one relaxed load and two
+// dead branches per tile.
+class TileProbe {
+ public:
+  TileProbe(std::size_t tile, std::size_t row0, std::size_t col0)
+      : span_("extract_tile"), timed_(obs::metrics_enabled()) {
+    span_.arg("tile", static_cast<double>(tile));
+    span_.arg("row0", static_cast<double>(row0));
+    span_.arg("col0", static_cast<double>(col0));
+    if (timed_) t0_ = std::chrono::steady_clock::now();
+  }
+  ~TileProbe() {
+    if (!timed_) return;
+    const double s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0_)
+                         .count();
+    ECMS_METRIC_OBSERVE("bitmap.tile_seconds", s);
+    ECMS_METRIC_COUNT("bitmap.tiles", 1);
+  }
+  TileProbe(const TileProbe&) = delete;
+  TileProbe& operator=(const TileProbe&) = delete;
+
+ private:
+  obs::ScopedSpan span_;
+  bool timed_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
 // Runs one independent MSU flow per tile, fanning the tiles out on `pool`
 // when given one. `coder_for_tile(model, tile_index)` returns the per-cell
 // code function for that tile; any tile-local state (e.g. a forked noise
@@ -61,18 +95,23 @@ AnalogBitmap tiled_impl(const edram::MacroCell& mc,
   ECMS_REQUIRE(tile_rows > 0 && tile_cols > 0, "tile must be non-empty");
   ECMS_REQUIRE(mc.rows() % tile_rows == 0 && mc.cols() % tile_cols == 0,
                "array dimensions must be divisible by the tile dimensions");
+  obs::ScopedSpan span("extract_tiled");
+  span.arg("rows", static_cast<double>(mc.rows()));
+  span.arg("cols", static_cast<double>(mc.cols()));
   AnalogBitmap bm(mc.rows(), mc.cols(), params.ramp_steps);
   const std::size_t tiles_per_row = mc.cols() / tile_cols;
   const std::size_t n_tiles = (mc.rows() / tile_rows) * tiles_per_row;
   util::ThreadPool::run(pool, n_tiles, 1, [&](std::size_t t) {
     const std::size_t tr = (t / tiles_per_row) * tile_rows;
     const std::size_t tc = (t % tiles_per_row) * tile_cols;
+    const TileProbe probe(t, tr, tc);
     const edram::MacroCell tile = mc.tile(tr, tc, tile_rows, tile_cols);
     const msu::FastModel model(tile, params);
     auto code_of = coder_for_tile(model, t);
     for (std::size_t r = 0; r < tile_rows; ++r)
       for (std::size_t c = 0; c < tile_cols; ++c)
         bm.set(tr + r, tc + c, code_of(r, c));
+    ECMS_METRIC_COUNT("bitmap.cells.measured", tile_rows * tile_cols);
   });
   return bm;
 }
@@ -92,6 +131,9 @@ TiledExtraction robust_tiled_impl(const edram::MacroCell& mc,
   ECMS_REQUIRE(tile_rows > 0 && tile_cols > 0, "tile must be non-empty");
   ECMS_REQUIRE(mc.rows() % tile_rows == 0 && mc.cols() % tile_cols == 0,
                "array dimensions must be divisible by the tile dimensions");
+  obs::ScopedSpan span("extract_tiled_robust");
+  span.arg("rows", static_cast<double>(mc.rows()));
+  span.arg("cols", static_cast<double>(mc.cols()));
   TiledExtraction out{AnalogBitmap(mc.rows(), mc.cols(), params.ramp_steps),
                       std::vector<CellStatus>(mc.cell_count(), CellStatus::kOk),
                       {}};
@@ -108,9 +150,13 @@ TiledExtraction robust_tiled_impl(const edram::MacroCell& mc,
   util::ThreadPool::run(pool, n_tiles, 1, [&](std::size_t t) {
     const std::size_t tr = (t / tiles_per_row) * tile_rows;
     const std::size_t tc = (t % tiles_per_row) * tile_cols;
+    const TileProbe probe(t, tr, tc);
     const edram::MacroCell tile = mc.tile(tr, tc, tile_rows, tile_cols);
     const msu::FastModel model(tile, params);
     auto code_of = coder_for_tile(model, t);
+    // Status tallies are accumulated tile-locally and flushed once per tile,
+    // so the per-cell loop adds no metric traffic.
+    std::size_t n_ok = 0, n_recovered = 0, n_unmeasurable = 0;
     for (std::size_t r = 0; r < tile_rows; ++r) {
       for (std::size_t c = 0; c < tile_cols; ++c) {
         const std::size_t ar = tr + r;
@@ -124,9 +170,12 @@ TiledExtraction robust_tiled_impl(const edram::MacroCell& mc,
         if (rr.ok) {
           out.bitmap.set(ar, ac, code);
           if (rr.recovered()) {
+            ++n_recovered;
             out.status[ar * mc.cols() + ac] = CellStatus::kRecovered;
             const std::lock_guard<std::mutex> lock(report_mutex);
             ++recovered;
+          } else {
+            ++n_ok;
           }
         } else {
           if (!policy.contain) {
@@ -134,6 +183,7 @@ TiledExtraction robust_tiled_impl(const edram::MacroCell& mc,
                                std::to_string(ac) +
                                ") unmeasurable: " + rr.last_error);
           }
+          ++n_unmeasurable;
           out.bitmap.set(ar, ac, filler);
           out.status[ar * mc.cols() + ac] = CellStatus::kUnmeasurable;
           const std::lock_guard<std::mutex> lock(report_mutex);
@@ -141,6 +191,9 @@ TiledExtraction robust_tiled_impl(const edram::MacroCell& mc,
         }
       }
     }
+    ECMS_METRIC_COUNT("bitmap.cells.ok", n_ok);
+    ECMS_METRIC_COUNT("bitmap.cells.recovered", n_recovered);
+    ECMS_METRIC_COUNT("bitmap.cells.unmeasurable", n_unmeasurable);
   });
 
   std::sort(failures.begin(), failures.end(),

@@ -1,11 +1,15 @@
 #include "circuit/dc.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
 namespace ecms::circuit {
 
 DcResult dc_operating_point(Circuit& ckt, const DcOptions& opts) {
+  obs::ScopedSpan span("dc_operating_point");
+  ECMS_METRIC_COUNT("circuit.dc.solves", 1);
   ckt.finalize();
   DcResult res;
   res.x.assign(ckt.unknown_count(), 0.0);
@@ -39,6 +43,7 @@ DcResult dc_operating_point(Circuit& ckt, const DcOptions& opts) {
     bool ok = true;
     for (double g = opts.gmin_start; g >= opts.newton.gmin_ground / 10.0;
          g /= 10.0) {
+      ECMS_METRIC_COUNT("circuit.dc.gmin_steps", 1);
       if (!attempt(g, 1.0, x)) {
         ok = false;
         break;
@@ -57,6 +62,7 @@ DcResult dc_operating_point(Circuit& ckt, const DcOptions& opts) {
     std::vector<double> x(ckt.unknown_count(), 0.0);
     bool ok = true;
     for (int s = 1; s <= opts.source_steps; ++s) {
+      ECMS_METRIC_COUNT("circuit.dc.source_steps", 1);
       const double scale =
           static_cast<double>(s) / static_cast<double>(opts.source_steps);
       if (!attempt(opts.newton.gmin_ground, scale, x)) {

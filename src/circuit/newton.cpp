@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -21,8 +22,26 @@ void assemble(const Circuit& ckt, const StampContext& ctx, double gmin_ground,
   for (std::size_t i = 0; i < nv; ++i) a_mat.at(i, i) += gmin_ground;
 }
 
-NewtonResult newton_solve(const Circuit& ckt, const StampContext& ctx_proto,
-                          std::vector<double>& x, const NewtonOptions& opts) {
+namespace {
+
+// Per-solve outcome accounting, shared by every return path of
+// newton_solve_impl. One LU factorization is attempted per iteration, so
+// the factorization count equals the iteration count.
+void count_solve(const NewtonResult& res) {
+  if (!obs::metrics_enabled()) return;
+  ECMS_METRIC_COUNT("circuit.newton.solves", 1);
+  ECMS_METRIC_COUNT("circuit.newton.iterations", res.iterations);
+  ECMS_METRIC_COUNT("circuit.newton.factorizations", res.iterations);
+  ECMS_METRIC_OBSERVE("circuit.newton.iterations_per_solve", res.iterations);
+  if (res.singular) ECMS_METRIC_COUNT("circuit.newton.singular", 1);
+  if (res.stalled) ECMS_METRIC_COUNT("circuit.newton.stalled", 1);
+  if (!res.converged) ECMS_METRIC_COUNT("circuit.newton.nonconverged", 1);
+}
+
+NewtonResult newton_solve_impl(const Circuit& ckt,
+                               const StampContext& ctx_proto,
+                               std::vector<double>& x,
+                               const NewtonOptions& opts) {
   const std::size_t n = ckt.unknown_count();
   ECMS_REQUIRE(x.size() == n, "newton_solve: x has wrong size");
   const std::size_t nv = ckt.node_count() - 1;
@@ -89,6 +108,15 @@ NewtonResult newton_solve(const Circuit& ckt, const StampContext& ctx_proto,
   ECMS_LOG(LogLevel::kDebug) << "newton: no convergence after "
                              << res.iterations
                              << " iters, last dv=" << res.final_delta;
+  return res;
+}
+
+}  // namespace
+
+NewtonResult newton_solve(const Circuit& ckt, const StampContext& ctx_proto,
+                          std::vector<double>& x, const NewtonOptions& opts) {
+  const NewtonResult res = newton_solve_impl(ckt, ctx_proto, x, opts);
+  count_solve(res);
   return res;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -50,11 +52,27 @@ TranResult transient_with_recovery(Circuit& ckt, const TranParams& params,
   std::string trail;
   for (int rung = 0; rung <= top; ++rung) {
     const auto r = static_cast<RecoveryRung>(rung);
+    // Per-rung counters use dynamic names, so they bypass the static-handle
+    // macros; this is the failure path (or one lookup per solve at rung 0),
+    // never a hot loop.
+    if (obs::metrics_enabled()) {
+      obs::Registry::global()
+          .counter("circuit.recovery.entered." + recovery_rung_name(r))
+          .add(1);
+    }
+    obs::ScopedSpan span("recovery_rung");
+    span.arg("rung", rung);
     try {
       TranResult out = transient(ckt, apply_recovery_rung(params, r), probes);
       if (report != nullptr) {
         report->succeeded_at = r;
         report->attempts = rung + 1;
+      }
+      if (obs::metrics_enabled()) {
+        obs::Registry::global()
+            .counter("circuit.recovery.won." + recovery_rung_name(r))
+            .add(1);
+        if (rung > 0) ECMS_METRIC_COUNT("circuit.recovery.recovered", 1);
       }
       if (rung > 0) {
         ECMS_LOG(LogLevel::kDebug)
@@ -71,6 +89,7 @@ TranResult transient_with_recovery(Circuit& ckt, const TranParams& params,
       trail += recovery_rung_name(r);
     }
   }
+  ECMS_METRIC_COUNT("circuit.recovery.exhausted", 1);
   throw SolverError("transient failed after exhausting the recovery ladder (" +
                         trail + ")",
                     std::move(last_diag));

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "circuit/dc.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -13,8 +15,20 @@ namespace {
 constexpr double kTimeEps = 1e-18;
 }
 
+namespace {
+// Counts one finished transient (successful or not) into the registry.
+void count_transient(const TranStats& stats, bool failed) {
+  if (!obs::metrics_enabled()) return;
+  ECMS_METRIC_COUNT("circuit.transient.solves", 1);
+  ECMS_METRIC_COUNT("circuit.transient.accepted_steps", stats.accepted_steps);
+  ECMS_METRIC_COUNT("circuit.transient.rejected_steps", stats.rejected_steps);
+  if (failed) ECMS_METRIC_COUNT("circuit.transient.failures", 1);
+}
+}  // namespace
+
 TranResult transient(Circuit& ckt, const TranParams& params,
                      const ProbeSet& probes) {
+  obs::ScopedSpan span("transient");
   ECMS_REQUIRE(params.t_stop > 0.0, "transient needs t_stop > 0");
   ECMS_REQUIRE(params.dt > 0.0 && params.dt_min > 0.0,
                "transient needs positive steps");
@@ -131,6 +145,8 @@ TranResult transient(Circuit& ckt, const TranParams& params,
                   "' last dv=" + std::to_string(diag.last_delta);
         }
         what += ")";
+        count_transient(res.stats, /*failed=*/true);
+        span.arg("failed_at_s", t);
         throw SolverError(what, std::move(diag));
       }
       continue;
@@ -166,6 +182,9 @@ TranResult transient(Circuit& ckt, const TranParams& params,
   }
 
   res.final_x = std::move(x);
+  count_transient(res.stats, /*failed=*/false);
+  span.arg("accepted_steps", static_cast<double>(res.stats.accepted_steps));
+  span.arg("newton_iters", static_cast<double>(res.stats.newton_iterations));
   ECMS_LOG(LogLevel::kDebug) << "transient: " << res.stats.accepted_steps
                              << " steps, " << res.stats.newton_iterations
                              << " newton iters";

@@ -2,6 +2,8 @@
 
 #include "edram/netlister.hpp"
 #include "msu/fastmodel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -12,6 +14,9 @@ ExtractionResult extract_cell(const edram::MacroCell& mc, std::size_t row,
                               const MeasurementTiming& timing,
                               const ExtractOptions& options) {
   ECMS_REQUIRE(row < mc.rows() && col < mc.cols(), "target cell out of range");
+  obs::ScopedSpan span("extract_cell");
+  span.arg("row", static_cast<double>(row));
+  span.arg("col", static_cast<double>(col));
 
   circuit::Circuit ckt;
   const edram::ArrayNet array = edram::build_array(ckt, mc);
@@ -43,6 +48,11 @@ ExtractionResult extract_cell(const edram::MacroCell& mc, std::size_t row,
   res.status = res.recovery.recovered() ? CellStatus::kRecovered
                                         : CellStatus::kOk;
   res.stats = tr.stats;
+  if (res.status == CellStatus::kRecovered) {
+    ECMS_METRIC_COUNT("msu.cells.recovered", 1);
+  } else {
+    ECMS_METRIC_COUNT("msu.cells.ok", 1);
+  }
 
   res.v_plate_charged =
       tr.trace.value_at("plate", res.schedule.t_charge_end);
@@ -89,6 +99,9 @@ RobustExtraction extract_all_cells_robust(const edram::MacroCell& mc,
                                           const StructureParams& params,
                                           const MeasurementTiming& timing,
                                           const ExtractOptions& options) {
+  obs::ScopedSpan span("extract_all_cells_robust");
+  span.arg("rows", static_cast<double>(mc.rows()));
+  span.arg("cols", static_cast<double>(mc.cols()));
   ExtractOptions opts = options;
   if (opts.delta_i <= 0.0) {
     const FastModel design(mc, params);
@@ -106,6 +119,7 @@ RobustExtraction extract_all_cells_robust(const edram::MacroCell& mc,
         out.status.push_back(res.status);
         out.results.push_back(std::move(res));
       } catch (const std::exception& e) {
+        ECMS_METRIC_COUNT("msu.cells.unmeasurable", 1);
         ECMS_LOG(LogLevel::kInfo) << "cell (" << r << "," << c
                                   << ") unmeasurable: " << e.what();
         ExtractionResult placeholder;

@@ -1,0 +1,54 @@
+// Tiny JSON emission helpers shared by the metrics and trace exporters.
+//
+// The obs subsystem writes two machine-readable artifacts (a metrics
+// snapshot and a Chrome trace_event file); both need correct string
+// escaping and locale-independent number formatting, and nothing heavier.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace ecms::obs {
+
+/// Escapes `s` for use inside a JSON string literal (quotes not included).
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+/// Formats a double as a JSON number (never NaN/Inf, which JSON forbids).
+inline std::string json_number(double v) {
+  if (!(v == v)) return "0";                       // NaN
+  if (v > 1.7e308) return "1.7e308";               // +Inf clamp
+  if (v < -1.7e308) return "-1.7e308";             // -Inf clamp
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+inline std::string json_number(std::uint64_t v) { return std::to_string(v); }
+inline std::string json_number(std::int64_t v) { return std::to_string(v); }
+
+}  // namespace ecms::obs

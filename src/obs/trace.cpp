@@ -1,0 +1,190 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace ecms::obs {
+
+namespace {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Per-thread event buffer. Owned jointly by the thread (thread_local
+// shared_ptr) and the collector (so events survive thread exit, e.g. a
+// destroyed ThreadPool). The mutex is only contended when the exporter or
+// a restart touches the buffer.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+struct Collector {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_tid = 1;
+};
+
+Collector& collector() {
+  static Collector* c = new Collector();  // leaked: outlives static teardown
+  return *c;
+}
+
+std::atomic<bool> g_tracing_on{false};
+std::atomic<std::uint64_t> g_generation{0};  // bumped by every start_tracing
+std::atomic<std::uint64_t> g_next_span_id{1};
+std::atomic<std::int64_t> g_trace_t0_ns{0};
+
+struct ThreadTraceState {
+  std::shared_ptr<ThreadBuffer> buffer;
+  std::vector<std::uint64_t> span_stack;  // touched only by the owner thread
+
+  ThreadTraceState() : buffer(std::make_shared<ThreadBuffer>()) {
+    Collector& c = collector();
+    const std::lock_guard<std::mutex> lock(c.mutex);
+    buffer->tid = c.next_tid++;
+    c.buffers.push_back(buffer);
+  }
+};
+
+ThreadTraceState& thread_state() {
+  thread_local ThreadTraceState state;
+  return state;
+}
+
+}  // namespace
+
+bool tracing_enabled() {
+  return g_tracing_on.load(std::memory_order_relaxed);
+}
+
+void start_tracing() {
+  Collector& c = collector();
+  const std::lock_guard<std::mutex> lock(c.mutex);
+  g_tracing_on.store(false, std::memory_order_relaxed);
+  // Bump the generation before clearing: a span closing concurrently checks
+  // the generation under its buffer's mutex, so it either lands before the
+  // clear (and is discarded with it) or sees the new generation and drops
+  // itself. Stale events can never leak into the new trace.
+  g_generation.fetch_add(1, std::memory_order_relaxed);
+  for (const auto& buf : c.buffers) {
+    const std::lock_guard<std::mutex> blk(buf->mutex);
+    buf->events.clear();
+  }
+  g_trace_t0_ns.store(now_ns(), std::memory_order_relaxed);
+  g_tracing_on.store(true, std::memory_order_relaxed);
+}
+
+void stop_tracing() {
+  g_tracing_on.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t current_span_id() {
+  if (!tracing_enabled()) return 0;
+  const auto& stack = thread_state().span_stack;
+  return stack.empty() ? 0 : stack.back();
+}
+
+ScopedSpan::ScopedSpan(const char* name) {
+  if (!tracing_enabled()) return;
+  ThreadTraceState& state = thread_state();
+  active_ = true;
+  name_ = name;
+  generation_ = g_generation.load(std::memory_order_relaxed);
+  id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  parent_ = state.span_stack.empty() ? 0 : state.span_stack.back();
+  state.span_stack.push_back(id_);
+  start_ns_ = now_ns() - g_trace_t0_ns.load(std::memory_order_relaxed);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  ThreadTraceState& state = thread_state();
+  // The stack is strictly LIFO per thread (spans are scoped), so this span
+  // is necessarily on top.
+  if (!state.span_stack.empty() && state.span_stack.back() == id_) {
+    state.span_stack.pop_back();
+  }
+  const std::int64_t end_ns =
+      now_ns() - g_trace_t0_ns.load(std::memory_order_relaxed);
+  TraceEvent ev;
+  ev.name = name_;
+  ev.span_id = id_;
+  ev.parent_id = parent_;
+  ev.tid = state.buffer->tid;
+  ev.start_ns = start_ns_;
+  ev.dur_ns = end_ns - start_ns_;
+  ev.args.reserve(args_.size());
+  for (const auto& [k, v] : args_) ev.args.emplace_back(k, v);
+  const std::lock_guard<std::mutex> lock(state.buffer->mutex);
+  // A trace restarted mid-span would misattribute this event; the check
+  // runs under the buffer mutex so it is ordered against start_tracing()'s
+  // bump-then-clear (see there).
+  if (generation_ != g_generation.load(std::memory_order_relaxed)) return;
+  state.buffer->events.push_back(std::move(ev));
+}
+
+void ScopedSpan::arg(const char* key, double value) {
+  if (!active_) return;
+  args_.emplace_back(key, value);
+}
+
+std::vector<TraceEvent> collected_trace_events() {
+  Collector& c = collector();
+  std::vector<TraceEvent> all;
+  const std::lock_guard<std::mutex> lock(c.mutex);
+  for (const auto& buf : c.buffers) {
+    const std::lock_guard<std::mutex> blk(buf->mutex);
+    all.insert(all.end(), buf->events.begin(), buf->events.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                              : a.span_id < b.span_id;
+            });
+  return all;
+}
+
+std::string trace_to_json() {
+  const std::vector<TraceEvent> events = collected_trace_events();
+  std::string j = "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    j += first ? "\n" : ",\n";
+    first = false;
+    j += "  {\"name\": \"" + json_escape(ev.name) +
+         "\", \"cat\": \"ecms\", \"ph\": \"X\", \"pid\": 1, \"tid\": " +
+         std::to_string(ev.tid) +
+         ", \"ts\": " + json_number(static_cast<double>(ev.start_ns) / 1e3) +
+         ", \"dur\": " + json_number(static_cast<double>(ev.dur_ns) / 1e3) +
+         ", \"args\": {\"span\": " + std::to_string(ev.span_id) +
+         ", \"parent\": " + std::to_string(ev.parent_id);
+    for (const auto& [k, v] : ev.args) {
+      j += ", \"" + json_escape(k) + "\": " + json_number(v);
+    }
+    j += "}}";
+  }
+  j += first ? "], " : "\n], ";
+  j += "\"displayTimeUnit\": \"ms\"}\n";
+  return j;
+}
+
+void write_trace_json(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open trace output file: " + path);
+  out << trace_to_json();
+  if (!out) throw Error("failed writing trace output file: " + path);
+}
+
+}  // namespace ecms::obs

@@ -1,0 +1,88 @@
+// Tracing layer: nested ScopedSpans exported as Chrome trace_event JSON.
+//
+// The exported file loads directly in chrome://tracing or Perfetto
+// (https://ui.perfetto.dev) and shows, per thread, the nesting of
+// extraction work: extract_tile / extract_cell spans containing transient
+// solves containing recovery-rung attempts.
+//
+// Overhead contract (same as the metrics side): when tracing is not
+// started, constructing a ScopedSpan costs one relaxed atomic load — no
+// clock read, no allocation, no lock. When tracing is on, each span costs
+// two steady_clock reads plus one append into a per-thread buffer (the
+// buffer's mutex is only ever contended by the exporter).
+//
+// Span names must be string literals (or otherwise outlive the span); arg
+// keys likewise. Span ids are process-unique and nesting is tracked per
+// thread, so log lines can be correlated via obs::current_span_id().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ecms::obs {
+
+/// True between start_tracing() and stop_tracing().
+bool tracing_enabled();
+
+/// Discards any previously collected events and starts a new trace.
+void start_tracing();
+
+/// Stops collecting. Already-open spans still record their event on close;
+/// collected events stay available until the next start_tracing().
+void stop_tracing();
+
+/// One completed span, in trace order within its thread.
+struct TraceEvent {
+  std::string name;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  ///< 0 for top-level spans
+  std::uint32_t tid = 0;        ///< small per-thread index (1-based)
+  std::int64_t start_ns = 0;    ///< relative to start_tracing()
+  std::int64_t dur_ns = 0;
+  std::vector<std::pair<std::string, double>> args;
+};
+
+/// Copies out everything collected so far (sorted by start time).
+std::vector<TraceEvent> collected_trace_events();
+
+/// Collected events in Chrome trace_event JSON ("X" complete events; ts and
+/// dur in microseconds). Loadable in chrome://tracing / Perfetto.
+std::string trace_to_json();
+
+/// Writes trace_to_json() to `path`; throws ecms::Error on I/O failure.
+void write_trace_json(const std::string& path);
+
+/// Innermost open span id on this thread (0 when none / tracing off). Used
+/// by the log sink to stamp lines with their span.
+std::uint64_t current_span_id();
+
+/// RAII span. Records a complete ("X") trace event from construction to
+/// destruction when tracing is on; near-free otherwise.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches a numeric argument (shown in the trace viewer); no-op when
+  /// the span is inactive. `key` must be a string literal.
+  void arg(const char* key, double value);
+
+  bool active() const { return active_; }
+  std::uint64_t id() const { return id_; }
+
+ private:
+  bool active_ = false;
+  const char* name_ = nullptr;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  std::uint64_t generation_ = 0;
+  std::int64_t start_ns_ = 0;
+  std::vector<std::pair<const char*, double>> args_;
+};
+
+}  // namespace ecms::obs

@@ -2,13 +2,50 @@
 
 #include <atomic>
 #include <iostream>
+#include <memory>
+#include <mutex>
+
+#include "obs/trace.hpp"
 
 namespace ecms {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
-const char* level_name(LogLevel level) {
+// The installed sink, shared_ptr-swapped under a mutex so a worker thread
+// mid-emit keeps a valid callable even if another thread replaces the sink.
+std::mutex g_sink_mutex;
+std::shared_ptr<const LogSink> g_sink;
+
+void default_sink(LogLevel level, const std::string& msg) {
+  // Stamp the innermost open span so a log line can be located on the
+  // Chrome trace timeline (0 = no span / tracing off).
+  const std::uint64_t span = obs::current_span_id();
+  std::ostringstream line;
+  line << "[ecms " << log_level_name(level);
+  if (span != 0) line << " span=" << span;
+  line << "] " << msg << '\n';
+  std::clog << line.str();
+}
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+bool parse_log_level(const std::string& name, LogLevel& out) {
+  if (name == "debug") out = LogLevel::kDebug;
+  else if (name == "info") out = LogLevel::kInfo;
+  else if (name == "warn") out = LogLevel::kWarn;
+  else if (name == "error") out = LogLevel::kError;
+  else if (name == "off") out = LogLevel::kOff;
+  else return false;
+  return true;
+}
+
+const char* log_level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
       return "DEBUG";
@@ -23,17 +60,28 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
-}  // namespace
 
-LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
-
-void set_log_level(LogLevel level) {
-  g_level.store(level, std::memory_order_relaxed);
+void set_log_sink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (sink) {
+    g_sink = std::make_shared<const LogSink>(std::move(sink));
+  } else {
+    g_sink.reset();
+  }
 }
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg) {
-  std::clog << "[ecms " << level_name(level) << "] " << msg << '\n';
+  std::shared_ptr<const LogSink> sink;
+  {
+    const std::lock_guard<std::mutex> lock(g_sink_mutex);
+    sink = g_sink;
+  }
+  if (sink) {
+    (*sink)(level, msg);
+  } else {
+    default_sink(level, msg);
+  }
 }
 }  // namespace detail
 

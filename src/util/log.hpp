@@ -1,10 +1,14 @@
-// Minimal leveled logger.
+// Minimal leveled logger with a pluggable, obs-aware sink.
 //
 // The solvers log convergence diagnostics at Debug; benches and examples run
 // at Info by default. A global level keeps the hot paths cheap (a single
-// comparison when disabled).
+// comparison when disabled). The default sink writes to std::clog and, when
+// a trace is being collected, stamps each line with the innermost open span
+// id (obs::current_span_id()) so log output can be correlated with the
+// Chrome trace timeline.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -15,6 +19,21 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// Global log level (defaults to kWarn so library users are quiet by default).
 LogLevel log_level();
 void set_log_level(LogLevel level);
+
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-sensitive).
+/// Returns false and leaves `out` untouched on an unknown name.
+bool parse_log_level(const std::string& name, LogLevel& out);
+
+const char* log_level_name(LogLevel level);
+
+/// Receives every emitted line (level filtering already applied). The raw
+/// message is passed; decoration (level tag, span id) is the sink's job.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Installs a sink; an empty function restores the default clog sink.
+/// Sinks may be called from worker threads concurrently and must be
+/// thread-safe.
+void set_log_sink(LogSink sink);
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg);

@@ -12,6 +12,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace ecms::util {
 
 /// How many times an item-level operation may be attempted in total.
@@ -40,9 +42,12 @@ RetryResult run_with_retry(const RetryPolicy& policy, Fn&& fn) {
   RetryResult res;
   for (int attempt = 0; attempt < policy.attempts(); ++attempt) {
     ++res.attempts_used;
+    ECMS_METRIC_COUNT("util.retry.attempts", 1);
+    if (attempt > 0) ECMS_METRIC_COUNT("util.retry.retries", 1);
     try {
       std::forward<Fn>(fn)(attempt);
       res.ok = true;
+      if (res.recovered()) ECMS_METRIC_COUNT("util.retry.recovered", 1);
       return res;
     } catch (const std::exception& e) {
       res.last_error = e.what();
@@ -50,6 +55,7 @@ RetryResult run_with_retry(const RetryPolicy& policy, Fn&& fn) {
       res.last_error = "unknown exception";
     }
   }
+  ECMS_METRIC_COUNT("util.retry.exhausted", 1);
   return res;
 }
 

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace ecms::util {
@@ -32,7 +34,11 @@ void ThreadPool::submit(std::function<void()> job) {
   {
     std::lock_guard<std::mutex> lk(mutex_);
     queue_.push_back(std::move(job));
+    // Queue depth sampled at enqueue time (the max is the interesting part:
+    // a deep queue means the pool is saturated and tasks are waiting).
+    ECMS_METRIC_GAUGE_SET("util.pool.queue_depth", queue_.size());
   }
+  ECMS_METRIC_COUNT("util.pool.tasks_submitted", 1);
   cv_.notify_one();
 }
 
@@ -45,8 +51,20 @@ void ThreadPool::worker_loop() {
       if (stop_ && queue_.empty()) return;
       job = std::move(queue_.front());
       queue_.pop_front();
+      ECMS_METRIC_GAUGE_SET("util.pool.queue_depth", queue_.size());
     }
-    job();
+    // Clock reads are paid only when metrics are on (overhead contract).
+    if (obs::metrics_enabled()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      job();
+      const double s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+      ECMS_METRIC_OBSERVE("util.pool.task_seconds", s);
+      ECMS_METRIC_COUNT("util.pool.tasks_executed", 1);
+    } else {
+      job();
+    }
   }
 }
 
@@ -87,6 +105,9 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t chunk,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   ECMS_REQUIRE(chunk > 0, "parallel_for needs a positive chunk size");
+  ECMS_METRIC_COUNT("util.pool.parallel_for_calls", 1);
+  ECMS_METRIC_COUNT("util.pool.items", n);
+  ECMS_METRIC_GAUGE_SET("util.pool.workers", threads_.size());
 
   auto state = std::make_shared<ForState>();
   state->n = n;

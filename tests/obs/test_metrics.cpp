@@ -1,0 +1,171 @@
+// Metrics registry: wait-free counter exactness under threads, histogram
+// bucket-edge behaviour, snapshot consistency while writers are running
+// (this file is part of the TSan job), and JSON export well-formedness.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "json_check.hpp"
+#include "obs/metrics.hpp"
+
+namespace ecms::obs {
+namespace {
+
+// Tests share the process-global registry, so every test uses its own
+// metric names ("test.metrics.<case>...") and restores the enabled flag.
+class ObsMetricsT : public ::testing::Test {
+ protected:
+  void SetUp() override { set_metrics_enabled(true); }
+  void TearDown() override { set_metrics_enabled(false); }
+};
+
+TEST_F(ObsMetricsT, CounterSumsExactlyAcrossThreads) {
+  Counter& c = Registry::global().counter("test.metrics.exact");
+  c.reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add(1);
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(ObsMetricsT, SnapshotWhileWritersRun) {
+  // The snapshot never tears or races (TSan checks the latter); monotonic
+  // reads are the most a sharded counter promises.
+  Counter& c = Registry::global().counter("test.metrics.live");
+  c.reset();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) c.add(1);
+    });
+  }
+  std::uint64_t last = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t now =
+        Registry::global().snapshot().counters.at("test.metrics.live");
+    EXPECT_GE(now, last);
+    last = now;
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  EXPECT_GE(c.value(), last);
+}
+
+TEST_F(ObsMetricsT, GaugeTracksValueAndHighWatermark) {
+  Gauge& g = Registry::global().gauge("test.metrics.gauge");
+  g.reset();
+  g.set(5);
+  g.add(3);
+  EXPECT_EQ(g.value(), 8);
+  g.add(-6);
+  EXPECT_EQ(g.value(), 2);
+  EXPECT_EQ(g.max(), 8);  // watermark survives the drop
+  g.set(1);
+  EXPECT_EQ(g.max(), 8);
+}
+
+TEST_F(ObsMetricsT, HistogramZeroLandsInUnderflowBucket) {
+  Histogram& h = Registry::global().histogram("test.metrics.h_zero");
+  h.reset();
+  EXPECT_TRUE(h.record(0.0));
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.buckets.front(), 1u);
+  EXPECT_EQ(s.min, 0.0);
+}
+
+TEST_F(ObsMetricsT, HistogramRejectsNegativeAndNan) {
+  Histogram& h = Registry::global().histogram("test.metrics.h_reject");
+  h.reset();
+  EXPECT_FALSE(h.record(-1e-9));
+  EXPECT_FALSE(h.record(std::numeric_limits<double>::quiet_NaN()));
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.rejected, 2u);
+  for (const auto b : s.buckets) EXPECT_EQ(b, 0u);
+}
+
+TEST_F(ObsMetricsT, HistogramHugeValueLandsInOverflowBucket) {
+  Histogram& h = Registry::global().histogram("test.metrics.h_over");
+  h.reset();
+  EXPECT_TRUE(h.record(1e30));
+  EXPECT_TRUE(h.record(std::numeric_limits<double>::infinity()));
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.buckets.back(), 2u);
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_TRUE(std::isinf(s.bucket_upper(s.buckets.size() - 1)));
+}
+
+TEST_F(ObsMetricsT, HistogramBoundaryValuesBelongToUpperBucket) {
+  // min_bound = 1, growth = 2: buckets are [0,1), [1,2), [2,4), [4,8)...
+  Histogram::Options opts;
+  opts.min_bound = 1.0;
+  opts.growth = 2.0;
+  opts.buckets = 8;
+  Histogram& h =
+      Registry::global().histogram("test.metrics.h_bounds", opts);
+  h.reset();
+  h.record(0.5);  // underflow
+  h.record(1.0);  // first log bucket's lower edge
+  h.record(2.0);  // second log bucket's lower edge
+  h.record(3.9);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[2], 2u);
+  EXPECT_DOUBLE_EQ(s.bucket_upper(1), 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.9);
+  EXPECT_NEAR(s.mean(), (0.5 + 1.0 + 2.0 + 3.9) / 4.0, 1e-12);
+}
+
+TEST_F(ObsMetricsT, ResetZeroesValuesButKeepsHandles) {
+  Counter& c = Registry::global().counter("test.metrics.reset");
+  c.add(7);
+  Registry::global().reset();
+  EXPECT_EQ(c.value(), 0u);  // same handle, still live
+  c.add(2);
+  EXPECT_EQ(c.value(), 2u);
+}
+
+TEST_F(ObsMetricsT, DisabledMacroCreatesNothing) {
+  set_metrics_enabled(false);
+  ECMS_METRIC_COUNT("test.metrics.never", 1);
+  ECMS_METRIC_OBSERVE("test.metrics.never_h", 1.0);
+  const MetricsSnapshot s = Registry::global().snapshot();
+  EXPECT_EQ(s.counters.count("test.metrics.never"), 0u);
+  EXPECT_EQ(s.histograms.count("test.metrics.never_h"), 0u);
+}
+
+TEST_F(ObsMetricsT, MacroCountsWhenEnabled) {
+  Registry::global().counter("test.metrics.macro").reset();
+  for (int i = 0; i < 3; ++i) ECMS_METRIC_COUNT("test.metrics.macro", 2);
+  EXPECT_EQ(Registry::global().counter("test.metrics.macro").value(), 6u);
+}
+
+TEST_F(ObsMetricsT, SnapshotJsonIsWellFormed) {
+  Registry::global().counter("test.metrics.json\"quoted").add(1);
+  Registry::global().gauge("test.metrics.json_g").set(-3);
+  Histogram& h = Registry::global().histogram("test.metrics.json_h");
+  h.record(1e-6);
+  h.record(0.25);
+  const std::string j = Registry::global().snapshot().to_json();
+  EXPECT_TRUE(testing::json_valid(j)) << j;
+  EXPECT_NE(j.find("\"counters\""), std::string::npos);
+  EXPECT_NE(j.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(j.find("\"histograms\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecms::obs

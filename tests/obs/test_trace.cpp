@@ -1,0 +1,152 @@
+// Tracing layer: span recording and nesting, per-thread ids, the
+// disabled-path contract, restart semantics, and Chrome trace JSON
+// well-formedness. The concurrent cases run under TSan in CI.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "json_check.hpp"
+#include "obs/trace.hpp"
+
+namespace ecms::obs {
+namespace {
+
+const TraceEvent* find_event(const std::vector<TraceEvent>& evs,
+                             const std::string& name) {
+  const auto it = std::find_if(evs.begin(), evs.end(),
+                               [&](const TraceEvent& e) { return e.name == name; });
+  return it == evs.end() ? nullptr : &*it;
+}
+
+class ObsTraceT : public ::testing::Test {
+ protected:
+  void TearDown() override { stop_tracing(); }
+};
+
+TEST_F(ObsTraceT, DisabledSpansRecordNothing) {
+  ASSERT_FALSE(tracing_enabled());
+  {
+    ScopedSpan s("test_trace_disabled");
+    EXPECT_FALSE(s.active());
+    EXPECT_EQ(current_span_id(), 0u);
+  }
+  start_tracing();
+  stop_tracing();
+  EXPECT_EQ(find_event(collected_trace_events(), "test_trace_disabled"),
+            nullptr);
+}
+
+TEST_F(ObsTraceT, NestedSpansRecordParentAndTiming) {
+  start_tracing();
+  std::uint64_t outer_id = 0, inner_id = 0;
+  {
+    ScopedSpan outer("test_trace_outer");
+    outer.arg("depth", 1.0);
+    outer_id = outer.id();
+    EXPECT_EQ(current_span_id(), outer_id);
+    {
+      ScopedSpan inner("test_trace_inner");
+      inner_id = inner.id();
+      EXPECT_EQ(current_span_id(), inner_id);
+    }
+    EXPECT_EQ(current_span_id(), outer_id);
+  }
+  stop_tracing();
+  EXPECT_EQ(current_span_id(), 0u);
+
+  const auto evs = collected_trace_events();
+  const TraceEvent* outer = find_event(evs, "test_trace_outer");
+  const TraceEvent* inner = find_event(evs, "test_trace_inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->span_id, outer_id);
+  EXPECT_EQ(outer->parent_id, 0u);
+  EXPECT_EQ(inner->parent_id, outer_id);
+  EXPECT_NE(inner->span_id, outer_id);
+  EXPECT_EQ(outer->tid, inner->tid);
+  // The inner span starts no earlier and ends no later than the outer one.
+  EXPECT_GE(inner->start_ns, outer->start_ns);
+  EXPECT_LE(inner->start_ns + inner->dur_ns,
+            outer->start_ns + outer->dur_ns);
+  ASSERT_EQ(outer->args.size(), 1u);
+  EXPECT_EQ(outer->args[0].first, "depth");
+  EXPECT_EQ(outer->args[0].second, 1.0);
+}
+
+TEST_F(ObsTraceT, ThreadsGetDistinctTids) {
+  start_tracing();
+  constexpr int kThreads = 4;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([] { ScopedSpan s("test_trace_mt"); });
+  }
+  for (auto& t : ts) t.join();
+  stop_tracing();
+
+  std::vector<std::uint32_t> tids;
+  for (const auto& e : collected_trace_events()) {
+    if (e.name == "test_trace_mt") tids.push_back(e.tid);
+  }
+  ASSERT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+  std::sort(tids.begin(), tids.end());
+  EXPECT_EQ(std::unique(tids.begin(), tids.end()), tids.end());
+  for (const auto tid : tids) EXPECT_GE(tid, 1u);
+}
+
+TEST_F(ObsTraceT, RestartDiscardsEarlierEvents) {
+  start_tracing();
+  { ScopedSpan s("test_trace_old"); }
+  start_tracing();  // second start: the old event must not survive
+  { ScopedSpan s("test_trace_new"); }
+  stop_tracing();
+  const auto evs = collected_trace_events();
+  EXPECT_EQ(find_event(evs, "test_trace_old"), nullptr);
+  EXPECT_NE(find_event(evs, "test_trace_new"), nullptr);
+}
+
+TEST_F(ObsTraceT, ConcurrentSpansAndExportAreSafe) {
+  // Writers emit spans while the main thread repeatedly exports: the
+  // per-thread buffers must never race (TSan verifies) and every completed
+  // span must be present in the final export.
+  start_tracing();
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 200;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        ScopedSpan s("test_trace_burst");
+        s.arg("i", static_cast<double>(i));
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) (void)collected_trace_events();
+  for (auto& t : ts) t.join();
+  stop_tracing();
+
+  std::size_t n = 0;
+  for (const auto& e : collected_trace_events()) {
+    if (e.name == "test_trace_burst") ++n;
+  }
+  EXPECT_EQ(n, static_cast<std::size_t>(kThreads) * kSpansPerThread);
+}
+
+TEST_F(ObsTraceT, ExportedJsonIsWellFormed) {
+  start_tracing();
+  {
+    ScopedSpan outer("test_trace_json \"outer\"");
+    outer.arg("value", 0.125);
+    ScopedSpan inner("test_trace_json_inner");
+  }
+  stop_tracing();
+  const std::string j = trace_to_json();
+  EXPECT_TRUE(testing::json_valid(j)) << j;
+  EXPECT_NE(j.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(j.find("test_trace_json_inner"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecms::obs

@@ -1,16 +1,8 @@
-// ecms_tool — command-line driver for the library.
+// ecms_tool — command-line driver for the library. Run with no arguments
+// for the full usage text (commands, per-command flags, observability
+// flags, exit-code taxonomy).
 //
-//   ecms_tool abacus  [--ref-w <um>] [--steps <n>] [--rows <n>] [--cols <n>]
-//   ecms_tool extract --row <r> --col <c> [--cap <fF>] [--defect short|open]
-//   ecms_tool bitmap  [--rows <n>] [--cols <n>] [--seed <s>]
-//                     [--shorts <p>] [--opens <p>] [--partials <p>]
-//                     [--gradient <rel>] [--drift <rel>] [--jobs <n>]
-//                     [--fault-rate <p>] [--fault-seed <s>] [--retries <n>]
-//                     [--keep-going | --fail-fast]
-//   ecms_tool design  [--rows <n>] [--cols <n>]
-//   ecms_tool spice   [--rows <n>] [--cols <n>]
-//
-// Everything prints to stdout. Exit codes:
+// Exit codes:
 //   0  success, every cell measured
 //   1  usage error (bad command line)
 //   2  runtime failure (extraction aborted, fail-fast hit, bad netlist, ...)
@@ -21,6 +13,7 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "bitmap/compare.hpp"
 #include "bitmap/diagnosis.hpp"
@@ -32,9 +25,12 @@
 #include "msu/abacus.hpp"
 #include "msu/designer.hpp"
 #include "msu/extract.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "report/heatmap.hpp"
 #include "tech/tech.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 #include "util/table.hpp"
 #include "util/threadpool.hpp"
 #include "util/units.hpp"
@@ -76,6 +72,21 @@ class Args {
     const auto it = kv_.find(key);
     return it == kv_.end() ? fallback : std::stod(it->second);
   }
+  /// Strict integer parse: trailing garbage ("--jobs 4x") is a usage error
+  /// instead of being silently truncated.
+  long long integer(const std::string& key, long long fallback) const {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) return fallback;
+    try {
+      std::size_t pos = 0;
+      const long long v = std::stoll(it->second, &pos);
+      if (pos != it->second.size()) throw std::invalid_argument(it->second);
+      return v;
+    } catch (const std::exception&) {
+      throw UsageError("--" + key + " expects an integer, got '" +
+                       it->second + "'");
+    }
+  }
   std::string str(const std::string& key, const std::string& fallback) const {
     const auto it = kv_.find(key);
     return it == kv_.end() ? fallback : it->second;
@@ -84,6 +95,91 @@ class Args {
 
  private:
   std::map<std::string, std::string> kv_;
+};
+
+/// Resolves --jobs: default 1 (serial); 0 means one worker per hardware
+/// thread; negatives and non-integers are usage errors. The result is
+/// clamped to 512 workers — far beyond any host this runs on, but it bounds
+/// an accidental "--jobs 100000" thread bomb.
+std::size_t jobs_of(const Args& args) {
+  constexpr long long kMaxJobs = 512;
+  long long jobs = args.integer("jobs", 1);
+  if (jobs < 0) throw UsageError("--jobs must be >= 0 (0 = all hardware threads)");
+  if (jobs == 0) {
+    jobs = static_cast<long long>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+  return static_cast<std::size_t>(std::min(jobs, kMaxJobs));
+}
+
+/// One-screen metrics summary (non-zero counters, gauges, histograms) via
+/// util::Table, printed after bitmap/extract runs.
+void print_metrics_summary() {
+  const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
+  std::printf("\n-- metrics summary --\n");
+  Table counters({"counter", "value"});
+  for (const auto& [name, v] : snap.counters) {
+    if (v == 0) continue;
+    counters.add_row({name, Table::num(static_cast<long long>(v))});
+  }
+  if (counters.rows() > 0) std::printf("%s\n", counters.to_text().c_str());
+  Table gauges({"gauge", "value", "max"});
+  for (const auto& [name, g] : snap.gauges) {
+    if (g.value == 0 && g.max == 0) continue;
+    gauges.add_row({name, Table::num(static_cast<long long>(g.value)),
+                    Table::num(static_cast<long long>(g.max))});
+  }
+  if (gauges.rows() > 0) std::printf("%s\n", gauges.to_text().c_str());
+  Table hists({"histogram", "count", "mean", "max"});
+  for (const auto& [name, h] : snap.histograms) {
+    if (h.count == 0 && h.rejected == 0) continue;
+    hists.add_row({name, Table::num(static_cast<long long>(h.count)),
+                   Table::num(h.mean(), 6), Table::num(h.max, 6)});
+  }
+  if (hists.rows() > 0) std::printf("%s\n", hists.to_text().c_str());
+}
+
+/// Observability wrapper for the measuring commands (bitmap, extract).
+/// Collection is armed only when --metrics-out or --trace-out asks for it,
+/// so the default output stays byte-identical run to run and across --jobs
+/// (the determinism flows in the verify recipe cmp full stdout; a summary
+/// with wall-clock histograms would break them). finish() prints the
+/// one-screen summary and writes the requested artifacts.
+class ObsSession {
+ public:
+  explicit ObsSession(const Args& args)
+      : metrics_path_(args.str("metrics-out", "")),
+        trace_path_(args.str("trace-out", "")) {
+    if (!enabled()) return;
+    obs::Registry::global().reset();
+    obs::set_metrics_enabled(true);
+    if (!trace_path_.empty()) obs::start_tracing();
+  }
+
+  void finish() {
+    if (!enabled()) return;
+    if (!trace_path_.empty()) {
+      obs::stop_tracing();
+      obs::write_trace_json(trace_path_);
+      std::printf("\ntrace written to %s (open in chrome://tracing or "
+                  "https://ui.perfetto.dev)\n",
+                  trace_path_.c_str());
+    }
+    print_metrics_summary();
+    if (!metrics_path_.empty()) {
+      obs::write_metrics_json(metrics_path_);
+      std::printf("metrics written to %s\n", metrics_path_.c_str());
+    }
+  }
+
+ private:
+  bool enabled() const {
+    return !metrics_path_.empty() || !trace_path_.empty();
+  }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
 };
 
 edram::MacroCellSpec spec_of(const Args& args) {
@@ -122,6 +218,7 @@ int cmd_abacus(const Args& args) {
 }
 
 int cmd_extract(const Args& args) {
+  ObsSession obs_session(args);
   const auto r = static_cast<std::size_t>(args.num("row", 0));
   const auto c = static_cast<std::size_t>(args.num("col", 0));
   auto mc = edram::MacroCell::uniform(spec_of(args), tech::tech018(), 30_fF);
@@ -147,10 +244,12 @@ int cmd_extract(const Args& args) {
     std::printf("  OUT did not flip (full-scale)\n");
   }
   std::printf("  transient steps    : %zu\n", res.stats.accepted_steps);
+  obs_session.finish();
   return 0;
 }
 
 int cmd_bitmap(const Args& args) {
+  ObsSession obs_session(args);
   const auto rows = static_cast<std::size_t>(args.num("rows", 32));
   const auto cols = static_cast<std::size_t>(args.num("cols", 32));
   const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
@@ -171,10 +270,7 @@ int cmd_bitmap(const Args& args) {
 
   // Codes are bit-identical whatever --jobs says (per-tile RNG streams);
   // the pool only changes wall time.
-  const double jobs_arg = args.num("jobs", 1);
-  const auto jobs =
-      jobs_arg < 1 ? 1 : static_cast<std::size_t>(std::min(jobs_arg, 512.0));
-  util::ThreadPool pool(jobs);
+  util::ThreadPool pool(jobs_of(args));
   util::ThreadPool* pool_ptr = pool.worker_count() > 1 ? &pool : nullptr;
 
   if (args.flag("keep-going") && args.flag("fail-fast")) {
@@ -185,7 +281,7 @@ int cmd_bitmap(const Args& args) {
   const fault::CellFaultPlan plan(fault_rate, fault_seed);
   bitmap::ExtractPolicy policy;
   if (fault_rate > 0.0) policy.cell_hook = plan.hook();
-  policy.retry.max_attempts = static_cast<int>(args.num("retries", 2));
+  policy.retry.max_attempts = static_cast<int>(args.integer("retries", 2));
   policy.contain = !args.flag("fail-fast");
 
   const auto extraction =
@@ -215,6 +311,7 @@ int cmd_bitmap(const Args& args) {
   if (rep.failures.size() > kMaxListed) {
     std::printf("  ... and %zu more\n", rep.failures.size() - kMaxListed);
   }
+  obs_session.finish();
   return rep.complete() ? kExitOk : kExitDegraded;
 }
 
@@ -248,9 +345,47 @@ int cmd_spice(const Args& args) {
 }
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: ecms_tool <abacus|extract|bitmap|design|spice> "
-               "[--option value ...] [--keep-going|--fail-fast]\n");
+  std::fprintf(stderr, "%s",
+      "usage: ecms_tool <command> [--option value ...]\n"
+      "\n"
+      "commands:\n"
+      "  abacus   print the code -> capacitance conversion table\n"
+      "           --rows N --cols N --ref-w UM --steps N\n"
+      "  extract  measure one cell through the full transient flow\n"
+      "           --rows N --cols N --row R --col C --cap FF\n"
+      "           --defect short|open\n"
+      "  bitmap   extract every cell, render heatmap + diagnosis\n"
+      "           --rows N --cols N --seed S --gradient G --drift D\n"
+      "           --shorts R --opens R --partials R\n"
+      "           --jobs N        worker threads (default 1; 0 = one per\n"
+      "                           hardware thread; clamped to 512)\n"
+      "           --retries N     per-cell solve attempts (default 2)\n"
+      "           --keep-going    contain per-cell failures, finish the\n"
+      "                           array (default; excludes --fail-fast)\n"
+      "           --fail-fast     abort on the first unmeasurable cell\n"
+      "           --fault-rate P  inject transient solver faults with\n"
+      "                           probability P per cell (testing aid)\n"
+      "           --fault-seed S  RNG seed for --fault-rate (default 1)\n"
+      "  design   auto-size the measurement structure for the array\n"
+      "           --rows N --cols N\n"
+      "  spice    dump the array + structure netlist as SPICE\n"
+      "           --rows N --cols N\n"
+      "\n"
+      "observability (extract, bitmap; either flag also prints a summary\n"
+      "table; default runs stay uninstrumented and byte-deterministic):\n"
+      "  --metrics-out FILE  write counters/gauges/histograms as JSON\n"
+      "  --trace-out FILE    collect spans, write Chrome trace_event JSON\n"
+      "                      (open in chrome://tracing or ui.perfetto.dev)\n"
+      "\n"
+      "global:\n"
+      "  --log-level L       debug|info|warn|error|off (default warn)\n"
+      "\n"
+      "exit codes:\n"
+      "  0  success, every cell measured\n"
+      "  1  usage error (bad command line)\n"
+      "  2  runtime failure (extraction aborted, --fail-fast hit, ...)\n"
+      "  3  degraded success: run completed, some cells unmeasurable\n"
+      "     (the per-cell failure report lists them)\n");
   return kExitUsage;
 }
 
@@ -261,6 +396,15 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     const Args args(argc, argv, 2);
+    const std::string level = args.str("log-level", "");
+    if (!level.empty()) {
+      LogLevel parsed;
+      if (!parse_log_level(level, parsed)) {
+        throw UsageError("unknown --log-level '" + level +
+                         "' (want debug|info|warn|error|off)");
+      }
+      set_log_level(parsed);
+    }
     if (cmd == "abacus") return cmd_abacus(args);
     if (cmd == "extract") return cmd_extract(args);
     if (cmd == "bitmap") return cmd_bitmap(args);
