@@ -14,8 +14,11 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bitmap/analog_bitmap.hpp"
+#include "bitmap/extraction.hpp"
 #include "msu/designer.hpp"
 #include "obs/metrics.hpp"
 #include "msu/extract.hpp"
@@ -27,6 +30,41 @@
 
 namespace {
 using namespace ecms;
+
+/// Collects the acceptance numbers as flat key/value pairs and writes them
+/// as one JSON object (the CI perf-smoke artifact). Keys are chosen by the
+/// bench, so no escaping is needed.
+class JsonSink {
+ public:
+  void add(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    fields_.emplace_back(key, buf);
+  }
+  void add(const std::string& key, long long v) {
+    fields_.emplace_back(key, std::to_string(v));
+  }
+  void add(const std::string& key, bool v) {
+    fields_.emplace_back(key, v ? "true" : "false");
+  }
+
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n");
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %s%s\n", fields_[i].first.c_str(),
+                   fields_[i].second.c_str(),
+                   i + 1 < fields_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 void run_scaling() {
   std::printf("EXT-A3: measurement-structure scalability vs macro-cell size\n\n");
@@ -120,7 +158,7 @@ double best_of_3_seconds(Fn&& fn) {
 // EXT-A6 — parallel extraction acceptance: the thread-pool path must return
 // the exact codes of the serial path (for every thread count), and speedup
 // is reported against the serial wall time.
-void run_parallel_acceptance(std::size_t jobs) {
+void run_parallel_acceptance(std::size_t jobs, JsonSink& json) {
   std::printf("EXT-A6: parallel tiled extraction, %zu-thread pool vs serial\n\n",
               jobs);
   report::Experiment exp("EXT-A6", "parallel extraction determinism + speedup");
@@ -158,6 +196,11 @@ void run_parallel_acceptance(std::size_t jobs) {
   std::printf("  serial   : %8.3f ms\n", 1e3 * t_serial);
   std::printf("  %2zu-thread: %8.3f ms  (speedup %.2fx)\n", jobs, 1e3 * t_par,
               speedup);
+  json.add("ext_a6_jobs", static_cast<long long>(jobs));
+  json.add("ext_a6_serial_ms", 1e3 * t_serial);
+  json.add("ext_a6_parallel_ms", 1e3 * t_par);
+  json.add("ext_a6_speedup", speedup);
+  json.add("ext_a6_codes_identical", clean_identical && noisy_identical);
   exp.note("64x64 array, 4x4 tiles, " + std::to_string(jobs) +
            "-thread pool: speedup " + Table::num(speedup, 2) + "x (host has " +
            std::to_string(std::thread::hardware_concurrency()) +
@@ -170,7 +213,7 @@ void run_parallel_acceptance(std::size_t jobs) {
 // metrics disabled. Tracing is NOT enabled here — spans allocate per event
 // and are priced separately; the contract covers the always-on-capable
 // metrics path, whose disabled cost is one relaxed atomic load per site.
-void run_obs_overhead() {
+void run_obs_overhead(JsonSink& json) {
   std::printf("EXT-A7: metrics overhead, enabled vs disabled extraction\n\n");
   report::Experiment exp("EXT-A7", "metrics overhead contract (< 2%)");
   constexpr std::size_t kN = 128;
@@ -202,6 +245,89 @@ void run_obs_overhead() {
   exp.note("disabled-path cost is a single relaxed atomic load per site; "
            "per-cell tallies are flushed once per tile");
   std::cout << exp << '\n';
+  json.add("ext_a7_metrics_off_ms", 1e3 * t_off);
+  json.add("ext_a7_metrics_on_ms", 1e3 * t_on);
+  json.add("ext_a7_overhead_pct", 100 * overhead);
+}
+
+// EXT-A8 — adaptive ramp scheduling acceptance. On a production-like
+// sample (the central 8x8 region — four structure tiles, 64 cells — of the
+// varied 64x64 array), the adaptive scheduler must return codes
+// bit-identical to the exhaustive linear ramp while spending >= 2.5x fewer
+// conversion (ramp) transient steps. The charge/share prefix cost is
+// identical by construction and excluded from the ratio; wall time is
+// reported but not asserted (it tracks the step counts).
+void run_adaptive_acceptance(std::size_t jobs, JsonSink& json) {
+  std::printf("EXT-A8: adaptive ramp scheduling, circuit engine on sampled "
+              "tiles\n\n");
+  report::Experiment exp("EXT-A8",
+                         "adaptive conversion cost + code identity");
+  const edram::MacroCell mc = varied_array64();
+  const edram::MacroCell sample = mc.tile(24, 24, 8, 8);
+
+  extraction::ExtractRequest full;
+  full.engine = extraction::Engine::kCircuit;
+  full.jobs = jobs;
+  extraction::ExtractRequest adaptive = full;
+  adaptive.options.adaptive.enabled = true;
+
+  auto timed = [](const edram::MacroCell& a,
+                  const extraction::ExtractRequest& req, double& seconds) {
+    const auto t0 = std::chrono::steady_clock::now();
+    extraction::ExtractReport rep = extraction::extract(a, req);
+    seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return rep;
+  };
+  double t_full = 0.0, t_adaptive = 0.0;
+  const extraction::ExtractReport exhaustive = timed(sample, full, t_full);
+  const extraction::ExtractReport scheduled =
+      timed(sample, adaptive, t_adaptive);
+
+  const bool identical =
+      exhaustive.bitmap.codes() == scheduled.bitmap.codes();
+  exp.check("adaptive codes are bit-identical to the exhaustive ramp",
+            identical ? "identical" : "MISMATCH", identical);
+
+  const auto conv_full = exhaustive.telemetry.conversion_steps();
+  const auto conv_adaptive = scheduled.telemetry.conversion_steps();
+  const double ratio =
+      conv_adaptive > 0 ? static_cast<double>(conv_full) /
+                              static_cast<double>(conv_adaptive)
+                        : 0.0;
+  exp.check("conversion transient steps drop >= 2.5x",
+            Table::num(static_cast<long long>(conv_full)) + " -> " +
+                Table::num(static_cast<long long>(conv_adaptive)) + " (" +
+                Table::num(ratio, 2) + "x)",
+            ratio >= 2.5);
+  exp.note(Table::num(static_cast<long long>(
+               scheduled.telemetry.adaptive_used)) +
+           "/" + std::to_string(sample.cell_count()) +
+           " cells via probe search, " +
+           Table::num(static_cast<long long>(
+               scheduled.telemetry.adaptive_probes)) +
+           " probes total, " +
+           Table::num(static_cast<long long>(
+               scheduled.telemetry.adaptive_fallbacks)) +
+           " fallbacks; prefix checkpoint reused per probe");
+  std::printf("  exhaustive: %8.3f s  (%zu conversion steps)\n", t_full,
+              conv_full);
+  std::printf("  adaptive  : %8.3f s  (%zu conversion steps, %.2fx fewer)\n",
+              t_adaptive, conv_adaptive, ratio);
+  std::cout << exp << '\n';
+
+  json.add("ext_a8_cells", static_cast<long long>(sample.cell_count()));
+  json.add("ext_a8_exhaustive_s", t_full);
+  json.add("ext_a8_adaptive_s", t_adaptive);
+  json.add("ext_a8_conversion_steps_exhaustive",
+           static_cast<long long>(conv_full));
+  json.add("ext_a8_conversion_steps_adaptive",
+           static_cast<long long>(conv_adaptive));
+  json.add("ext_a8_conversion_ratio", ratio);
+  json.add("ext_a8_codes_identical", identical);
+  json.add("ext_a8_adaptive_fallbacks",
+           static_cast<long long>(scheduled.telemetry.adaptive_fallbacks));
 }
 
 void BM_CircuitExtractionBySize(benchmark::State& state) {
@@ -241,9 +367,11 @@ void BM_TiledBitmap64Parallel(benchmark::State& state) {
 BENCHMARK(BM_TiledBitmap64Parallel)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
-// Consumes "--jobs N" (thread count for EXT-A6, default 8) before the
-// remaining flags go to the benchmark library.
-std::size_t take_jobs_flag(int& argc, char** argv, std::size_t fallback) {
+// Consumes "--jobs N" (thread count for EXT-A6/A8, default 8) and
+// "--json FILE" (acceptance-number artifact) before the remaining flags go
+// to the benchmark library.
+std::size_t take_jobs_flag(int& argc, char** argv, std::size_t fallback,
+                           std::string& json_path) {
   std::size_t jobs = fallback;
   int w = 1;
   for (int i = 1; i < argc; ++i) {
@@ -253,6 +381,8 @@ std::size_t take_jobs_flag(int& argc, char** argv, std::size_t fallback) {
       const long v = std::strtol(argv[i + 1], nullptr, 10);
       jobs = v < 1 ? 0 : static_cast<std::size_t>(std::min<long>(v, 512));
       ++i;
+    } else if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
       argv[w++] = argv[i];
     }
@@ -264,10 +394,21 @@ std::size_t take_jobs_flag(int& argc, char** argv, std::size_t fallback) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t jobs = take_jobs_flag(argc, argv, 8);
+  std::string json_path;
+  const std::size_t jobs = take_jobs_flag(argc, argv, 8, json_path);
+  JsonSink json;
   run_scaling();
-  run_parallel_acceptance(jobs);
-  run_obs_overhead();
+  run_parallel_acceptance(jobs, json);
+  run_obs_overhead(json);
+  run_adaptive_acceptance(jobs, json);
+  if (!json_path.empty()) {
+    if (json.write(json_path)) {
+      std::printf("acceptance numbers written to %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: could not write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -1,13 +1,11 @@
 #include "bitmap/analog_bitmap.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <limits>
-#include <mutex>
+#include <utility>
 
-#include "obs/metrics.hpp"
-#include "obs/trace.hpp"
+#include "bitmap/extraction.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 
@@ -52,157 +50,29 @@ AnalogBitmap AnalogBitmap::extract(const msu::FastModel& model,
 
 namespace {
 
-// RAII per-tile instrumentation: a trace span (tile index + origin) plus a
-// wall-time observation into bitmap.tile_seconds. The clock is read only
-// when metrics are on; with obs fully off this is one relaxed load and two
-// dead branches per tile.
-class TileProbe {
- public:
-  TileProbe(std::size_t tile, std::size_t row0, std::size_t col0)
-      : span_("extract_tile"), timed_(obs::metrics_enabled()) {
-    span_.arg("tile", static_cast<double>(tile));
-    span_.arg("row0", static_cast<double>(row0));
-    span_.arg("col0", static_cast<double>(col0));
-    if (timed_) t0_ = std::chrono::steady_clock::now();
-  }
-  ~TileProbe() {
-    if (!timed_) return;
-    const double s = std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - t0_)
-                         .count();
-    ECMS_METRIC_OBSERVE("bitmap.tile_seconds", s);
-    ECMS_METRIC_COUNT("bitmap.tiles", 1);
-  }
-  TileProbe(const TileProbe&) = delete;
-  TileProbe& operator=(const TileProbe&) = delete;
-
- private:
-  obs::ScopedSpan span_;
-  bool timed_;
-  std::chrono::steady_clock::time_point t0_;
-};
-
-// Runs one independent MSU flow per tile, fanning the tiles out on `pool`
-// when given one. `coder_for_tile(model, tile_index)` returns the per-cell
-// code function for that tile; any tile-local state (e.g. a forked noise
-// Rng) lives inside the returned callable, so tiles never share mutable
-// state and the extraction is race-free and order-independent.
-template <typename CoderForTile>
-AnalogBitmap tiled_impl(const edram::MacroCell& mc,
-                        const msu::StructureParams& params,
-                        std::size_t tile_rows, std::size_t tile_cols,
-                        util::ThreadPool* pool, CoderForTile&& coder_for_tile) {
-  ECMS_REQUIRE(tile_rows > 0 && tile_cols > 0, "tile must be non-empty");
-  ECMS_REQUIRE(mc.rows() % tile_rows == 0 && mc.cols() % tile_cols == 0,
-               "array dimensions must be divisible by the tile dimensions");
-  obs::ScopedSpan span("extract_tiled");
-  span.arg("rows", static_cast<double>(mc.rows()));
-  span.arg("cols", static_cast<double>(mc.cols()));
-  AnalogBitmap bm(mc.rows(), mc.cols(), params.ramp_steps);
-  const std::size_t tiles_per_row = mc.cols() / tile_cols;
-  const std::size_t n_tiles = (mc.rows() / tile_rows) * tiles_per_row;
-  util::ThreadPool::run(pool, n_tiles, 1, [&](std::size_t t) {
-    const std::size_t tr = (t / tiles_per_row) * tile_rows;
-    const std::size_t tc = (t % tiles_per_row) * tile_cols;
-    const TileProbe probe(t, tr, tc);
-    const edram::MacroCell tile = mc.tile(tr, tc, tile_rows, tile_cols);
-    const msu::FastModel model(tile, params);
-    auto code_of = coder_for_tile(model, t);
-    for (std::size_t r = 0; r < tile_rows; ++r)
-      for (std::size_t c = 0; c < tile_cols; ++c)
-        bm.set(tr + r, tc + c, code_of(r, c));
-    ECMS_METRIC_COUNT("bitmap.cells.measured", tile_rows * tile_cols);
-  });
-  return bm;
+// All four tiled entry points are thin wrappers over the unified
+// ecms::extraction API; the per-tile fan-out, noise-stream assignment and
+// containment semantics live in bitmap/extraction.cpp.
+extraction::ExtractRequest base_request(const msu::StructureParams& params,
+                                        std::size_t tile_rows,
+                                        std::size_t tile_cols,
+                                        util::ThreadPool* pool) {
+  extraction::ExtractRequest req;
+  req.engine = extraction::Engine::kFastModel;
+  req.params = params;
+  req.tile_rows = tile_rows;
+  req.tile_cols = tile_cols;
+  req.pool = pool;
+  return req;
 }
-// Robust counterpart of tiled_impl: `coder_for_tile(model, t)` returns a
-// callable code_of(r, c, attempt) so each attempt can decorrelate its noise.
-// Per-cell failures are retried and then contained (policy.contain) as
-// kUnmeasurable; the shared failure list is the only cross-tile state and
-// is mutex-guarded, then sorted row-major so the report is deterministic
-// regardless of tile completion order.
-template <typename CoderForTile>
-TiledExtraction robust_tiled_impl(const edram::MacroCell& mc,
-                                  const msu::StructureParams& params,
-                                  const ExtractPolicy& policy,
-                                  std::size_t tile_rows, std::size_t tile_cols,
-                                  util::ThreadPool* pool,
-                                  CoderForTile&& coder_for_tile) {
-  ECMS_REQUIRE(tile_rows > 0 && tile_cols > 0, "tile must be non-empty");
-  ECMS_REQUIRE(mc.rows() % tile_rows == 0 && mc.cols() % tile_cols == 0,
-               "array dimensions must be divisible by the tile dimensions");
-  obs::ScopedSpan span("extract_tiled_robust");
-  span.arg("rows", static_cast<double>(mc.rows()));
-  span.arg("cols", static_cast<double>(mc.cols()));
-  TiledExtraction out{AnalogBitmap(mc.rows(), mc.cols(), params.ramp_steps),
-                      std::vector<CellStatus>(mc.cell_count(), CellStatus::kOk),
-                      {}};
-  out.report.cells_total = mc.cell_count();
-  const int filler =
-      std::clamp(policy.unmeasurable_code, 0, params.ramp_steps);
 
-  std::mutex report_mutex;
-  std::size_t recovered = 0;
-  std::vector<CellFailure> failures;
-
-  const std::size_t tiles_per_row = mc.cols() / tile_cols;
-  const std::size_t n_tiles = (mc.rows() / tile_rows) * tiles_per_row;
-  util::ThreadPool::run(pool, n_tiles, 1, [&](std::size_t t) {
-    const std::size_t tr = (t / tiles_per_row) * tile_rows;
-    const std::size_t tc = (t % tiles_per_row) * tile_cols;
-    const TileProbe probe(t, tr, tc);
-    const edram::MacroCell tile = mc.tile(tr, tc, tile_rows, tile_cols);
-    const msu::FastModel model(tile, params);
-    auto code_of = coder_for_tile(model, t);
-    // Status tallies are accumulated tile-locally and flushed once per tile,
-    // so the per-cell loop adds no metric traffic.
-    std::size_t n_ok = 0, n_recovered = 0, n_unmeasurable = 0;
-    for (std::size_t r = 0; r < tile_rows; ++r) {
-      for (std::size_t c = 0; c < tile_cols; ++c) {
-        const std::size_t ar = tr + r;
-        const std::size_t ac = tc + c;
-        int code = filler;
-        const util::RetryResult rr =
-            util::run_with_retry(policy.retry, [&](int attempt) {
-              if (policy.cell_hook) policy.cell_hook(ar, ac, attempt);
-              code = code_of(r, c, attempt);
-            });
-        if (rr.ok) {
-          out.bitmap.set(ar, ac, code);
-          if (rr.recovered()) {
-            ++n_recovered;
-            out.status[ar * mc.cols() + ac] = CellStatus::kRecovered;
-            const std::lock_guard<std::mutex> lock(report_mutex);
-            ++recovered;
-          } else {
-            ++n_ok;
-          }
-        } else {
-          if (!policy.contain) {
-            throw MeasureError("cell (" + std::to_string(ar) + "," +
-                               std::to_string(ac) +
-                               ") unmeasurable: " + rr.last_error);
-          }
-          ++n_unmeasurable;
-          out.bitmap.set(ar, ac, filler);
-          out.status[ar * mc.cols() + ac] = CellStatus::kUnmeasurable;
-          const std::lock_guard<std::mutex> lock(report_mutex);
-          failures.push_back({ar, ac, rr.last_error});
-        }
-      }
-    }
-    ECMS_METRIC_COUNT("bitmap.cells.ok", n_ok);
-    ECMS_METRIC_COUNT("bitmap.cells.recovered", n_recovered);
-    ECMS_METRIC_COUNT("bitmap.cells.unmeasurable", n_unmeasurable);
-  });
-
-  std::sort(failures.begin(), failures.end(),
-            [](const CellFailure& a, const CellFailure& b) {
-              return a.row != b.row ? a.row < b.row : a.col < b.col;
-            });
-  out.report.recovered = recovered;
-  out.report.failures = std::move(failures);
-  return out;
+void apply_policy(extraction::ExtractRequest& req,
+                  const ExtractPolicy& policy) {
+  req.robust = true;
+  req.retry = policy.retry;
+  req.contain = policy.contain;
+  req.unmeasurable_code = policy.unmeasurable_code;
+  req.cell_hook = policy.cell_hook;
 }
 
 }  // namespace
@@ -212,12 +82,9 @@ AnalogBitmap AnalogBitmap::extract_tiled(const edram::MacroCell& mc,
                                          std::size_t tile_rows,
                                          std::size_t tile_cols,
                                          util::ThreadPool* pool) {
-  return tiled_impl(mc, params, tile_rows, tile_cols, pool,
-                    [](const msu::FastModel& m, std::size_t) {
-                      return [&m](std::size_t r, std::size_t c) {
-                        return m.code_of_cell(r, c);
-                      };
-                    });
+  return std::move(
+      extraction::extract(mc, base_request(params, tile_rows, tile_cols, pool))
+          .bitmap);
 }
 
 AnalogBitmap AnalogBitmap::extract_tiled(const edram::MacroCell& mc,
@@ -226,48 +93,37 @@ AnalogBitmap AnalogBitmap::extract_tiled(const edram::MacroCell& mc,
                                          Rng& rng, std::size_t tile_rows,
                                          std::size_t tile_cols,
                                          util::ThreadPool* pool) {
-  // Each tile draws from its own forked stream, keyed by tile index, so the
-  // noise a tile sees does not depend on tile visit order or thread count.
-  return tiled_impl(
-      mc, params, tile_rows, tile_cols, pool,
-      [&](const msu::FastModel& m, std::size_t t) {
-        return [&m, &noise, tile_rng = rng.fork(t)](std::size_t r,
-                                                    std::size_t c) mutable {
-          return m.code_of_cell(r, c, noise, tile_rng);
-        };
-      });
+  extraction::ExtractRequest req =
+      base_request(params, tile_rows, tile_cols, pool);
+  req.noise = &noise;
+  req.rng = &rng;
+  return std::move(extraction::extract(mc, req).bitmap);
 }
 
 TiledExtraction AnalogBitmap::extract_tiled_robust(
     const edram::MacroCell& mc, const msu::StructureParams& params,
     const ExtractPolicy& policy, std::size_t tile_rows, std::size_t tile_cols,
     util::ThreadPool* pool) {
-  return robust_tiled_impl(mc, params, policy, tile_rows, tile_cols, pool,
-                           [](const msu::FastModel& m, std::size_t) {
-                             return [&m](std::size_t r, std::size_t c,
-                                         int /*attempt*/) {
-                               return m.code_of_cell(r, c);
-                             };
-                           });
+  extraction::ExtractRequest req =
+      base_request(params, tile_rows, tile_cols, pool);
+  apply_policy(req, policy);
+  extraction::ExtractReport rep = extraction::extract(mc, req);
+  return {std::move(rep.bitmap), std::move(rep.status),
+          std::move(rep.report)};
 }
 
 TiledExtraction AnalogBitmap::extract_tiled_robust(
     const edram::MacroCell& mc, const msu::StructureParams& params,
     const msu::MeasureNoise& noise, Rng& rng, const ExtractPolicy& policy,
     std::size_t tile_rows, std::size_t tile_cols, util::ThreadPool* pool) {
-  // Per-cell (not per-tile-sequential) streams: a cell's draws depend only
-  // on (rng state, tile, cell, attempt), so containment of one cell's
-  // failure cannot shift any other cell's noise.
-  return robust_tiled_impl(
-      mc, params, policy, tile_rows, tile_cols, pool,
-      [&, tile_cols](const msu::FastModel& m, std::size_t t) {
-        return [&m, &noise, tile_rng = rng.fork(t), tile_cols](
-                   std::size_t r, std::size_t c, int attempt) {
-          Rng cell_rng = tile_rng.fork(r * tile_cols + c)
-                             .fork(static_cast<std::uint64_t>(attempt));
-          return m.code_of_cell(r, c, noise, cell_rng);
-        };
-      });
+  extraction::ExtractRequest req =
+      base_request(params, tile_rows, tile_cols, pool);
+  apply_policy(req, policy);
+  req.noise = &noise;
+  req.rng = &rng;
+  extraction::ExtractReport rep = extraction::extract(mc, req);
+  return {std::move(rep.bitmap), std::move(rep.status),
+          std::move(rep.report)};
 }
 
 double AnalogBitmap::mean_in_range_code() const {

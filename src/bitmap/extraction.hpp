@@ -1,0 +1,109 @@
+// The unified array-extraction API.
+//
+// Historically the repo grew four entry points — msu::extract_all_cells,
+// msu::extract_all_cells_robust, AnalogBitmap::extract_tiled and
+// AnalogBitmap::extract_tiled_robust — each with its own option plumbing.
+// ExtractRequest → extract() → ExtractReport subsumes all of them: one
+// struct carries the engine choice (fast model vs. transistor level), the
+// solver knobs (dt / newton / recovery / adaptive), the tiling and worker
+// count, the retry/containment policy and the measurement noise. The old
+// signatures remain as thin wrappers over this function; the msu-level pair
+// shares the same per-tile engine (msu::extract_array) underneath.
+//
+// Semantics are inherited unchanged from the paths this replaces:
+//   * tiles are independent structures, fanned out across workers; results
+//     are bit-identical at any worker count (per-tile / per-cell forked
+//     noise streams, deterministic row-major merge);
+//   * the non-robust path lets the first cell failure escape (fail-fast),
+//     the robust path retries then contains failures as kUnmeasurable;
+//   * the circuit engine honours adaptive ramp scheduling and reports the
+//     aggregate transient-step telemetry the benches assert on.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "bitmap/analog_bitmap.hpp"
+#include "msu/extract.hpp"
+
+namespace ecms::extraction {
+
+/// Which backend measures each cell.
+enum class Engine {
+  kFastModel,  ///< calibrated analytic model (array scale, microseconds)
+  kCircuit,    ///< transistor-level transient per cell (the paper's SPICE)
+};
+
+/// Everything an array extraction needs, in one struct.
+struct ExtractRequest {
+  Engine engine = Engine::kFastModel;
+  msu::StructureParams params = {};
+  msu::MeasurementTiming timing = {};
+  /// Solver + adaptive knobs; the fast-model engine ignores them (except
+  /// delta_i, which both engines design per tile when left at 0).
+  msu::ExtractOptions options = {.dt = 20e-12, .record_trace = false};
+
+  /// The array is measured tile-by-tile, each tile by its own structure
+  /// (the structure's dynamic range only covers macro-cell-sized plate
+  /// loads). 0 means "whole array in one tile" for that dimension; array
+  /// dimensions must be divisible by the tile dimensions.
+  std::size_t tile_rows = 4;
+  std::size_t tile_cols = 4;
+
+  /// Worker threads for the tile fan-out: 1 = serial, 0 = one per hardware
+  /// thread, n = that many. Ignored when `pool` is given.
+  std::size_t jobs = 1;
+  util::ThreadPool* pool = nullptr;  ///< borrowed pool; overrides `jobs`
+
+  /// Robustness: when false, the first cell failure escapes (fail-fast).
+  /// When true, each cell gets `retry` attempts and terminal failures are
+  /// contained per `contain` as kUnmeasurable placeholders.
+  bool robust = false;
+  util::RetryPolicy retry = {};
+  bool contain = true;
+  int unmeasurable_code = 0;
+  /// Optional per-attempt hook, hook(row, col, attempt) in array
+  /// coordinates, called right before each cell's measurement; throwing
+  /// marks the attempt failed (the fault-injection point). Called from
+  /// worker threads — must be thread-safe.
+  std::function<void(std::size_t, std::size_t, int)> cell_hook;
+
+  /// Measurement noise (fast-model engine only); both or neither.
+  const msu::MeasureNoise* noise = nullptr;
+  Rng* rng = nullptr;
+};
+
+/// A complete, possibly degraded extraction plus aggregate telemetry.
+struct ExtractReport {
+  bitmap::AnalogBitmap bitmap;
+  std::vector<CellStatus> status;  ///< row-major, same shape as the bitmap
+  FailureReport report;
+
+  /// Aggregate measurement cost (circuit engine; zero for the fast model).
+  struct Telemetry {
+    std::size_t cells = 0;
+    std::size_t transient_steps = 0;  ///< accepted solver steps, all cells
+    std::size_t prefix_steps = 0;     ///< spent in flow steps 1-4
+    std::size_t adaptive_used = 0;    ///< cells decided by the probe search
+    std::size_t adaptive_fallbacks = 0;
+    std::size_t adaptive_probes = 0;
+    /// Steps spent converting (ramping) rather than charging/sharing — the
+    /// cost adaptive scheduling attacks.
+    std::size_t conversion_steps() const {
+      return transient_steps > prefix_steps ? transient_steps - prefix_steps
+                                            : 0;
+    }
+  } telemetry;
+
+  CellStatus status_at(std::size_t r, std::size_t c) const {
+    return status[r * bitmap.cols() + c];
+  }
+  bool complete() const { return report.complete(); }
+};
+
+/// Measures every cell of `mc` per the request. See ExtractRequest for the
+/// failure, determinism and telemetry contracts.
+ExtractReport extract(const edram::MacroCell& mc, const ExtractRequest& req);
+
+}  // namespace ecms::extraction

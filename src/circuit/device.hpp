@@ -83,6 +83,18 @@ class CapCompanion {
   double history_voltage() const { return v_prev_; }
   double history_current() const { return i_prev_; }
 
+  /// Appends the integration history (v_prev, i_prev) for checkpointing.
+  void save_state(std::vector<double>& out) const {
+    out.push_back(v_prev_);
+    out.push_back(i_prev_);
+  }
+  /// Restores history appended by save_state(); returns values consumed.
+  std::size_t restore_state(std::span<const double> in) {
+    v_prev_ = in[0];
+    i_prev_ = in[1];
+    return 2;
+  }
+
  private:
   double geq(const StampContext& ctx) const;
   double c_ = 0.0;
@@ -125,6 +137,16 @@ class Device {
   /// Branch or terminal current for probing, where meaningful (positive from
   /// the first terminal into the device). Default: unknown → 0.
   virtual double probe_current(const StampContext& /*ctx*/) const { return 0.0; }
+
+  /// Serializes the device's integration history (companion-model charge
+  /// state) so a transient can be checkpointed and resumed bit-identically.
+  /// save_state appends to `out`; restore_state consumes the same number of
+  /// values from the front of `in` and returns how many it consumed.
+  /// Stateless devices keep the no-op defaults.
+  virtual void save_state(std::vector<double>& /*out*/) const {}
+  virtual std::size_t restore_state(std::span<const double> /*in*/) {
+    return 0;
+  }
 
  private:
   std::string name_;

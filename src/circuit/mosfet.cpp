@@ -198,4 +198,22 @@ double Mosfet::probe_current(const StampContext& ctx) const {
   return mos_eval(p_, ctx.v(g_), ctx.v(d_), ctx.v(s_), ctx.v(b_)).ids;
 }
 
+void Mosfet::save_state(std::vector<double>& out) const {
+  cgs_.save_state(out);
+  cgd_.save_state(out);
+  cgb_.save_state(out);
+  cdb_.save_state(out);
+  csb_.save_state(out);
+}
+
+std::size_t Mosfet::restore_state(std::span<const double> in) {
+  std::size_t off = 0;
+  off += cgs_.restore_state(in.subspan(off));
+  off += cgd_.restore_state(in.subspan(off));
+  off += cgb_.restore_state(in.subspan(off));
+  off += cdb_.restore_state(in.subspan(off));
+  off += csb_.restore_state(in.subspan(off));
+  return off;
+}
+
 }  // namespace ecms::circuit

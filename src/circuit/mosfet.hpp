@@ -85,6 +85,8 @@ class Mosfet : public Device {
   void accept_step(const StampContext& ctx) override;
   /// Channel current (drain->source, n-type convention) at the iterate.
   double probe_current(const StampContext& ctx) const override;
+  void save_state(std::vector<double>& out) const override;
+  std::size_t restore_state(std::span<const double> in) override;
 
   const MosParams& params() const { return p_; }
   NodeId drain() const { return d_; }

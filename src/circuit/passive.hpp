@@ -36,6 +36,12 @@ class Capacitor : public Device {
   void init_state(const StampContext& ctx) override;
   void accept_step(const StampContext& ctx) override;
   double probe_current(const StampContext& ctx) const override;
+  void save_state(std::vector<double>& out) const override {
+    comp_.save_state(out);
+  }
+  std::size_t restore_state(std::span<const double> in) override {
+    return comp_.restore_state(in);
+  }
 
   double capacitance() const { return comp_.capacitance(); }
   void set_capacitance(double farads);

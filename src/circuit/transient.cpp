@@ -24,14 +24,35 @@ void count_transient(const TranStats& stats, bool failed) {
   ECMS_METRIC_COUNT("circuit.transient.rejected_steps", stats.rejected_steps);
   if (failed) ECMS_METRIC_COUNT("circuit.transient.failures", 1);
 }
-}  // namespace
 
-TranResult transient(Circuit& ckt, const TranParams& params,
-                     const ProbeSet& probes) {
-  obs::ScopedSpan span("transient");
+void capture_checkpoint(const Circuit& ckt, double t, double dt, bool force_be,
+                        const std::vector<double>& x, SolverCheckpoint& out) {
+  out.time = t;
+  out.dt = dt;
+  out.force_be = force_be;
+  out.x = x;
+  out.device_state.clear();
+  for (const auto& d : ckt.devices()) d->save_state(out.device_state);
+  out.device_count = ckt.devices().size();
+}
+
+// Shared integration core. A fresh run (`resume == nullptr`) initializes
+// device history from the DC operating point (or UIC zeros); a resumed run
+// restores the unknown vector, step-control state and per-device history
+// from the checkpoint and continues as if never interrupted.
+TranResult run_transient(Circuit& ckt, const TranParams& params,
+                         const ProbeSet& probes,
+                         const SolverCheckpoint* resume) {
+  obs::ScopedSpan span(resume ? "transient_resume" : "transient");
   ECMS_REQUIRE(params.t_stop > 0.0, "transient needs t_stop > 0");
   ECMS_REQUIRE(params.dt > 0.0 && params.dt_min > 0.0,
                "transient needs positive steps");
+  const double t_start = resume ? resume->time : 0.0;
+  if (resume) {
+    ECMS_REQUIRE(resume->valid(), "transient_resume needs a valid checkpoint");
+    ECMS_REQUIRE(params.t_stop > t_start + kTimeEps,
+                 "transient_resume t_stop must lie after the checkpoint");
+  }
   ckt.finalize();
 
   // Resolve probes up front.
@@ -52,19 +73,37 @@ TranResult transient(Circuit& ckt, const TranParams& params,
   TranResult res;
   res.trace = Trace(channel_names);
 
-  // Initial condition: DC operating point at t = 0, or all-zero under UIC.
   std::vector<double> x;
-  if (params.uic) {
-    x.assign(ckt.unknown_count(), 0.0);
+  double dt = params.dt;
+  bool force_be = params.be_after_breakpoint;  // first step from DC uses BE
+  if (resume) {
+    ECMS_REQUIRE(resume->x.size() == ckt.unknown_count(),
+                 "checkpoint does not match this circuit (unknown count)");
+    ECMS_REQUIRE(resume->device_count == ckt.devices().size(),
+                 "checkpoint does not match this circuit (device count)");
+    x = resume->x;
+    std::size_t off = 0;
+    const std::span<const double> blob(resume->device_state);
+    for (const auto& d : ckt.devices()) {
+      ECMS_REQUIRE(off <= blob.size(), "checkpoint device state truncated");
+      off += d->restore_state(blob.subspan(off));
+    }
+    ECMS_REQUIRE(off == blob.size(), "checkpoint device state size mismatch");
+    if (resume->dt > 0.0) dt = resume->dt;
+    if (!params.adaptive) dt = std::min(dt, params.dt);
+    force_be = resume->force_be;
+    ECMS_METRIC_COUNT("circuit.transient.resumes", 1);
   } else {
-    DcOptions dc_opts;
-    dc_opts.newton = params.newton;
-    dc_opts.time = 0.0;
-    DcResult dc = dc_operating_point(ckt, dc_opts);
-    x = std::move(dc.x);
-  }
-
-  {
+    // Initial condition: DC operating point at t = 0, or all-zero under UIC.
+    if (params.uic) {
+      x.assign(ckt.unknown_count(), 0.0);
+    } else {
+      DcOptions dc_opts;
+      dc_opts.newton = params.newton;
+      dc_opts.time = 0.0;
+      DcResult dc = dc_operating_point(ckt, dc_opts);
+      x = std::move(dc.x);
+    }
     StampContext ctx;
     ctx.x = x;
     ctx.time = 0.0;
@@ -82,14 +121,50 @@ TranResult transient(Circuit& ckt, const TranParams& params,
     for (const Device* d : probe_devs) row.push_back(d->probe_current(ctx));
     res.trace.append(t, row);
   };
-  record(0.0, x);
+  record(t_start, x);
 
   std::vector<double> bps = ckt.breakpoints(params.t_stop);
   std::size_t next_bp = 0;
+  bool start_on_bp = false;
+  while (next_bp < bps.size() && bps[next_bp] <= t_start + kTimeEps) {
+    if (bps[next_bp] >= t_start - kTimeEps) start_on_bp = true;
+    ++next_bp;
+  }
+  if (resume && start_on_bp) {
+    // The uninterrupted run applies breakpoint handling when it lands here —
+    // a prefix stopping exactly on a corner never saw it (breakpoints at
+    // t >= t_stop are filtered), and reprogrammed waves may have introduced
+    // a new corner at the checkpoint time. Apply it now so the first resumed
+    // step matches the uninterrupted one.
+    force_be = params.be_after_breakpoint;
+    if (params.adaptive) dt = params.dt;
+  }
 
-  double t = 0.0;
-  double dt = params.dt;
-  bool force_be = params.be_after_breakpoint;  // first step from DC uses BE
+  // Arm the checkpoint capture: a mid-run capture time becomes a breakpoint
+  // so an accepted step lands exactly on it.
+  double ckpt_at = params.checkpoint_at;
+  const bool want_ckpt = ckpt_at >= 0.0;
+  bool captured = false;
+  if (want_ckpt) {
+    ckpt_at = std::min(ckpt_at, params.t_stop);
+    ECMS_REQUIRE(ckpt_at > t_start - kTimeEps,
+                 "checkpoint_at lies before the start of this run");
+    if (ckpt_at <= t_start + kTimeEps) {
+      capture_checkpoint(ckt, t_start, dt, force_be, x, res.checkpoint);
+      captured = true;
+    } else if (ckpt_at < params.t_stop - kTimeEps) {
+      const auto it =
+          std::lower_bound(bps.begin() + static_cast<std::ptrdiff_t>(next_bp),
+                           bps.end(), ckpt_at);
+      const bool present =
+          (it != bps.end() && *it - ckpt_at <= kTimeEps) ||
+          (it != bps.begin() + static_cast<std::ptrdiff_t>(next_bp) &&
+           ckpt_at - *(it - 1) <= kTimeEps);
+      if (!present) bps.insert(it, ckpt_at);
+    }
+  }
+
+  double t = t_start;
 
   while (t < params.t_stop - kTimeEps) {
     double step = std::min(dt, params.t_stop - t);
@@ -179,6 +254,17 @@ TranResult transient(Circuit& ckt, const TranParams& params,
       dt = std::min(dt_cap, dt * 2.0);
     }
     if (!params.adaptive) dt = std::min(dt, params.dt);
+
+    // Capture after step control settles, so the checkpoint holds exactly
+    // the state the next loop iteration of an uninterrupted run would see.
+    if (want_ckpt && !captured && t >= ckpt_at - kTimeEps) {
+      capture_checkpoint(ckt, t, dt, force_be, x, res.checkpoint);
+      captured = true;
+    }
+  }
+
+  if (want_ckpt && !captured) {
+    capture_checkpoint(ckt, t, dt, force_be, x, res.checkpoint);
   }
 
   res.final_x = std::move(x);
@@ -189,6 +275,17 @@ TranResult transient(Circuit& ckt, const TranParams& params,
                              << " steps, " << res.stats.newton_iterations
                              << " newton iters";
   return res;
+}
+}  // namespace
+
+TranResult transient(Circuit& ckt, const TranParams& params,
+                     const ProbeSet& probes) {
+  return run_transient(ckt, params, probes, nullptr);
+}
+
+TranResult transient_resume(Circuit& ckt, const SolverCheckpoint& from,
+                            const TranParams& params, const ProbeSet& probes) {
+  return run_transient(ckt, params, probes, &from);
 }
 
 }  // namespace ecms::circuit

@@ -15,6 +15,27 @@
 
 namespace ecms::circuit {
 
+/// Complete solver state at one accepted time point: everything needed to
+/// continue the integration bit-identically in a later transient_resume()
+/// call — possibly after the circuit's source waves have been reprogrammed
+/// (the intended use: simulate an expensive stimulus prefix once, then
+/// branch many cheap continuations off the snapshot).
+///
+/// A checkpoint is tied to the Circuit it was captured from: the unknown
+/// vector and the per-device history blob are validated against the
+/// circuit's unknown/device counts on resume, but the caller is responsible
+/// for not mutating the topology in between.
+struct SolverCheckpoint {
+  double time = -1.0;   ///< capture time (s); < 0 marks "not captured"
+  double dt = 0.0;      ///< step size the next step would have used
+  bool force_be = false;  ///< next step forced to backward Euler?
+  std::vector<double> x;             ///< unknown vector at `time`
+  std::vector<double> device_state;  ///< concatenated Device::save_state blobs
+  std::size_t device_count = 0;
+
+  bool valid() const { return time >= 0.0 && !x.empty(); }
+};
+
 struct TranParams {
   double t_stop = 0.0;
   double dt = 10e-12;          ///< base step
@@ -33,6 +54,12 @@ struct TranParams {
   /// Off by default so result timing is bit-stable for calibration.
   bool adaptive = false;
   double dt_max = 0.0;  ///< cap for adaptive growth; 0 = 8x the base step
+  /// When >= 0, capture a SolverCheckpoint into TranResult::checkpoint at
+  /// this time (clamped to t_stop). A mid-run capture time is added to the
+  /// breakpoint set so a step lands exactly on it; times that already sit on
+  /// a stimulus corner (or on t_stop) therefore leave the trajectory
+  /// untouched. Negative (the default) disables capture.
+  double checkpoint_at = -1.0;
 };
 
 /// What to record. Node and device probes are looked up by name at start.
@@ -51,6 +78,8 @@ struct TranResult {
   Trace trace;       ///< channels: nodes first, then "I(<device>)" entries
   TranStats stats;
   std::vector<double> final_x;  ///< final unknown vector
+  /// Captured when params.checkpoint_at >= 0 (see SolverCheckpoint::valid()).
+  SolverCheckpoint checkpoint;
 };
 
 /// Runs a transient from the DC operating point at t = 0. Throws
@@ -60,5 +89,17 @@ struct TranResult {
 /// self-recovering entry point see circuit/recovery.hpp.
 TranResult transient(Circuit& ckt, const TranParams& params,
                      const ProbeSet& probes);
+
+/// Continues a transient from a checkpoint previously captured on the same
+/// circuit. `params.t_stop` is absolute and must lie after `from.time`; the
+/// probe set may differ from the capturing run's. The trace starts with a
+/// sample at the checkpoint time, stats count only the resumed segment, and
+/// `params.checkpoint_at` may be set to capture again. Source waves may have
+/// been reprogrammed since capture — stepping follows the circuit's current
+/// breakpoints — but the topology (unknown and device counts) must be
+/// unchanged, which is validated. An uninterrupted run and a
+/// capture-at-breakpoint + resume pair take bit-identical steps.
+TranResult transient_resume(Circuit& ckt, const SolverCheckpoint& from,
+                            const TranParams& params, const ProbeSet& probes);
 
 }  // namespace ecms::circuit

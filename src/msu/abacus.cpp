@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "util/error.hpp"
+#include "util/log.hpp"
 
 namespace ecms::msu {
 
@@ -29,7 +31,48 @@ Abacus Abacus::build(const ExtractFn& fn, int ramp_steps, double cm_lo,
     a.samples_.push_back({cm, code});
   }
   a.rebuild_bins();
+  const auto skipped = a.skipped_codes();
+  if (!skipped.empty()) {
+    std::string list;
+    for (int c : skipped) list += " " + std::to_string(c);
+    ECMS_LOG(LogLevel::kWarn)
+        << "abacus sweep skipped code(s)" << list
+        << " (non-monotone extractor or too-coarse grid); their bins are "
+           "empty";
+  }
   return a;
+}
+
+Abacus Abacus::build(const ProbedExtractFn& fn, int ramp_steps, double cm_lo,
+                     double cm_hi, std::size_t points) {
+  std::size_t probes = 0;
+  std::size_t falls = 0;
+  Abacus a = build(
+      [&](double cm) {
+        const ProbedCode pc = fn(cm);
+        probes += static_cast<std::size_t>(std::max(pc.probes, 0));
+        if (pc.fell_back) ++falls;
+        return pc.code;
+      },
+      ramp_steps, cm_lo, cm_hi, points);
+  a.total_probes_ = probes;
+  a.fallbacks_ = falls;
+  return a;
+}
+
+std::vector<int> Abacus::skipped_codes() const {
+  int lo = steps_ + 1;
+  int hi = -1;
+  for (int c = 0; c <= steps_; ++c) {
+    if (bins_[static_cast<std::size_t>(c)]) {
+      lo = std::min(lo, c);
+      hi = std::max(hi, c);
+    }
+  }
+  std::vector<int> out;
+  for (int c = lo + 1; c < hi; ++c)
+    if (!bins_[static_cast<std::size_t>(c)]) out.push_back(c);
+  return out;
 }
 
 void Abacus::rebuild_bins() {
@@ -91,8 +134,16 @@ double Abacus::estimate_cap(int code) const {
     throw MeasureError("code " + std::to_string(code) +
                        " is out of the measurable window (half-open bin)");
   const auto b = bin(code);
-  if (!b) throw MeasureError("code " + std::to_string(code) +
-                             " was not observed in the calibration sweep");
+  if (!b) {
+    const auto skipped = skipped_codes();
+    const bool hole =
+        std::find(skipped.begin(), skipped.end(), code) != skipped.end();
+    throw MeasureError(
+        "code " + std::to_string(code) +
+        (hole ? " was skipped by the calibration sweep (non-monotone "
+                "extractor or too-coarse grid; see Abacus::skipped_codes())"
+              : " was not observed in the calibration sweep"));
+  }
   return b->mid();
 }
 

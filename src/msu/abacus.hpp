@@ -26,6 +26,21 @@ class Abacus {
   static Abacus build(const ExtractFn& fn, int ramp_steps, double cm_lo,
                       double cm_hi, std::size_t points);
 
+  /// One sample from an adaptive extractor: the code plus what the search
+  /// spent deciding it (see msu::AdaptiveReport).
+  struct ProbedCode {
+    int code = 0;
+    int probes = 0;         ///< adaptive probe-search queries (0: exhaustive)
+    bool fell_back = false; ///< the exhaustive ramp decided this sample
+  };
+  /// Adaptive extractor: capacitance (F) -> probed code.
+  using ProbedExtractFn = std::function<ProbedCode(double)>;
+
+  /// Same sweep driven by an adaptive extractor; additionally accumulates
+  /// the search cost, exposed via total_probes() / fallbacks().
+  static Abacus build(const ProbedExtractFn& fn, int ramp_steps, double cm_lo,
+                      double cm_hi, std::size_t points);
+
   /// Refines every code boundary by bisection to `tol` farads (extra calls
   /// to `fn`; worthwhile when fn is the cheap fast model).
   void refine(const ExtractFn& fn, double tol);
@@ -34,6 +49,17 @@ class Abacus {
   double sweep_lo() const { return cm_lo_; }
   double sweep_hi() const { return cm_hi_; }
   bool monotonic() const { return monotonic_; }
+
+  /// Adaptive search cost accumulated over the calibration sweep; both are
+  /// zero when the abacus was built from a plain ExtractFn.
+  std::size_t total_probes() const { return total_probes_; }
+  std::size_t fallbacks() const { return fallbacks_; }
+
+  /// Codes inside the observed span that no sweep sample produced — the
+  /// holes a non-monotone extractor or a too-coarse grid leaves in the
+  /// calibration curve (also warned about at build time). Empty when the
+  /// curve is gap-free.
+  std::vector<int> skipped_codes() const;
 
   /// A code's capacitance interval [lo, hi). Codes never observed in the
   /// sweep return nullopt.
@@ -82,6 +108,8 @@ class Abacus {
   int steps_ = 0;
   double cm_lo_ = 0.0, cm_hi_ = 0.0;
   bool monotonic_ = true;
+  std::size_t total_probes_ = 0;
+  std::size_t fallbacks_ = 0;
   std::vector<Sample> samples_;
   std::vector<std::optional<Bin>> bins_;  // index = code
 };

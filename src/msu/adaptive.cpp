@@ -1,0 +1,55 @@
+#include "msu/adaptive.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ecms::msu {
+
+int schedule_ramp_search(int steps, int guess, int max_probes,
+                         const std::function<bool(int)>& probe,
+                         int* probes_used) {
+  ECMS_REQUIRE(steps >= 1, "ramp search needs at least one level");
+  // Bracket invariant: level lo never flips, level hi always flips.
+  // lo = 0 and hi = steps + 1 hold virtually: level 0 means "no reference
+  // current" (cannot flip) and steps + 1 stands for "beyond full scale"
+  // (the no-flip outcome decodes as code == steps).
+  int lo = 0;
+  int hi = steps + 1;
+  int used = 0;
+  auto do_probe = [&](int k) {
+    ++used;
+    return probe(k);
+  };
+
+  // Seed phase: bracket the predicted boundary directly. An exact guess g
+  // closes with probes at g+1 (flip) and g (no flip); an off-by-one guess
+  // needs one more.
+  if (guess >= 0 && hi - lo > 1 && used < max_probes) {
+    const int g = std::clamp(guess, 0, steps);
+    const int k1 = std::clamp(g + 1, lo + 1, hi - 1);
+    if (do_probe(k1)) hi = k1; else lo = k1;
+    if (hi - lo > 1 && used < max_probes) {
+      const int k2 = std::clamp(hi == k1 ? g : g + 2, lo + 1, hi - 1);
+      if (do_probe(k2)) hi = k2; else lo = k2;
+    }
+    if (hi - lo > 1 && used < max_probes && hi == g && g - 1 > lo) {
+      // Guess proved at least one too high; test one below before bisecting.
+      if (do_probe(g - 1)) hi = g - 1; else lo = g - 1;
+    }
+  }
+
+  while (hi - lo > 1) {
+    if (used >= max_probes) {
+      if (probes_used != nullptr) *probes_used = used;
+      return -1;
+    }
+    const int k = lo + (hi - lo) / 2;
+    if (do_probe(k)) hi = k; else lo = k;
+  }
+
+  if (probes_used != nullptr) *probes_used = used;
+  return hi - 1;
+}
+
+}  // namespace ecms::msu

@@ -4,6 +4,7 @@
 // simulation of the full mixed-signal schematic).
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -11,8 +12,10 @@
 #include "circuit/recovery.hpp"
 #include "circuit/transient.hpp"
 #include "edram/macrocell.hpp"
+#include "msu/adaptive.hpp"
 #include "msu/sequencer.hpp"
 #include "msu/structure.hpp"
+#include "util/retry.hpp"
 #include "util/status.hpp"
 
 namespace ecms::msu {
@@ -32,6 +35,12 @@ struct ExtractOptions {
   /// by default: rung 0 is the unmodified solve, so results of healthy
   /// cells are unchanged and concessions are paid only on failure.
   circuit::RecoveryOptions recovery = {};
+  /// Adaptive ramp scheduling (see msu/adaptive.hpp): simulate the flow's
+  /// charge/share prefix once, then binary-search the flip code with cheap
+  /// checkpoint restarts. Off by default; codes are bit-identical either
+  /// way (the scheduler falls back to the exhaustive ramp whenever its
+  /// monotonicity assumptions cannot be trusted).
+  AdaptiveOptions adaptive = {};
 };
 
 struct ExtractionResult {
@@ -47,6 +56,16 @@ struct ExtractionResult {
   /// kOk, or kRecovered when the transient needed the recovery ladder.
   CellStatus status = CellStatus::kOk;
   circuit::RecoveryReport recovery;  ///< what the ladder did, if anything
+  AdaptiveReport adaptive;           ///< what the ramp scheduler did
+  /// Accepted transient steps spent in flow steps 1-4 (discharge through
+  /// charge sharing), i.e. before the ramp; the remainder is the cost of
+  /// the conversion step, which adaptive scheduling attacks.
+  std::size_t prefix_steps = 0;
+  std::size_t conversion_steps() const {
+    return stats.accepted_steps > prefix_steps
+               ? stats.accepted_steps - prefix_steps
+               : 0;
+  }
 };
 
 /// Whole-array circuit-level extraction with per-cell containment: cells
@@ -57,6 +76,33 @@ struct RobustExtraction {
   std::vector<CellStatus> status;         ///< row-major
   FailureReport report;
 };
+
+/// How an array-level circuit extraction should run: one struct carrying
+/// the timing, per-cell solver options (dt / newton / recovery / adaptive),
+/// retry budget and containment policy. This is the single engine behind
+/// extract_all_cells{,_robust} and the unified ecms::extraction API.
+struct ExtractPlan {
+  MeasurementTiming timing = {};
+  ExtractOptions options = {.dt = 20e-12, .record_trace = false};
+  /// Per-cell attempt budget before the cell is declared unmeasurable.
+  util::RetryPolicy retry = {.max_attempts = 1};
+  /// When false, the first unmeasurable cell aborts the run instead of
+  /// degrading to a kUnmeasurable placeholder.
+  bool contain = true;
+  /// Code recorded for unmeasurable placeholders (clamped to the ramp).
+  int unmeasurable_code = 0;
+  /// Optional per-attempt hook called as hook(row, col, attempt) right
+  /// before each cell's measurement; throwing marks the attempt failed
+  /// (the fault-injection point, see ecms::fault::CellFaultPlan).
+  std::function<void(std::size_t, std::size_t, int)> cell_hook;
+};
+
+/// Measures every cell of the macro-cell at transistor level under `plan`.
+/// Results are row-major; the ramp LSB is designed once for the whole array
+/// unless plan.options.delta_i is set.
+RobustExtraction extract_array(const edram::MacroCell& mc,
+                               const StructureParams& params,
+                               const ExtractPlan& plan);
 
 /// Measures cell (row, col) of `mc` at transistor level. The ramp LSB is
 /// taken from the FastModel design for this macro-cell and `params`.
@@ -69,6 +115,9 @@ ExtractionResult extract_cell(const edram::MacroCell& mc, std::size_t row,
 /// per cell — the hardware would do exactly this, 50 ns per cell). Returns
 /// results in row-major order. Practical for macro-cell sizes (~0.1 s/cell
 /// on a 4x4); use the calibrated fast model for array scale.
+/// Thin wrapper over extract_array (contain = false, single attempt); new
+/// code should prefer ExtractPlan / extract_array or the unified
+/// ecms::extraction::extract API.
 std::vector<ExtractionResult> extract_all_cells(
     const edram::MacroCell& mc, const StructureParams& params,
     const MeasurementTiming& timing = {},
@@ -78,6 +127,7 @@ std::vector<ExtractionResult> extract_all_cells(
 /// the failed cell is recorded as kUnmeasurable (code 0 placeholder) in the
 /// failure report and extraction continues, so a complete array always
 /// comes back. Cells the recovery ladder rescued are kRecovered.
+/// Thin wrapper over extract_array (contain = true, single attempt).
 RobustExtraction extract_all_cells_robust(
     const edram::MacroCell& mc, const StructureParams& params,
     const MeasurementTiming& timing = {},

@@ -75,6 +75,50 @@ TEST(AbacusT, NonMonotoneDetected) {
   EXPECT_FALSE(a.monotonic());
 }
 
+TEST(AbacusT, ProbedBuildAccumulatesSearchCost) {
+  // An adaptive extractor: same staircase, three probes per sample, with
+  // the high end of the range falling back to the exhaustive ramp.
+  const auto probed = [](double cm) {
+    return Abacus::ProbedCode{.code = staircase(cm),
+                              .probes = 3,
+                              .fell_back = cm > 50e-15};
+  };
+  const Abacus a = Abacus::build(probed, 10, 0.0, 60e-15, 61);
+  EXPECT_EQ(a.total_probes(), 3u * 61u);
+  EXPECT_EQ(a.fallbacks(), 10u);  // the 10 samples above 50 fF (1 fF grid)
+  // The curve itself is identical to the plain build.
+  const Abacus plain = Abacus::build(staircase, 10, 0.0, 60e-15, 61);
+  ASSERT_EQ(a.samples().size(), plain.samples().size());
+  for (std::size_t i = 0; i < a.samples().size(); ++i)
+    EXPECT_EQ(a.samples()[i].code, plain.samples()[i].code);
+  EXPECT_EQ(plain.total_probes(), 0u);
+  EXPECT_EQ(plain.fallbacks(), 0u);
+}
+
+TEST(AbacusT, SkippedCodesInsideTheSpanAreReported) {
+  // Monotone but with a hole: the extractor jumps 3 -> 5, never emitting 4.
+  const auto holey = [](double cm) {
+    const int k = staircase(cm);
+    return k == 4 ? 5 : k;
+  };
+  const Abacus a = Abacus::build(holey, 10, 0.0, 60e-15, 601);
+  EXPECT_TRUE(a.monotonic());
+  EXPECT_FALSE(a.bin(4).has_value());
+  EXPECT_EQ(a.skipped_codes(), std::vector<int>{4});
+  try {
+    a.estimate_cap(4);
+    FAIL() << "estimate_cap(4) should throw for a skipped code";
+  } catch (const MeasureError& e) {
+    EXPECT_NE(std::string(e.what()).find("skipped"), std::string::npos);
+  }
+  // Codes merely outside the swept span are not "skipped".
+  const Abacus low = Abacus::build(staircase, 10, 0.0, 20e-15, 201);
+  EXPECT_TRUE(low.skipped_codes().empty());
+  EXPECT_TRUE(Abacus::build(staircase, 10, 0.0, 60e-15, 601)
+                  .skipped_codes()
+                  .empty());
+}
+
 TEST(AbacusT, SamplesExposedForPlotting) {
   const Abacus a = Abacus::build(staircase, 10, 0.0, 60e-15, 61);
   EXPECT_EQ(a.samples().size(), 61u);

@@ -9,6 +9,7 @@
 //   3  degraded success: the run completed but some cells are unmeasurable
 //      (--keep-going, the default; the per-cell failure report lists them)
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <iostream>
 #include <map>
@@ -17,6 +18,7 @@
 
 #include "bitmap/compare.hpp"
 #include "bitmap/diagnosis.hpp"
+#include "bitmap/extraction.hpp"
 #include "circuit/spice_io.hpp"
 #include "edram/behavioral.hpp"
 #include "edram/netlister.hpp"
@@ -139,6 +141,55 @@ void print_metrics_summary() {
   if (hists.rows() > 0) std::printf("%s\n", hists.to_text().c_str());
 }
 
+/// Run-shape options shared by every measuring command (extract, bitmap,
+/// array): worker count, per-cell retry budget, containment, fault
+/// injection and adaptive ramp scheduling. Parsed in exactly one place so
+/// the flags are spelled (and validated) the same way everywhere — a new
+/// shared flag like --adaptive/--no-adaptive is defined once, not once per
+/// subcommand.
+struct CliRunConfig {
+  std::size_t jobs = 1;
+  int retries = 2;
+  bool fail_fast = false;  ///< --fail-fast; default is --keep-going
+  double fault_rate = 0.0;
+  std::uint64_t fault_seed = 1;
+  bool adaptive = false;  ///< --adaptive / --no-adaptive
+};
+
+/// `adaptive_default` is per-command: the single-cell `extract` keeps the
+/// exhaustive ramp (its printed trace narrates the full staircase) while
+/// the transistor-level `array` command defaults the scheduler on.
+CliRunConfig run_config_of(const Args& args, bool adaptive_default) {
+  CliRunConfig cfg;
+  cfg.jobs = jobs_of(args);
+  cfg.retries = static_cast<int>(args.integer("retries", 2));
+  if (args.flag("keep-going") && args.flag("fail-fast")) {
+    throw UsageError("--keep-going and --fail-fast are mutually exclusive");
+  }
+  cfg.fail_fast = args.flag("fail-fast");
+  cfg.fault_rate = args.num("fault-rate", 0.0);
+  cfg.fault_seed = static_cast<std::uint64_t>(args.num("fault-seed", 1));
+  if (args.flag("adaptive") && args.flag("no-adaptive")) {
+    throw UsageError("--adaptive and --no-adaptive are mutually exclusive");
+  }
+  cfg.adaptive = adaptive_default;
+  if (args.flag("adaptive")) cfg.adaptive = true;
+  if (args.flag("no-adaptive")) cfg.adaptive = false;
+  return cfg;
+}
+
+/// Applies the shared run shape to a unified extraction request. `plan`
+/// must outlive the extraction (the cell hook borrows it).
+void apply_run_config(extraction::ExtractRequest& req, const CliRunConfig& cfg,
+                      const fault::CellFaultPlan& plan) {
+  req.jobs = cfg.jobs;
+  req.robust = true;
+  req.retry.max_attempts = cfg.retries;
+  req.contain = !cfg.fail_fast;
+  req.options.adaptive.enabled = cfg.adaptive;
+  if (cfg.fault_rate > 0.0) req.cell_hook = plan.hook();
+}
+
 /// Observability wrapper for the measuring commands (bitmap, extract).
 /// Collection is armed only when --metrics-out or --trace-out asks for it,
 /// so the default output stays byte-identical run to run and across --jobs
@@ -219,6 +270,7 @@ int cmd_abacus(const Args& args) {
 
 int cmd_extract(const Args& args) {
   ObsSession obs_session(args);
+  const CliRunConfig cfg = run_config_of(args, /*adaptive_default=*/false);
   const auto r = static_cast<std::size_t>(args.num("row", 0));
   const auto c = static_cast<std::size_t>(args.num("col", 0));
   auto mc = edram::MacroCell::uniform(spec_of(args), tech::tech018(), 30_fF);
@@ -227,13 +279,24 @@ int cmd_extract(const Args& args) {
   if (defect == "short") mc.set_defect(r, c, tech::make_short());
   if (defect == "open") mc.set_defect(r, c, tech::make_open());
 
-  const auto res = msu::extract_cell(mc, r, c, {});
+  msu::ExtractOptions options;
+  options.adaptive.enabled = cfg.adaptive;
+  const auto res = msu::extract_cell(mc, r, c, {}, {}, options);
   std::printf("cell (%zu,%zu): code %d / %d\n", r, c, res.code,
               res.schedule.ramp_steps);
   if (res.status == CellStatus::kRecovered) {
     std::printf("  solver recovery    : succeeded at rung '%s' (%d attempts)\n",
                 circuit::recovery_rung_name(res.recovery.succeeded_at).c_str(),
                 res.recovery.attempts);
+  }
+  if (res.adaptive.attempted) {
+    if (res.adaptive.used) {
+      std::printf("  adaptive search    : %d probe(s), model guess %d\n",
+                  res.adaptive.probes, res.adaptive.guess);
+    } else {
+      std::printf("  adaptive search    : fell back to exhaustive ramp (%s)\n",
+                  res.adaptive.fallback_reason.c_str());
+    }
   }
   std::printf("  plate after charge : %.3f V\n", res.v_plate_charged);
   std::printf("  V_GS after share   : %.3f V\n", res.vgs_shared);
@@ -248,10 +311,14 @@ int cmd_extract(const Args& args) {
   return 0;
 }
 
-int cmd_bitmap(const Args& args) {
-  ObsSession obs_session(args);
-  const auto rows = static_cast<std::size_t>(args.num("rows", 32));
-  const auto cols = static_cast<std::size_t>(args.num("cols", 32));
+/// Builds the synthetic array the bitmap/array commands measure: process
+/// variation (local sigma + optional gradient/drift) plus random defects,
+/// all keyed off --seed.
+edram::MacroCell array_of(const Args& args, std::size_t default_n) {
+  const auto rows = static_cast<std::size_t>(
+      args.num("rows", static_cast<double>(default_n)));
+  const auto cols = static_cast<std::size_t>(
+      args.num("cols", static_cast<double>(default_n)));
   const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
 
   tech::CapProcessParams cp;
@@ -265,29 +332,37 @@ int cmd_bitmap(const Args& args) {
   rates.open_rate = args.num("opens", 0.002);
   rates.partial_rate = args.num("partials", 0.005);
   tech::DefectMap defects = tech::DefectMap::random(rows, cols, rates, rng);
-  const edram::MacroCell mc({.rows = rows, .cols = cols}, tech::tech018(),
-                            std::move(field), std::move(defects));
+  return edram::MacroCell({.rows = rows, .cols = cols}, tech::tech018(),
+                          std::move(field), std::move(defects));
+}
+
+/// Extraction-health footer shared by bitmap/array: the ok/recovered/
+/// unmeasurable summary plus (a bounded list of) per-cell failures.
+void print_health(const FailureReport& rep) {
+  std::printf("\nextraction health: %s\n", rep.summary().c_str());
+  constexpr std::size_t kMaxListed = 16;
+  for (std::size_t i = 0; i < rep.failures.size() && i < kMaxListed; ++i) {
+    const auto& f = rep.failures[i];
+    std::printf("  unmeasurable (%zu,%zu): %s\n", f.row, f.col,
+                f.reason.c_str());
+  }
+  if (rep.failures.size() > kMaxListed) {
+    std::printf("  ... and %zu more\n", rep.failures.size() - kMaxListed);
+  }
+}
+
+int cmd_bitmap(const Args& args) {
+  ObsSession obs_session(args);
+  const CliRunConfig cfg = run_config_of(args, /*adaptive_default=*/false);
+  const edram::MacroCell mc = array_of(args, 32);
 
   // Codes are bit-identical whatever --jobs says (per-tile RNG streams);
-  // the pool only changes wall time.
-  util::ThreadPool pool(jobs_of(args));
-  util::ThreadPool* pool_ptr = pool.worker_count() > 1 ? &pool : nullptr;
-
-  if (args.flag("keep-going") && args.flag("fail-fast")) {
-    throw UsageError("--keep-going and --fail-fast are mutually exclusive");
-  }
-  const double fault_rate = args.num("fault-rate", 0.0);
-  const auto fault_seed = static_cast<std::uint64_t>(args.num("fault-seed", 1));
-  const fault::CellFaultPlan plan(fault_rate, fault_seed);
-  bitmap::ExtractPolicy policy;
-  if (fault_rate > 0.0) policy.cell_hook = plan.hook();
-  policy.retry.max_attempts = static_cast<int>(args.integer("retries", 2));
-  policy.contain = !args.flag("fail-fast");
-
-  const auto extraction =
-      bitmap::AnalogBitmap::extract_tiled_robust(mc, {}, policy, 4, 4,
-                                                 pool_ptr);
-  const auto& analog = extraction.bitmap;
+  // the workers only change wall time.
+  const fault::CellFaultPlan plan(cfg.fault_rate, cfg.fault_seed);
+  extraction::ExtractRequest req;  // fast-model engine, 4x4 tiles
+  apply_run_config(req, cfg, plan);
+  const extraction::ExtractReport result = extraction::extract(mc, req);
+  const auto& analog = result.bitmap;
   std::printf("analog bitmap (codes 0..20):\n%s\n",
               report::render_code_heatmap(analog).c_str());
   const auto sig = bitmap::SignatureMap::categorize(analog);
@@ -300,19 +375,45 @@ int cmd_bitmap(const Args& args) {
     std::printf("  [%s] %s\n", bitmap::diagnosis_name(f.kind).c_str(),
                 f.detail.c_str());
 
-  const auto& rep = extraction.report;
-  std::printf("\nextraction health: %s\n", rep.summary().c_str());
-  constexpr std::size_t kMaxListed = 16;
-  for (std::size_t i = 0; i < rep.failures.size() && i < kMaxListed; ++i) {
-    const auto& f = rep.failures[i];
-    std::printf("  unmeasurable (%zu,%zu): %s\n", f.row, f.col,
-                f.reason.c_str());
-  }
-  if (rep.failures.size() > kMaxListed) {
-    std::printf("  ... and %zu more\n", rep.failures.size() - kMaxListed);
-  }
+  print_health(result.report);
   obs_session.finish();
-  return rep.complete() ? kExitOk : kExitDegraded;
+  return result.complete() ? kExitOk : kExitDegraded;
+}
+
+/// array — transistor-level extraction of every cell, tile by tile, through
+/// the unified API's circuit engine. This is the paper's validation flow at
+/// array scale; adaptive ramp scheduling defaults on here (codes are
+/// bit-identical either way, only the transient-step cost changes).
+int cmd_array(const Args& args) {
+  ObsSession obs_session(args);
+  const CliRunConfig cfg = run_config_of(args, /*adaptive_default=*/true);
+  const edram::MacroCell mc = array_of(args, 8);
+
+  const fault::CellFaultPlan plan(cfg.fault_rate, cfg.fault_seed);
+  extraction::ExtractRequest req;
+  req.engine = extraction::Engine::kCircuit;
+  apply_run_config(req, cfg, plan);
+  const extraction::ExtractReport result = extraction::extract(mc, req);
+
+  std::printf("analog bitmap (codes 0..20, transistor level):\n%s\n",
+              report::render_code_heatmap(result.bitmap).c_str());
+
+  const auto& t = result.telemetry;
+  std::printf("measurement cost:\n");
+  std::printf("  cells              : %zu\n", t.cells);
+  std::printf("  transient steps    : %zu (prefix %zu + conversion %zu)\n",
+              t.transient_steps, t.prefix_steps, t.conversion_steps());
+  if (cfg.adaptive) {
+    std::printf("  adaptive scheduling: %zu cell(s) via probe search "
+                "(%zu probes), %zu fallback(s)\n",
+                t.adaptive_used, t.adaptive_probes, t.adaptive_fallbacks);
+  } else {
+    std::printf("  adaptive scheduling: off (exhaustive ramp per cell)\n");
+  }
+
+  print_health(result.report);
+  obs_session.finish();
+  return result.complete() ? kExitOk : kExitDegraded;
 }
 
 int cmd_design(const Args& args) {
@@ -354,25 +455,37 @@ int usage() {
       "  extract  measure one cell through the full transient flow\n"
       "           --rows N --cols N --row R --col C --cap FF\n"
       "           --defect short|open\n"
-      "  bitmap   extract every cell, render heatmap + diagnosis\n"
+      "  bitmap   extract every cell (fast model), render heatmap +\n"
+      "           diagnosis\n"
       "           --rows N --cols N --seed S --gradient G --drift D\n"
       "           --shorts R --opens R --partials R\n"
-      "           --jobs N        worker threads (default 1; 0 = one per\n"
-      "                           hardware thread; clamped to 512)\n"
-      "           --retries N     per-cell solve attempts (default 2)\n"
-      "           --keep-going    contain per-cell failures, finish the\n"
-      "                           array (default; excludes --fail-fast)\n"
-      "           --fail-fast     abort on the first unmeasurable cell\n"
-      "           --fault-rate P  inject transient solver faults with\n"
-      "                           probability P per cell (testing aid)\n"
-      "           --fault-seed S  RNG seed for --fault-rate (default 1)\n"
+      "  array    extract every cell at transistor level (circuit engine,\n"
+      "           one transient per cell; adaptive scheduling on by\n"
+      "           default), render heatmap + measurement cost\n"
+      "           same array flags as bitmap (default 8x8)\n"
       "  design   auto-size the measurement structure for the array\n"
       "           --rows N --cols N\n"
       "  spice    dump the array + structure netlist as SPICE\n"
       "           --rows N --cols N\n"
       "\n"
-      "observability (extract, bitmap; either flag also prints a summary\n"
-      "table; default runs stay uninstrumented and byte-deterministic):\n"
+      "run shape (extract, bitmap, array — parsed once, same everywhere):\n"
+      "  --jobs N        worker threads (default 1; 0 = one per hardware\n"
+      "                  thread; clamped to 512)\n"
+      "  --retries N     per-cell solve attempts (default 2)\n"
+      "  --keep-going    contain per-cell failures, finish the array\n"
+      "                  (default; excludes --fail-fast)\n"
+      "  --fail-fast     abort on the first unmeasurable cell\n"
+      "  --fault-rate P  inject transient solver faults with\n"
+      "                  probability P per cell (testing aid)\n"
+      "  --fault-seed S  RNG seed for --fault-rate (default 1)\n"
+      "  --adaptive      adaptive ramp scheduling: checkpoint after the\n"
+      "                  charge/share prefix, probe-search the flip code\n"
+      "                  (circuit engine; codes identical, fewer steps;\n"
+      "                  default on for array, off for extract)\n"
+      "  --no-adaptive   force the exhaustive linear ramp\n"
+      "\n"
+      "observability (extract, bitmap, array; either flag also prints a\n"
+      "summary table; default runs stay uninstrumented and deterministic):\n"
       "  --metrics-out FILE  write counters/gauges/histograms as JSON\n"
       "  --trace-out FILE    collect spans, write Chrome trace_event JSON\n"
       "                      (open in chrome://tracing or ui.perfetto.dev)\n"
@@ -408,6 +521,7 @@ int main(int argc, char** argv) {
     if (cmd == "abacus") return cmd_abacus(args);
     if (cmd == "extract") return cmd_extract(args);
     if (cmd == "bitmap") return cmd_bitmap(args);
+    if (cmd == "array") return cmd_array(args);
     if (cmd == "design") return cmd_design(args);
     if (cmd == "spice") return cmd_spice(args);
     return usage();
