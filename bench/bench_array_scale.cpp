@@ -19,6 +19,9 @@
 
 #include "bitmap/analog_bitmap.hpp"
 #include "bitmap/extraction.hpp"
+#include "circuit/newton.hpp"
+#include "circuit/solver.hpp"
+#include "edram/netlister.hpp"
 #include "msu/designer.hpp"
 #include "obs/metrics.hpp"
 #include "msu/extract.hpp"
@@ -330,6 +333,212 @@ void run_adaptive_acceptance(std::size_t jobs, JsonSink& json) {
            static_cast<long long>(scheduled.telemetry.adaptive_fallbacks));
 }
 
+// EXT-A9 — linear-solver backend acceptance (DESIGN.md §10). Three claims:
+//
+//   1. The sparse backend (frozen Markowitz pattern + stamp-slot tapes +
+//      static/dynamic split) makes end-to-end transient extraction of the
+//      largest transistor-level array >= 3x faster than the dense backend.
+//   2. Extraction codes and OUT flip times are backend-invariant across
+//      --solver dense|sparse|auto.
+//   3. Array-level codes are invariant across worker counts under the
+//      sparse backend (workspaces are per-thread, nothing is shared).
+//
+// Also reports the assemble/factor/solve split per backend on the raw
+// macro-cell netlist, which is where the crossover policy comes from.
+void run_solver_acceptance(std::size_t jobs, JsonSink& json,
+                           const std::string& solver_json_path) {
+  std::printf("EXT-A9: linear-solver backends on growing transistor-level "
+              "arrays\n\n");
+  report::Experiment exp("EXT-A9",
+                         "sparse MNA backend speedup + code identity");
+  JsonSink sj;
+
+  auto solver_opts = [](circuit::SolverKind k) {
+    msu::ExtractOptions o;
+    o.record_trace = false;
+    o.newton.solver.kind = k;
+    return o;
+  };
+
+  // -- end-to-end single-cell extraction, whole macro-cell in the circuit --
+  Table table({"macro-cell", "dense (s)", "sparse (s)", "auto (s)",
+               "speedup", "code"});
+  bool codes_ok = true;
+  double flip_delta_max = 0.0;
+  double largest_speedup = 0.0;
+  std::size_t largest_n = 0;
+  for (std::size_t n : {4, 8, 16}) {
+    const auto mc = edram::MacroCell::uniform({.rows = n, .cols = n},
+                                              tech::tech018(), 30_fF);
+    msu::ExtractionResult res[3];
+    double secs[3];
+    const circuit::SolverKind kinds[3] = {circuit::SolverKind::kDense,
+                                          circuit::SolverKind::kSparse,
+                                          circuit::SolverKind::kAuto};
+    for (int i = 0; i < 3; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      res[i] = msu::extract_cell(mc, 0, 0, {}, {}, solver_opts(kinds[i]));
+      secs[i] =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+    }
+    const double speedup = secs[1] > 0.0 ? secs[0] / secs[1] : 0.0;
+    if (n > largest_n) {
+      largest_n = n;
+      largest_speedup = speedup;
+    }
+    codes_ok = codes_ok && res[0].code == res[1].code &&
+               res[0].code == res[2].code &&
+               res[0].t_out_rise.has_value() == res[1].t_out_rise.has_value();
+    if (res[0].t_out_rise && res[1].t_out_rise) {
+      flip_delta_max = std::max(
+          flip_delta_max, std::abs(*res[0].t_out_rise - *res[1].t_out_rise));
+    }
+    table.add_row({Table::num(static_cast<long long>(n)) + "x" +
+                       Table::num(static_cast<long long>(n)),
+                   Table::num(secs[0], 3), Table::num(secs[1], 3),
+                   Table::num(secs[2], 3), Table::num(speedup, 2) + "x",
+                   Table::num(static_cast<long long>(res[0].code))});
+    const std::string sz = std::to_string(n);
+    sj.add("ext_a9_dense_s_" + sz, secs[0]);
+    sj.add("ext_a9_sparse_s_" + sz, secs[1]);
+    sj.add("ext_a9_auto_s_" + sz, secs[2]);
+    sj.add("ext_a9_speedup_" + sz, speedup);
+  }
+  std::cout << table << '\n';
+
+  exp.check("sparse backend speeds up the largest transistor-level array "
+            ">= 3x end-to-end",
+            Table::num(largest_speedup, 2) + "x at " +
+                std::to_string(largest_n) + "x" + std::to_string(largest_n),
+            largest_speedup >= 3.0);
+  exp.check("extraction codes and flip times are backend-invariant "
+            "(dense|sparse|auto)",
+            codes_ok ? "identical (flip delta " +
+                           Table::num(1e12 * flip_delta_max, 3) + " ps)"
+                     : "MISMATCH",
+            codes_ok && flip_delta_max <= 1e-12);
+
+  // -- assemble / factor / solve split on the raw macro-cell netlist --
+  std::printf("-- per-phase split on the bare array netlist (no structure) "
+              "--\n");
+  Table split({"array", "unknowns", "phase", "dense (us)", "sparse (us)"});
+  for (std::size_t n : {8, 16}) {
+    const auto mc = edram::MacroCell::uniform({.rows = n, .cols = n},
+                                              tech::tech018(), 30_fF);
+    circuit::Circuit ckt;
+    edram::build_array(ckt, mc);
+    ckt.finalize();
+    const std::size_t unknowns = ckt.unknown_count();
+    std::vector<double> x(unknowns, 0.0);
+    circuit::StampContext ctx;
+    ctx.x = x;
+    ctx.time = 0.0;
+    ctx.dt = 0.0;
+    constexpr int kReps = 40;
+    constexpr double kGmin = 1e-12;
+
+    circuit::Matrix a;
+    std::vector<double> b;
+    circuit::LuFactorization lu;
+    std::vector<double> xd, scratch;
+    assemble(ckt, ctx, kGmin, a, b);
+    lu.refactor(a);
+    auto time_us = [&](auto&& fn) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int r = 0; r < kReps; ++r) fn();
+      return 1e6 *
+             std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+                 .count() /
+             kReps;
+    };
+    const double d_asm = time_us([&] { assemble(ckt, ctx, kGmin, a, b); });
+    const double d_fac = time_us([&] { lu.refactor(a); });
+    const double d_sol = time_us([&] {
+      xd.assign(b.begin(), b.end());
+      lu.solve_in_place(xd, scratch);
+    });
+
+    circuit::SparseEngine eng(unknowns);
+    eng.begin_point();
+    eng.assemble(ckt, ctx, kGmin);  // discovery
+    eng.factor();                   // symbolic
+    std::vector<double> xs;
+    const double s_asm = time_us([&] { eng.assemble(ckt, ctx, kGmin); });
+    const double s_fac = time_us([&] { eng.factor(); });
+    const double s_sol = time_us([&] { eng.solve(xs); });
+
+    const std::string sz = Table::num(static_cast<long long>(n)) + "x" +
+                           Table::num(static_cast<long long>(n));
+    const std::string un = Table::num(static_cast<long long>(unknowns));
+    split.add_row({sz, un, "assemble", Table::num(d_asm, 1),
+                   Table::num(s_asm, 1)});
+    split.add_row({sz, un, "factor", Table::num(d_fac, 1),
+                   Table::num(s_fac, 1)});
+    split.add_row({sz, un, "solve", Table::num(d_sol, 1),
+                   Table::num(s_sol, 1)});
+    const std::string key = std::to_string(n);
+    sj.add("ext_a9_split_dense_assemble_us_" + key, d_asm);
+    sj.add("ext_a9_split_dense_factor_us_" + key, d_fac);
+    sj.add("ext_a9_split_dense_solve_us_" + key, d_sol);
+    sj.add("ext_a9_split_sparse_assemble_us_" + key, s_asm);
+    sj.add("ext_a9_split_sparse_factor_us_" + key, s_fac);
+    sj.add("ext_a9_split_sparse_solve_us_" + key, s_sol);
+  }
+  std::cout << split << '\n';
+
+  // -- jobs invariance + backend identity at array scale --
+  const edram::MacroCell sample = varied_array64().tile(24, 24, 8, 8);
+  auto array_req = [&](circuit::SolverKind k, std::size_t workers) {
+    extraction::ExtractRequest req;
+    req.engine = extraction::Engine::kCircuit;
+    req.jobs = workers;
+    req.options.newton.solver.kind = k;
+    return req;
+  };
+  const auto sparse_1 =
+      extraction::extract(sample, array_req(circuit::SolverKind::kSparse, 1));
+  const auto sparse_n = extraction::extract(
+      sample, array_req(circuit::SolverKind::kSparse, jobs));
+  const auto dense_n = extraction::extract(
+      sample, array_req(circuit::SolverKind::kDense, jobs));
+  const bool jobs_identical =
+      sparse_1.bitmap.codes() == sparse_n.bitmap.codes();
+  const bool backend_identical =
+      dense_n.bitmap.codes() == sparse_n.bitmap.codes();
+  exp.check("array codes are jobs-invariant under the sparse backend",
+            jobs_identical ? "identical (1 vs " + std::to_string(jobs) +
+                                 " workers, 64 cells)"
+                           : "MISMATCH",
+            jobs_identical);
+  exp.check("array codes match between dense and sparse backends",
+            backend_identical ? "identical" : "MISMATCH", backend_identical);
+  exp.note("auto crossover: sparse at >= 64 unknowns. The tapes win from "
+           "~28 unknowns already, but checkpoint/adaptive flows (all below "
+           "64) require bit-exact transient splits, which the frozen "
+           "value-dependent pivot order cannot guarantee across a resume");
+  std::cout << exp << '\n';
+
+  json.add("ext_a9_largest_speedup", largest_speedup);
+  json.add("ext_a9_codes_identical", codes_ok);
+  json.add("ext_a9_jobs_identical", jobs_identical);
+  json.add("ext_a9_backend_identical", backend_identical);
+  sj.add("ext_a9_largest_speedup", largest_speedup);
+  sj.add("ext_a9_flip_delta_ps", 1e12 * flip_delta_max);
+  sj.add("ext_a9_codes_identical", codes_ok);
+  sj.add("ext_a9_jobs_identical", jobs_identical);
+  sj.add("ext_a9_backend_identical", backend_identical);
+  if (!solver_json_path.empty()) {
+    if (sj.write(solver_json_path)) {
+      std::printf("solver numbers written to %s\n", solver_json_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: could not write %s\n",
+                   solver_json_path.c_str());
+    }
+  }
+}
+
 void BM_CircuitExtractionBySize(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto mc = edram::MacroCell::uniform({.rows = n, .cols = n},
@@ -367,11 +576,13 @@ void BM_TiledBitmap64Parallel(benchmark::State& state) {
 BENCHMARK(BM_TiledBitmap64Parallel)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
-// Consumes "--jobs N" (thread count for EXT-A6/A8, default 8) and
-// "--json FILE" (acceptance-number artifact) before the remaining flags go
-// to the benchmark library.
+// Consumes "--jobs N" (thread count for EXT-A6/A8/A9, default 8), "--json
+// FILE" (acceptance-number artifact) and "--solver-json FILE" (the EXT-A9
+// BENCH_solver.json baseline) before the remaining flags go to the
+// benchmark library.
 std::size_t take_jobs_flag(int& argc, char** argv, std::size_t fallback,
-                           std::string& json_path) {
+                           std::string& json_path,
+                           std::string& solver_json_path) {
   std::size_t jobs = fallback;
   int w = 1;
   for (int i = 1; i < argc; ++i) {
@@ -383,6 +594,8 @@ std::size_t take_jobs_flag(int& argc, char** argv, std::size_t fallback,
       ++i;
     } else if (std::string(argv[i]) == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::string(argv[i]) == "--solver-json" && i + 1 < argc) {
+      solver_json_path = argv[++i];
     } else {
       argv[w++] = argv[i];
     }
@@ -395,12 +608,15 @@ std::size_t take_jobs_flag(int& argc, char** argv, std::size_t fallback,
 
 int main(int argc, char** argv) {
   std::string json_path;
-  const std::size_t jobs = take_jobs_flag(argc, argv, 8, json_path);
+  std::string solver_json_path;
+  const std::size_t jobs =
+      take_jobs_flag(argc, argv, 8, json_path, solver_json_path);
   JsonSink json;
   run_scaling();
   run_parallel_acceptance(jobs, json);
   run_obs_overhead(json);
   run_adaptive_acceptance(jobs, json);
+  run_solver_acceptance(jobs, json, solver_json_path);
   if (!json_path.empty()) {
     if (json.write(json_path)) {
       std::printf("acceptance numbers written to %s\n", json_path.c_str());

@@ -18,12 +18,17 @@ DcResult dc_operating_point(Circuit& ckt, const DcOptions& opts) {
   ctx.time = opts.time;
   ctx.dt = 0.0;
 
+  // One workspace for the whole ladder: every attempt (plain Newton, gmin
+  // stepping, source stepping) solves the same circuit in DC mode, so the
+  // assembled system, stamp-slot caches and factorization storage carry
+  // over between rungs.
+  NewtonWorkspace ws;
   auto attempt = [&](double gmin, double source_scale,
                      std::vector<double>& x) {
     StampContext c = ctx;
     c.gmin = gmin;
     c.source_scale = source_scale;
-    const NewtonResult nr = newton_solve(ckt, c, x, opts.newton);
+    const NewtonResult nr = newton_solve(ckt, c, x, opts.newton, ws);
     res.total_newton_iterations += nr.iterations;
     return nr.converged;
   };

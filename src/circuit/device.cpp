@@ -2,22 +2,22 @@
 
 namespace ecms::circuit {
 
-void stamp_conductance(Matrix& a_mat, NodeId a, NodeId b, double g) {
+void stamp_conductance(MnaView& a_mat, NodeId a, NodeId b, double g) {
   if (a != kGround) {
-    a_mat.at(unknown_of(a), unknown_of(a)) += g;
-    if (b != kGround) a_mat.at(unknown_of(a), unknown_of(b)) -= g;
+    a_mat.add(unknown_of(a), unknown_of(a), g);
+    if (b != kGround) a_mat.add(unknown_of(a), unknown_of(b), -g);
   }
   if (b != kGround) {
-    a_mat.at(unknown_of(b), unknown_of(b)) += g;
-    if (a != kGround) a_mat.at(unknown_of(b), unknown_of(a)) -= g;
+    a_mat.add(unknown_of(b), unknown_of(b), g);
+    if (a != kGround) a_mat.add(unknown_of(b), unknown_of(a), -g);
   }
 }
 
-void stamp_transconductance(Matrix& a_mat, NodeId out_p, NodeId out_n,
+void stamp_transconductance(MnaView& a_mat, NodeId out_p, NodeId out_n,
                             NodeId in_p, NodeId in_n, double g) {
   auto stamp = [&](NodeId row, NodeId col, double val) {
     if (row == kGround || col == kGround) return;
-    a_mat.at(unknown_of(row), unknown_of(col)) += val;
+    a_mat.add(unknown_of(row), unknown_of(col), val);
   };
   stamp(out_p, in_p, g);
   stamp(out_p, in_n, -g);
@@ -36,7 +36,7 @@ double CapCompanion::geq(const StampContext& ctx) const {
 }
 
 void CapCompanion::stamp(const StampContext& ctx, NodeId a, NodeId b,
-                         Matrix& a_mat, std::span<double> b_vec) const {
+                         MnaView& a_mat, std::span<double> b_vec) const {
   if (ctx.is_dc() || c_ == 0.0) return;  // open in DC
   const double g = geq(ctx);
   // Companion: i(a->b) = g * v - j, with

@@ -47,12 +47,47 @@ inline std::size_t unknown_of(NodeId n) {
   return static_cast<std::size_t>(n) - 1;
 }
 
+/// Destination for matrix stamps when the active backend is not the dense
+/// Matrix. Implemented by the sparse engine (solver.hpp), which resolves
+/// (row, col) coordinates to cached value slots on first assembly and
+/// replays them as direct writes afterwards.
+class StampSink {
+ public:
+  virtual ~StampSink() = default;
+  /// Adds `v` at (row, col) of the MNA matrix.
+  virtual void add(std::size_t row, std::size_t col, double v) = 0;
+};
+
+/// Backend-neutral handle to the MNA matrix passed to Device::stamp: either
+/// the dense Matrix (default path, one predictable branch of overhead) or a
+/// StampSink for the sparse backend. The right-hand side stays a plain span
+/// in both cases.
+class MnaView {
+ public:
+  explicit MnaView(Matrix& dense) : dense_(&dense) {}
+  explicit MnaView(StampSink& sink) : sink_(&sink) {}
+
+  void add(std::size_t row, std::size_t col, double v) {
+    if (dense_ != nullptr) {
+      dense_->at(row, col) += v;
+    } else {
+      sink_->add(row, col, v);
+    }
+  }
+
+  bool is_dense() const { return dense_ != nullptr; }
+
+ private:
+  Matrix* dense_ = nullptr;
+  StampSink* sink_ = nullptr;
+};
+
 /// Stamps conductance g between nodes a and b.
-void stamp_conductance(Matrix& a_mat, NodeId a, NodeId b, double g);
+void stamp_conductance(MnaView& a_mat, NodeId a, NodeId b, double g);
 
 /// Stamps an asymmetric transconductance: current into `out_p` / out of
 /// `out_n` proportional to (v(in_p) - v(in_n)) * g.
-void stamp_transconductance(Matrix& a_mat, NodeId out_p, NodeId out_n,
+void stamp_transconductance(MnaView& a_mat, NodeId out_p, NodeId out_n,
                             NodeId in_p, NodeId in_n, double g);
 
 /// Stamps a constant current `i` flowing from node a to node b (leaving a,
@@ -71,7 +106,7 @@ class CapCompanion {
   void set_capacitance(double farads) { c_ = farads; }
 
   /// Stamps the companion between nodes a, b. No-op in DC (capacitor open).
-  void stamp(const StampContext& ctx, NodeId a, NodeId b, Matrix& a_mat,
+  void stamp(const StampContext& ctx, NodeId a, NodeId b, MnaView& a_mat,
              std::span<double> b_vec) const;
 
   /// Latches v across (a - b) as history; zeroes the current history.
@@ -112,8 +147,11 @@ class Device {
 
   const std::string& name() const { return name_; }
 
-  /// Adds this device's contribution for the given iterate.
-  virtual void stamp(const StampContext& ctx, Matrix& a_mat,
+  /// Adds this device's contribution for the given iterate. Implementations
+  /// must emit an iterate-independent *sequence* of matrix coordinates
+  /// (values may change freely): the sparse backend records the sequence
+  /// once and replays it as direct slot writes on later assemblies.
+  virtual void stamp(const StampContext& ctx, MnaView& a_mat,
                      std::span<double> b_vec) const = 0;
 
   /// Number of extra branch-current unknowns this device introduces.

@@ -37,7 +37,7 @@ double Diode::conductance(double v) const {
   return g;
 }
 
-void Diode::stamp(const StampContext& ctx, Matrix& a_mat,
+void Diode::stamp(const StampContext& ctx, MnaView& a_mat,
                   std::span<double> b_vec) const {
   const double v = ctx.v(a_) - ctx.v(c_);
   const double i = current(v);

@@ -17,7 +17,7 @@ class Diode : public Device {
 
   Diode(std::string name, NodeId anode, NodeId cathode, Params p);
 
-  void stamp(const StampContext& ctx, Matrix& a_mat,
+  void stamp(const StampContext& ctx, MnaView& a_mat,
              std::span<double> b_vec) const override;
   bool nonlinear() const override { return true; }
   double probe_current(const StampContext& ctx) const override;

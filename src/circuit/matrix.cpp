@@ -29,9 +29,13 @@ void Matrix::multiply(std::span<const double> x, std::span<double> y) const {
   }
 }
 
-LuFactorization::LuFactorization(const Matrix& a) : lu_(a), perm_(a.rows()) {
+LuFactorization::LuFactorization(const Matrix& a) { refactor(a); }
+
+void LuFactorization::refactor(const Matrix& a) {
   ECMS_REQUIRE(a.rows() == a.cols(), "LU requires a square matrix");
+  lu_ = a;  // vector copy-assignment reuses the existing allocation
   const std::size_t n = lu_.rows();
+  perm_.resize(n);
   for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
 
   double min_piv = 0.0, max_piv = 0.0;
@@ -73,10 +77,17 @@ LuFactorization::LuFactorization(const Matrix& a) : lu_(a), perm_(a.rows()) {
 }
 
 void LuFactorization::solve_in_place(std::span<double> b) const {
+  std::vector<double> scratch;
+  solve_in_place(b, scratch);
+}
+
+void LuFactorization::solve_in_place(std::span<double> b,
+                                     std::vector<double>& scratch) const {
   const std::size_t n = lu_.rows();
   ECMS_REQUIRE(b.size() == n, "rhs size mismatch");
   // Apply permutation.
-  std::vector<double> pb(n);
+  scratch.resize(n);
+  std::span<double> pb(scratch);
   for (std::size_t i = 0; i < n; ++i) pb[i] = b[perm_[i]];
   // Forward substitution (unit lower-triangular L).
   for (std::size_t i = 0; i < n; ++i) {

@@ -49,14 +49,26 @@ class Matrix {
 /// ecms::SolverError if the matrix is numerically singular.
 class LuFactorization {
  public:
+  /// Empty factorization; call refactor() before solving.
+  LuFactorization() = default;
+
   /// Factors a copy of `a` in place. `a` must be square.
   explicit LuFactorization(const Matrix& a);
+
+  /// Re-factors `a`, reusing this object's storage: no allocation when the
+  /// dimension matches the previous factorization. Same arithmetic as the
+  /// constructor, so results are bit-identical to a fresh factorization.
+  void refactor(const Matrix& a);
 
   /// Solves A x = b; returns x. b.size() must equal the dimension.
   std::vector<double> solve(std::span<const double> b) const;
 
   /// In-place variant reusing the caller's buffer.
   void solve_in_place(std::span<double> b) const;
+
+  /// In-place solve with a caller-owned permutation scratch buffer (resized
+  /// as needed): allocation-free when reused across Newton iterations.
+  void solve_in_place(std::span<double> b, std::vector<double>& scratch) const;
 
   std::size_t dim() const { return lu_.rows(); }
 

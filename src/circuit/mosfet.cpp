@@ -147,7 +147,7 @@ Mosfet::Mosfet(std::string name, NodeId d, NodeId g, NodeId s, NodeId b,
   csb_.set_capacitance(p_.c_junction());
 }
 
-void Mosfet::stamp(const StampContext& ctx, Matrix& a_mat,
+void Mosfet::stamp(const StampContext& ctx, MnaView& a_mat,
                    std::span<double> b_vec) const {
   const double vg = ctx.v(g_), vd = ctx.v(d_), vs = ctx.v(s_), vb = ctx.v(b_);
   const MosEval e = mos_eval(p_, vg, vd, vs, vb);
@@ -156,8 +156,8 @@ void Mosfet::stamp(const StampContext& ctx, Matrix& a_mat,
   // I ~ I0 + sum_k dI/dvk (vk - vk0).
   auto stamp_pair = [&](NodeId col, double g) {
     if (col == kGround) return;
-    if (d_ != kGround) a_mat.at(unknown_of(d_), unknown_of(col)) += g;
-    if (s_ != kGround) a_mat.at(unknown_of(s_), unknown_of(col)) -= g;
+    if (d_ != kGround) a_mat.add(unknown_of(d_), unknown_of(col), g);
+    if (s_ != kGround) a_mat.add(unknown_of(s_), unknown_of(col), -g);
   };
   stamp_pair(g_, e.d_vg);
   stamp_pair(d_, e.d_vd);

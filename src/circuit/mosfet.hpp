@@ -78,7 +78,7 @@ class Mosfet : public Device {
   Mosfet(std::string name, NodeId d, NodeId g, NodeId s, NodeId b,
          MosParams params);
 
-  void stamp(const StampContext& ctx, Matrix& a_mat,
+  void stamp(const StampContext& ctx, MnaView& a_mat,
              std::span<double> b_vec) const override;
   bool nonlinear() const override { return true; }
   void init_state(const StampContext& ctx) override;

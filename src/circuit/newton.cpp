@@ -16,7 +16,8 @@ void assemble(const Circuit& ckt, const StampContext& ctx, double gmin_ground,
   a_mat.clear();
   b_vec.assign(n, 0.0);
   std::span<double> b(b_vec);
-  for (const auto& d : ckt.devices()) d->stamp(ctx, a_mat, b);
+  MnaView view(a_mat);
+  for (const auto& d : ckt.devices()) d->stamp(ctx, view, b);
   // Floating-node safety net: every node leaks to ground through gmin_ground.
   const std::size_t nv = ckt.node_count() - 1;
   for (std::size_t i = 0; i < nv; ++i) a_mat.at(i, i) += gmin_ground;
@@ -25,13 +26,21 @@ void assemble(const Circuit& ckt, const StampContext& ctx, double gmin_ground,
 namespace {
 
 // Per-solve outcome accounting, shared by every return path of
-// newton_solve_impl. One LU factorization is attempted per iteration, so
-// the factorization count equals the iteration count.
+// newton_solve_impl. With symbolic/numeric factorization reuse on the
+// sparse backend, factorizations no longer equal iterations: the legacy
+// factorizations counter reports the sum of the real symbolic and numeric
+// counts (which on the dense backend still equals the iteration count —
+// one numeric factorization per iteration).
 void count_solve(const NewtonResult& res) {
   if (!obs::metrics_enabled()) return;
   ECMS_METRIC_COUNT("circuit.newton.solves", 1);
   ECMS_METRIC_COUNT("circuit.newton.iterations", res.iterations);
-  ECMS_METRIC_COUNT("circuit.newton.factorizations", res.iterations);
+  ECMS_METRIC_COUNT("circuit.newton.factorizations",
+                    res.symbolic_factorizations + res.numeric_factorizations);
+  ECMS_METRIC_COUNT("circuit.lu.symbolic", res.symbolic_factorizations);
+  ECMS_METRIC_COUNT("circuit.lu.numeric", res.numeric_factorizations);
+  ECMS_METRIC_COUNT("circuit.assemble.static_hits", res.assemble_static_hits);
+  ECMS_METRIC_COUNT("circuit.assemble.restamps", res.assemble_restamps);
   ECMS_METRIC_OBSERVE("circuit.newton.iterations_per_solve", res.iterations);
   if (res.singular) ECMS_METRIC_COUNT("circuit.newton.singular", 1);
   if (res.stalled) ECMS_METRIC_COUNT("circuit.newton.stalled", 1);
@@ -41,39 +50,83 @@ void count_solve(const NewtonResult& res) {
 NewtonResult newton_solve_impl(const Circuit& ckt,
                                const StampContext& ctx_proto,
                                std::vector<double>& x,
-                               const NewtonOptions& opts) {
+                               const NewtonOptions& opts,
+                               NewtonWorkspace& ws) {
   const std::size_t n = ckt.unknown_count();
   ECMS_REQUIRE(x.size() == n, "newton_solve: x has wrong size");
   const std::size_t nv = ckt.node_count() - 1;
 
-  Matrix a_mat;
-  std::vector<double> b_vec;
+  ws.prepare(ckt, opts.solver);
+  SparseEngine* eng = ws.sparse();
   NewtonResult res;
+  // Engine counters are cumulative across the workspace lifetime; snapshot
+  // them so the result reports this solve's share.
+  const std::uint64_t sym0 = eng ? eng->symbolic_factorizations() : 0;
+  const std::uint64_t num0 = eng ? eng->numeric_factorizations() : 0;
+  const std::uint64_t hit0 = eng ? eng->static_hits() : 0;
+  const std::uint64_t rst0 = eng ? eng->static_restamps() : 0;
+  auto finalize = [&]() {
+    if (eng != nullptr) {
+      res.symbolic_factorizations +=
+          static_cast<int>(eng->symbolic_factorizations() - sym0);
+      res.numeric_factorizations +=
+          static_cast<int>(eng->numeric_factorizations() - num0);
+      res.assemble_static_hits =
+          static_cast<std::size_t>(eng->static_hits() - hit0);
+      res.assemble_restamps =
+          static_cast<std::size_t>(eng->static_restamps() - rst0);
+    }
+    return res;
+  };
 
   if (opts.hooks != nullptr && opts.hooks->force_stall &&
       opts.hooks->force_stall(ctx_proto, opts)) {
     res.stalled = true;
-    return res;
+    return finalize();
   }
+
+  if (eng != nullptr) eng->begin_point();
 
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
     StampContext ctx = ctx_proto;
     ctx.x = x;
-    assemble(ckt, ctx, opts.gmin_ground, a_mat, b_vec);
-    if (opts.hooks != nullptr && opts.hooks->make_singular &&
-        opts.hooks->make_singular(ctx, opts)) {
-      for (std::size_t j = 0; j < n; ++j) a_mat.at(0, j) = 0.0;
+    bool singular = false;
+    if (eng == nullptr) {
+      assemble(ckt, ctx, opts.gmin_ground, ws.a_dense, ws.b);
+      if (opts.hooks != nullptr && opts.hooks->make_singular &&
+          opts.hooks->make_singular(ctx, opts)) {
+        for (std::size_t j = 0; j < n; ++j) ws.a_dense.at(0, j) = 0.0;
+      }
+      ++res.numeric_factorizations;  // dense: one per iteration, by design
+      try {
+        ws.lu_dense.refactor(ws.a_dense);
+      } catch (const SolverError&) {
+        singular = true;
+      }
+      if (!singular) {
+        ws.x_new.assign(ws.b.begin(), ws.b.end());
+        ws.lu_dense.solve_in_place(ws.x_new, ws.scratch);
+      }
+    } else {
+      eng->assemble(ckt, ctx, opts.gmin_ground);
+      if (opts.hooks != nullptr && opts.hooks->make_singular &&
+          opts.hooks->make_singular(ctx, opts)) {
+        eng->zero_row(0);
+      }
+      try {
+        eng->factor();
+      } catch (const SolverError&) {
+        singular = true;
+      }
+      if (!singular) eng->solve(ws.x_new);
     }
-
-    std::vector<double> x_new;
-    try {
-      x_new = LuFactorization(a_mat).solve(b_vec);
-    } catch (const SolverError&) {
+    if (singular) {
       res.converged = false;
       res.singular = true;
       res.iterations = iter + 1;
-      return res;
+      return finalize();
     }
+    std::span<const double> x_new(ws.x_new);
 
     // Voltage-part damping: clamp the update so no node moves more than
     // max_delta_v per iteration (branch currents are left free).
@@ -96,28 +149,35 @@ NewtonResult newton_solve_impl(const Circuit& ckt,
     res.final_delta = max_dv * scale;
     if (!std::isfinite(res.final_delta)) {
       res.converged = false;
-      return res;
+      return finalize();
     }
     if (scale == 1.0 &&
         max_dv < opts.tol_abs_v + opts.tol_rel * std::max(max_x, 1.0)) {
       res.converged = true;
-      return res;
+      return finalize();
     }
   }
   res.converged = false;
   ECMS_LOG(LogLevel::kDebug) << "newton: no convergence after "
                              << res.iterations
                              << " iters, last dv=" << res.final_delta;
-  return res;
+  return finalize();
 }
 
 }  // namespace
 
 NewtonResult newton_solve(const Circuit& ckt, const StampContext& ctx_proto,
-                          std::vector<double>& x, const NewtonOptions& opts) {
-  const NewtonResult res = newton_solve_impl(ckt, ctx_proto, x, opts);
+                          std::vector<double>& x, const NewtonOptions& opts,
+                          NewtonWorkspace& ws) {
+  const NewtonResult res = newton_solve_impl(ckt, ctx_proto, x, opts, ws);
   count_solve(res);
   return res;
+}
+
+NewtonResult newton_solve(const Circuit& ckt, const StampContext& ctx_proto,
+                          std::vector<double>& x, const NewtonOptions& opts) {
+  NewtonWorkspace ws;
+  return newton_solve(ckt, ctx_proto, x, opts, ws);
 }
 
 }  // namespace ecms::circuit

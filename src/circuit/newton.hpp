@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "circuit/netlist.hpp"
+#include "circuit/solver.hpp"
 
 namespace ecms::circuit {
 
@@ -41,6 +42,10 @@ struct NewtonOptions {
   /// Fault-injection / instrumentation hooks; nullptr in production. The
   /// pointee must outlive every solve that sees this options object.
   const SolveHooks* hooks = nullptr;
+  /// Linear-solver backend choice (dense / sparse / auto-by-size). Rides
+  /// inside NewtonOptions so it threads through TranParams / ExtractOptions
+  /// to every solve without further plumbing.
+  SolverConfig solver;
 };
 
 inline constexpr std::size_t kNoUnknown = std::numeric_limits<std::size_t>::max();
@@ -54,6 +59,17 @@ struct NewtonResult {
   std::size_t worst_unknown = kNoUnknown;
   bool singular = false;  ///< the LU factorization found a singular system
   bool stalled = false;   ///< non-convergence was forced by a hook
+  /// Real factorization work done by this solve. On the dense backend every
+  /// iteration is one numeric factorization; on the sparse backend symbolic
+  /// (full Markowitz, pattern + pivot order) factorizations happen once per
+  /// pattern (plus re-pivots) and numeric ones cover the rest, so the sum
+  /// is typically far below `iterations`.
+  int symbolic_factorizations = 0;
+  int numeric_factorizations = 0;
+  /// Sparse-backend assembly accounting: iterations served by restoring the
+  /// frozen static image vs. rebuilds of that image (0 on the dense path).
+  std::size_t assemble_static_hits = 0;
+  std::size_t assemble_restamps = 0;
 };
 
 /// Assembles the MNA system for the given context into (a_mat, b_vec).
@@ -65,5 +81,13 @@ void assemble(const Circuit& ckt, const StampContext& ctx, double gmin_ground,
 /// time/dt/method/gmin/source_scale; its x span is ignored.
 NewtonResult newton_solve(const Circuit& ckt, const StampContext& ctx_proto,
                           std::vector<double>& x, const NewtonOptions& opts);
+
+/// Workspace-reusing variant: the caller owns the buffers / backend caches
+/// across many solves of the same circuit (one workspace per transient or
+/// DC call). The plain overload above wraps this with a throwaway
+/// workspace.
+NewtonResult newton_solve(const Circuit& ckt, const StampContext& ctx_proto,
+                          std::vector<double>& x, const NewtonOptions& opts,
+                          NewtonWorkspace& ws);
 
 }  // namespace ecms::circuit

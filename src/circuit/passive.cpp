@@ -17,7 +17,7 @@ void Resistor::set_resistance(double ohms) {
   ohms_ = ohms;
 }
 
-void Resistor::stamp(const StampContext&, Matrix& a_mat,
+void Resistor::stamp(const StampContext&, MnaView& a_mat,
                      std::span<double>) const {
   stamp_conductance(a_mat, a_, b_, 1.0 / ohms_);
 }
@@ -37,7 +37,7 @@ void Capacitor::set_capacitance(double farads) {
   comp_.set_capacitance(farads);
 }
 
-void Capacitor::stamp(const StampContext& ctx, Matrix& a_mat,
+void Capacitor::stamp(const StampContext& ctx, MnaView& a_mat,
                       std::span<double> b_vec) const {
   comp_.stamp(ctx, a_, b_, a_mat, b_vec);
 }
@@ -70,7 +70,7 @@ double VcSwitch::conductance(double v_ctrl) const {
   return g_off + (g_on - g_off) * sig;
 }
 
-void VcSwitch::stamp(const StampContext& ctx, Matrix& a_mat,
+void VcSwitch::stamp(const StampContext& ctx, MnaView& a_mat,
                      std::span<double> b_vec) const {
   const double vc = ctx.v(cp_) - ctx.v(cn_);
   const double vab = ctx.v(a_) - ctx.v(b_);

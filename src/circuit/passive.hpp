@@ -12,7 +12,7 @@ class Resistor : public Device {
  public:
   Resistor(std::string name, NodeId a, NodeId b, double ohms);
 
-  void stamp(const StampContext& ctx, Matrix& a_mat,
+  void stamp(const StampContext& ctx, MnaView& a_mat,
              std::span<double> b_vec) const override;
   double probe_current(const StampContext& ctx) const override;
 
@@ -31,7 +31,7 @@ class Capacitor : public Device {
  public:
   Capacitor(std::string name, NodeId a, NodeId b, double farads);
 
-  void stamp(const StampContext& ctx, Matrix& a_mat,
+  void stamp(const StampContext& ctx, MnaView& a_mat,
              std::span<double> b_vec) const override;
   void init_state(const StampContext& ctx) override;
   void accept_step(const StampContext& ctx) override;
@@ -68,7 +68,7 @@ class VcSwitch : public Device {
   VcSwitch(std::string name, NodeId a, NodeId b, NodeId ctrl_p, NodeId ctrl_n,
            Params p);
 
-  void stamp(const StampContext& ctx, Matrix& a_mat,
+  void stamp(const StampContext& ctx, MnaView& a_mat,
              std::span<double> b_vec) const override;
   bool nonlinear() const override { return true; }
   double probe_current(const StampContext& ctx) const override;

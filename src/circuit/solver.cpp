@@ -1,0 +1,232 @@
+#include "circuit/solver.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ecms::circuit {
+
+const char* solver_kind_name(SolverKind k) {
+  switch (k) {
+    case SolverKind::kDense:
+      return "dense";
+    case SolverKind::kSparse:
+      return "sparse";
+    case SolverKind::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+bool parse_solver_kind(std::string_view s, SolverKind& out) {
+  if (s == "dense") {
+    out = SolverKind::kDense;
+  } else if (s == "sparse") {
+    out = SolverKind::kSparse;
+  } else if (s == "auto") {
+    out = SolverKind::kAuto;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+SolverKind resolve_solver_kind(const SolverConfig& cfg, std::size_t n) {
+  if (cfg.kind != SolverKind::kAuto) return cfg.kind;
+  return n >= cfg.sparse_crossover ? SolverKind::kSparse : SolverKind::kDense;
+}
+
+void SparseEngine::add(std::size_t row, std::size_t col, double v) {
+  const std::uint64_t key = pack_coord(row, col);
+  Tape& t = *active_tape_;
+  if (phase_ == Phase::kRecord) {
+    t.coords.push_back(key);
+    t.rec_vals.push_back(v);
+    return;
+  }
+  ECMS_REQUIRE(phase_ == Phase::kReplay, "sparse stamp outside assembly");
+  if (diverged_) return;  // rebuilt from scratch after this pass
+  if (t.cursor >= t.coords.size() || t.coords[t.cursor] != key) {
+    diverged_ = true;
+    return;
+  }
+  replay_values_[t.slots[t.cursor]] += v;
+  ++t.cursor;
+}
+
+void SparseEngine::resolve_slots(Tape& tape) {
+  tape.slots.resize(tape.coords.size());
+  for (std::size_t i = 0; i < tape.coords.size(); ++i) {
+    const auto r = static_cast<std::size_t>(tape.coords[i] >> 32);
+    const auto c = static_cast<std::size_t>(tape.coords[i] & 0xffffffffu);
+    tape.slots[i] = mat_.slot(r, c);
+  }
+}
+
+void SparseEngine::discover(const Circuit& ckt, const StampContext& ctx,
+                            double gmin_ground) {
+  MnaView view(static_cast<StampSink&>(*this));
+
+  // Record pass: linear devices feed the static tape, nonlinear devices the
+  // dynamic one. The RHS needs no tape — devices write the span directly.
+  static_tape_ = Tape{};
+  dynamic_tape_ = Tape{};
+  b_static_.assign(n_, 0.0);
+  phase_ = Phase::kRecord;
+  active_tape_ = &static_tape_;
+  for (const auto& d : ckt.devices()) {
+    if (!d->nonlinear()) d->stamp(ctx, view, b_static_);
+  }
+  b_work_ = b_static_;
+  active_tape_ = &dynamic_tape_;
+  for (const auto& d : ckt.devices()) {
+    if (d->nonlinear()) d->stamp(ctx, view, b_work_);
+  }
+  phase_ = Phase::kIdle;
+
+  // Freeze the pattern: every recorded coordinate plus the gmin ground
+  // diagonal, then resolve the tapes to value slots.
+  std::vector<std::uint64_t> coords;
+  coords.reserve(static_tape_.coords.size() + dynamic_tape_.coords.size() +
+                 nv_);
+  coords.insert(coords.end(), static_tape_.coords.begin(),
+                static_tape_.coords.end());
+  coords.insert(coords.end(), dynamic_tape_.coords.begin(),
+                dynamic_tape_.coords.end());
+  for (std::size_t i = 0; i < nv_; ++i) coords.push_back(pack_coord(i, i));
+  mat_.build_pattern(n_, coords);
+  resolve_slots(static_tape_);
+  resolve_slots(dynamic_tape_);
+  diag_slots_.resize(nv_);
+  for (std::size_t i = 0; i < nv_; ++i) diag_slots_[i] = mat_.slot(i, i);
+
+  // Build the static image and this iterate's working values from the
+  // recorded stamps (same accumulation order as the replay path).
+  static_values_.assign(mat_.nnz(), 0.0);
+  for (std::size_t i = 0; i < static_tape_.slots.size(); ++i) {
+    static_values_[static_tape_.slots[i]] += static_tape_.rec_vals[i];
+  }
+  for (const std::uint32_t s : diag_slots_) static_values_[s] += gmin_ground;
+  std::span<double> vals = mat_.values();
+  std::copy(static_values_.begin(), static_values_.end(), vals.begin());
+  for (std::size_t i = 0; i < dynamic_tape_.slots.size(); ++i) {
+    vals[dynamic_tape_.slots[i]] += dynamic_tape_.rec_vals[i];
+  }
+  static_tape_.rec_vals.clear();
+  dynamic_tape_.rec_vals.clear();
+
+  pattern_built_ = true;
+  static_dirty_ = false;
+  diverged_ = false;
+  ++static_restamps_;
+}
+
+void SparseEngine::assemble(const Circuit& ckt, const StampContext& ctx,
+                            double gmin_ground) {
+  ECMS_REQUIRE(ckt.unknown_count() == n_,
+               "sparse engine bound to a different circuit size");
+  nv_ = ckt.node_count() - 1;
+  force_full_factor_ = false;  // a pristine assembly supersedes zero_row()
+  if (!pattern_built_) {
+    discover(ckt, ctx, gmin_ground);
+    return;
+  }
+
+  MnaView view(static_cast<StampSink&>(*this));
+  diverged_ = false;
+
+  if (static_dirty_) {
+    std::fill(static_values_.begin(), static_values_.end(), 0.0);
+    b_static_.assign(n_, 0.0);
+    phase_ = Phase::kReplay;
+    active_tape_ = &static_tape_;
+    static_tape_.cursor = 0;
+    replay_values_ = static_values_.data();
+    for (const auto& d : ckt.devices()) {
+      if (!d->nonlinear()) d->stamp(ctx, view, b_static_);
+    }
+    if (static_tape_.cursor != static_tape_.coords.size()) diverged_ = true;
+    if (!diverged_) {
+      for (const std::uint32_t s : diag_slots_) {
+        static_values_[s] += gmin_ground;
+      }
+      static_dirty_ = false;
+      ++static_restamps_;
+    }
+  } else {
+    ++static_hits_;
+  }
+
+  if (!diverged_) {
+    std::span<double> vals = mat_.values();
+    std::copy(static_values_.begin(), static_values_.end(), vals.begin());
+    b_work_ = b_static_;
+    phase_ = Phase::kReplay;
+    active_tape_ = &dynamic_tape_;
+    dynamic_tape_.cursor = 0;
+    replay_values_ = vals.data();
+    for (const auto& d : ckt.devices()) {
+      if (d->nonlinear()) d->stamp(ctx, view, b_work_);
+    }
+    if (dynamic_tape_.cursor != dynamic_tape_.coords.size()) diverged_ = true;
+  }
+  phase_ = Phase::kIdle;
+
+  if (diverged_) {
+    // A device emitted a different stamp sequence than the recorded tape
+    // (reconfigured netlist between solves): drop every cache — including
+    // the factorization, whose pattern may no longer match — and rediscover.
+    pattern_built_ = false;
+    static_dirty_ = true;
+    lu_ = SparseLu{};
+    discover(ckt, ctx, gmin_ground);
+  }
+}
+
+void SparseEngine::factor() {
+  if (!lu_.factored() || force_full_factor_) {
+    force_full_factor_ = false;
+    lu_.factor(mat_);  // throws SolverError when singular
+    ++symbolic_;
+    return;
+  }
+  if (lu_.refactor(mat_)) {
+    ++numeric_;
+    return;
+  }
+  // Pivot degradation: re-pivot from scratch. A genuinely singular system
+  // throws here, matching the dense backend's behavior.
+  lu_.factor(mat_);
+  ++symbolic_;
+}
+
+void SparseEngine::solve(std::vector<double>& x) {
+  x = b_work_;
+  lu_.solve_in_place(x);
+}
+
+void SparseEngine::zero_row(std::size_t r) {
+  std::span<double> vals = mat_.values();
+  for (std::uint32_t s = mat_.row_begin(r); s < mat_.row_end(r); ++s) {
+    vals[s] = 0.0;
+  }
+  // A numeric refactor could smear the exact zeros into small residuals;
+  // force the full factorization so singularity is detected deterministically.
+  force_full_factor_ = true;
+}
+
+void NewtonWorkspace::prepare(const Circuit& ckt, const SolverConfig& cfg) {
+  const std::size_t n = ckt.unknown_count();
+  const SolverKind want = resolve_solver_kind(cfg, n);
+  if (n == bound_n_ && want == active_) return;
+  bound_n_ = n;
+  active_ = want;
+  if (want == SolverKind::kSparse) {
+    sparse_ = std::make_unique<SparseEngine>(n);
+  } else {
+    sparse_.reset();
+    lu_dense = LuFactorization{};
+  }
+}
+
+}  // namespace ecms::circuit

@@ -1,0 +1,178 @@
+// Linear-solver backend selection and per-solve workspaces.
+//
+// newton_solve reduces every (time) point to repeated solves of the stamped
+// MNA system. Two backends implement that step:
+//
+//   dense  — matrix.hpp's Matrix + LuFactorization, byte-for-byte the seed
+//            arithmetic. Best below the crossover (small cells).
+//   sparse — sparse.hpp's CSR matrix + Markowitz LU with symbolic reuse,
+//            fed by a stamp-slot cache and a static/dynamic assembly split
+//            (SparseEngine below). Wins from array-scale netlists up.
+//
+// A NewtonWorkspace owns whichever backend is active plus the iteration
+// buffers, and lives for one transient()/dc_operating_point() call: one
+// workspace per solve means one per thread under parallel extraction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "circuit/matrix.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/sparse.hpp"
+
+namespace ecms::circuit {
+
+enum class SolverKind { kDense, kSparse, kAuto };
+
+const char* solver_kind_name(SolverKind k);
+
+/// Parses "dense" | "sparse" | "auto"; returns false on anything else.
+bool parse_solver_kind(std::string_view s, SolverKind& out);
+
+struct SolverConfig {
+  SolverKind kind = SolverKind::kAuto;
+  /// kAuto switches to the sparse backend at or above this many unknowns.
+  /// EXT-A9 (bench_array_scale) shows the stamp-slot tapes and the
+  /// static/dynamic split win from ~28 unknowns up, but the crossover is
+  /// deliberately higher: the sparse pivot order is frozen from the values
+  /// the engine factors first, so a transient split at a checkpoint can
+  /// differ from the uninterrupted run in the last ulp — and the
+  /// checkpoint / adaptive-ramp flows, whose tile circuits all sit below
+  /// 64 unknowns, contractually require bit-exact resume. Dense re-pivots
+  /// every iteration and is immune. Above macro-cell scale nothing relies
+  /// on bit-exact splits and the sparse backend wins outright.
+  std::size_t sparse_crossover = 64;
+};
+
+/// The backend kAuto resolves to for an n-unknown system (never kAuto).
+SolverKind resolve_solver_kind(const SolverConfig& cfg, std::size_t n);
+
+/// Sparse assembly + factorization engine for one circuit and one solve
+/// mode. Holds three caches, all built on the first assembly:
+///
+///   * the frozen CSR pattern of the MNA matrix,
+///   * stamp-slot tapes: the (row, col) sequence every device emits,
+///     resolved to value-slot indices, so replayed assemblies are direct
+///     array writes with no coordinate search, and
+///   * a static image: linear devices (nonlinear() == false) cannot change
+///     between Newton iterations of one point, so their stamps are frozen
+///     once per point and memcpy-restored each iteration; only nonlinear
+///     devices re-stamp.
+///
+/// If a device ever emits a different stamp sequence (e.g. the netlist was
+/// reconfigured between solves), the replay detects the divergence via the
+/// recorded coordinates and rebuilds every cache from scratch. Not
+/// thread-safe: workspaces are per-solve and therefore per-thread.
+class SparseEngine final : public StampSink {
+ public:
+  explicit SparseEngine(std::size_t unknowns) : n_(unknowns) {}
+
+  /// Marks the start of a new solve point (new time / step / gmin / source
+  /// scale): the static image is rebuilt on the next assemble().
+  void begin_point() { static_dirty_ = true; }
+
+  /// Assembles A and b for the given iterate (discovery or tape replay).
+  void assemble(const Circuit& ckt, const StampContext& ctx,
+                double gmin_ground);
+
+  /// Factors the assembled matrix: numeric refactorization on the frozen
+  /// pattern, with a full Markowitz (re-)factorization on first use and on
+  /// pivot degradation. Throws ecms::SolverError when singular.
+  void factor();
+
+  /// Solves into x (overwritten with A^{-1} b; buffer reused).
+  void solve(std::vector<double>& x);
+
+  /// Zeroes row r of the assembled matrix (fault-injection hook support);
+  /// forces a full factorization so the singular system is detected
+  /// deterministically, as on the dense path.
+  void zero_row(std::size_t r);
+
+  std::span<const double> rhs() const { return b_work_; }
+  const SparseMatrix& matrix() const { return mat_; }
+  double pivot_ratio() const { return lu_.pivot_ratio(); }
+
+  // Cumulative counters, reported per solve as circuit.lu.{symbolic,
+  // numeric} and circuit.assemble.{static_hits,restamps}.
+  std::uint64_t symbolic_factorizations() const { return symbolic_; }
+  std::uint64_t numeric_factorizations() const { return numeric_; }
+  std::uint64_t static_hits() const { return static_hits_; }
+  std::uint64_t static_restamps() const { return static_restamps_; }
+
+  // StampSink: records a coordinate during discovery, or replays one
+  // cached slot write.
+  void add(std::size_t row, std::size_t col, double v) override;
+
+ private:
+  enum class Phase { kIdle, kRecord, kReplay };
+
+  struct Tape {
+    std::vector<std::uint64_t> coords;  // packed (row, col), in stamp order
+    std::vector<std::uint32_t> slots;   // resolved value slots, same order
+    std::vector<double> rec_vals;       // values seen during discovery
+    std::size_t cursor = 0;
+  };
+
+  void discover(const Circuit& ckt, const StampContext& ctx,
+                double gmin_ground);
+  void resolve_slots(Tape& tape);
+
+  std::size_t n_ = 0;
+  std::size_t nv_ = 0;  // voltage unknowns (gmin ground diagonal span)
+  bool pattern_built_ = false;
+  bool static_dirty_ = true;
+  bool diverged_ = false;
+  bool force_full_factor_ = false;
+  Phase phase_ = Phase::kIdle;
+  Tape static_tape_, dynamic_tape_;
+  Tape* active_tape_ = nullptr;
+  double* replay_values_ = nullptr;
+  std::vector<std::uint32_t> diag_slots_;
+  SparseMatrix mat_;
+  std::vector<double> static_values_;  // frozen matrix image (nnz values)
+  std::vector<double> b_static_;       // frozen static rhs
+  std::vector<double> b_work_;         // working rhs
+  SparseLu lu_;
+  std::uint64_t symbolic_ = 0, numeric_ = 0;
+  std::uint64_t static_hits_ = 0, static_restamps_ = 0;
+};
+
+/// Per-solve scratch owned by the caller of newton_solve: the assembled
+/// system, the factorization and the iteration buffers are allocated once
+/// per transient/DC solve instead of once per Newton iteration. The members
+/// are working storage for the solver implementation (and tests); treat
+/// them as opaque elsewhere. Single-threaded by design — parallel
+/// extraction gives each worker its own workspace.
+class NewtonWorkspace {
+ public:
+  NewtonWorkspace() = default;
+
+  /// Binds to a circuit + backend choice; re-binding to a different unknown
+  /// count or resolved backend resets the cached state. newton_solve calls
+  /// this itself — explicit calls are allowed but not required.
+  void prepare(const Circuit& ckt, const SolverConfig& cfg);
+
+  /// Resolved backend of the last prepare() (never kAuto).
+  SolverKind active() const { return active_; }
+  SparseEngine* sparse() { return sparse_.get(); }
+
+  // Dense-backend state and shared iteration buffers.
+  Matrix a_dense;
+  LuFactorization lu_dense;
+  std::vector<double> b;
+  std::vector<double> x_new;
+  std::vector<double> scratch;
+
+ private:
+  SolverKind active_ = SolverKind::kDense;
+  std::size_t bound_n_ = std::numeric_limits<std::size_t>::max();
+  std::unique_ptr<SparseEngine> sparse_;
+};
+
+}  // namespace ecms::circuit

@@ -9,16 +9,16 @@ VSource::VSource(std::string name, NodeId p, NodeId n, SourceWave wave)
   ECMS_REQUIRE(p != n, "voltage source terminals must differ");
 }
 
-void VSource::stamp(const StampContext& ctx, Matrix& a_mat,
+void VSource::stamp(const StampContext& ctx, MnaView& a_mat,
                     std::span<double> b_vec) const {
   const std::size_t k = branch_;
   if (p_ != kGround) {
-    a_mat.at(unknown_of(p_), k) += 1.0;
-    a_mat.at(k, unknown_of(p_)) += 1.0;
+    a_mat.add(unknown_of(p_), k, 1.0);
+    a_mat.add(k, unknown_of(p_), 1.0);
   }
   if (n_ != kGround) {
-    a_mat.at(unknown_of(n_), k) -= 1.0;
-    a_mat.at(k, unknown_of(n_)) -= 1.0;
+    a_mat.add(unknown_of(n_), k, -1.0);
+    a_mat.add(k, unknown_of(n_), -1.0);
   }
   b_vec[k] += ctx.source_scale * wave_.value(ctx.time);
 }
@@ -37,7 +37,7 @@ ISource::ISource(std::string name, NodeId p, NodeId n, SourceWave wave)
   ECMS_REQUIRE(p != n, "current source terminals must differ");
 }
 
-void ISource::stamp(const StampContext& ctx, Matrix&,
+void ISource::stamp(const StampContext& ctx, MnaView&,
                     std::span<double> b_vec) const {
   stamp_current(b_vec, p_, n_, ctx.source_scale * wave_.value(ctx.time));
 }

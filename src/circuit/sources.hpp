@@ -13,7 +13,7 @@ class VSource : public Device {
  public:
   VSource(std::string name, NodeId p, NodeId n, SourceWave wave);
 
-  void stamp(const StampContext& ctx, Matrix& a_mat,
+  void stamp(const StampContext& ctx, MnaView& a_mat,
              std::span<double> b_vec) const override;
   int branch_count() const override { return 1; }
   void set_branch_base(std::size_t base) override { branch_ = base; }
@@ -42,7 +42,7 @@ class ISource : public Device {
  public:
   ISource(std::string name, NodeId p, NodeId n, SourceWave wave);
 
-  void stamp(const StampContext& ctx, Matrix& a_mat,
+  void stamp(const StampContext& ctx, MnaView& a_mat,
              std::span<double> b_vec) const override;
   void collect_breakpoints(std::vector<double>& out) const override;
   double probe_current(const StampContext& ctx) const override;

@@ -1,0 +1,316 @@
+#include "circuit/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace ecms::circuit {
+
+void SparseMatrix::build_pattern(std::size_t n,
+                                 std::span<const std::uint64_t> coords) {
+  n_ = n;
+  std::vector<std::uint64_t> keys(coords.begin(), coords.end());
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  row_ptr_.assign(n_ + 1, 0);
+  cols_.resize(keys.size());
+  values_.assign(keys.size(), 0.0);
+  for (std::size_t s = 0; s < keys.size(); ++s) {
+    const auto r = static_cast<std::size_t>(keys[s] >> 32);
+    const auto c = static_cast<std::uint32_t>(keys[s] & 0xffffffffu);
+    ECMS_REQUIRE(r < n_ && c < n_, "sparse pattern coordinate out of range");
+    ++row_ptr_[r + 1];
+    cols_[s] = c;
+  }
+  for (std::size_t r = 0; r < n_; ++r) row_ptr_[r + 1] += row_ptr_[r];
+}
+
+std::uint32_t SparseMatrix::slot(std::size_t r, std::size_t c) const {
+  const auto* first = cols_.data() + row_ptr_[r];
+  const auto* last = cols_.data() + row_ptr_[r + 1];
+  const auto* it = std::lower_bound(first, last, static_cast<std::uint32_t>(c));
+  if (it == last || *it != c) return kNoSlot;
+  return static_cast<std::uint32_t>(it - cols_.data());
+}
+
+void SparseMatrix::clear_values() {
+  std::fill(values_.begin(), values_.end(), 0.0);
+}
+
+double SparseMatrix::at(std::size_t r, std::size_t c) const {
+  const std::uint32_t s = slot(r, c);
+  return s == kNoSlot ? 0.0 : values_[s];
+}
+
+void SparseMatrix::multiply(std::span<const double> x,
+                            std::span<double> y) const {
+  ECMS_REQUIRE(x.size() == n_ && y.size() == n_,
+               "sparse multiply size mismatch");
+  for (std::size_t r = 0; r < n_; ++r) {
+    double acc = 0.0;
+    for (std::uint32_t s = row_ptr_[r]; s < row_ptr_[r + 1]; ++s)
+      acc += values_[s] * x[cols_[s]];
+    y[r] = acc;
+  }
+}
+
+namespace {
+
+// Refactor-time pivot health check: looser than the factor-time Markowitz
+// threshold (which already admits pivots rel_pivot_threshold below their
+// row max), so healthy value drift between Newton iterations does not
+// trigger spurious re-pivots, but a genuinely collapsed pivot does.
+constexpr double kRepivotThreshold = 1e-10;
+
+}  // namespace
+
+void SparseLu::factor(const SparseMatrix& a) {
+  factored_ = false;  // a throw below must leave the object unusable
+  n_ = a.dim();
+  const std::size_t n = n_;
+
+  // Working form: one hash map per active row (col -> value) plus, per
+  // column, the set of active rows containing it (for Markowitz counts and
+  // for finding the rows to eliminate).
+  std::vector<std::unordered_map<std::uint32_t, double>> rows(n);
+  std::vector<std::unordered_set<std::uint32_t>> col_rows(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::uint32_t s = a.row_begin(r); s < a.row_end(r); ++s) {
+      const std::uint32_t c = a.col_of(s);
+      rows[r].emplace(c, a.values()[s]);
+      col_rows[c].insert(static_cast<std::uint32_t>(r));
+    }
+  }
+
+  perm_row_.assign(n, 0);
+  perm_col_.assign(n, 0);
+  pinv_row_.assign(n, 0);
+  pinv_col_.assign(n, 0);
+
+  // Per-step outputs in original indices; compressed after the pivot order
+  // is complete (a column's permuted index is unknown until it is chosen).
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> u_rows(n);
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> l_by_row(n);
+
+  std::vector<std::uint32_t> active;  // original row ids still active
+  active.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) active.push_back(static_cast<std::uint32_t>(r));
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Threshold-Markowitz pivot search. Scanning every active entry each
+    // step is O(n * nnz); restricting candidates to the sparsest rows
+    // (where the minimum Markowitz cost lives) keeps the search cheap
+    // without giving up the fill bound. Ties break deterministically.
+    std::size_t min_sz = std::numeric_limits<std::size_t>::max();
+    for (const std::uint32_t r : active) min_sz = std::min(min_sz, rows[r].size());
+
+    std::uint32_t best_r = 0, best_c = 0;
+    double best_val = 0.0;
+    std::uint64_t best_cost = std::numeric_limits<std::uint64_t>::max();
+    bool found = false;
+    auto scan = [&](std::size_t max_sz) {
+      for (const std::uint32_t r : active) {
+        const auto& row = rows[r];
+        if (row.size() > max_sz) continue;
+        double rmax = 0.0;
+        for (const auto& cv : row) rmax = std::max(rmax, std::abs(cv.second));
+        if (rmax == 0.0 || !std::isfinite(rmax)) continue;
+        const std::uint64_t rc = row.size() - 1;
+        for (const auto& [c, v] : row) {
+          const double mag = std::abs(v);
+          if (mag < rel_pivot_threshold * rmax || mag == 0.0) continue;
+          const std::uint64_t cost = rc * (col_rows[c].size() - 1);
+          const bool better =
+              !found || cost < best_cost ||
+              (cost == best_cost &&
+               (mag > std::abs(best_val) ||
+                (mag == std::abs(best_val) &&
+                 (r < best_r || (r == best_r && c < best_c)))));
+          if (better) {
+            found = true;
+            best_cost = cost;
+            best_r = r;
+            best_c = c;
+            best_val = v;
+          }
+        }
+      }
+    };
+    scan(min_sz + 2);
+    if (!found) scan(std::numeric_limits<std::size_t>::max());
+    if (!found) {
+      throw SolverError("singular MNA matrix (sparse) at elimination step " +
+                        std::to_string(k));
+    }
+
+    const std::uint32_t pr = best_r, pc = best_c;
+    const double piv = best_val;
+    perm_row_[k] = pr;
+    perm_col_[k] = pc;
+    pinv_row_[pr] = static_cast<std::uint32_t>(k);
+    pinv_col_[pc] = static_cast<std::uint32_t>(k);
+
+    // Snapshot the pivot row as U row k (original column ids for now) and
+    // retire it from the active structure.
+    auto& urow = u_rows[k];
+    urow.assign(rows[pr].begin(), rows[pr].end());
+    for (const auto& cv : urow) col_rows[cv.first].erase(pr);
+    rows[pr].clear();
+
+    // Eliminate the pivot column from every remaining row containing it.
+    // Updates are structural — fill is inserted even when the multiplier or
+    // the pivot-row value is numerically zero — so the frozen pattern is
+    // closed under elimination for any later value set.
+    for (const std::uint32_t i : col_rows[pc]) {
+      auto& tgt = rows[i];
+      const auto it = tgt.find(pc);
+      const double f = it->second / piv;
+      tgt.erase(it);
+      l_by_row[i].push_back({static_cast<std::uint32_t>(k), f});
+      for (const auto& [c, v] : urow) {
+        if (c == pc) continue;
+        auto [slot_it, inserted] = tgt.try_emplace(c, 0.0);
+        if (inserted) col_rows[c].insert(i);
+        slot_it->second -= f * v;
+      }
+    }
+    col_rows[pc].clear();
+
+    active.erase(std::remove(active.begin(), active.end(), pr), active.end());
+  }
+
+  // Compress into CSR over permuted indices.
+  l_ptr_.assign(n + 1, 0);
+  l_cols_.clear();
+  l_vals_.clear();
+  u_ptr_.assign(n + 1, 0);
+  u_cols_.clear();
+  u_vals_.clear();
+  a_ptr_.assign(n + 1, 0);
+  a_slot_.clear();
+  a_pcol_.clear();
+  std::vector<std::pair<std::uint32_t, double>> tmp;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t orig = perm_row_[i];
+    // L entries were appended in ascending elimination step, already sorted.
+    for (const auto& [k, f] : l_by_row[orig]) {
+      l_cols_.push_back(k);
+      l_vals_.push_back(f);
+    }
+    l_ptr_[i + 1] = static_cast<std::uint32_t>(l_cols_.size());
+    // U row i: map original columns to permuted ones and sort ascending;
+    // every column was active at step i, so the pivot (== i) sorts first.
+    tmp.clear();
+    for (const auto& [c, v] : u_rows[i]) tmp.push_back({pinv_col_[c], v});
+    std::sort(tmp.begin(), tmp.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    for (const auto& [c, v] : tmp) {
+      u_cols_.push_back(c);
+      u_vals_.push_back(v);
+    }
+    u_ptr_[i + 1] = static_cast<std::uint32_t>(u_cols_.size());
+    // A scatter map for refactor: slots of original row `orig`.
+    for (std::uint32_t s = a.row_begin(orig); s < a.row_end(orig); ++s) {
+      a_slot_.push_back(s);
+      a_pcol_.push_back(pinv_col_[a.col_of(s)]);
+    }
+    a_ptr_[i + 1] = static_cast<std::uint32_t>(a_slot_.size());
+  }
+
+  double min_piv = 0.0, max_piv = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double mag = std::abs(u_vals_[u_ptr_[i]]);
+    if (i == 0) {
+      min_piv = max_piv = mag;
+    } else {
+      min_piv = std::min(min_piv, mag);
+      max_piv = std::max(max_piv, mag);
+    }
+  }
+  pivot_ratio_ = max_piv > 0.0 ? min_piv / max_piv : 0.0;
+  work_.assign(n, 0.0);
+  factored_ = true;
+}
+
+bool SparseLu::refactor(const SparseMatrix& a) {
+  ECMS_REQUIRE(factored_ && a.dim() == n_,
+               "refactor needs a prior factor() of the same pattern");
+  const std::size_t n = n_;
+  std::span<const double> av = a.values();
+  double min_piv = 0.0, max_piv = 0.0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Scatter row i of PAQ into the dense work vector, restricted to the
+    // frozen L+U pattern of this row (fill positions start at zero).
+    for (std::uint32_t s = l_ptr_[i]; s < l_ptr_[i + 1]; ++s)
+      work_[l_cols_[s]] = 0.0;
+    for (std::uint32_t s = u_ptr_[i]; s < u_ptr_[i + 1]; ++s)
+      work_[u_cols_[s]] = 0.0;
+    for (std::uint32_t s = a_ptr_[i]; s < a_ptr_[i + 1]; ++s)
+      work_[a_pcol_[s]] += av[a_slot_[s]];
+
+    // Eliminate with the already-refactored rows, in ascending column
+    // order (l_cols_ is sorted, which the update order requires).
+    for (std::uint32_t s = l_ptr_[i]; s < l_ptr_[i + 1]; ++s) {
+      const std::uint32_t j = l_cols_[s];
+      const double f = work_[j] / u_vals_[u_ptr_[j]];
+      l_vals_[s] = f;
+      for (std::uint32_t t = u_ptr_[j] + 1; t < u_ptr_[j + 1]; ++t)
+        work_[u_cols_[t]] -= f * u_vals_[t];
+    }
+
+    // Gather U row i and check the pivot.
+    double rmax = 0.0;
+    for (std::uint32_t s = u_ptr_[i]; s < u_ptr_[i + 1]; ++s) {
+      const double v = work_[u_cols_[s]];
+      u_vals_[s] = v;
+      rmax = std::max(rmax, std::abs(v));
+    }
+    const double piv = u_vals_[u_ptr_[i]];
+    const double mag = std::abs(piv);
+    if (!std::isfinite(piv) || mag == 0.0 || mag < kRepivotThreshold * rmax) {
+      return false;  // degraded: caller must re-pivot via factor()
+    }
+    if (i == 0) {
+      min_piv = max_piv = mag;
+    } else {
+      min_piv = std::min(min_piv, mag);
+      max_piv = std::max(max_piv, mag);
+    }
+  }
+  pivot_ratio_ = max_piv > 0.0 ? min_piv / max_piv : 0.0;
+  return true;
+}
+
+void SparseLu::solve_in_place(std::span<double> b) const {
+  ECMS_REQUIRE(factored_, "solve before factor");
+  const std::size_t n = n_;
+  ECMS_REQUIRE(b.size() == n, "rhs size mismatch");
+  solve_scratch_.resize(n);
+  std::span<double> pb(solve_scratch_);
+  for (std::size_t i = 0; i < n; ++i) pb[i] = b[perm_row_[i]];
+  // Forward substitution (unit lower-triangular L).
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = pb[i];
+    for (std::uint32_t s = l_ptr_[i]; s < l_ptr_[i + 1]; ++s)
+      acc -= l_vals_[s] * pb[l_cols_[s]];
+    pb[i] = acc;
+  }
+  // Back substitution (U; diagonal first in each row).
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double acc = pb[i];
+    for (std::uint32_t s = u_ptr_[i] + 1; s < u_ptr_[i + 1]; ++s)
+      acc -= u_vals_[s] * pb[u_cols_[s]];
+    pb[i] = acc / u_vals_[u_ptr_[i]];
+  }
+  for (std::size_t j = 0; j < n; ++j) b[perm_col_[j]] = pb[j];
+}
+
+}  // namespace ecms::circuit

@@ -1,0 +1,132 @@
+// Sparse linear algebra for MNA systems.
+//
+// MNA matrices are structurally sparse (a handful of entries per device)
+// and their pattern is fixed for the life of a netlist, so the classic
+// SPICE optimizations apply: a CSR matrix with a frozen pattern, and an LU
+// factorization whose expensive part — choosing a pivot order and computing
+// the fill-in pattern — runs once (threshold-Markowitz), after which every
+// Newton iteration only re-runs the cheap numeric elimination on the frozen
+// pattern. The dense backend in matrix.hpp remains the default for small
+// systems; solver.hpp picks between the two.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace ecms::circuit {
+
+/// Packs a (row, col) coordinate into one sortable 64-bit key.
+inline std::uint64_t pack_coord(std::size_t row, std::size_t col) {
+  return (static_cast<std::uint64_t>(row) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(col));
+}
+
+/// Sentinel for "coordinate not in the pattern".
+inline constexpr std::uint32_t kNoSlot =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Compressed-sparse-row matrix with a frozen pattern. Values are addressed
+/// by slot index (a position in the CSR value array), which is what makes
+/// the stamp-slot cache possible: resolve (row, col) -> slot once, then
+/// every later assembly is a direct array write.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  /// Builds the pattern of an n x n matrix from packed pack_coord() keys
+  /// (duplicates allowed). All values start at zero.
+  void build_pattern(std::size_t n, std::span<const std::uint64_t> coords);
+
+  std::size_t dim() const { return n_; }
+  std::size_t nnz() const { return cols_.size(); }
+
+  /// Value-slot index of (r, c), or kNoSlot when outside the pattern.
+  std::uint32_t slot(std::size_t r, std::size_t c) const;
+
+  void clear_values();
+  std::span<double> values() { return values_; }
+  std::span<const double> values() const { return values_; }
+
+  /// Value at (r, c); 0 outside the pattern.
+  double at(std::size_t r, std::size_t c) const;
+
+  std::uint32_t row_begin(std::size_t r) const { return row_ptr_[r]; }
+  std::uint32_t row_end(std::size_t r) const { return row_ptr_[r + 1]; }
+  std::uint32_t col_of(std::uint32_t s) const { return cols_[s]; }
+
+  /// y = A * x (sizes must match).
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::uint32_t> row_ptr_;  // n_ + 1 entries
+  std::vector<std::uint32_t> cols_;     // sorted ascending within each row
+  std::vector<double> values_;
+};
+
+/// Sparse LU with a symbolic/numeric split, SPICE-style:
+///
+///   factor()   — full factorization: threshold-Markowitz pivot order
+///                ((rows-1)*(cols-1) fill cost, pivots accepted at
+///                >= rel_pivot_threshold of their row max), fill-in pattern,
+///                and numeric values. Run once per matrix pattern.
+///   refactor() — numeric-only elimination reusing the frozen pivot order
+///                and fill pattern. Run every Newton iteration; reports
+///                pivot degradation instead of silently producing garbage,
+///                so the caller can re-pivot with factor().
+///
+/// The full factorization performs structural updates even where a
+/// multiplier is numerically zero, so the frozen pattern stays valid for
+/// any later value set.
+class SparseLu {
+ public:
+  /// Markowitz pivot acceptance: |candidate| >= threshold * row max. Small
+  /// enough to favor sparsity, large enough to keep growth bounded.
+  double rel_pivot_threshold = 1e-3;
+
+  /// Full (symbolic + numeric) factorization. Throws ecms::SolverError when
+  /// the matrix is numerically singular.
+  void factor(const SparseMatrix& a);
+
+  /// Numeric-only refactorization on the frozen pattern/pivot order from
+  /// the last successful factor(). Returns false when a pivot degraded
+  /// (zero, non-finite, or vanishing against its row) and the caller must
+  /// re-pivot via factor().
+  bool refactor(const SparseMatrix& a);
+
+  bool factored() const { return factored_; }
+  std::size_t dim() const { return n_; }
+
+  /// Nonzeros in L + U, fill-in included (diagnostic).
+  std::size_t factor_nnz() const { return l_cols_.size() + u_cols_.size(); }
+
+  /// Solves A x = b in place. Requires a successful factor()/refactor().
+  void solve_in_place(std::span<double> b) const;
+
+  /// |smallest| / |largest| U-diagonal magnitude — the same cheap
+  /// conditioning heuristic the dense backend reports. 0 means singular-ish.
+  double pivot_ratio() const { return pivot_ratio_; }
+
+ private:
+  std::size_t n_ = 0;
+  bool factored_ = false;
+  // Permutations: permuted index -> original index, plus inverses.
+  std::vector<std::uint32_t> perm_row_, perm_col_;
+  std::vector<std::uint32_t> pinv_row_, pinv_col_;
+  // L (implicit unit diagonal) and U in CSR over permuted indices, columns
+  // ascending; each U row starts with its diagonal.
+  std::vector<std::uint32_t> l_ptr_, l_cols_;
+  std::vector<double> l_vals_;
+  std::vector<std::uint32_t> u_ptr_, u_cols_;
+  std::vector<double> u_vals_;
+  // Scatter map grouped by permuted row: A value slot -> permuted column.
+  std::vector<std::uint32_t> a_ptr_, a_slot_, a_pcol_;
+  double pivot_ratio_ = 0.0;
+  std::vector<double> work_;                  // refactor scatter vector
+  mutable std::vector<double> solve_scratch_; // permuted rhs
+};
+
+}  // namespace ecms::circuit

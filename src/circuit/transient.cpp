@@ -166,6 +166,13 @@ TranResult run_transient(Circuit& ckt, const TranParams& params,
 
   double t = t_start;
 
+  // One workspace for the whole run: buffers and (on the sparse backend)
+  // the frozen pattern / stamp-slot caches persist across every step and
+  // Newton iteration of this transient. Owned here, not shared — parallel
+  // extraction runs one transient per worker, so workspaces stay
+  // per-thread.
+  NewtonWorkspace ws;
+
   while (t < params.t_stop - kTimeEps) {
     double step = std::min(dt, params.t_stop - t);
     // Land exactly on the next breakpoint.
@@ -187,7 +194,7 @@ TranResult run_transient(Circuit& ckt, const TranParams& params,
     ctx.gmin = params.newton.gmin_ground;
 
     std::vector<double> x_try = x;
-    const NewtonResult nr = newton_solve(ckt, ctx, x_try, params.newton);
+    const NewtonResult nr = newton_solve(ckt, ctx, x_try, params.newton, ws);
     res.stats.newton_iterations += static_cast<std::size_t>(nr.iterations);
 
     if (!nr.converged) {

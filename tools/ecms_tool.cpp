@@ -19,6 +19,7 @@
 #include "bitmap/compare.hpp"
 #include "bitmap/diagnosis.hpp"
 #include "bitmap/extraction.hpp"
+#include "circuit/solver.hpp"
 #include "circuit/spice_io.hpp"
 #include "edram/behavioral.hpp"
 #include "edram/netlister.hpp"
@@ -154,6 +155,10 @@ struct CliRunConfig {
   double fault_rate = 0.0;
   std::uint64_t fault_seed = 1;
   bool adaptive = false;  ///< --adaptive / --no-adaptive
+  /// --solver dense|sparse|auto: linear-solver backend for every circuit
+  /// solve of the run. auto picks by system size (dense below the
+  /// crossover, sparse at transistor-array scale).
+  circuit::SolverConfig solver;
 };
 
 /// `adaptive_default` is per-command: the single-cell `extract` keeps the
@@ -175,6 +180,11 @@ CliRunConfig run_config_of(const Args& args, bool adaptive_default) {
   cfg.adaptive = adaptive_default;
   if (args.flag("adaptive")) cfg.adaptive = true;
   if (args.flag("no-adaptive")) cfg.adaptive = false;
+  const std::string solver = args.str("solver", "auto");
+  if (!circuit::parse_solver_kind(solver, cfg.solver.kind)) {
+    throw UsageError("--solver must be dense, sparse or auto (got '" +
+                     solver + "')");
+  }
   return cfg;
 }
 
@@ -187,6 +197,7 @@ void apply_run_config(extraction::ExtractRequest& req, const CliRunConfig& cfg,
   req.retry.max_attempts = cfg.retries;
   req.contain = !cfg.fail_fast;
   req.options.adaptive.enabled = cfg.adaptive;
+  req.options.newton.solver = cfg.solver;
   if (cfg.fault_rate > 0.0) req.cell_hook = plan.hook();
 }
 
@@ -281,6 +292,7 @@ int cmd_extract(const Args& args) {
 
   msu::ExtractOptions options;
   options.adaptive.enabled = cfg.adaptive;
+  options.newton.solver = cfg.solver;
   const auto res = msu::extract_cell(mc, r, c, {}, {}, options);
   std::printf("cell (%zu,%zu): code %d / %d\n", r, c, res.code,
               res.schedule.ramp_steps);
@@ -483,6 +495,10 @@ int usage() {
       "                  (circuit engine; codes identical, fewer steps;\n"
       "                  default on for array, off for extract)\n"
       "  --no-adaptive   force the exhaustive linear ramp\n"
+      "  --solver K      linear-solver backend: dense|sparse|auto\n"
+      "                  (default auto: dense for small systems, sparse\n"
+      "                  Markowitz LU with pattern reuse at array scale;\n"
+      "                  extraction codes are identical across backends)\n"
       "\n"
       "observability (extract, bitmap, array; either flag also prints a\n"
       "summary table; default runs stay uninstrumented and deterministic):\n"
