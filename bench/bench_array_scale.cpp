@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -20,6 +21,7 @@
 #include "bitmap/analog_bitmap.hpp"
 #include "bitmap/extraction.hpp"
 #include "circuit/newton.hpp"
+#include "circuit/program.hpp"
 #include "circuit/solver.hpp"
 #include "edram/netlister.hpp"
 #include "msu/designer.hpp"
@@ -464,7 +466,7 @@ void run_solver_acceptance(std::size_t jobs, JsonSink& json,
     eng.begin_point();
     eng.assemble(ckt, ctx, kGmin);  // discovery
     eng.factor();                   // symbolic
-    std::vector<double> xs;
+    std::vector<double> xs(unknowns, 0.0);  // solve() requires a sized span
     const double s_asm = time_us([&] { eng.assemble(ckt, ctx, kGmin); });
     const double s_fac = time_us([&] { eng.factor(); });
     const double s_sol = time_us([&] { eng.solve(xs); });
@@ -517,7 +519,10 @@ void run_solver_acceptance(std::size_t jobs, JsonSink& json,
   exp.note("auto crossover: sparse at >= 64 unknowns. The tapes win from "
            "~28 unknowns already, but checkpoint/adaptive flows (all below "
            "64) require bit-exact transient splits, which the frozen "
-           "value-dependent pivot order cannot guarantee across a resume");
+           "value-dependent pivot order cannot guarantee across a resume. "
+           "Program sharing (EXT-A10) narrows that hazard to the first solve "
+           "of each distinct topology but does not remove it, so the dense "
+           "guarantee below the crossover stays unconditional");
   std::cout << exp << '\n';
 
   json.add("ext_a9_largest_speedup", largest_speedup);
@@ -537,6 +542,129 @@ void run_solver_acceptance(std::size_t jobs, JsonSink& json,
                    solver_json_path.c_str());
     }
   }
+}
+
+// EXT-A10 — topology-program cache accounting. With the shared
+// NetlistProgram cache, a sparse array run pays one Markowitz analysis per
+// *distinct topology*, not per transient/DC call: circuit.lu.symbolic must
+// not exceed the number of programs the run published. Accounting runs use
+// a fresh local cache (the process-global one is already warm from the
+// stages above) and --jobs 1, so the counters are exact; code identity is
+// then checked cache-on vs cache-off at 1 and N workers.
+void run_program_cache_acceptance(std::size_t jobs, JsonSink& json) {
+  std::printf("EXT-A10: shared NetlistProgram cache, sparse circuit engine\n\n");
+  report::Experiment exp("EXT-A10",
+                         "topology-cache accounting + code identity");
+
+  auto counter_of = [](const obs::MetricsSnapshot& s, const char* name) {
+    const auto it = s.counters.find(name);
+    return it == s.counters.end() ? std::uint64_t{0} : it->second;
+  };
+  auto sparse_req = [](circuit::ProgramCache* cache, std::size_t workers) {
+    extraction::ExtractRequest req;
+    req.engine = extraction::Engine::kCircuit;
+    req.jobs = workers;
+    req.options.newton.solver.kind = circuit::SolverKind::kSparse;
+    req.share_programs = cache != nullptr;
+    if (cache != nullptr) req.options.newton.solver.program_cache = cache;
+    return req;
+  };
+  // One serial extraction of `mc` with the metrics registry to itself.
+  auto count_run = [&](const edram::MacroCell& mc, circuit::ProgramCache* cache,
+                       obs::MetricsSnapshot& snap) {
+    obs::set_metrics_enabled(true);
+    obs::Registry::global().reset();
+    auto out = extraction::extract(mc, sparse_req(cache, 1));
+    snap = obs::Registry::global().snapshot();
+    obs::set_metrics_enabled(false);
+    return out;
+  };
+
+  // The headline number: a full 4x4 array run used to pay at least one
+  // symbolic factorization per cell; with the cache it pays one per
+  // distinct topology across the whole array.
+  const auto mc4 = edram::MacroCell::uniform({.rows = 4, .cols = 4},
+                                             tech::tech018(), 30_fF);
+  obs::MetricsSnapshot snap4_off, snap4_on;
+  const auto off4_run = count_run(mc4, nullptr, snap4_off);
+  circuit::ProgramCache fresh4;
+  const auto on4_run = count_run(mc4, &fresh4, snap4_on);
+  const auto sym4_off = counter_of(snap4_off, "circuit.lu.symbolic");
+  const auto sym4_on = counter_of(snap4_on, "circuit.lu.symbolic");
+  const auto distinct4 = static_cast<std::uint64_t>(fresh4.size());
+  std::printf("  4x4 uniform : symbolic %llu -> %llu (%llu distinct "
+              "topologies)\n",
+              static_cast<unsigned long long>(sym4_off),
+              static_cast<unsigned long long>(sym4_on),
+              static_cast<unsigned long long>(distinct4));
+  exp.check("4x4 array: symbolic factorizations drop to the "
+            "distinct-topology count",
+            std::to_string(sym4_off) + " -> " + std::to_string(sym4_on) +
+                " with " + std::to_string(distinct4) + " distinct topologies",
+            sym4_on <= distinct4 && distinct4 >= 1 && distinct4 <= 2 &&
+                sym4_off >= 16);
+
+  // Array-scale accounting on the varied 8x8 sample (four structure tiles,
+  // 64 cells): every solve after the first per topology must adopt a
+  // published program instead of re-deriving it.
+  const edram::MacroCell sample = varied_array64().tile(24, 24, 8, 8);
+  obs::MetricsSnapshot snap_off, snap_on;
+  const auto off_run = count_run(sample, nullptr, snap_off);
+  circuit::ProgramCache fresh;
+  const auto on_run = count_run(sample, &fresh, snap_on);
+  const auto sym_off = counter_of(snap_off, "circuit.lu.symbolic");
+  const auto sym_on = counter_of(snap_on, "circuit.lu.symbolic");
+  const auto hits = counter_of(snap_on, "circuit.program.hits");
+  const auto misses = counter_of(snap_on, "circuit.program.misses");
+  const auto builds = counter_of(snap_on, "circuit.program.builds");
+  const auto distinct = static_cast<std::uint64_t>(fresh.size());
+  std::printf("  8x8 varied  : symbolic %llu -> %llu (%llu distinct), "
+              "%llu hits / %llu misses / %llu builds\n\n",
+              static_cast<unsigned long long>(sym_off),
+              static_cast<unsigned long long>(sym_on),
+              static_cast<unsigned long long>(distinct),
+              static_cast<unsigned long long>(hits),
+              static_cast<unsigned long long>(misses),
+              static_cast<unsigned long long>(builds));
+  exp.check("8x8 sample: symbolic factorizations never exceed the "
+            "distinct-topology count",
+            std::to_string(sym_on) + " symbolic vs " +
+                std::to_string(distinct) + " programs",
+            sym_on <= distinct && distinct >= 1);
+  exp.check("every later solve adopts a published program "
+            "(misses == builds == programs, hits cover the rest)",
+            std::to_string(hits) + " hits / " + std::to_string(misses) +
+                " misses / " + std::to_string(builds) + " builds",
+            hits > 0 && misses == builds && builds == distinct);
+
+  // Code identity: sharing a compiled program (including its pivot order)
+  // across cells must not change a single digital code, at any worker count.
+  const auto off_n = extraction::extract(sample, sparse_req(nullptr, jobs));
+  circuit::ProgramCache fresh_n;
+  const auto on_n = extraction::extract(sample, sparse_req(&fresh_n, jobs));
+  const bool identical =
+      off4_run.bitmap.codes() == on4_run.bitmap.codes() &&
+      off_run.bitmap.codes() == on_run.bitmap.codes() &&
+      off_run.bitmap.codes() == off_n.bitmap.codes() &&
+      off_run.bitmap.codes() == on_n.bitmap.codes();
+  exp.check("codes are bit-identical cache-off vs cache-on at --jobs 1 and "
+            "--jobs " + std::to_string(jobs),
+            identical ? "identical" : "MISMATCH", identical);
+  exp.note("accounting uses a fresh per-run ProgramCache; production runs "
+           "share ProgramCache::global(), so the first array of a process "
+           "is the only one that compiles at all");
+  std::cout << exp << '\n';
+
+  json.add("ext_a10_4x4_symbolic_nocache", static_cast<long long>(sym4_off));
+  json.add("ext_a10_4x4_symbolic_cached", static_cast<long long>(sym4_on));
+  json.add("ext_a10_4x4_distinct", static_cast<long long>(distinct4));
+  json.add("ext_a10_symbolic_nocache", static_cast<long long>(sym_off));
+  json.add("ext_a10_symbolic_cached", static_cast<long long>(sym_on));
+  json.add("ext_a10_distinct", static_cast<long long>(distinct));
+  json.add("ext_a10_hits", static_cast<long long>(hits));
+  json.add("ext_a10_misses", static_cast<long long>(misses));
+  json.add("ext_a10_builds", static_cast<long long>(builds));
+  json.add("ext_a10_codes_identical", identical);
 }
 
 void BM_CircuitExtractionBySize(benchmark::State& state) {
@@ -617,6 +745,7 @@ int main(int argc, char** argv) {
   run_obs_overhead(json);
   run_adaptive_acceptance(jobs, json);
   run_solver_acceptance(jobs, json, solver_json_path);
+  run_program_cache_acceptance(jobs, json);
   if (!json_path.empty()) {
     if (json.write(json_path)) {
       std::printf("acceptance numbers written to %s\n", json_path.c_str());

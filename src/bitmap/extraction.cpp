@@ -97,6 +97,9 @@ ExtractReport extract(const edram::MacroCell& mc, const ExtractRequest& req) {
       msu::ExtractPlan plan;
       plan.timing = req.timing;
       plan.options = req.options;
+      if (!req.share_programs) {
+        plan.options.newton.solver.program_cache = nullptr;
+      }
       plan.retry = req.robust ? req.retry : util::RetryPolicy{.max_attempts = 1};
       plan.contain = req.robust && req.contain;
       plan.unmeasurable_code = filler;

@@ -44,6 +44,13 @@ struct ExtractRequest {
   /// delta_i, which both engines design per tile when left at 0).
   msu::ExtractOptions options = {.dt = 20e-12, .record_trace = false};
 
+  /// Circuit engine only: share compiled NetlistPrograms (sparsity pattern,
+  /// stamp tapes, pivot order) through `options.newton.solver.program_cache`
+  /// across tiles and workers. When false, the cache pointer is cleared so
+  /// every worker compiles privately — the A/B switch the cache-accounting
+  /// bench and tests use. Codes are bit-identical either way.
+  bool share_programs = true;
+
   /// The array is measured tile-by-tile, each tile by its own structure
   /// (the structure's dynamic range only covers macro-cell-sized plate
   /// loads). 0 means "whole array in one tile" for that dimension; array

@@ -21,7 +21,10 @@ DcResult dc_operating_point(Circuit& ckt, const DcOptions& opts) {
   // One workspace for the whole ladder: every attempt (plain Newton, gmin
   // stepping, source stepping) solves the same circuit in DC mode, so the
   // assembled system, stamp-slot caches and factorization storage carry
-  // over between rungs.
+  // over between rungs. On the sparse backend the topology-dependent half
+  // of that state (pattern, tapes, pivot order) additionally comes from
+  // the shared ProgramCache, so even the *first* rung of a repeated DC
+  // solve skips the Markowitz analysis.
   NewtonWorkspace ws;
   auto attempt = [&](double gmin, double source_scale,
                      std::vector<double>& x) {

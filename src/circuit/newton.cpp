@@ -10,17 +10,23 @@
 namespace ecms::circuit {
 
 void assemble(const Circuit& ckt, const StampContext& ctx, double gmin_ground,
-              Matrix& a_mat, std::vector<double>& b_vec) {
+              Matrix& a_mat, std::span<double> b) {
   const std::size_t n = ckt.unknown_count();
+  ECMS_REQUIRE(b.size() == n, "assemble: rhs has wrong size");
   if (a_mat.rows() != n) a_mat.resize(n, n);
   a_mat.clear();
-  b_vec.assign(n, 0.0);
-  std::span<double> b(b_vec);
+  std::fill(b.begin(), b.end(), 0.0);
   MnaView view(a_mat);
   for (const auto& d : ckt.devices()) d->stamp(ctx, view, b);
   // Floating-node safety net: every node leaks to ground through gmin_ground.
   const std::size_t nv = ckt.node_count() - 1;
   for (std::size_t i = 0; i < nv; ++i) a_mat.at(i, i) += gmin_ground;
+}
+
+void assemble(const Circuit& ckt, const StampContext& ctx, double gmin_ground,
+              Matrix& a_mat, std::vector<double>& b_vec) {
+  b_vec.resize(ckt.unknown_count());
+  assemble(ckt, ctx, gmin_ground, a_mat, std::span<double>(b_vec));
 }
 
 namespace {
@@ -92,7 +98,7 @@ NewtonResult newton_solve_impl(const Circuit& ckt,
     ctx.x = x;
     bool singular = false;
     if (eng == nullptr) {
-      assemble(ckt, ctx, opts.gmin_ground, ws.a_dense, ws.b);
+      assemble(ckt, ctx, opts.gmin_ground, ws.a_dense, ws.b.span());
       if (opts.hooks != nullptr && opts.hooks->make_singular &&
           opts.hooks->make_singular(ctx, opts)) {
         for (std::size_t j = 0; j < n; ++j) ws.a_dense.at(0, j) = 0.0;
@@ -104,8 +110,8 @@ NewtonResult newton_solve_impl(const Circuit& ckt,
         singular = true;
       }
       if (!singular) {
-        ws.x_new.assign(ws.b.begin(), ws.b.end());
-        ws.lu_dense.solve_in_place(ws.x_new, ws.scratch);
+        ws.x_new.copy_from(ws.b.span());
+        ws.lu_dense.solve_in_place(ws.x_new.span(), ws.scratch);
       }
     } else {
       eng->assemble(ckt, ctx, opts.gmin_ground);
@@ -118,7 +124,7 @@ NewtonResult newton_solve_impl(const Circuit& ckt,
       } catch (const SolverError&) {
         singular = true;
       }
-      if (!singular) eng->solve(ws.x_new);
+      if (!singular) eng->solve(ws.x_new.span());
     }
     if (singular) {
       res.converged = false;
@@ -126,7 +132,7 @@ NewtonResult newton_solve_impl(const Circuit& ckt,
       res.iterations = iter + 1;
       return finalize();
     }
-    std::span<const double> x_new(ws.x_new);
+    const std::span<const double> x_new(ws.x_new.span());
 
     // Voltage-part damping: clamp the update so no node moves more than
     // max_delta_v per iteration (branch currents are left free).

@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <functional>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "circuit/netlist.hpp"
@@ -72,8 +73,14 @@ struct NewtonResult {
   std::size_t assemble_restamps = 0;
 };
 
-/// Assembles the MNA system for the given context into (a_mat, b_vec).
-/// Both are resized/cleared as needed.
+/// Assembles the MNA system for the given context into (a_mat, b). The
+/// matrix is resized/cleared as needed; b must already have unknown_count()
+/// elements (it is zero-filled here) — callers with arena-backed buffers
+/// pass their carved span and pay no allocation.
+void assemble(const Circuit& ckt, const StampContext& ctx, double gmin_ground,
+              Matrix& a_mat, std::span<double> b);
+
+/// Convenience overload that sizes a heap vector first.
 void assemble(const Circuit& ckt, const StampContext& ctx, double gmin_ground,
               Matrix& a_mat, std::vector<double>& b_vec);
 

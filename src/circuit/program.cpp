@@ -1,0 +1,74 @@
+#include "circuit/program.hpp"
+
+#include <algorithm>
+
+namespace ecms::circuit {
+
+bool NetlistProgram::matches(std::size_t n_in, std::size_t nv_in,
+                             std::span<const std::uint64_t> s_coords,
+                             std::span<const std::uint64_t> d_coords) const {
+  return n == n_in && nv == nv_in &&
+         std::equal(static_coords.begin(), static_coords.end(),
+                    s_coords.begin(), s_coords.end()) &&
+         std::equal(dynamic_coords.begin(), dynamic_coords.end(),
+                    d_coords.begin(), d_coords.end());
+}
+
+std::uint64_t program_key(std::size_t n, std::size_t nv,
+                          std::span<const std::uint64_t> s_coords,
+                          std::span<const std::uint64_t> d_coords) {
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;  // FNV prime
+    }
+  };
+  mix(n);
+  mix(nv);
+  // Stream lengths separate the tapes, so moving a coordinate between the
+  // static and dynamic streams changes the key even though the multiset of
+  // coordinates is identical.
+  mix(s_coords.size());
+  mix(d_coords.size());
+  for (const std::uint64_t c : s_coords) mix(c);
+  for (const std::uint64_t c : d_coords) mix(c);
+  return h;
+}
+
+ProgramCache& ProgramCache::global() {
+  static ProgramCache cache;
+  return cache;
+}
+
+std::shared_ptr<const NetlistProgram> ProgramCache::insert(
+    std::uint64_t key, std::shared_ptr<const NetlistProgram> program) {
+  const std::lock_guard<std::mutex> lock(insert_mutex_);
+  const auto snap = map_.load(std::memory_order_acquire);
+  if (const auto it = snap->find(key); it != snap->end()) {
+    return it->second;  // lost the build race: first insert wins
+  }
+  auto next = std::make_shared<Map>(*snap);
+  auto& slot = (*next)[key];
+  slot = std::move(program);
+  map_.store(std::shared_ptr<const Map>(std::move(next)),
+             std::memory_order_release);
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+std::vector<std::pair<std::uint64_t, std::shared_ptr<const NetlistProgram>>>
+ProgramCache::entries() const {
+  const auto snap = map_.load(std::memory_order_acquire);
+  return {snap->begin(), snap->end()};
+}
+
+void ProgramCache::clear() {
+  const std::lock_guard<std::mutex> lock(insert_mutex_);
+  map_.store(std::make_shared<const Map>(), std::memory_order_release);
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  inserts_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace ecms::circuit

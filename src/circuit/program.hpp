@@ -1,0 +1,138 @@
+// NetlistProgram: the immutable, hash-keyed compilation of one netlist
+// topology, shared read-only across solves and threads.
+//
+// Everything a SparseEngine derives from a circuit's *shape* — the CSR
+// sparsity pattern, the stamp-slot tapes (the static-image template and the
+// dynamic replay layout), the gmin diagonal slots, and the LU symbolic
+// factorization (threshold-Markowitz pivot order + fill closure) — depends
+// only on the coordinate streams the devices emit, never on their values.
+// The paper's measurement structure is one topology replayed across an
+// entire array, so a ProgramCache keyed by a content hash of those streams
+// turns O(cells x calls) Markowitz analyses into O(distinct topologies):
+// the first engine to see a topology compiles and publishes the program,
+// every later engine (any thread, any workspace) adopts it and goes
+// straight to numeric refactorization.
+//
+// Ownership and immutability rules (DESIGN.md §11):
+//   * A published NetlistProgram is frozen. Engines hold it via
+//     shared_ptr<const ...> and never write through it; per-engine values
+//     (CSR entries, L/U factors, rhs images) live in the engine.
+//   * Lookup is lock-free (atomic snapshot of an immutable map); insert
+//     copies the map under a mutex. First insert wins — a racing builder
+//     keeps using its private compilation and adopts nothing.
+//   * A hash hit is verified against the full coordinate streams
+//     (matches()) before adoption, so a 64-bit collision degrades to a
+//     cache miss, never to a wrong program.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "circuit/sparse.hpp"
+
+namespace ecms::circuit {
+
+struct NetlistProgram {
+  std::uint64_t key = 0;
+  std::size_t n = 0;   ///< unknowns
+  std::size_t nv = 0;  ///< voltage unknowns (gmin ground diagonal span)
+  // Stamp tapes: packed (row, col) coordinates in device emission order,
+  // plus their resolution to CSR value slots. The static pair is the
+  // layout template of the frozen static image; the dynamic pair drives
+  // the per-iteration replay.
+  std::vector<std::uint64_t> static_coords;
+  std::vector<std::uint64_t> dynamic_coords;
+  std::vector<std::uint32_t> static_slots;
+  std::vector<std::uint32_t> dynamic_slots;
+  std::vector<std::uint32_t> diag_slots;
+  std::shared_ptr<const SparsePattern> pattern;
+  /// Pivot order + fill closure from the builder's first clean full
+  /// factorization. Null only if the builder never factored.
+  std::shared_ptr<const LuSymbolic> symbolic;
+
+  /// Exact structural equality with the given recording — the collision
+  /// guard consulted on every hash hit before adoption.
+  bool matches(std::size_t n_in, std::size_t nv_in,
+               std::span<const std::uint64_t> s_coords,
+               std::span<const std::uint64_t> d_coords) const;
+};
+
+/// Content hash of a topology: FNV-1a over the unknown counts and both
+/// coordinate streams. Stable across runs (pure function of the netlist
+/// shape), so accounting in tests and CI gates is deterministic.
+std::uint64_t program_key(std::size_t n, std::size_t nv,
+                          std::span<const std::uint64_t> s_coords,
+                          std::span<const std::uint64_t> d_coords);
+
+/// Hash-keyed registry of shared programs. Thread-safe: lookup() takes no
+/// lock (one atomic load of the current map snapshot), insert() is
+/// mutex-guarded copy-on-write with first-insert-wins semantics.
+class ProgramCache {
+ public:
+  ProgramCache() { map_.store(std::make_shared<const Map>()); }
+  ProgramCache(const ProgramCache&) = delete;
+  ProgramCache& operator=(const ProgramCache&) = delete;
+
+  /// The process-wide cache SolverConfig points at by default.
+  static ProgramCache& global();
+
+  /// Lock-free: null when the key is absent. The caller must still verify
+  /// the result with NetlistProgram::matches() before adopting it.
+  std::shared_ptr<const NetlistProgram> lookup(std::uint64_t key) const {
+    const auto snap = map_.load(std::memory_order_acquire);
+    const auto it = snap->find(key);
+    if (it == snap->end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+
+  /// Publishes a program. If the key is already present (a concurrent
+  /// builder won the race), the existing program is returned instead and
+  /// the argument is discarded.
+  std::shared_ptr<const NetlistProgram> insert(
+      std::uint64_t key, std::shared_ptr<const NetlistProgram> program);
+
+  std::size_t size() const {
+    return map_.load(std::memory_order_acquire)->size();
+  }
+  /// Raw lookup accounting (a hash hit later rejected by matches() still
+  /// counts as a hit here; the circuit.program.* metrics count the
+  /// engine's semantic view).
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t inserts() const {
+    return inserts_.load(std::memory_order_relaxed);
+  }
+
+  /// Current contents, for diagnostics and tests.
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<const NetlistProgram>>>
+  entries() const;
+
+  /// Drops all programs and zeroes the counters (tests; engines holding a
+  /// program keep it alive through their shared_ptr).
+  void clear();
+
+ private:
+  using Map =
+      std::map<std::uint64_t, std::shared_ptr<const NetlistProgram>>;
+
+  std::mutex insert_mutex_;
+  std::atomic<std::shared_ptr<const Map>> map_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> inserts_{0};
+};
+
+}  // namespace ecms::circuit

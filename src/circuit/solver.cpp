@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace ecms::circuit {
@@ -77,28 +78,59 @@ void SparseEngine::discover(const Circuit& ckt, const StampContext& ctx,
   for (const auto& d : ckt.devices()) {
     if (!d->nonlinear()) d->stamp(ctx, view, b_static_);
   }
-  b_work_ = b_static_;
+  b_work_.copy_from(b_static_.span());
   active_tape_ = &dynamic_tape_;
   for (const auto& d : ckt.devices()) {
     if (d->nonlinear()) d->stamp(ctx, view, b_work_);
   }
   phase_ = Phase::kIdle;
 
-  // Freeze the pattern: every recorded coordinate plus the gmin ground
-  // diagonal, then resolve the tapes to value slots.
-  std::vector<std::uint64_t> coords;
-  coords.reserve(static_tape_.coords.size() + dynamic_tape_.coords.size() +
-                 nv_);
-  coords.insert(coords.end(), static_tape_.coords.begin(),
-                static_tape_.coords.end());
-  coords.insert(coords.end(), dynamic_tape_.coords.begin(),
-                dynamic_tape_.coords.end());
-  for (std::size_t i = 0; i < nv_; ++i) coords.push_back(pack_coord(i, i));
-  mat_.build_pattern(n_, coords);
-  resolve_slots(static_tape_);
-  resolve_slots(dynamic_tape_);
-  diag_slots_.resize(nv_);
-  for (std::size_t i = 0; i < nv_; ++i) diag_slots_[i] = mat_.slot(i, i);
+  // The recorded coordinate streams are the topology: hash them and try to
+  // adopt a published program before deriving anything ourselves.
+  program_.reset();
+  publish_pending_ = false;
+  if (cache_ != nullptr) {
+    program_key_ =
+        program_key(n_, nv_, static_tape_.coords, dynamic_tape_.coords);
+    auto prog = cache_->lookup(program_key_);
+    if (prog != nullptr && prog->symbolic != nullptr &&
+        prog->matches(n_, nv_, static_tape_.coords, dynamic_tape_.coords)) {
+      program_ = std::move(prog);
+      ECMS_METRIC_COUNT("circuit.program.hits", 1);
+    } else {
+      // Absent — or a 64-bit collision that matches() rejected, which
+      // degrades to a private compilation.
+      publish_pending_ = true;
+      ECMS_METRIC_COUNT("circuit.program.misses", 1);
+    }
+  }
+
+  if (program_ != nullptr) {
+    // Adopt the shared compilation: pattern, resolved tapes, diagonal
+    // slots, and the LU pivot order all come from the program; this engine
+    // only ever writes its own value arrays.
+    mat_.adopt_pattern(program_->pattern);
+    static_tape_.slots = program_->static_slots;
+    dynamic_tape_.slots = program_->dynamic_slots;
+    diag_slots_ = program_->diag_slots;
+    lu_.adopt_symbolic(program_->symbolic);
+  } else {
+    // Freeze the pattern: every recorded coordinate plus the gmin ground
+    // diagonal, then resolve the tapes to value slots.
+    std::vector<std::uint64_t> coords;
+    coords.reserve(static_tape_.coords.size() + dynamic_tape_.coords.size() +
+                   nv_);
+    coords.insert(coords.end(), static_tape_.coords.begin(),
+                  static_tape_.coords.end());
+    coords.insert(coords.end(), dynamic_tape_.coords.begin(),
+                  dynamic_tape_.coords.end());
+    for (std::size_t i = 0; i < nv_; ++i) coords.push_back(pack_coord(i, i));
+    mat_.build_pattern(n_, coords);
+    resolve_slots(static_tape_);
+    resolve_slots(dynamic_tape_);
+    diag_slots_.resize(nv_);
+    for (std::size_t i = 0; i < nv_; ++i) diag_slots_[i] = mat_.slot(i, i);
+  }
 
   // Build the static image and this iterate's working values from the
   // recorded stamps (same accumulation order as the replay path).
@@ -160,7 +192,7 @@ void SparseEngine::assemble(const Circuit& ckt, const StampContext& ctx,
   if (!diverged_) {
     std::span<double> vals = mat_.values();
     std::copy(static_values_.begin(), static_values_.end(), vals.begin());
-    b_work_ = b_static_;
+    b_work_.copy_from(b_static_.span());
     phase_ = Phase::kReplay;
     active_tape_ = &dynamic_tape_;
     dynamic_tape_.cursor = 0;
@@ -175,33 +207,61 @@ void SparseEngine::assemble(const Circuit& ckt, const StampContext& ctx,
   if (diverged_) {
     // A device emitted a different stamp sequence than the recorded tape
     // (reconfigured netlist between solves): drop every cache — including
-    // the factorization, whose pattern may no longer match — and rediscover.
+    // the factorization and any adopted program, whose pattern may no
+    // longer match — and rediscover (which re-keys against the cache).
     pattern_built_ = false;
     static_dirty_ = true;
-    lu_ = SparseLu{};
+    lu_.reset();
+    program_.reset();
+    publish_pending_ = false;
     discover(ckt, ctx, gmin_ground);
   }
 }
 
+void SparseEngine::maybe_publish() {
+  if (!publish_pending_ || cache_ == nullptr) return;
+  publish_pending_ = false;
+  auto prog = std::make_shared<NetlistProgram>();
+  prog->key = program_key_;
+  prog->n = n_;
+  prog->nv = nv_;
+  prog->static_coords = static_tape_.coords;
+  prog->dynamic_coords = dynamic_tape_.coords;
+  prog->static_slots = static_tape_.slots;
+  prog->dynamic_slots = dynamic_tape_.slots;
+  prog->diag_slots = diag_slots_;
+  prog->pattern = mat_.pattern();
+  prog->symbolic = lu_.symbolic();
+  // First insert wins: if a racing builder published first, keep using the
+  // private compilation this engine already runs on (identical topology).
+  program_ = cache_->insert(program_key_, std::move(prog));
+  ECMS_METRIC_COUNT("circuit.program.builds", 1);
+}
+
 void SparseEngine::factor() {
-  if (!lu_.factored() || force_full_factor_) {
+  if (force_full_factor_) {
     force_full_factor_ = false;
+    // A zeroed-row matrix must never contribute a published pivot order.
+    publish_pending_ = false;
     lu_.factor(mat_);  // throws SolverError when singular
     ++symbolic_;
     return;
   }
-  if (lu_.refactor(mat_)) {
+  if (lu_.has_symbolic() && lu_.refactor(mat_)) {
     ++numeric_;
     return;
   }
-  // Pivot degradation: re-pivot from scratch. A genuinely singular system
-  // throws here, matching the dense backend's behavior.
+  // First use without an adopted program, or pivot degradation: full
+  // Markowitz (re-)pivot. A genuinely singular system throws here,
+  // matching the dense backend's behavior.
   lu_.factor(mat_);
   ++symbolic_;
+  maybe_publish();
 }
 
-void SparseEngine::solve(std::vector<double>& x) {
-  x = b_work_;
+void SparseEngine::solve(std::span<double> x) {
+  ECMS_REQUIRE(x.size() == n_, "sparse solve: x has wrong size");
+  std::copy(b_work_.begin(), b_work_.end(), x.begin());
   lu_.solve_in_place(x);
 }
 
@@ -218,13 +278,25 @@ void SparseEngine::zero_row(std::size_t r) {
 void NewtonWorkspace::prepare(const Circuit& ckt, const SolverConfig& cfg) {
   const std::size_t n = ckt.unknown_count();
   const SolverKind want = resolve_solver_kind(cfg, n);
-  if (n == bound_n_ && want == active_) return;
+  if (bound_ && n == bound_n_ && want == active_ &&
+      cfg.program_cache == bound_cache_) {
+    return;
+  }
+  bound_ = true;
   bound_n_ = n;
   active_ = want;
+  bound_cache_ = cfg.program_cache;
+  // Recycle all arena-backed scratch before re-carving: the engine must go
+  // first (its buffers point into the arena being reset).
+  sparse_.reset();
+  arena_.reset();
+  b.bind(&arena_);
+  x_new.bind(&arena_);
+  b.resize(n);
+  x_new.resize(n);
   if (want == SolverKind::kSparse) {
-    sparse_ = std::make_unique<SparseEngine>(n);
+    sparse_ = std::make_unique<SparseEngine>(n, cfg.program_cache, &arena_);
   } else {
-    sparse_.reset();
     lu_dense = LuFactorization{};
   }
 }

@@ -11,7 +11,11 @@
 //
 // A NewtonWorkspace owns whichever backend is active plus the iteration
 // buffers, and lives for one transient()/dc_operating_point() call: one
-// workspace per solve means one per thread under parallel extraction.
+// workspace per solve means one per thread under parallel extraction. The
+// topology-dependent halves of the sparse caches are shared across
+// workspaces through a ProgramCache (program.hpp): the per-engine state
+// shrinks to values and cursors, and per-solve scratch is carved from the
+// workspace's bump arena instead of the heap.
 #pragma once
 
 #include <cstddef>
@@ -24,7 +28,9 @@
 
 #include "circuit/matrix.hpp"
 #include "circuit/netlist.hpp"
+#include "circuit/program.hpp"
 #include "circuit/sparse.hpp"
+#include "util/arena.hpp"
 
 namespace ecms::circuit {
 
@@ -46,15 +52,23 @@ struct SolverConfig {
   /// checkpoint / adaptive-ramp flows, whose tile circuits all sit below
   /// 64 unknowns, contractually require bit-exact resume. Dense re-pivots
   /// every iteration and is immune. Above macro-cell scale nothing relies
-  /// on bit-exact splits and the sparse backend wins outright.
+  /// on bit-exact splits and the sparse backend wins outright. (Program
+  /// sharing narrows the checkpoint hazard — a resumed run adopts the same
+  /// pivot order the uninterrupted run used — but the dense guarantee is
+  /// unconditional, so the crossover stays.)
   std::size_t sparse_crossover = 64;
+  /// Shared topology-program registry for the sparse backend; the default
+  /// is the process-wide cache, so repeated and parallel solves of the
+  /// same netlist shape reuse one symbolic factorization. Set to nullptr
+  /// to force every engine to compile privately (A/B accounting, tests).
+  ProgramCache* program_cache = &ProgramCache::global();
 };
 
 /// The backend kAuto resolves to for an n-unknown system (never kAuto).
 SolverKind resolve_solver_kind(const SolverConfig& cfg, std::size_t n);
 
 /// Sparse assembly + factorization engine for one circuit and one solve
-/// mode. Holds three caches, all built on the first assembly:
+/// mode. Holds three caches, all established on the first assembly:
 ///
 ///   * the frozen CSR pattern of the MNA matrix,
 ///   * stamp-slot tapes: the (row, col) sequence every device emits,
@@ -65,13 +79,28 @@ SolverKind resolve_solver_kind(const SolverConfig& cfg, std::size_t n);
 ///     once per point and memcpy-restored each iteration; only nonlinear
 ///     devices re-stamp.
 ///
+/// With a ProgramCache attached, the first assembly hashes the recorded
+/// coordinate streams and either adopts a published NetlistProgram
+/// (pattern + slots + LU symbolic, skipping the Markowitz analysis
+/// entirely) or compiles privately and publishes after the first clean
+/// full factorization. Reported as circuit.program.{hits,misses,builds}.
+///
 /// If a device ever emits a different stamp sequence (e.g. the netlist was
 /// reconfigured between solves), the replay detects the divergence via the
-/// recorded coordinates and rebuilds every cache from scratch. Not
-/// thread-safe: workspaces are per-solve and therefore per-thread.
+/// recorded coordinates and rebuilds every cache from scratch — the same
+/// guard that neutralizes a (verified-against anyway) hash collision. Not
+/// thread-safe: workspaces are per-solve and therefore per-thread; the
+/// shared program is only ever read.
 class SparseEngine final : public StampSink {
  public:
-  explicit SparseEngine(std::size_t unknowns) : n_(unknowns) {}
+  explicit SparseEngine(std::size_t unknowns, ProgramCache* cache = nullptr,
+                        util::Arena* arena = nullptr)
+      : n_(unknowns), cache_(cache) {
+    b_static_.bind(arena);
+    b_work_.bind(arena);
+    static_values_.bind(arena);
+    lu_.bind_arena(arena);
+  }
 
   /// Marks the start of a new solve point (new time / step / gmin / source
   /// scale): the static image is rebuilt on the next assemble().
@@ -82,21 +111,30 @@ class SparseEngine final : public StampSink {
                 double gmin_ground);
 
   /// Factors the assembled matrix: numeric refactorization on the frozen
-  /// pattern, with a full Markowitz (re-)factorization on first use and on
-  /// pivot degradation. Throws ecms::SolverError when singular.
+  /// pattern, with a full Markowitz (re-)factorization on first use (when
+  /// no program was adopted) and on pivot degradation. Throws
+  /// ecms::SolverError when singular.
   void factor();
 
-  /// Solves into x (overwritten with A^{-1} b; buffer reused).
-  void solve(std::vector<double>& x);
+  /// Solves into x (overwritten with A^{-1} b; x.size() must equal the
+  /// unknown count).
+  void solve(std::span<double> x);
 
   /// Zeroes row r of the assembled matrix (fault-injection hook support);
   /// forces a full factorization so the singular system is detected
-  /// deterministically, as on the dense path.
+  /// deterministically, as on the dense path. The result of that forced
+  /// factorization is never published to the program cache.
   void zero_row(std::size_t r);
 
-  std::span<const double> rhs() const { return b_work_; }
+  std::span<const double> rhs() const { return b_work_.span(); }
   const SparseMatrix& matrix() const { return mat_; }
   double pivot_ratio() const { return lu_.pivot_ratio(); }
+
+  /// The shared program this engine adopted or published (null when the
+  /// cache is disabled or nothing has been compiled yet).
+  const std::shared_ptr<const NetlistProgram>& program() const {
+    return program_;
+  }
 
   // Cumulative counters, reported per solve as circuit.lu.{symbolic,
   // numeric} and circuit.assemble.{static_hits,restamps}.
@@ -122,6 +160,9 @@ class SparseEngine final : public StampSink {
   void discover(const Circuit& ckt, const StampContext& ctx,
                 double gmin_ground);
   void resolve_slots(Tape& tape);
+  /// Publishes the locally compiled program after the first clean full
+  /// factorization (no-op on the adopted path or with the cache disabled).
+  void maybe_publish();
 
   std::size_t n_ = 0;
   std::size_t nv_ = 0;  // voltage unknowns (gmin ground diagonal span)
@@ -135,43 +176,54 @@ class SparseEngine final : public StampSink {
   double* replay_values_ = nullptr;
   std::vector<std::uint32_t> diag_slots_;
   SparseMatrix mat_;
-  std::vector<double> static_values_;  // frozen matrix image (nnz values)
-  std::vector<double> b_static_;       // frozen static rhs
-  std::vector<double> b_work_;         // working rhs
+  util::ArenaBuf<double> static_values_;  // frozen matrix image (nnz values)
+  util::ArenaBuf<double> b_static_;       // frozen static rhs
+  util::ArenaBuf<double> b_work_;         // working rhs
   SparseLu lu_;
+  ProgramCache* cache_ = nullptr;
+  std::shared_ptr<const NetlistProgram> program_;
+  std::uint64_t program_key_ = 0;
+  bool publish_pending_ = false;
   std::uint64_t symbolic_ = 0, numeric_ = 0;
   std::uint64_t static_hits_ = 0, static_restamps_ = 0;
 };
 
 /// Per-solve scratch owned by the caller of newton_solve: the assembled
 /// system, the factorization and the iteration buffers are allocated once
-/// per transient/DC solve instead of once per Newton iteration. The members
-/// are working storage for the solver implementation (and tests); treat
-/// them as opaque elsewhere. Single-threaded by design — parallel
-/// extraction gives each worker its own workspace.
+/// per transient/DC solve instead of once per Newton iteration, and the
+/// flat double buffers are carved from a bump arena that prepare() recycles
+/// on every rebind (util.arena.{bytes,resets}). The members are working
+/// storage for the solver implementation (and tests); treat them as opaque
+/// elsewhere. Single-threaded by design — parallel extraction gives each
+/// worker its own workspace.
 class NewtonWorkspace {
  public:
   NewtonWorkspace() = default;
 
   /// Binds to a circuit + backend choice; re-binding to a different unknown
-  /// count or resolved backend resets the cached state. newton_solve calls
-  /// this itself — explicit calls are allowed but not required.
+  /// count, resolved backend, or program cache resets the cached state and
+  /// recycles the arena. newton_solve calls this itself — explicit calls
+  /// are allowed but not required.
   void prepare(const Circuit& ckt, const SolverConfig& cfg);
 
   /// Resolved backend of the last prepare() (never kAuto).
   SolverKind active() const { return active_; }
   SparseEngine* sparse() { return sparse_.get(); }
+  util::Arena& arena() { return arena_; }
 
   // Dense-backend state and shared iteration buffers.
   Matrix a_dense;
   LuFactorization lu_dense;
-  std::vector<double> b;
-  std::vector<double> x_new;
+  util::ArenaBuf<double> b;
+  util::ArenaBuf<double> x_new;
   std::vector<double> scratch;
 
  private:
+  util::Arena arena_;
   SolverKind active_ = SolverKind::kDense;
   std::size_t bound_n_ = std::numeric_limits<std::size_t>::max();
+  ProgramCache* bound_cache_ = nullptr;
+  bool bound_ = false;
   std::unique_ptr<SparseEngine> sparse_;
 };
 

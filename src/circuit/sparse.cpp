@@ -13,30 +13,37 @@ namespace ecms::circuit {
 
 void SparseMatrix::build_pattern(std::size_t n,
                                  std::span<const std::uint64_t> coords) {
-  n_ = n;
+  auto pat = std::make_shared<SparsePattern>();
+  pat->n = n;
   std::vector<std::uint64_t> keys(coords.begin(), coords.end());
   std::sort(keys.begin(), keys.end());
   keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
 
-  row_ptr_.assign(n_ + 1, 0);
-  cols_.resize(keys.size());
-  values_.assign(keys.size(), 0.0);
+  pat->row_ptr.assign(n + 1, 0);
+  pat->cols.resize(keys.size());
   for (std::size_t s = 0; s < keys.size(); ++s) {
     const auto r = static_cast<std::size_t>(keys[s] >> 32);
     const auto c = static_cast<std::uint32_t>(keys[s] & 0xffffffffu);
-    ECMS_REQUIRE(r < n_ && c < n_, "sparse pattern coordinate out of range");
-    ++row_ptr_[r + 1];
-    cols_[s] = c;
+    ECMS_REQUIRE(r < n && c < n, "sparse pattern coordinate out of range");
+    ++pat->row_ptr[r + 1];
+    pat->cols[s] = c;
   }
-  for (std::size_t r = 0; r < n_; ++r) row_ptr_[r + 1] += row_ptr_[r];
+  for (std::size_t r = 0; r < n; ++r) pat->row_ptr[r + 1] += pat->row_ptr[r];
+  adopt_pattern(std::move(pat));
+}
+
+void SparseMatrix::adopt_pattern(std::shared_ptr<const SparsePattern> pattern) {
+  ECMS_REQUIRE(pattern != nullptr, "cannot adopt a null sparse pattern");
+  pat_ = std::move(pattern);
+  values_.assign(pat_->cols.size(), 0.0);
 }
 
 std::uint32_t SparseMatrix::slot(std::size_t r, std::size_t c) const {
-  const auto* first = cols_.data() + row_ptr_[r];
-  const auto* last = cols_.data() + row_ptr_[r + 1];
+  const auto* first = pat_->cols.data() + pat_->row_ptr[r];
+  const auto* last = pat_->cols.data() + pat_->row_ptr[r + 1];
   const auto* it = std::lower_bound(first, last, static_cast<std::uint32_t>(c));
   if (it == last || *it != c) return kNoSlot;
-  return static_cast<std::uint32_t>(it - cols_.data());
+  return static_cast<std::uint32_t>(it - pat_->cols.data());
 }
 
 void SparseMatrix::clear_values() {
@@ -50,12 +57,13 @@ double SparseMatrix::at(std::size_t r, std::size_t c) const {
 
 void SparseMatrix::multiply(std::span<const double> x,
                             std::span<double> y) const {
-  ECMS_REQUIRE(x.size() == n_ && y.size() == n_,
+  const std::size_t n = dim();
+  ECMS_REQUIRE(x.size() == n && y.size() == n,
                "sparse multiply size mismatch");
-  for (std::size_t r = 0; r < n_; ++r) {
+  for (std::size_t r = 0; r < n; ++r) {
     double acc = 0.0;
-    for (std::uint32_t s = row_ptr_[r]; s < row_ptr_[r + 1]; ++s)
-      acc += values_[s] * x[cols_[s]];
+    for (std::uint32_t s = pat_->row_ptr[r]; s < pat_->row_ptr[r + 1]; ++s)
+      acc += values_[s] * x[pat_->cols[s]];
     y[r] = acc;
   }
 }
@@ -70,10 +78,42 @@ constexpr double kRepivotThreshold = 1e-10;
 
 }  // namespace
 
+void SparseLu::bind_arena(util::Arena* arena) {
+  work_.bind(arena);
+  solve_scratch_.bind(arena);
+  reset();
+}
+
+void SparseLu::reset() {
+  factored_ = false;
+  sym_.reset();
+  l_vals_.clear();
+  u_vals_.clear();
+  pivot_ratio_ = 0.0;
+  n_ = 0;
+}
+
+void SparseLu::adopt_symbolic(std::shared_ptr<const LuSymbolic> symbolic) {
+  ECMS_REQUIRE(symbolic != nullptr, "cannot adopt a null symbolic");
+  sym_ = std::move(symbolic);
+  n_ = sym_->n;
+  factored_ = false;  // values undefined until the first refactor()
+  l_vals_.assign(sym_->l_cols.size(), 0.0);
+  u_vals_.assign(sym_->u_cols.size(), 0.0);
+  work_.assign(n_, 0.0);
+  pivot_ratio_ = 0.0;
+}
+
 void SparseLu::factor(const SparseMatrix& a) {
-  factored_ = false;  // a throw below must leave the object unusable
+  // A throw below must leave the object unusable for refactor()/solve():
+  // partial results never escape, matching the pre-split behavior where a
+  // failed analysis poisoned the whole factorization.
+  factored_ = false;
+  sym_.reset();
   n_ = a.dim();
   const std::size_t n = n_;
+  auto sym = std::make_shared<LuSymbolic>();
+  sym->n = n;
 
   // Working form: one hash map per active row (col -> value) plus, per
   // column, the set of active rows containing it (for Markowitz counts and
@@ -88,10 +128,10 @@ void SparseLu::factor(const SparseMatrix& a) {
     }
   }
 
-  perm_row_.assign(n, 0);
-  perm_col_.assign(n, 0);
-  pinv_row_.assign(n, 0);
-  pinv_col_.assign(n, 0);
+  sym->perm_row.assign(n, 0);
+  sym->perm_col.assign(n, 0);
+  sym->pinv_row.assign(n, 0);
+  sym->pinv_col.assign(n, 0);
 
   // Per-step outputs in original indices; compressed after the pivot order
   // is complete (a column's permuted index is unknown until it is chosen).
@@ -151,10 +191,10 @@ void SparseLu::factor(const SparseMatrix& a) {
 
     const std::uint32_t pr = best_r, pc = best_c;
     const double piv = best_val;
-    perm_row_[k] = pr;
-    perm_col_[k] = pc;
-    pinv_row_[pr] = static_cast<std::uint32_t>(k);
-    pinv_col_[pc] = static_cast<std::uint32_t>(k);
+    sym->perm_row[k] = pr;
+    sym->perm_col[k] = pc;
+    sym->pinv_row[pr] = static_cast<std::uint32_t>(k);
+    sym->pinv_col[pc] = static_cast<std::uint32_t>(k);
 
     // Snapshot the pivot row as U row k (original column ids for now) and
     // retire it from the active structure.
@@ -186,46 +226,42 @@ void SparseLu::factor(const SparseMatrix& a) {
   }
 
   // Compress into CSR over permuted indices.
-  l_ptr_.assign(n + 1, 0);
-  l_cols_.clear();
+  sym->l_ptr.assign(n + 1, 0);
   l_vals_.clear();
-  u_ptr_.assign(n + 1, 0);
-  u_cols_.clear();
+  sym->u_ptr.assign(n + 1, 0);
   u_vals_.clear();
-  a_ptr_.assign(n + 1, 0);
-  a_slot_.clear();
-  a_pcol_.clear();
+  sym->a_ptr.assign(n + 1, 0);
   std::vector<std::pair<std::uint32_t, double>> tmp;
   for (std::size_t i = 0; i < n; ++i) {
-    const std::uint32_t orig = perm_row_[i];
+    const std::uint32_t orig = sym->perm_row[i];
     // L entries were appended in ascending elimination step, already sorted.
     for (const auto& [k, f] : l_by_row[orig]) {
-      l_cols_.push_back(k);
+      sym->l_cols.push_back(k);
       l_vals_.push_back(f);
     }
-    l_ptr_[i + 1] = static_cast<std::uint32_t>(l_cols_.size());
+    sym->l_ptr[i + 1] = static_cast<std::uint32_t>(sym->l_cols.size());
     // U row i: map original columns to permuted ones and sort ascending;
     // every column was active at step i, so the pivot (== i) sorts first.
     tmp.clear();
-    for (const auto& [c, v] : u_rows[i]) tmp.push_back({pinv_col_[c], v});
+    for (const auto& [c, v] : u_rows[i]) tmp.push_back({sym->pinv_col[c], v});
     std::sort(tmp.begin(), tmp.end(),
               [](const auto& x, const auto& y) { return x.first < y.first; });
     for (const auto& [c, v] : tmp) {
-      u_cols_.push_back(c);
+      sym->u_cols.push_back(c);
       u_vals_.push_back(v);
     }
-    u_ptr_[i + 1] = static_cast<std::uint32_t>(u_cols_.size());
+    sym->u_ptr[i + 1] = static_cast<std::uint32_t>(sym->u_cols.size());
     // A scatter map for refactor: slots of original row `orig`.
     for (std::uint32_t s = a.row_begin(orig); s < a.row_end(orig); ++s) {
-      a_slot_.push_back(s);
-      a_pcol_.push_back(pinv_col_[a.col_of(s)]);
+      sym->a_slot.push_back(s);
+      sym->a_pcol.push_back(sym->pinv_col[a.col_of(s)]);
     }
-    a_ptr_[i + 1] = static_cast<std::uint32_t>(a_slot_.size());
+    sym->a_ptr[i + 1] = static_cast<std::uint32_t>(sym->a_slot.size());
   }
 
   double min_piv = 0.0, max_piv = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
-    const double mag = std::abs(u_vals_[u_ptr_[i]]);
+    const double mag = std::abs(u_vals_[sym->u_ptr[i]]);
     if (i == 0) {
       min_piv = max_piv = mag;
     } else {
@@ -235,12 +271,14 @@ void SparseLu::factor(const SparseMatrix& a) {
   }
   pivot_ratio_ = max_piv > 0.0 ? min_piv / max_piv : 0.0;
   work_.assign(n, 0.0);
+  sym_ = std::move(sym);
   factored_ = true;
 }
 
 bool SparseLu::refactor(const SparseMatrix& a) {
-  ECMS_REQUIRE(factored_ && a.dim() == n_,
-               "refactor needs a prior factor() of the same pattern");
+  ECMS_REQUIRE(sym_ != nullptr && a.dim() == n_,
+               "refactor needs a factored/adopted symbolic of this pattern");
+  const LuSymbolic& sy = *sym_;
   const std::size_t n = n_;
   std::span<const double> av = a.values();
   double min_piv = 0.0, max_piv = 0.0;
@@ -248,31 +286,31 @@ bool SparseLu::refactor(const SparseMatrix& a) {
   for (std::size_t i = 0; i < n; ++i) {
     // Scatter row i of PAQ into the dense work vector, restricted to the
     // frozen L+U pattern of this row (fill positions start at zero).
-    for (std::uint32_t s = l_ptr_[i]; s < l_ptr_[i + 1]; ++s)
-      work_[l_cols_[s]] = 0.0;
-    for (std::uint32_t s = u_ptr_[i]; s < u_ptr_[i + 1]; ++s)
-      work_[u_cols_[s]] = 0.0;
-    for (std::uint32_t s = a_ptr_[i]; s < a_ptr_[i + 1]; ++s)
-      work_[a_pcol_[s]] += av[a_slot_[s]];
+    for (std::uint32_t s = sy.l_ptr[i]; s < sy.l_ptr[i + 1]; ++s)
+      work_[sy.l_cols[s]] = 0.0;
+    for (std::uint32_t s = sy.u_ptr[i]; s < sy.u_ptr[i + 1]; ++s)
+      work_[sy.u_cols[s]] = 0.0;
+    for (std::uint32_t s = sy.a_ptr[i]; s < sy.a_ptr[i + 1]; ++s)
+      work_[sy.a_pcol[s]] += av[sy.a_slot[s]];
 
     // Eliminate with the already-refactored rows, in ascending column
-    // order (l_cols_ is sorted, which the update order requires).
-    for (std::uint32_t s = l_ptr_[i]; s < l_ptr_[i + 1]; ++s) {
-      const std::uint32_t j = l_cols_[s];
-      const double f = work_[j] / u_vals_[u_ptr_[j]];
+    // order (l_cols is sorted, which the update order requires).
+    for (std::uint32_t s = sy.l_ptr[i]; s < sy.l_ptr[i + 1]; ++s) {
+      const std::uint32_t j = sy.l_cols[s];
+      const double f = work_[j] / u_vals_[sy.u_ptr[j]];
       l_vals_[s] = f;
-      for (std::uint32_t t = u_ptr_[j] + 1; t < u_ptr_[j + 1]; ++t)
-        work_[u_cols_[t]] -= f * u_vals_[t];
+      for (std::uint32_t t = sy.u_ptr[j] + 1; t < sy.u_ptr[j + 1]; ++t)
+        work_[sy.u_cols[t]] -= f * u_vals_[t];
     }
 
     // Gather U row i and check the pivot.
     double rmax = 0.0;
-    for (std::uint32_t s = u_ptr_[i]; s < u_ptr_[i + 1]; ++s) {
-      const double v = work_[u_cols_[s]];
+    for (std::uint32_t s = sy.u_ptr[i]; s < sy.u_ptr[i + 1]; ++s) {
+      const double v = work_[sy.u_cols[s]];
       u_vals_[s] = v;
       rmax = std::max(rmax, std::abs(v));
     }
-    const double piv = u_vals_[u_ptr_[i]];
+    const double piv = u_vals_[sy.u_ptr[i]];
     const double mag = std::abs(piv);
     if (!std::isfinite(piv) || mag == 0.0 || mag < kRepivotThreshold * rmax) {
       return false;  // degraded: caller must re-pivot via factor()
@@ -285,32 +323,34 @@ bool SparseLu::refactor(const SparseMatrix& a) {
     }
   }
   pivot_ratio_ = max_piv > 0.0 ? min_piv / max_piv : 0.0;
+  factored_ = true;
   return true;
 }
 
 void SparseLu::solve_in_place(std::span<double> b) const {
   ECMS_REQUIRE(factored_, "solve before factor");
+  const LuSymbolic& sy = *sym_;
   const std::size_t n = n_;
   ECMS_REQUIRE(b.size() == n, "rhs size mismatch");
   solve_scratch_.resize(n);
-  std::span<double> pb(solve_scratch_);
-  for (std::size_t i = 0; i < n; ++i) pb[i] = b[perm_row_[i]];
+  std::span<double> pb(solve_scratch_.span());
+  for (std::size_t i = 0; i < n; ++i) pb[i] = b[sy.perm_row[i]];
   // Forward substitution (unit lower-triangular L).
   for (std::size_t i = 0; i < n; ++i) {
     double acc = pb[i];
-    for (std::uint32_t s = l_ptr_[i]; s < l_ptr_[i + 1]; ++s)
-      acc -= l_vals_[s] * pb[l_cols_[s]];
+    for (std::uint32_t s = sy.l_ptr[i]; s < sy.l_ptr[i + 1]; ++s)
+      acc -= l_vals_[s] * pb[sy.l_cols[s]];
     pb[i] = acc;
   }
   // Back substitution (U; diagonal first in each row).
   for (std::size_t ii = n; ii > 0; --ii) {
     const std::size_t i = ii - 1;
     double acc = pb[i];
-    for (std::uint32_t s = u_ptr_[i] + 1; s < u_ptr_[i + 1]; ++s)
-      acc -= u_vals_[s] * pb[u_cols_[s]];
-    pb[i] = acc / u_vals_[u_ptr_[i]];
+    for (std::uint32_t s = sy.u_ptr[i] + 1; s < sy.u_ptr[i + 1]; ++s)
+      acc -= u_vals_[s] * pb[sy.u_cols[s]];
+    pb[i] = acc / u_vals_[sy.u_ptr[i]];
   }
-  for (std::size_t j = 0; j < n; ++j) b[perm_col_[j]] = pb[j];
+  for (std::size_t j = 0; j < n; ++j) b[sy.perm_col[j]] = pb[j];
 }
 
 }  // namespace ecms::circuit

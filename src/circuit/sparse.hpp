@@ -8,13 +8,23 @@
 // Newton iteration only re-runs the cheap numeric elimination on the frozen
 // pattern. The dense backend in matrix.hpp remains the default for small
 // systems; solver.hpp picks between the two.
+//
+// The structural halves are split out as immutable, shareable objects:
+// SparsePattern (the CSR skeleton) and LuSymbolic (pivot order + fill
+// closure + A-scatter map). Both are topology-only — no values — so a
+// NetlistProgram (program.hpp) can hand one read-only copy to every engine
+// solving the same netlist shape, across threads. Values (CSR entries,
+// L/U factors, scratch) always stay per-owner.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <span>
 #include <vector>
+
+#include "util/arena.hpp"
 
 namespace ecms::circuit {
 
@@ -28,6 +38,15 @@ inline std::uint64_t pack_coord(std::size_t row, std::size_t col) {
 inline constexpr std::uint32_t kNoSlot =
     std::numeric_limits<std::uint32_t>::max();
 
+/// The CSR skeleton of an n x n matrix: row extents plus sorted column ids.
+/// Purely structural, hence immutable-after-build and shareable read-only
+/// between matrices (and threads) holding their own value arrays.
+struct SparsePattern {
+  std::size_t n = 0;
+  std::vector<std::uint32_t> row_ptr;  // n + 1 entries
+  std::vector<std::uint32_t> cols;     // sorted ascending within each row
+};
+
 /// Compressed-sparse-row matrix with a frozen pattern. Values are addressed
 /// by slot index (a position in the CSR value array), which is what makes
 /// the stamp-slot cache possible: resolve (row, col) -> slot once, then
@@ -40,8 +59,15 @@ class SparseMatrix {
   /// (duplicates allowed). All values start at zero.
   void build_pattern(std::size_t n, std::span<const std::uint64_t> coords);
 
-  std::size_t dim() const { return n_; }
-  std::size_t nnz() const { return cols_.size(); }
+  /// Shares an already-built pattern (zeroing this matrix's values). The
+  /// pattern is read-only from here on; other matrices may hold it too.
+  void adopt_pattern(std::shared_ptr<const SparsePattern> pattern);
+
+  /// The shared structural skeleton (null before any build/adopt).
+  const std::shared_ptr<const SparsePattern>& pattern() const { return pat_; }
+
+  std::size_t dim() const { return pat_ ? pat_->n : 0; }
+  std::size_t nnz() const { return pat_ ? pat_->cols.size() : 0; }
 
   /// Value-slot index of (r, c), or kNoSlot when outside the pattern.
   std::uint32_t slot(std::size_t r, std::size_t c) const;
@@ -53,18 +79,36 @@ class SparseMatrix {
   /// Value at (r, c); 0 outside the pattern.
   double at(std::size_t r, std::size_t c) const;
 
-  std::uint32_t row_begin(std::size_t r) const { return row_ptr_[r]; }
-  std::uint32_t row_end(std::size_t r) const { return row_ptr_[r + 1]; }
-  std::uint32_t col_of(std::uint32_t s) const { return cols_[s]; }
+  std::uint32_t row_begin(std::size_t r) const { return pat_->row_ptr[r]; }
+  std::uint32_t row_end(std::size_t r) const { return pat_->row_ptr[r + 1]; }
+  std::uint32_t col_of(std::uint32_t s) const { return pat_->cols[s]; }
 
   /// y = A * x (sizes must match).
   void multiply(std::span<const double> x, std::span<double> y) const;
 
  private:
-  std::size_t n_ = 0;
-  std::vector<std::uint32_t> row_ptr_;  // n_ + 1 entries
-  std::vector<std::uint32_t> cols_;     // sorted ascending within each row
+  std::shared_ptr<const SparsePattern> pat_;
   std::vector<double> values_;
+};
+
+/// The structural output of one full threshold-Markowitz factorization:
+/// permutations, the L/U fill closure (CSR over permuted indices, columns
+/// ascending, each U row led by its diagonal), and the A-scatter map that
+/// routes matrix value slots into permuted rows. Value-free and immutable
+/// once built, so many SparseLu instances — on different threads — can
+/// refactor numerically against one shared LuSymbolic.
+struct LuSymbolic {
+  std::size_t n = 0;
+  // Permutations: permuted index -> original index, plus inverses.
+  std::vector<std::uint32_t> perm_row, perm_col;
+  std::vector<std::uint32_t> pinv_row, pinv_col;
+  std::vector<std::uint32_t> l_ptr, l_cols;
+  std::vector<std::uint32_t> u_ptr, u_cols;
+  // Scatter map grouped by permuted row: A value slot -> permuted column.
+  std::vector<std::uint32_t> a_ptr, a_slot, a_pcol;
+
+  /// Nonzeros in L + U, fill-in included.
+  std::size_t factor_nnz() const { return l_cols.size() + u_cols.size(); }
 };
 
 /// Sparse LU with a symbolic/numeric split, SPICE-style:
@@ -80,28 +124,49 @@ class SparseMatrix {
 ///
 /// The full factorization performs structural updates even where a
 /// multiplier is numerically zero, so the frozen pattern stays valid for
-/// any later value set.
+/// any later value set. A factorization's structural half can also be
+/// adopted from a shared LuSymbolic (adopt_symbolic), in which case the
+/// first refactor() supplies the numeric values and no Markowitz analysis
+/// runs in this instance at all.
 class SparseLu {
  public:
   /// Markowitz pivot acceptance: |candidate| >= threshold * row max. Small
   /// enough to favor sparsity, large enough to keep growth bounded.
   double rel_pivot_threshold = 1e-3;
 
+  /// Backs the scratch vectors with `arena` (may be null to unbind). Call
+  /// before the first factor/solve; rebinding drops factorization state.
+  void bind_arena(util::Arena* arena);
+
   /// Full (symbolic + numeric) factorization. Throws ecms::SolverError when
   /// the matrix is numerically singular.
   void factor(const SparseMatrix& a);
 
-  /// Numeric-only refactorization on the frozen pattern/pivot order from
-  /// the last successful factor(). Returns false when a pivot degraded
-  /// (zero, non-finite, or vanishing against its row) and the caller must
-  /// re-pivot via factor().
+  /// Numeric-only refactorization on the frozen pivot order / fill pattern
+  /// (from the last successful factor(), or adopted). Returns false when a
+  /// pivot degraded (zero, non-finite, or vanishing against its row) and
+  /// the caller must re-pivot via factor().
   bool refactor(const SparseMatrix& a);
+
+  /// Adopts a shared symbolic factorization: this instance's values become
+  /// undefined until the next successful refactor()/factor().
+  void adopt_symbolic(std::shared_ptr<const LuSymbolic> symbolic);
+
+  /// Whether a pivot order is available for refactor() — either computed
+  /// here or adopted.
+  bool has_symbolic() const { return sym_ != nullptr; }
+
+  /// The shared structural factorization (null until factor()/adopt).
+  const std::shared_ptr<const LuSymbolic>& symbolic() const { return sym_; }
+
+  /// Drops all factorization state; keeps the arena binding and threshold.
+  void reset();
 
   bool factored() const { return factored_; }
   std::size_t dim() const { return n_; }
 
   /// Nonzeros in L + U, fill-in included (diagnostic).
-  std::size_t factor_nnz() const { return l_cols_.size() + u_cols_.size(); }
+  std::size_t factor_nnz() const { return sym_ ? sym_->factor_nnz() : 0; }
 
   /// Solves A x = b in place. Requires a successful factor()/refactor().
   void solve_in_place(std::span<double> b) const;
@@ -113,20 +178,14 @@ class SparseLu {
  private:
   std::size_t n_ = 0;
   bool factored_ = false;
-  // Permutations: permuted index -> original index, plus inverses.
-  std::vector<std::uint32_t> perm_row_, perm_col_;
-  std::vector<std::uint32_t> pinv_row_, pinv_col_;
-  // L (implicit unit diagonal) and U in CSR over permuted indices, columns
-  // ascending; each U row starts with its diagonal.
-  std::vector<std::uint32_t> l_ptr_, l_cols_;
+  std::shared_ptr<const LuSymbolic> sym_;  // shared, immutable structure
+  // Numeric halves, strictly per-instance (l_vals_ has L's entries in
+  // sym_->l_cols order, u_vals_ in sym_->u_cols order).
   std::vector<double> l_vals_;
-  std::vector<std::uint32_t> u_ptr_, u_cols_;
   std::vector<double> u_vals_;
-  // Scatter map grouped by permuted row: A value slot -> permuted column.
-  std::vector<std::uint32_t> a_ptr_, a_slot_, a_pcol_;
   double pivot_ratio_ = 0.0;
-  std::vector<double> work_;                  // refactor scatter vector
-  mutable std::vector<double> solve_scratch_; // permuted rhs
+  util::ArenaBuf<double> work_;                  // refactor scatter vector
+  mutable util::ArenaBuf<double> solve_scratch_; // permuted rhs
 };
 
 }  // namespace ecms::circuit

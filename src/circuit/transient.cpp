@@ -172,6 +172,10 @@ TranResult run_transient(Circuit& ckt, const TranParams& params,
   // extraction runs one transient per worker, so workspaces stay
   // per-thread.
   NewtonWorkspace ws;
+  // Trial iterate, hoisted out of the step loop: the copy below reuses its
+  // capacity (the accept path swaps rather than moves), so steady-state
+  // stepping does no per-step allocation.
+  std::vector<double> x_try;
 
   while (t < params.t_stop - kTimeEps) {
     double step = std::min(dt, params.t_stop - t);
@@ -193,7 +197,7 @@ TranResult run_transient(Circuit& ckt, const TranParams& params,
         force_be ? Integrator::kBackwardEuler : params.method;
     ctx.gmin = params.newton.gmin_ground;
 
-    std::vector<double> x_try = x;
+    x_try = x;
     const NewtonResult nr = newton_solve(ckt, ctx, x_try, params.newton, ws);
     res.stats.newton_iterations += static_cast<std::size_t>(nr.iterations);
 
@@ -234,8 +238,8 @@ TranResult run_transient(Circuit& ckt, const TranParams& params,
       continue;
     }
 
-    // Accept.
-    x = std::move(x_try);
+    // Accept. Swap keeps x_try's storage alive for the next step's copy.
+    std::swap(x, x_try);
     ctx.x = x;
     for (const auto& d : ckt.devices()) d->accept_step(ctx);
     t += step;

@@ -128,12 +128,17 @@ TEST(SolverBackendT, SparseSingularInjectionMatchesDense) {
 
 TEST(SolverBackendT, SparseReusesSymbolicFactorization) {
   // Across the points of one workspace-owning transient, symbolic work must
-  // happen once (plus possible re-pivots), not once per iteration.
+  // happen once (plus possible re-pivots), not once per iteration. A fresh
+  // local ProgramCache keeps the accounting exact: against the process-wide
+  // cache, an earlier test in the same binary may have published this
+  // topology already and the count would legitimately be zero.
   const auto t = tech::tech018();
   Circuit c = make_switched_ladder(t, 6);
   c.finalize();
+  ProgramCache fresh;
   NewtonOptions opts;
   opts.solver = forced(SolverKind::kSparse);
+  opts.solver.program_cache = &fresh;
   NewtonWorkspace ws;
   int iterations = 0, symbolic = 0, numeric = 0;
   std::vector<double> x(c.unknown_count(), 0.0);
@@ -153,6 +158,8 @@ TEST(SolverBackendT, SparseReusesSymbolicFactorization) {
   EXPECT_EQ(symbolic, 1);  // one Markowitz analysis for the whole run
   EXPECT_EQ(symbolic + numeric, iterations);
   EXPECT_GT(iterations, 5);
+  // ... and that one analysis was published for other workspaces to adopt.
+  EXPECT_EQ(fresh.size(), 1u);
 }
 
 TEST(SolverBackendT, ExtractionCodesIdenticalAcrossBackends) {

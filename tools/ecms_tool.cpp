@@ -159,6 +159,10 @@ struct CliRunConfig {
   /// solve of the run. auto picks by system size (dense below the
   /// crossover, sparse at transistor-array scale).
   circuit::SolverConfig solver;
+  /// --no-program-cache: compile every netlist program privately instead
+  /// of sharing through the process-wide topology cache (the A/B switch
+  /// for cache-accounting runs; codes are bit-identical either way).
+  bool program_cache = true;
 };
 
 /// `adaptive_default` is per-command: the single-cell `extract` keeps the
@@ -185,6 +189,7 @@ CliRunConfig run_config_of(const Args& args, bool adaptive_default) {
     throw UsageError("--solver must be dense, sparse or auto (got '" +
                      solver + "')");
   }
+  cfg.program_cache = !args.flag("no-program-cache");
   return cfg;
 }
 
@@ -198,6 +203,7 @@ void apply_run_config(extraction::ExtractRequest& req, const CliRunConfig& cfg,
   req.contain = !cfg.fail_fast;
   req.options.adaptive.enabled = cfg.adaptive;
   req.options.newton.solver = cfg.solver;
+  req.share_programs = cfg.program_cache;
   if (cfg.fault_rate > 0.0) req.cell_hook = plan.hook();
 }
 
@@ -293,6 +299,7 @@ int cmd_extract(const Args& args) {
   msu::ExtractOptions options;
   options.adaptive.enabled = cfg.adaptive;
   options.newton.solver = cfg.solver;
+  if (!cfg.program_cache) options.newton.solver.program_cache = nullptr;
   const auto res = msu::extract_cell(mc, r, c, {}, {}, options);
   std::printf("cell (%zu,%zu): code %d / %d\n", r, c, res.code,
               res.schedule.ramp_steps);
@@ -499,6 +506,10 @@ int usage() {
       "                  (default auto: dense for small systems, sparse\n"
       "                  Markowitz LU with pattern reuse at array scale;\n"
       "                  extraction codes are identical across backends)\n"
+      "  --no-program-cache  compile sparse netlist programs privately\n"
+      "                  instead of sharing the process-wide topology\n"
+      "                  cache (A/B switch for cache accounting; codes\n"
+      "                  are bit-identical either way)\n"
       "\n"
       "observability (extract, bitmap, array; either flag also prints a\n"
       "summary table; default runs stay uninstrumented and deterministic):\n"
