@@ -7,18 +7,27 @@
 // structure is a *macro-cell* instrument and why array-scale bitmaps use
 // plate segmentation (one structure per tile).
 #include <benchmark/benchmark.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "bitmap/analog_bitmap.hpp"
+#include "campaign/campaign.hpp"
+#include "campaign/store.hpp"
+#include "campaign/supervisor.hpp"
 #include "bitmap/extraction.hpp"
 #include "circuit/newton.hpp"
 #include "circuit/program.hpp"
@@ -29,6 +38,7 @@
 #include "msu/extract.hpp"
 #include "report/experiment.hpp"
 #include "tech/tech.hpp"
+#include "util/fileio.hpp"
 #include "util/table.hpp"
 #include "util/threadpool.hpp"
 #include "util/units.hpp"
@@ -54,16 +64,17 @@ class JsonSink {
   }
 
   bool write(const std::string& path) const {
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) return false;
-    std::fprintf(f, "{\n");
+    std::string j = "{\n";
     for (std::size_t i = 0; i < fields_.size(); ++i) {
-      std::fprintf(f, "  \"%s\": %s%s\n", fields_[i].first.c_str(),
-                   fields_[i].second.c_str(),
-                   i + 1 < fields_.size() ? "," : "");
+      j += "  \"" + fields_[i].first + "\": " + fields_[i].second +
+           (i + 1 < fields_.size() ? ",\n" : "\n");
     }
-    std::fprintf(f, "}\n");
-    std::fclose(f);
+    j += "}\n";
+    try {
+      util::atomic_write_file(path, j);
+    } catch (const std::exception&) {
+      return false;
+    }
     return true;
   }
 
@@ -667,6 +678,130 @@ void run_program_cache_acceptance(std::size_t jobs, JsonSink& json) {
   json.add("ext_a10_codes_identical", identical);
 }
 
+// EXT-A11 — crash-safe campaign engine: a supervisor SIGKILL'd
+// mid-campaign (twice, at different progress points) and resumed must
+// produce a compacted result store bit-identical to an uninterrupted run,
+// at a different worker count; injected worker crashes must degrade the
+// campaign (failed attempts, retries) but never abort it. The compact file
+// is the canonical scheduling-independent image (records sorted by unit,
+// column-major), so `identical bytes` covers every per-cell code digest.
+void run_campaign_acceptance(JsonSink& json) {
+  std::printf("EXT-A11: kill-resume campaign determinism, crash containment\n\n");
+  report::Experiment exp("EXT-A11",
+                         "journaled campaign store + kill-resume recovery");
+
+  auto tmp_dir = [] {
+    char tmpl[] = "/tmp/ecms-bench-campaign-XXXXXX";
+    return std::string(::mkdtemp(tmpl));
+  };
+  auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+  };
+  auto config_of = [](const std::string& dir) {
+    campaign::CampaignConfig cfg;
+    cfg.space = campaign::UnitSpace{6, 3, 2};  // 36 units
+    cfg.rows = cfg.cols = 4;
+    cfg.dir = dir;
+    cfg.workers = 2;
+    return cfg;
+  };
+
+  // Reference: one uninterrupted run.
+  const std::string ref_dir = tmp_dir();
+  const auto ref = campaign::run_campaign(config_of(ref_dir));
+  const std::string ref_bytes = slurp(ref.compact_path);
+
+  // Kill-resume: pace the units, SIGKILL the supervisor child twice at
+  // different delays, then resume to completion at a different worker
+  // count.
+  const std::string kill_dir = tmp_dir();
+  std::uint64_t after_first_kill = 0;
+  for (const long kill_after_ms : {60L, 140L}) {
+    auto paced = config_of(kill_dir);
+    paced.unit_delay_ms = 15;
+    paced.resume = after_first_kill > 0;
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      try {
+        campaign::run_campaign(paced);
+      } catch (...) {
+      }
+      _exit(0);
+    }
+    struct timespec ts{0, kill_after_ms * 1000000L};
+    ::nanosleep(&ts, nullptr);
+    ::kill(pid, SIGKILL);
+    int st = 0;
+    ::waitpid(pid, &st, 0);
+    if (after_first_kill == 0) {
+      campaign::ReplayReport rep;
+      campaign::ResultStore::Meta meta{sizeof(campaign::UnitRecord),
+                                       paced.space, paced.config_hash(),
+                                       paced.seed};
+      auto peek = campaign::ResultStore::open_for_resume(paced.store_path(),
+                                                         meta, &rep);
+      after_first_kill = peek.records().size();
+    }
+  }
+  auto resume = config_of(kill_dir);
+  resume.workers = 4;
+  resume.resume = true;
+  const auto done = campaign::run_campaign(resume);
+  const bool partial = after_first_kill < resume.space.total();
+  const bool identical = done.summary.complete() &&
+                         slurp(done.compact_path) == ref_bytes;
+  std::printf("  kill-resume : %llu/%llu units survived the first SIGKILL, "
+              "resumed to %llu, compact %s\n",
+              static_cast<unsigned long long>(after_first_kill),
+              static_cast<unsigned long long>(resume.space.total()),
+              static_cast<unsigned long long>(done.summary.units_done),
+              identical ? "identical" : "MISMATCH");
+  exp.check("kill-resume campaign store is bit-identical to an "
+            "uninterrupted run",
+            std::to_string(after_first_kill) + " units at first kill, " +
+                (identical ? "identical bytes" : "MISMATCH"),
+            identical && partial);
+
+  // Crash containment: injected worker crashes (the stand-in for OOM kills
+  // and sanitizer aborts) cost retries, maybe units, never the campaign.
+  const std::string chaos_dir = tmp_dir();
+  auto chaos = config_of(chaos_dir);
+  chaos.crash_rate = 0.25;
+  bool threw = false;
+  campaign::CampaignResult crash_res;
+  try {
+    crash_res = campaign::run_campaign(chaos);
+  } catch (...) {
+    threw = true;
+  }
+  const auto& cs = crash_res.summary;
+  std::printf("  crash chaos : %llu crashes, %llu retried, %llu failed "
+              "units, supervisor %s\n\n",
+              static_cast<unsigned long long>(cs.worker_crashes),
+              static_cast<unsigned long long>(cs.units_retried),
+              static_cast<unsigned long long>(cs.units_failed),
+              threw ? "ABORTED" : "survived");
+  exp.check("worker crashes degrade but never abort the campaign",
+            std::to_string(cs.worker_crashes) + " crashes contained",
+            !threw && cs.worker_crashes > 0 && cs.degraded());
+  std::cout << exp << '\n';
+
+  json.add("ext_a11_units", static_cast<long long>(resume.space.total()));
+  json.add("ext_a11_units_at_first_kill",
+           static_cast<long long>(after_first_kill));
+  json.add("ext_a11_compact_identical", identical);
+  json.add("ext_a11_crashes_contained",
+           static_cast<long long>(cs.worker_crashes));
+  json.add("ext_a11_supervisor_survived", !threw);
+
+  for (const auto& d : {ref_dir, kill_dir, chaos_dir}) {
+    std::system(("rm -rf '" + d + "'").c_str());
+  }
+}
+
 void BM_CircuitExtractionBySize(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto mc = edram::MacroCell::uniform({.rows = n, .cols = n},
@@ -746,6 +881,7 @@ int main(int argc, char** argv) {
   run_adaptive_acceptance(jobs, json);
   run_solver_acceptance(jobs, json, solver_json_path);
   run_program_cache_acceptance(jobs, json);
+  run_campaign_acceptance(json);
   if (!json_path.empty()) {
     if (json.write(json_path)) {
       std::printf("acceptance numbers written to %s\n", json_path.c_str());

@@ -1,0 +1,217 @@
+#include "campaign/campaign.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "bitmap/extraction.hpp"
+#include "edram/macrocell.hpp"
+#include "msu/fastmodel.hpp"
+#include "tech/capmodel.hpp"
+#include "tech/corners.hpp"
+#include "tech/tech.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace ecms::campaign {
+namespace {
+
+void hash_bytes(std::uint64_t& h, const void* data, std::size_t n) {
+  h = util::fnv1a64(data, n, h);
+}
+template <typename T>
+void hash_value(std::uint64_t& h, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  hash_bytes(h, &v, sizeof v);
+}
+
+}  // namespace
+
+std::uint64_t CampaignConfig::config_hash() const {
+  std::uint64_t h = util::fnv1a64("ecms.campaign.v1", 16);
+  hash_value(h, space.dies);
+  hash_value(h, space.corners);
+  hash_value(h, space.seeds);
+  hash_value(h, seed);
+  hash_value(h, static_cast<std::uint64_t>(rows));
+  hash_value(h, static_cast<std::uint64_t>(cols));
+  hash_value(h, noise_sigma_rel);
+  hash_value(h, local_sigma_rel);
+  hash_value(h, gradient);
+  hash_value(h, drift);
+  hash_value(h, defect_rates.short_rate);
+  hash_value(h, defect_rates.open_rate);
+  hash_value(h, defect_rates.partial_rate);
+  hash_value(h, defect_rates.bridge_rate);
+  return h;
+}
+
+bool crash_planned(const CampaignConfig& cfg, std::uint64_t unit,
+                   int attempt) {
+  if (cfg.crash_rate <= 0.0) return false;
+  // splitmix64-style remix of (seed, unit, attempt): a pure function, so
+  // the same attempt crashes (or not) on every worker and every resume.
+  std::uint64_t z = cfg.crash_seed ^ (unit * 0x9E3779B97F4A7C15ull) ^
+                    (static_cast<std::uint64_t>(attempt + 1) *
+                     0xBF58476D1CE4E5B9ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  const double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+  return u < cfg.crash_rate;
+}
+
+UnitRecord measure_unit(const CampaignConfig& cfg, std::uint64_t unit) {
+  ECMS_REQUIRE(unit < cfg.space.total(), "unit outside the campaign space");
+  const std::uint32_t die = cfg.space.die_of(unit);
+  const std::uint32_t corner = cfg.space.corner_of(unit);
+  const std::uint32_t noise_seed = cfg.space.seed_of(unit);
+
+  // Die identity: the same die has the same capacitance field and defect
+  // map at every corner and noise seed — that is what makes the
+  // cross-corner drift report a statement about measurement, not about
+  // sampling different silicon. The draw order below is part of the
+  // on-disk determinism contract; never reorder it.
+  Rng die_rng = Rng(cfg.seed).fork(die);
+  const std::uint64_t field_seed = die_rng.next_u64();
+  tech::CapProcessParams cp;
+  cp.local_sigma_rel = cfg.local_sigma_rel;
+  cp.gradient_x_rel = cfg.gradient;
+  cp.lot_offset_rel = cfg.drift;
+  tech::CapField field(cp, cfg.rows, cfg.cols, field_seed);
+  tech::DefectMap defects =
+      tech::DefectMap::random(cfg.rows, cfg.cols, cfg.defect_rates, die_rng);
+
+  const tech::Technology tech =
+      tech::apply_corner(tech::tech018(), tech::kAllCorners[corner]);
+  edram::MacroCell mc({.rows = cfg.rows, .cols = cfg.cols}, tech,
+                      std::move(field), std::move(defects));
+
+  extraction::ExtractRequest req;  // fast-model engine, 4x4 tiles
+  req.robust = true;
+  req.contain = true;
+  Rng noise_rng = Rng(cfg.seed).fork(die).fork(corner).fork(noise_seed);
+  msu::MeasureNoise noise;
+  if (cfg.noise_sigma_rel > 0.0) {
+    const msu::FastModel model(mc, req.params);
+    noise.enabled = true;
+    noise.comparator_sigma_i = cfg.noise_sigma_rel * model.delta_i();
+    req.noise = &noise;
+    req.rng = &noise_rng;
+  }
+  const extraction::ExtractReport rep = extraction::extract(mc, req);
+
+  UnitRecord rec;
+  rec.die = die;
+  rec.corner = static_cast<std::uint16_t>(corner);
+  rec.seed = static_cast<std::uint16_t>(noise_seed);
+  rec.cells = static_cast<std::uint32_t>(rep.report.cells_total);
+  rec.recovered = static_cast<std::uint32_t>(rep.report.recovered);
+  rec.unmeasurable = static_cast<std::uint32_t>(rep.report.unmeasurable());
+  rec.status = static_cast<std::uint16_t>(
+      rep.complete() ? UnitStatus::kOk : UnitStatus::kDegraded);
+
+  double sum = 0.0, sum_sq = 0.0;
+  std::uint64_t hash = util::fnv1a64("codes", 5);
+  for (std::size_t r = 0; r < mc.rows(); ++r) {
+    for (std::size_t c = 0; c < mc.cols(); ++c) {
+      const std::int32_t code = rep.bitmap.at(r, c);
+      hash = util::fnv1a64(&code, sizeof code, hash);
+      const std::size_t bin =
+          code < 0 ? 0
+                   : std::min<std::size_t>(static_cast<std::size_t>(code),
+                                           kCodeBins - 1);
+      rec.code_hist[bin] += 1;
+      sum += code;
+      sum_sq += static_cast<double>(code) * code;
+    }
+  }
+  rec.code_hash = hash;
+  const double n = static_cast<double>(mc.rows() * mc.cols());
+  rec.mean_code = sum / n;
+  const double var = sum_sq / n - rec.mean_code * rec.mean_code;
+  rec.code_stddev = var > 0.0 ? std::sqrt(var) : 0.0;
+  return rec;
+}
+
+std::vector<CornerAggregate> aggregate_by_corner(
+    const std::vector<UnitRecord>& records, const UnitSpace& space) {
+  std::vector<CornerAggregate> out(space.corners);
+  for (std::uint32_t c = 0; c < space.corners; ++c) out[c].corner = c;
+
+  for (const UnitRecord& rec : records) {
+    if (rec.corner >= space.corners ||
+        rec.unit_status() == UnitStatus::kError) {
+      continue;
+    }
+    CornerAggregate& agg = out[rec.corner];
+    agg.units += 1;
+    for (std::size_t b = 0; b < kCodeBins; ++b) {
+      agg.hist[b] += rec.code_hist[b];
+      agg.cells += rec.code_hist[b];
+    }
+  }
+  for (CornerAggregate& agg : out) {
+    if (agg.cells == 0) continue;
+    double sum = 0.0, sum_sq = 0.0;
+    for (std::size_t b = 0; b < kCodeBins; ++b) {
+      sum += static_cast<double>(agg.hist[b]) * static_cast<double>(b);
+      sum_sq += static_cast<double>(agg.hist[b]) * static_cast<double>(b) *
+                static_cast<double>(b);
+    }
+    const double n = static_cast<double>(agg.cells);
+    agg.mean_code = sum / n;
+    const double var = sum_sq / n - agg.mean_code * agg.mean_code;
+    agg.code_stddev = var > 0.0 ? std::sqrt(var) : 0.0;
+  }
+
+  // Drift vs the TT corner (index 0 in tech::kAllCorners).
+  const double tt_mean = out.empty() ? 0.0 : out[0].mean_code;
+  for (CornerAggregate& agg : out) agg.drift_vs_tt = agg.mean_code - tt_mean;
+
+  // Histogram stability: mean L1 distance between each unit's normalized
+  // histogram and its corner's pooled histogram.
+  std::vector<double> l1_sum(space.corners, 0.0);
+  std::vector<std::uint64_t> l1_units(space.corners, 0);
+  for (const UnitRecord& rec : records) {
+    if (rec.corner >= space.corners ||
+        rec.unit_status() == UnitStatus::kError || rec.cells == 0) {
+      continue;
+    }
+    const CornerAggregate& agg = out[rec.corner];
+    if (agg.cells == 0) continue;
+    double l1 = 0.0;
+    for (std::size_t b = 0; b < kCodeBins; ++b) {
+      const double unit_p =
+          static_cast<double>(rec.code_hist[b]) / static_cast<double>(rec.cells);
+      const double pool_p =
+          static_cast<double>(agg.hist[b]) / static_cast<double>(agg.cells);
+      l1 += std::abs(unit_p - pool_p);
+    }
+    l1_sum[rec.corner] += l1;
+    l1_units[rec.corner] += 1;
+  }
+  for (std::uint32_t c = 0; c < space.corners; ++c) {
+    if (l1_units[c] > 0) out[c].hist_instability = l1_sum[c] / l1_units[c];
+  }
+  return out;
+}
+
+void print_campaign_report(const std::vector<UnitRecord>& records,
+                           const UnitSpace& space) {
+  const auto aggs = aggregate_by_corner(records, space);
+  std::printf("\n-- abacus-code drift across corners --\n");
+  Table t({"corner", "units", "cells", "mean code", "stddev", "drift vs TT",
+           "hist instability (L1)"});
+  for (const CornerAggregate& agg : aggs) {
+    t.add_row({tech::corner_name(tech::kAllCorners[agg.corner]),
+               Table::num(static_cast<long long>(agg.units)),
+               Table::num(static_cast<long long>(agg.cells)),
+               Table::num(agg.mean_code, 3), Table::num(agg.code_stddev, 3),
+               Table::num(agg.drift_vs_tt, 3),
+               Table::num(agg.hist_instability, 4)});
+  }
+  std::printf("%s\n", t.to_text().c_str());
+}
+
+}  // namespace ecms::campaign

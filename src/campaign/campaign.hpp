@@ -1,0 +1,107 @@
+// Wafer-scale Monte Carlo campaign engine (ROADMAP item 4, DESIGN.md §12).
+//
+// The paper measures one macro-cell; a production characterization campaign
+// measures thousands of (die × corner × seed) units. This module holds the
+// pieces shared by the supervisor and its worker processes:
+//
+//   * CampaignConfig — the full parameterization, hashed into the store
+//     header so a resume can never silently continue with different
+//     physics;
+//   * measure_unit() — one unit's measurement, a pure function of
+//     (config, unit index): die identity (capacitance field + defects)
+//     derives from Rng(seed).fork(die), the measurement-noise stream from
+//     Rng(seed).fork(die).fork(corner).fork(seed), so records are
+//     bit-identical whatever worker measured them, in whatever order,
+//     across any kill/resume split;
+//   * the aggregate reports the paper never had — abacus-code drift across
+//     process corners and code-histogram stability — computed from the
+//     result store.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/record.hpp"
+#include "tech/defects.hpp"
+
+namespace ecms::campaign {
+
+/// Everything a campaign run needs. Fields above the chaos/supervision
+/// break determine unit *results* and feed config_hash(); fields below it
+/// only shape scheduling, retries and fault injection, and may differ
+/// between the original run and a resume.
+struct CampaignConfig {
+  // --- result-determining (hashed into the store header) ---
+  UnitSpace space;                 ///< dies × corners × noise seeds
+  std::uint64_t seed = 1;          ///< campaign master seed
+  std::size_t rows = 8, cols = 8;  ///< per-die array (multiples of the 4x4 tile)
+  double noise_sigma_rel = 0.02;   ///< comparator noise / ramp LSB; 0 = off
+  double local_sigma_rel = 0.02;   ///< per-cell capacitance mismatch
+  double gradient = 0.0;           ///< die-level gradient (col 0 -> last col)
+  double drift = 0.0;              ///< lot-level offset
+  tech::DefectRates defect_rates = {.short_rate = 0.002,
+                                    .open_rate = 0.002,
+                                    .partial_rate = 0.005};
+
+  // --- supervision / chaos (not hashed; free to differ on resume) ---
+  int workers = 1;            ///< worker subprocesses
+  int retries = 2;            ///< dispatch attempts per unit (RetryPolicy)
+  int unit_timeout_ms = 30000;  ///< watchdog deadline per dispatched unit
+  int unit_delay_ms = 0;      ///< artificial per-unit delay (chaos/test aid)
+  std::uint64_t hang_unit = kNoUnit;  ///< test aid: first attempt hangs
+  double crash_rate = 0.0;    ///< per-attempt worker crash injection in [0,1]
+  std::uint64_t crash_seed = 1;
+  bool exec_self = false;     ///< fork+exec `campaign-worker` vs plain fork
+  std::string self_path;      ///< executable for exec_self
+  std::string dir;            ///< campaign directory (store, manifest, logs)
+  bool resume = false;        ///< continue an existing store
+
+  /// FNV-1a over the result-determining fields only.
+  std::uint64_t config_hash() const;
+
+  std::string store_path() const { return dir + "/campaign.store"; }
+  std::string compact_path() const { return dir + "/campaign.compact"; }
+  std::string manifest_path() const { return dir + "/manifest.json"; }
+  std::string worker_log_path(int slot) const {
+    return dir + "/worker-" + std::to_string(slot) + ".log";
+  }
+};
+
+/// Measures one unit. Pure function of (cfg result-determining fields,
+/// unit); throws on measurement failure (the caller converts that into a
+/// failed attempt). `attempts` in the returned record is left 0 — the
+/// supervisor owns dispatch accounting.
+UnitRecord measure_unit(const CampaignConfig& cfg, std::uint64_t unit);
+
+/// Deterministic crash-injection draw for (unit, attempt): pure hash of
+/// (crash_seed, unit, attempt) in [0, 1), compared against crash_rate by
+/// the worker before it measures. Exposed so tests can predict which
+/// attempts die.
+bool crash_planned(const CampaignConfig& cfg, std::uint64_t unit,
+                   int attempt);
+
+/// Per-corner aggregate over the result store: the corner-drift /
+/// histogram-stability report.
+struct CornerAggregate {
+  std::uint32_t corner = 0;
+  std::uint64_t units = 0;
+  std::uint64_t cells = 0;
+  double mean_code = 0.0;     ///< cell-weighted mean code
+  double code_stddev = 0.0;   ///< cell-weighted stddev around mean_code
+  double drift_vs_tt = 0.0;   ///< mean_code - mean_code(TT corner)
+  /// Mean L1 distance between each unit's normalized code histogram and
+  /// the corner's pooled histogram — 0 means every die produces the same
+  /// code distribution at this corner (histogram stability).
+  double hist_instability = 0.0;
+  std::uint64_t hist[kCodeBins] = {};
+};
+
+std::vector<CornerAggregate> aggregate_by_corner(
+    const std::vector<UnitRecord>& records, const UnitSpace& space);
+
+/// Renders the corner-drift and stability tables to stdout.
+void print_campaign_report(const std::vector<UnitRecord>& records,
+                           const UnitSpace& space);
+
+}  // namespace ecms::campaign

@@ -1,0 +1,43 @@
+// Supervisor ⇄ worker wire protocol.
+//
+// Commands flow supervisor → worker as ASCII lines on the worker's stdin
+// ("u <unit> <attempt>\n" to measure, "q\n" to quit); results flow back on
+// a dedicated pipe as fixed-width binary frames. The result channel is NOT
+// stdout — worker stdout/stderr are redirected to per-worker log files so
+// a crashing worker's sanitizer/diagnostic output survives (DESIGN.md §12).
+//
+// A ResultFrame is 200 bytes < PIPE_BUF, so a single write(2) lands
+// atomically on the pipe; the supervisor still reassembles from a
+// per-worker buffer and CRC-checks every frame, treating a garbled frame
+// exactly like a worker crash (kill + failed attempt) rather than trusting
+// it.
+#pragma once
+
+#include <cstdint>
+
+#include "campaign/record.hpp"
+
+namespace ecms::campaign {
+
+inline constexpr std::uint32_t kResultMagic = 0x524D4345;  // "ECMR"
+
+/// Result of one dispatched attempt.
+enum class AttemptStatus : std::uint32_t {
+  kOk = 0,     ///< record is valid
+  kError = 1,  ///< the measurement threw; details in the worker log
+};
+
+struct ResultFrame {
+  std::uint32_t magic = kResultMagic;
+  std::uint32_t status = 0;  ///< AttemptStatus
+  std::uint64_t unit = 0;
+  UnitRecord record;
+  std::uint32_t crc = 0;  ///< CRC-32 over `record`
+  std::uint32_t pad = 0;
+};
+
+static_assert(std::is_trivially_copyable_v<ResultFrame>);
+static_assert(sizeof(ResultFrame) <= 512,
+              "frame must stay well under PIPE_BUF for atomic pipe writes");
+
+}  // namespace ecms::campaign

@@ -1,0 +1,93 @@
+// Campaign work units and the fixed-width result record.
+//
+// A wafer-scale campaign measures the (die × corner × seed) cross product:
+// `die` selects the as-fabricated array (capacitance field + defect map),
+// `corner` the global process corner the die is measured at, and `seed` the
+// measurement-noise stream of that trial. Each unit is identified by one
+// linear index, and its result is a fixed-width, trivially-copyable record
+// so the on-disk store can page them with nothing but a memcpy and a CRC.
+//
+// Determinism contract: a unit's record is a pure function of the campaign
+// config and the unit key — its RNG streams derive from
+// Rng(seed).fork(die).fork(corner).fork(seed) and never from scheduling
+// state — so any interleaving of workers, any retry, and any kill/resume
+// split produces bit-identical records (CampaignResumeT, EXT-A11).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace ecms::campaign {
+
+/// Sentinel for "no unit" (idle worker, unset test knobs).
+inline constexpr std::uint64_t kNoUnit = ~std::uint64_t{0};
+
+/// Code histogram width in the record: codes are clamped into
+/// [0, kCodeBins-1]. The default 20-step ramp emits codes 0..20, so the
+/// last bins double as an overflow guard for larger ramps.
+inline constexpr std::size_t kCodeBins = 32;
+
+/// The (die × corner × seed) cross product and its linearization. Units are
+/// numbered die-major so ascending dispatch walks one die across all
+/// corners and noise seeds before moving on.
+struct UnitSpace {
+  std::uint32_t dies = 16;
+  std::uint32_t corners = 5;  ///< indexes tech::kAllCorners, so at most 5
+  std::uint32_t seeds = 2;
+
+  std::uint64_t total() const {
+    return std::uint64_t{dies} * corners * seeds;
+  }
+  std::uint64_t index_of(std::uint32_t die, std::uint32_t corner,
+                         std::uint32_t seed) const {
+    return (std::uint64_t{die} * corners + corner) * seeds + seed;
+  }
+  std::uint32_t die_of(std::uint64_t unit) const {
+    return static_cast<std::uint32_t>(unit / (std::uint64_t{corners} * seeds));
+  }
+  std::uint32_t corner_of(std::uint64_t unit) const {
+    return static_cast<std::uint32_t>((unit / seeds) % corners);
+  }
+  std::uint32_t seed_of(std::uint64_t unit) const {
+    return static_cast<std::uint32_t>(unit % seeds);
+  }
+  bool operator==(const UnitSpace&) const = default;
+};
+
+/// How a unit's measurement ended, as stored in the record.
+enum class UnitStatus : std::uint16_t {
+  kOk = 0,        ///< complete, every cell measured
+  kDegraded = 1,  ///< complete, but some cells are unmeasurable
+  kError = 2,     ///< the measurement threw; only the key fields are valid
+};
+
+/// One unit's result. Fixed width, trivially copyable, no pointers: the
+/// store appends these raw. `code_hash` is the FNV-1a digest of the full
+/// row-major per-cell code sequence — the strong witness the kill-resume
+/// determinism gate compares, so "bit-identical" covers every cell, not
+/// just the summary stats.
+struct UnitRecord {
+  std::uint32_t die = 0;
+  std::uint16_t corner = 0;
+  std::uint16_t seed = 0;
+  std::uint16_t status = 0;    ///< UnitStatus
+  std::uint16_t attempts = 0;  ///< dispatch attempts consumed (1 = first try)
+  std::uint32_t cells = 0;
+  std::uint32_t recovered = 0;     ///< cells measured only via in-unit retry
+  std::uint32_t unmeasurable = 0;  ///< cells the unit could not measure
+  std::uint64_t code_hash = 0;     ///< FNV-1a over row-major cell codes
+  double mean_code = 0.0;
+  double code_stddev = 0.0;
+  std::uint32_t code_hist[kCodeBins] = {};  ///< clamped per-code cell counts
+
+  UnitStatus unit_status() const { return static_cast<UnitStatus>(status); }
+};
+
+static_assert(std::is_trivially_copyable_v<UnitRecord>,
+              "records are paged to disk raw");
+static_assert(sizeof(UnitRecord) == 48 + kCodeBins * sizeof(std::uint32_t),
+              "record layout is part of the on-disk format; bump the store "
+              "magic when changing it");
+
+}  // namespace ecms::campaign

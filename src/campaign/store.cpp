@@ -1,0 +1,393 @@
+#include "campaign/store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+#include "util/fileio.hpp"
+#include "util/log.hpp"
+
+namespace ecms::campaign {
+namespace {
+
+constexpr char kMagic[8] = {'E', 'C', 'M', 'S', 'C', 'M', 'P', '1'};
+constexpr std::uint32_t kPageMagic = 0x45474150;    // "PAGE"
+constexpr std::uint32_t kCommitMagic = 0x54494D43;  // "CMIT"
+constexpr std::size_t kHeaderSize = 64;
+/// A page frame larger than this is structurally impossible (the supervisor
+/// commits per unit); treat it as corruption instead of allocating wild.
+constexpr std::uint32_t kMaxPayload = 64u << 20;
+
+/// On-disk file header, padded to kHeaderSize. `crc` covers every byte
+/// after itself.
+struct FileHeader {
+  char magic[8];
+  std::uint32_t crc;
+  std::uint32_t record_size;
+  std::uint32_t dies, corners, seeds;
+  std::uint32_t pad;  ///< explicit, so no alignment padding is CRC'd
+  std::uint64_t config_hash;
+  std::uint64_t campaign_seed;
+  std::uint8_t reserved[kHeaderSize - 48];
+};
+static_assert(sizeof(FileHeader) == kHeaderSize);
+static_assert(std::is_trivially_copyable_v<FileHeader>);
+
+/// 16-byte frame header. `crc` covers the payload only; `seq` must be the
+/// previous frame's seq + 1, which catches a frame spliced from another
+/// store generation.
+struct FrameHeader {
+  std::uint32_t magic;
+  std::uint32_t payload_len;
+  std::uint32_t seq;
+  std::uint32_t crc;
+};
+static_assert(sizeof(FrameHeader) == 16);
+
+bool write_all(int fd, const void* data, std::size_t n) {
+  return util::detail::write_all(fd, data, n);
+}
+
+/// read(2) until `n` bytes or EOF; returns bytes read (< n only at EOF).
+std::size_t read_full(int fd, void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("store read failed: ") + std::strerror(errno));
+    }
+    if (r == 0) break;
+    got += static_cast<std::size_t>(r);
+  }
+  return got;
+}
+
+FileHeader make_header(const ResultStore::Meta& meta) {
+  FileHeader h{};
+  std::memcpy(h.magic, kMagic, sizeof kMagic);
+  h.record_size = meta.record_size;
+  h.dies = meta.space.dies;
+  h.corners = meta.space.corners;
+  h.seeds = meta.space.seeds;
+  h.config_hash = meta.config_hash;
+  h.campaign_seed = meta.campaign_seed;
+  const char* body = reinterpret_cast<const char*>(&h) + 12;
+  h.crc = util::crc32(body, sizeof h - 12);
+  return h;
+}
+
+void append_raw(std::string& out, const void* data, std::size_t n) {
+  out.append(static_cast<const char*>(data), n);
+}
+
+}  // namespace
+
+ResultStore::ResultStore(ResultStore&& other) noexcept { *this = std::move(other); }
+
+ResultStore& ResultStore::operator=(ResultStore&& other) noexcept {
+  if (this != &other) {
+    close_fd();
+    path_ = std::move(other.path_);
+    meta_ = other.meta_;
+    fd_ = other.fd_;
+    records_ = std::move(other.records_);
+    present_ = std::move(other.present_);
+    pending_count_ = other.pending_count_;
+    next_seq_ = other.next_seq_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+ResultStore::~ResultStore() { close_fd(); }
+
+void ResultStore::close_fd() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::uint64_t ResultStore::unit_of(const UnitRecord& rec) const {
+  return meta_.space.index_of(rec.die, rec.corner, rec.seed);
+}
+
+ResultStore ResultStore::create(const std::string& path, const Meta& meta) {
+  ECMS_REQUIRE(meta.record_size == sizeof(UnitRecord),
+               "store record size must match UnitRecord");
+  ECMS_REQUIRE(meta.space.total() > 0, "empty unit space");
+  ResultStore s;
+  s.path_ = path;
+  s.meta_ = meta;
+  s.present_.assign(meta.space.total(), false);
+  s.fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (s.fd_ < 0) {
+    throw Error("cannot create campaign store " + path + ": " +
+                std::strerror(errno));
+  }
+  const FileHeader h = make_header(meta);
+  if (!write_all(s.fd_, &h, sizeof h) || ::fsync(s.fd_) != 0) {
+    throw Error("cannot write campaign store header to " + path);
+  }
+  ECMS_METRIC_COUNT("campaign.store.bytes", sizeof h);
+  ECMS_METRIC_COUNT("campaign.store.fsyncs", 1);
+  return s;
+}
+
+ResultStore ResultStore::open_for_resume(const std::string& path,
+                                         const Meta& expect,
+                                         ReplayReport* report) {
+  ResultStore s;
+  s.path_ = path;
+  s.fd_ = ::open(path.c_str(), O_RDWR);
+  if (s.fd_ < 0) {
+    throw Error("cannot open campaign store " + path + ": " +
+                std::strerror(errno));
+  }
+
+  FileHeader h{};
+  if (read_full(s.fd_, &h, sizeof h) != sizeof h ||
+      std::memcmp(h.magic, kMagic, sizeof kMagic) != 0) {
+    throw Error(path + " is not a campaign store (bad header)");
+  }
+  const char* body = reinterpret_cast<const char*>(&h) + 12;
+  if (h.crc != util::crc32(body, sizeof h - 12)) {
+    throw Error(path + ": store header checksum mismatch");
+  }
+  s.meta_ = Meta{h.record_size,
+                 UnitSpace{h.dies, h.corners, h.seeds},
+                 h.config_hash,
+                 h.campaign_seed};
+  if (s.meta_.record_size != expect.record_size ||
+      !(s.meta_.space == expect.space) ||
+      s.meta_.config_hash != expect.config_hash ||
+      s.meta_.campaign_seed != expect.campaign_seed) {
+    throw Error(path +
+                ": campaign configuration does not match the existing "
+                "store — resume with the original flags or use a fresh "
+                "--dir");
+  }
+  s.present_.assign(s.meta_.space.total(), false);
+
+  // Replay. `pending` holds records seen since the last commit frame; a
+  // commit frame promotes them and advances the watermark.
+  ReplayReport rep;
+  std::vector<UnitRecord> pending;
+  std::uint64_t offset = kHeaderSize;    // current read position
+  std::uint64_t watermark = kHeaderSize; // end of last durable commit
+  std::uint32_t seq = 0;
+  std::uint32_t watermark_seq = 0;  // next frame seq at the watermark
+  std::uint64_t committed_count = 0;
+  bool stop = false;
+  while (!stop) {
+    FrameHeader fh{};
+    const std::size_t got = read_full(s.fd_, &fh, sizeof fh);
+    if (got == 0) break;  // clean end of journal
+    if (got < sizeof fh) {
+      rep.dropped_tail_bytes += got;
+      break;
+    }
+    if ((fh.magic != kPageMagic && fh.magic != kCommitMagic) ||
+        fh.seq != seq || fh.payload_len > kMaxPayload) {
+      // Garbled frame header: everything from here on is untrusted.
+      rep.dropped_tail_bytes += sizeof fh;
+      break;
+    }
+    std::vector<char> payload(fh.payload_len);
+    const std::size_t pgot = read_full(s.fd_, payload.data(), payload.size());
+    if (pgot < payload.size()) {
+      rep.dropped_tail_bytes += sizeof fh + pgot;
+      break;
+    }
+    if (util::crc32(payload.data(), payload.size()) != fh.crc) {
+      // Quarantine: the frame was fully present but its bytes rotted.
+      // Conservatively stop trusting the journal here; the units covered
+      // by this and later frames will simply be re-measured.
+      rep.quarantined_frames += 1;
+      rep.dropped_tail_bytes += sizeof fh + payload.size();
+      ECMS_METRIC_COUNT("campaign.store.quarantined", 1);
+      break;
+    }
+    offset += sizeof fh + payload.size();
+    ++seq;
+    if (fh.magic == kPageMagic) {
+      if (payload.size() % s.meta_.record_size != 0) {
+        rep.quarantined_frames += 1;
+        stop = true;
+        break;
+      }
+      const std::size_t n = payload.size() / s.meta_.record_size;
+      for (std::size_t i = 0; i < n; ++i) {
+        UnitRecord rec;
+        std::memcpy(&rec, payload.data() + i * sizeof rec, sizeof rec);
+        pending.push_back(rec);
+      }
+    } else {
+      std::uint64_t count = 0;
+      if (payload.size() != sizeof count) {
+        rep.quarantined_frames += 1;
+        break;
+      }
+      std::memcpy(&count, payload.data(), sizeof count);
+      if (count != committed_count + pending.size()) {
+        // A commit frame that disagrees with the records it covers is
+        // corruption, not a torn write (torn writes truncate).
+        rep.quarantined_frames += 1;
+        break;
+      }
+      // Validate the whole batch before adopting any of it, so a bad
+      // record can never leave half a commit in memory while the file
+      // truncates the whole commit away.
+      for (const UnitRecord& rec : pending) {
+        if (rec.die >= s.meta_.space.dies ||
+            rec.corner >= s.meta_.space.corners ||
+            rec.seed >= s.meta_.space.seeds) {
+          rep.quarantined_frames += 1;
+          stop = true;
+          break;
+        }
+      }
+      if (stop) break;
+      for (const UnitRecord& rec : pending) {
+        const std::uint64_t unit = s.unit_of(rec);
+        if (s.present_[unit]) {
+          rep.duplicate_records += 1;
+          continue;
+        }
+        s.present_[unit] = true;
+        s.records_.push_back(rec);
+      }
+      pending.clear();
+      committed_count = count;
+      watermark = offset;
+      watermark_seq = seq;
+    }
+  }
+  rep.dropped_records = pending.size();
+  rep.committed_records = s.records_.size();
+
+  // Truncate to the watermark so the torn tail can never be replayed
+  // again and appends continue from the last durable byte.
+  if (::ftruncate(s.fd_, static_cast<off_t>(watermark)) != 0 ||
+      ::lseek(s.fd_, static_cast<off_t>(watermark), SEEK_SET) < 0 ||
+      ::fsync(s.fd_) != 0) {
+    throw Error(path + ": cannot truncate journal to commit watermark");
+  }
+  s.next_seq_ = watermark_seq;
+  ECMS_METRIC_COUNT("campaign.store.replayed_records", rep.committed_records);
+  if (rep.dropped_tail_bytes > 0) {
+    ECMS_LOG(LogLevel::kWarn)
+        << "campaign store " << path << ": dropped " << rep.dropped_tail_bytes
+        << " torn tail byte(s), " << rep.dropped_records
+        << " uncommitted record(s), " << rep.quarantined_frames
+        << " quarantined frame(s)";
+  }
+  if (report != nullptr) *report = rep;
+  return s;
+}
+
+void ResultStore::append(const UnitRecord& rec) {
+  const std::uint64_t unit = unit_of(rec);
+  ECMS_REQUIRE(rec.die < meta_.space.dies && rec.corner < meta_.space.corners &&
+                   rec.seed < meta_.space.seeds,
+               "record outside the campaign unit space");
+  ECMS_REQUIRE(!present_[unit], "unit already recorded");
+  present_[unit] = true;
+  records_.push_back(rec);
+  ++pending_count_;
+}
+
+void ResultStore::commit() {
+  if (pending_count_ == 0) return;
+  ECMS_REQUIRE(fd_ >= 0, "store not open");
+
+  // One buffered write for page + commit keeps the frame pair adjacent;
+  // durability still comes from the fsync, not the single write.
+  std::string out;
+  const std::size_t n = pending_count_;
+  const char* page =
+      reinterpret_cast<const char*>(records_.data() + (records_.size() - n));
+  const std::size_t page_bytes = n * sizeof(UnitRecord);
+  FrameHeader ph{kPageMagic, static_cast<std::uint32_t>(page_bytes),
+                 next_seq_, util::crc32(page, page_bytes)};
+  append_raw(out, &ph, sizeof ph);
+  append_raw(out, page, page_bytes);
+  ++next_seq_;
+
+  const std::uint64_t committed = records_.size();
+  FrameHeader ch{kCommitMagic, sizeof committed, next_seq_,
+                 util::crc32(&committed, sizeof committed)};
+  append_raw(out, &ch, sizeof ch);
+  append_raw(out, &committed, sizeof committed);
+  ++next_seq_;
+
+  if (!write_all(fd_, out.data(), out.size())) {
+    throw Error("campaign store append failed: " +
+                std::string(std::strerror(errno)));
+  }
+  if (::fsync(fd_) != 0) {
+    throw Error("campaign store fsync failed: " +
+                std::string(std::strerror(errno)));
+  }
+  pending_count_ = 0;
+  ECMS_METRIC_COUNT("campaign.store.pages", 1);
+  ECMS_METRIC_COUNT("campaign.store.commits", 1);
+  ECMS_METRIC_COUNT("campaign.store.bytes", out.size());
+  ECMS_METRIC_COUNT("campaign.store.fsyncs", 1);
+}
+
+bool ResultStore::contains(std::uint64_t unit) const {
+  return unit < present_.size() && present_[unit];
+}
+
+void ResultStore::write_compact(const std::string& path) const {
+  std::vector<UnitRecord> sorted = records_;
+  std::sort(sorted.begin(), sorted.end(),
+            [this](const UnitRecord& a, const UnitRecord& b) {
+              return unit_of(a) < unit_of(b);
+            });
+
+  std::string out;
+  out.reserve(kHeaderSize + sorted.size() * sizeof(UnitRecord));
+  const char compact_magic[8] = {'E', 'C', 'M', 'S', 'C', 'O', 'L', '1'};
+  append_raw(out, compact_magic, sizeof compact_magic);
+  const std::uint64_t count = sorted.size();
+  append_raw(out, &count, sizeof count);
+  const FileHeader h = make_header(meta_);
+  append_raw(out, &h, sizeof h);
+
+  // Column-major: each field contiguous over all records, in unit order.
+  // `attempts` is deliberately absent: it records scheduling history (how
+  // many dispatches a unit cost), not measurement results, and the compact
+  // file is the canonical image the kill-resume determinism gate compares
+  // byte for byte.
+  for (const auto& r : sorted) append_raw(out, &r.die, sizeof r.die);
+  for (const auto& r : sorted) append_raw(out, &r.corner, sizeof r.corner);
+  for (const auto& r : sorted) append_raw(out, &r.seed, sizeof r.seed);
+  for (const auto& r : sorted) append_raw(out, &r.status, sizeof r.status);
+  for (const auto& r : sorted) append_raw(out, &r.cells, sizeof r.cells);
+  for (const auto& r : sorted) append_raw(out, &r.recovered, sizeof r.recovered);
+  for (const auto& r : sorted) {
+    append_raw(out, &r.unmeasurable, sizeof r.unmeasurable);
+  }
+  for (const auto& r : sorted) append_raw(out, &r.code_hash, sizeof r.code_hash);
+  for (const auto& r : sorted) append_raw(out, &r.mean_code, sizeof r.mean_code);
+  for (const auto& r : sorted) {
+    append_raw(out, &r.code_stddev, sizeof r.code_stddev);
+  }
+  for (const auto& r : sorted) append_raw(out, r.code_hist, sizeof r.code_hist);
+
+  const std::uint32_t crc = util::crc32(out.data(), out.size());
+  append_raw(out, &crc, sizeof crc);
+  util::atomic_write_file(path, out);
+}
+
+}  // namespace ecms::campaign

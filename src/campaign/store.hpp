@@ -1,0 +1,124 @@
+// Journaled on-disk result store for campaign unit records.
+//
+// The store is a single append-only file that doubles as its own
+// write-ahead journal (DESIGN.md §12):
+//
+//   header | frame | frame | frame | ...
+//
+// where each frame is a 16-byte header {magic, payload_len, seq, crc32}
+// followed by its payload. Two frame kinds exist: PAGE frames carry
+// fixed-width UnitRecords (a page per commit batch), COMMIT frames carry
+// the cumulative committed-record count — the commit watermark. commit()
+// appends the pending page, appends a commit frame, and fsyncs, so a
+// record is durable exactly when the commit frame that covers it is on
+// disk. That is the per-unit durability boundary the supervisor relies on.
+//
+// Recovery (open_for_resume) replays the journal front to back:
+//   * records after the last valid COMMIT frame are dropped (they were
+//     never promised durable — the watermark is what makes replay
+//     idempotent);
+//   * a short/garbled trailing frame is a torn tail: truncated away;
+//   * a frame whose CRC fails mid-file is quarantined: replay stops there,
+//     conservatively dropping it and everything after it (those units are
+//     simply re-measured — cheaper than trusting a corrupt page);
+//   * duplicate unit records keep the first occurrence (a unit's record is
+//     a pure function of its key, so any duplicate is byte-identical
+//     anyway; the count is surfaced for diagnostics).
+// After replay the file is truncated to the watermark so new appends
+// continue from the last durable byte.
+//
+// The journal is append-ordered (whatever order workers finished in);
+// write_compact() exports the canonical image — records sorted by unit
+// index, serialized column-major — whose bytes are identical for any
+// scheduling history. The kill-resume determinism gate (EXT-A11) compares
+// these compacted files.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/record.hpp"
+
+namespace ecms::campaign {
+
+/// What a journal replay found (surfaced in logs and asserted by
+/// CampaignStoreT).
+struct ReplayReport {
+  std::size_t committed_records = 0;   ///< records adopted from the journal
+  std::size_t dropped_records = 0;     ///< valid but past the last commit
+  std::size_t dropped_tail_bytes = 0;  ///< torn/garbled bytes truncated
+  std::size_t quarantined_frames = 0;  ///< CRC-failed frames (replay stops)
+  std::size_t duplicate_records = 0;   ///< later duplicates ignored
+};
+
+class ResultStore {
+ public:
+  /// Identity of the store; persisted in the header and verified on
+  /// resume, so a campaign can never continue into a store produced by
+  /// different parameters.
+  struct Meta {
+    std::uint32_t record_size = sizeof(UnitRecord);
+    UnitSpace space;
+    std::uint64_t config_hash = 0;
+    std::uint64_t campaign_seed = 0;
+  };
+
+  ResultStore(ResultStore&& other) noexcept;
+  ResultStore& operator=(ResultStore&&) noexcept;
+  ResultStore(const ResultStore&) = delete;
+  ResultStore& operator=(const ResultStore&) = delete;
+  ~ResultStore();
+
+  /// Creates a fresh store (truncating any existing file), writes and
+  /// fsyncs the header. Throws ecms::Error on I/O failure.
+  static ResultStore create(const std::string& path, const Meta& meta);
+
+  /// Opens an existing store, verifies the header against `expect`
+  /// (space + config hash + record size), replays the journal per the
+  /// recovery rules above, truncates to the commit watermark and positions
+  /// for append. Throws ecms::Error on I/O failure, a bad header, or a
+  /// meta mismatch.
+  static ResultStore open_for_resume(const std::string& path,
+                                     const Meta& expect,
+                                     ReplayReport* report = nullptr);
+
+  /// Buffers one record into the pending page. Records for units already
+  /// present are rejected (ecms::Error) — the supervisor never re-runs a
+  /// committed unit.
+  void append(const UnitRecord& rec);
+
+  /// Flushes the pending page + a commit frame and fsyncs. No-op when
+  /// nothing is pending. This is the unit-boundary durability point.
+  void commit();
+
+  const Meta& meta() const { return meta_; }
+  const std::string& path() const { return path_; }
+  /// All durable records plus any pending (uncommitted) appends, in
+  /// append order.
+  const std::vector<UnitRecord>& records() const { return records_; }
+  /// True when the unit already has a (durable or pending) record.
+  bool contains(std::uint64_t unit) const;
+  std::size_t pending() const { return pending_count_; }
+
+  /// Writes the canonical compacted image atomically: header, then each
+  /// record field as a column, records sorted by unit index. Bytes are a
+  /// pure function of the record set (scheduling-independent).
+  void write_compact(const std::string& path) const;
+
+ private:
+  ResultStore() = default;
+  void close_fd() noexcept;
+  std::uint64_t unit_of(const UnitRecord& rec) const;
+
+  std::string path_;
+  Meta meta_;
+  int fd_ = -1;
+  std::vector<UnitRecord> records_;  ///< committed + pending, append order
+  std::vector<bool> present_;        ///< by unit index, sized space.total()
+  std::size_t pending_count_ = 0;    ///< trailing records_ not yet committed
+  std::uint32_t next_seq_ = 0;       ///< next frame sequence number
+};
+
+}  // namespace ecms::campaign

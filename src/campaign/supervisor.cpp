@@ -1,0 +1,529 @@
+#include "campaign/supervisor.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "campaign/protocol.hpp"
+#include "campaign/worker.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+#include "util/fileio.hpp"
+#include "util/log.hpp"
+#include "util/retry.hpp"
+
+namespace ecms::campaign {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+volatile sig_atomic_t g_drain = 0;
+void drain_handler(int) { g_drain = 1; }
+
+/// One worker subprocess and its in-flight state.
+struct Worker {
+  pid_t pid = -1;
+  int cmd_fd = -1;  ///< write end: command lines to the worker's stdin
+  int res_fd = -1;  ///< read end: ResultFrames back
+  int slot = 0;     ///< stable log-file slot
+  std::uint64_t unit = kNoUnit;  ///< in-flight unit (kNoUnit = idle)
+  int attempt = 0;
+  Clock::time_point deadline;
+  std::string buf;       ///< partial-frame reassembly
+  bool quitting = false;  ///< "q" sent; EOF is a clean exit, not a crash
+  bool alive() const { return pid > 0; }
+  bool busy() const { return unit != kNoUnit; }
+};
+
+void close_quiet(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+void mkdir_p(const std::string& dir) {
+  // Two levels are enough for `<parent>/<campaign>`; deeper paths must
+  // already exist.
+  const std::size_t slash = dir.find_last_of('/');
+  if (slash != std::string::npos && slash > 0) {
+    ::mkdir(dir.substr(0, slash).c_str(), 0755);
+  }
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw Error("cannot create campaign directory " + dir + ": " +
+                std::strerror(errno));
+  }
+}
+
+std::string format_flag_number(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Spawns one worker: pipes + log redirection + fork (+ optional exec of
+/// `<self> campaign-worker`). Throws on fork/pipe failure.
+Worker spawn_worker(const CampaignConfig& cfg, int slot) {
+  int cmd_pipe[2];  // supervisor writes, worker stdin reads
+  int res_pipe[2];  // worker writes, supervisor reads
+  if (::pipe(cmd_pipe) != 0 || ::pipe(res_pipe) != 0) {
+    throw Error("cannot create worker pipes: " +
+                std::string(std::strerror(errno)));
+  }
+  const std::string log_path = cfg.worker_log_path(slot);
+  const int log_fd =
+      ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (log_fd < 0) {
+    throw Error("cannot open worker log " + log_path + ": " +
+                std::strerror(errno));
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw Error("cannot fork worker: " + std::string(std::strerror(errno)));
+  }
+  if (pid == 0) {
+    // Child. Redirect stdio: stdin = command pipe, stdout/stderr = the log
+    // file (so a crash's diagnostics are never lost to an inherited tty).
+    ::dup2(cmd_pipe[0], STDIN_FILENO);
+    ::dup2(log_fd, STDOUT_FILENO);
+    ::dup2(log_fd, STDERR_FILENO);
+    close_quiet(cmd_pipe[0]);
+    close_quiet(cmd_pipe[1]);
+    close_quiet(res_pipe[0]);
+    close_quiet(log_fd);
+    if (cfg.exec_self && !cfg.self_path.empty()) {
+      std::vector<std::string> args;
+      args.push_back(cfg.self_path);
+      args.push_back("campaign-worker");
+      args.push_back("--result-fd");
+      args.push_back(std::to_string(res_pipe[1]));
+      for (const std::string& a : worker_args(cfg)) args.push_back(a);
+      std::vector<char*> argv;
+      for (std::string& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      ::execv(cfg.self_path.c_str(), argv.data());
+      std::fprintf(stderr, "worker: exec %s failed: %s\n",
+                   cfg.self_path.c_str(), std::strerror(errno));
+      _exit(127);
+    }
+    const int rc = run_worker_loop(cfg, STDIN_FILENO, res_pipe[1]);
+    _exit(rc);
+  }
+
+  // Parent.
+  close_quiet(cmd_pipe[0]);
+  close_quiet(res_pipe[1]);
+  close_quiet(log_fd);
+  ::fcntl(res_pipe[0], F_SETFL, O_NONBLOCK);
+  Worker w;
+  w.pid = pid;
+  w.cmd_fd = cmd_pipe[1];
+  w.res_fd = res_pipe[0];
+  w.slot = slot;
+  ECMS_METRIC_COUNT("campaign.workers.spawned", 1);
+  return w;
+}
+
+bool send_line(Worker& w, const std::string& line) {
+  return util::detail::write_all(w.cmd_fd, line.data(), line.size());
+}
+
+void reap_worker(Worker& w) {
+  close_quiet(w.cmd_fd);
+  close_quiet(w.res_fd);
+  w.cmd_fd = w.res_fd = -1;
+  if (w.pid > 0) {
+    int st = 0;
+    ::waitpid(w.pid, &st, 0);
+  }
+  w.pid = -1;
+}
+
+}  // namespace
+
+std::vector<std::string> worker_args(const CampaignConfig& cfg) {
+  std::vector<std::string> a;
+  auto flag = [&a](const char* name, const std::string& v) {
+    a.push_back(name);
+    a.push_back(v);
+  };
+  flag("--dies", std::to_string(cfg.space.dies));
+  flag("--corners", std::to_string(cfg.space.corners));
+  flag("--seeds", std::to_string(cfg.space.seeds));
+  flag("--seed", std::to_string(cfg.seed));
+  flag("--rows", std::to_string(cfg.rows));
+  flag("--cols", std::to_string(cfg.cols));
+  flag("--noise", format_flag_number(cfg.noise_sigma_rel));
+  flag("--sigma", format_flag_number(cfg.local_sigma_rel));
+  flag("--gradient", format_flag_number(cfg.gradient));
+  flag("--drift", format_flag_number(cfg.drift));
+  flag("--shorts", format_flag_number(cfg.defect_rates.short_rate));
+  flag("--opens", format_flag_number(cfg.defect_rates.open_rate));
+  flag("--partials", format_flag_number(cfg.defect_rates.partial_rate));
+  flag("--bridges", format_flag_number(cfg.defect_rates.bridge_rate));
+  flag("--unit-delay-ms", std::to_string(cfg.unit_delay_ms));
+  flag("--fault-rate", format_flag_number(cfg.crash_rate));
+  flag("--fault-seed", std::to_string(cfg.crash_seed));
+  if (cfg.hang_unit != kNoUnit) {
+    flag("--hang-unit", std::to_string(cfg.hang_unit));
+  }
+  return a;
+}
+
+void write_manifest(const CampaignConfig& cfg, const CampaignSummary& s) {
+  std::string j = "{\n";
+  auto field = [&j](const char* k, const std::string& v, bool quote,
+                    bool last = false) {
+    j += "  \"";
+    j += k;
+    j += "\": ";
+    if (quote) j += '"';
+    j += v;
+    if (quote) j += '"';
+    j += last ? "\n" : ",\n";
+  };
+  const char* state = s.drained                ? "resumable"
+                      : !s.complete()          ? "resumable"
+                      : s.units_failed > 0     ? "degraded"
+                      : s.degraded()           ? "degraded"
+                                               : "complete";
+  field("state", state, true);
+  field("dies", std::to_string(cfg.space.dies), false);
+  field("corners", std::to_string(cfg.space.corners), false);
+  field("seeds", std::to_string(cfg.space.seeds), false);
+  field("seed", std::to_string(cfg.seed), false);
+  field("rows", std::to_string(cfg.rows), false);
+  field("cols", std::to_string(cfg.cols), false);
+  field("config_hash", std::to_string(cfg.config_hash()), true);
+  field("store", obs::json_escape(cfg.store_path()), true);
+  field("units_total", std::to_string(s.units_total), false);
+  field("units_done", std::to_string(s.units_done), false);
+  field("units_ok", std::to_string(s.units_ok), false);
+  field("units_retried", std::to_string(s.units_retried), false);
+  field("units_failed", std::to_string(s.units_failed), false);
+  field("workers_spawned", std::to_string(s.workers_spawned), false);
+  field("worker_crashes", std::to_string(s.worker_crashes), false);
+  field("worker_timeouts", std::to_string(s.worker_timeouts), false);
+  j += "  \"failures\": [";
+  for (std::size_t i = 0; i < s.failures.size(); ++i) {
+    const UnitFailure& f = s.failures[i];
+    j += i == 0 ? "\n" : ",\n";
+    j += "    {\"unit\": " + std::to_string(f.unit) +
+         ", \"attempts\": " + std::to_string(f.attempts) + ", \"reason\": \"" +
+         obs::json_escape(f.reason) + "\", \"worker_log\": \"" +
+         obs::json_escape(f.worker_log) + "\"}";
+  }
+  j += s.failures.empty() ? "]\n" : "\n  ]\n";
+  j += "}\n";
+  util::atomic_write_file(cfg.manifest_path(), j);
+}
+
+CampaignResult run_campaign(const CampaignConfig& cfg) {
+  ECMS_REQUIRE(!cfg.dir.empty(), "campaign directory not set");
+  ECMS_REQUIRE(cfg.space.corners >= 1 && cfg.space.corners <= 5,
+               "corners must be in [1, 5] (tech::kAllCorners)");
+  ECMS_REQUIRE(cfg.space.total() > 0, "empty campaign space");
+  ECMS_REQUIRE(cfg.rows > 0 && cfg.cols > 0 && cfg.rows % 4 == 0 &&
+                   cfg.cols % 4 == 0,
+               "campaign arrays must be multiples of the 4x4 tile");
+  ECMS_REQUIRE(cfg.workers >= 1, "need at least one worker");
+  mkdir_p(cfg.dir);
+
+  const ResultStore::Meta meta{sizeof(UnitRecord), cfg.space,
+                               cfg.config_hash(), cfg.seed};
+  CampaignResult out;
+  out.store_path = cfg.store_path();
+  out.manifest_path = cfg.manifest_path();
+  CampaignSummary& sum = out.summary;
+  sum.units_total = cfg.space.total();
+
+  ResultStore store = [&] {
+    if (cfg.resume) {
+      return ResultStore::open_for_resume(out.store_path, meta, &sum.replay);
+    }
+    if (::access(out.store_path.c_str(), F_OK) == 0) {
+      throw Error(out.store_path +
+                  " already exists — pass --resume to continue it or use a "
+                  "fresh --dir");
+    }
+    return ResultStore::create(out.store_path, meta);
+  }();
+
+  // Work list: every unit without a committed record, ascending. A resumed
+  // campaign continues from exactly the first unfinished unit.
+  std::deque<std::uint64_t> pending;
+  for (std::uint64_t u = 0; u < cfg.space.total(); ++u) {
+    if (!store.contains(u)) pending.push_back(u);
+  }
+  sum.units_done = sum.units_total - pending.size();
+
+  // Per-unit failed-attempt budget, util::RetryPolicy semantics: the
+  // budget counts total attempts, clamped to >= 1.
+  const int budget = util::RetryPolicy{cfg.retries}.attempts();
+  std::vector<int> attempts(cfg.space.total(), 0);
+
+  struct sigaction sa{}, old_int{}, old_term{};
+  sa.sa_handler = drain_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: poll() must wake on the signal
+  g_drain = 0;
+  ::sigaction(SIGINT, &sa, &old_int);
+  ::sigaction(SIGTERM, &sa, &old_term);
+  // A worker can die between our poll and our write to its command pipe;
+  // that write must fail with EPIPE, not kill the supervisor.
+  struct sigaction ign{}, old_pipe{};
+  ign.sa_handler = SIG_IGN;
+  sigemptyset(&ign.sa_mask);
+  ::sigaction(SIGPIPE, &ign, &old_pipe);
+
+  std::vector<Worker> workers;
+  int next_slot = 0;
+
+  auto fail_attempt = [&](Worker& w, const char* why) {
+    const std::uint64_t unit = w.unit;
+    w.unit = kNoUnit;
+    attempts[unit] += 1;
+    ECMS_LOG(LogLevel::kWarn)
+        << "campaign: unit " << unit << " attempt " << attempts[unit] << "/"
+        << budget << " failed (" << why << "), worker log "
+        << cfg.worker_log_path(w.slot);
+    if (attempts[unit] < budget) {
+      pending.push_front(unit);  // retry soon, while the die is warm
+    } else {
+      sum.units_failed += 1;
+      sum.failures.push_back(UnitFailure{unit, attempts[unit], why,
+                                         cfg.worker_log_path(w.slot)});
+      ECMS_METRIC_COUNT("campaign.units.failed", 1);
+    }
+  };
+
+  auto dispatch = [&](Worker& w) -> bool {
+    if (pending.empty() || g_drain) return false;
+    const std::uint64_t unit = pending.front();
+    pending.pop_front();
+    const std::string cmd = "u " + std::to_string(unit) + " " +
+                            std::to_string(attempts[unit]) + "\n";
+    if (!send_line(w, cmd)) {
+      // The worker died between frames; put the unit back — the death is
+      // handled when poll reports the hangup.
+      pending.push_front(unit);
+      return false;
+    }
+    w.unit = unit;
+    w.attempt = attempts[unit];
+    w.deadline = Clock::now() + std::chrono::milliseconds(cfg.unit_timeout_ms);
+    return true;
+  };
+
+  auto live_workers = [&] {
+    std::size_t n = 0;
+    for (const Worker& w : workers) n += w.alive() ? 1 : 0;
+    return n;
+  };
+
+  // Spawn the initial fleet. Spawning zero workers is a hard failure;
+  // partial fleets are fine (the campaign just runs narrower).
+  const std::size_t want = std::min<std::size_t>(
+      static_cast<std::size_t>(cfg.workers), std::max<std::size_t>(pending.size(), 1));
+  for (std::size_t i = 0; i < want && !pending.empty(); ++i) {
+    workers.push_back(spawn_worker(cfg, next_slot++));
+    sum.workers_spawned += 1;
+    dispatch(workers.back());
+  }
+
+  auto handle_death = [&](Worker& w, bool timed_out) {
+    if (timed_out) {
+      ::kill(w.pid, SIGKILL);
+      sum.worker_timeouts += 1;
+      ECMS_METRIC_COUNT("campaign.workers.timed_out", 1);
+    } else {
+      sum.worker_crashes += 1;
+      ECMS_METRIC_COUNT("campaign.workers.crashed", 1);
+    }
+    reap_worker(w);
+    if (w.busy()) fail_attempt(w, timed_out ? "hung-unit timeout" : "worker crash");
+    // Respawn while there is still work the dead worker should share.
+    if (!g_drain && !pending.empty()) {
+      try {
+        Worker fresh = spawn_worker(cfg, next_slot++);
+        sum.workers_spawned += 1;
+        dispatch(fresh);
+        w = std::move(fresh);
+      } catch (const Error& e) {
+        ECMS_LOG(LogLevel::kError) << "campaign: respawn failed: " << e.what();
+      }
+    }
+  };
+
+  auto handle_frame = [&](Worker& w, const ResultFrame& frame) {
+    if (frame.magic != kResultMagic || frame.unit != w.unit ||
+        frame.crc != util::crc32(&frame.record, sizeof frame.record)) {
+      // A garbled or out-of-protocol frame means the worker cannot be
+      // trusted; treat it like a crash.
+      ::kill(w.pid, SIGKILL);
+      handle_death(w, /*timed_out=*/false);
+      return;
+    }
+    if (frame.status == static_cast<std::uint32_t>(AttemptStatus::kError)) {
+      fail_attempt(w, "measurement error");
+    } else {
+      UnitRecord rec = frame.record;
+      rec.attempts = static_cast<std::uint16_t>(w.attempt + 1);
+      store.append(rec);
+      store.commit();  // fsync on the unit boundary: the durability point
+      sum.units_done += 1;
+      if (w.attempt > 0) {
+        sum.units_retried += 1;
+        ECMS_METRIC_COUNT("campaign.units.retried", 1);
+      } else {
+        sum.units_ok += 1;
+      }
+      ECMS_METRIC_COUNT("campaign.units.ok", 1);
+      w.unit = kNoUnit;
+    }
+    if (w.alive() && !dispatch(w) && (pending.empty() || g_drain) &&
+        !w.busy()) {
+      send_line(w, "q\n");
+      w.quitting = true;
+    }
+  };
+
+  // Main loop: wait for frames, enforce deadlines, keep the fleet fed.
+  for (;;) {
+    bool any_busy = false;
+    for (const Worker& w : workers) any_busy |= w.alive() && w.busy();
+    if (!any_busy && (pending.empty() || g_drain || live_workers() == 0)) {
+      break;
+    }
+    if (!pending.empty() && !g_drain && live_workers() == 0) {
+      // Every worker is gone but work remains (e.g. crash storm): try to
+      // rebuild a single worker; if even that fails, give up hard.
+      workers.push_back(spawn_worker(cfg, next_slot++));
+      sum.workers_spawned += 1;
+      dispatch(workers.back());
+    }
+
+    // Poll over live result fds, capped at the nearest watchdog deadline.
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> fd_owner;
+    const Clock::time_point now = Clock::now();
+    int timeout_ms = 500;
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      Worker& w = workers[i];
+      if (!w.alive()) continue;
+      fds.push_back(pollfd{w.res_fd, POLLIN, 0});
+      fd_owner.push_back(i);
+      if (w.busy()) {
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              w.deadline - now)
+                              .count();
+        timeout_ms = std::min<int>(timeout_ms,
+                                   static_cast<int>(std::max<long long>(left, 0)));
+      }
+    }
+    if (fds.empty()) continue;
+    const int rv = ::poll(fds.data(), fds.size(), std::max(timeout_ms, 10));
+    if (rv < 0 && errno != EINTR) {
+      throw Error("campaign poll failed: " + std::string(std::strerror(errno)));
+    }
+
+    // Deadlines first: a hung worker never gets to block the fleet.
+    for (Worker& w : workers) {
+      if (w.alive() && w.busy() && Clock::now() >= w.deadline) {
+        handle_death(w, /*timed_out=*/true);
+      }
+    }
+
+    for (std::size_t k = 0; k < fds.size(); ++k) {
+      Worker& w = workers[fd_owner[k]];
+      if (!w.alive()) continue;  // reaped by the deadline pass
+      if ((fds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      char chunk[4096];
+      for (;;) {
+        const ssize_t r = ::read(w.res_fd, chunk, sizeof chunk);
+        if (r > 0) {
+          w.buf.append(chunk, static_cast<std::size_t>(r));
+          continue;
+        }
+        if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        if (r < 0 && errno == EINTR) continue;
+        // EOF or error: the worker is gone once its frames are drained.
+        if (w.buf.size() < sizeof(ResultFrame)) {
+          if (w.quitting && !w.busy()) {
+            reap_worker(w);  // clean exit after "q" — not a crash
+          } else {
+            handle_death(w, /*timed_out=*/false);
+          }
+        }
+        break;
+      }
+      while (w.alive() && w.buf.size() >= sizeof(ResultFrame)) {
+        ResultFrame frame;
+        std::memcpy(&frame, w.buf.data(), sizeof frame);
+        w.buf.erase(0, sizeof frame);
+        handle_frame(w, frame);
+      }
+    }
+  }
+
+  // Shut the fleet down: polite quit, then a hard reap.
+  for (Worker& w : workers) {
+    if (!w.alive()) continue;
+    send_line(w, "q\n");
+  }
+  for (Worker& w : workers) {
+    if (!w.alive()) continue;
+    close_quiet(w.cmd_fd);
+    w.cmd_fd = -1;
+    int st = 0;
+    // Workers exit on "q"/EOF promptly; a short grace then SIGKILL keeps a
+    // wedged worker from hanging the supervisor's own exit.
+    for (int spins = 0; spins < 200; ++spins) {
+      const pid_t got = ::waitpid(w.pid, &st, WNOHANG);
+      if (got == w.pid || got < 0) {
+        w.pid = -1;
+        break;
+      }
+      struct timespec ts{0, 10 * 1000 * 1000};
+      ::nanosleep(&ts, nullptr);
+    }
+    if (w.pid > 0) {
+      ::kill(w.pid, SIGKILL);
+      ::waitpid(w.pid, &st, 0);
+      w.pid = -1;
+    }
+    close_quiet(w.res_fd);
+    w.res_fd = -1;
+  }
+
+  ::sigaction(SIGINT, &old_int, nullptr);
+  ::sigaction(SIGTERM, &old_term, nullptr);
+  ::sigaction(SIGPIPE, &old_pipe, nullptr);
+  sum.drained = g_drain != 0 && !sum.complete();
+
+  store.commit();
+  out.records = store.records();
+  if (sum.complete() || sum.units_done + sum.units_failed == sum.units_total) {
+    // The campaign reached its end state (possibly degraded): write the
+    // canonical compacted image the determinism gates compare.
+    out.compact_path = cfg.compact_path();
+    store.write_compact(out.compact_path);
+  }
+  write_manifest(cfg, sum);
+  return out;
+}
+
+}  // namespace ecms::campaign

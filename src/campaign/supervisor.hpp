@@ -1,0 +1,81 @@
+// Campaign supervisor: sharded worker supervision with kill-resume
+// recovery (DESIGN.md §12).
+//
+// The supervisor owns the result store and the worker fleet. Workers are
+// subprocesses (fork, or fork+exec of `ecms_tool campaign-worker`), so a
+// worker crash, OOM-kill or sanitizer abort is isolated: the supervisor
+// records a failed attempt for the in-flight unit, re-dispatches it up to
+// the retry budget, respawns the worker, and the campaign degrades instead
+// of dying. A per-unit wall-clock watchdog SIGKILLs hung workers the same
+// way. SIGINT/SIGTERM drain gracefully: in-flight units finish, the store
+// commits, the manifest marks the campaign resumable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "campaign/store.hpp"
+
+namespace ecms::campaign {
+
+/// One terminally failed unit (every attempt exhausted).
+struct UnitFailure {
+  std::uint64_t unit = 0;
+  int attempts = 0;
+  std::string reason;      ///< last failure kind (crash / timeout / error)
+  std::string worker_log;  ///< log file of the last worker that tried it
+};
+
+/// What one run_campaign() invocation did and how the campaign stands.
+struct CampaignSummary {
+  std::uint64_t units_total = 0;
+  std::uint64_t units_done = 0;     ///< records in the store (incl. resumed)
+  std::uint64_t units_ok = 0;       ///< measured this invocation, 1st attempt
+  std::uint64_t units_retried = 0;  ///< measured this invocation, >1 attempt
+  std::uint64_t units_failed = 0;   ///< exhausted this invocation
+  std::uint64_t workers_spawned = 0;
+  std::uint64_t worker_crashes = 0;
+  std::uint64_t worker_timeouts = 0;
+  bool drained = false;  ///< interrupted by SIGINT/SIGTERM; resumable
+  std::vector<UnitFailure> failures;
+  ReplayReport replay;  ///< what resume recovered (zeros on a fresh run)
+
+  /// Every unit has a record (possibly from an earlier invocation).
+  bool complete() const { return units_done == units_total; }
+  /// Anything non-pristine happened: failed units, crashes, timeouts,
+  /// retries, or an interrupted (drained) run. Maps to CLI exit 3.
+  bool degraded() const {
+    return units_failed > 0 || worker_crashes > 0 || worker_timeouts > 0 ||
+           units_retried > 0 || drained || !complete();
+  }
+};
+
+/// Result of a supervisor run: summary plus the full record set (for the
+/// aggregate reports) and where the artifacts live.
+struct CampaignResult {
+  CampaignSummary summary;
+  std::vector<UnitRecord> records;
+  std::string store_path;
+  std::string compact_path;    ///< written only when the campaign completed
+  std::string manifest_path;
+};
+
+/// Runs (or resumes, per cfg.resume) a campaign to completion or drain.
+/// Creates cfg.dir if needed. Throws ecms::Error on hard failures only —
+/// store corruption at the header level, config mismatch, inability to
+/// spawn any worker; per-unit and per-worker trouble degrades instead.
+CampaignResult run_campaign(const CampaignConfig& cfg);
+
+/// Serializes the chaos/model flags a worker subprocess needs; used to
+/// build the `campaign-worker` argv in exec_self mode (the CLI parses them
+/// back with the same parser the `campaign` subcommand uses).
+std::vector<std::string> worker_args(const CampaignConfig& cfg);
+
+/// Writes the campaign manifest JSON atomically: config, progress,
+/// failures (with worker-log references), state
+/// (complete|degraded|resumable).
+void write_manifest(const CampaignConfig& cfg, const CampaignSummary& s);
+
+}  // namespace ecms::campaign

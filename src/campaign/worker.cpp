@@ -1,0 +1,108 @@
+#include "campaign/worker.hpp"
+
+#include <signal.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "campaign/protocol.hpp"
+#include "util/crc32.hpp"
+#include "util/fileio.hpp"
+
+namespace ecms::campaign {
+namespace {
+
+/// Reads one '\n'-terminated line (without the newline). Returns false on
+/// EOF or error. Byte-at-a-time is plenty: one command per unit.
+bool read_line(int fd, std::string& line) {
+  line.clear();
+  char ch;
+  for (;;) {
+    const ssize_t r = ::read(fd, &ch, 1);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return !line.empty();
+    if (ch == '\n') return true;
+    line += ch;
+  }
+}
+
+void sleep_ms(long ms) {
+  struct timespec ts;
+  ts.tv_sec = ms / 1000;
+  ts.tv_nsec = (ms % 1000) * 1000000L;
+  while (::nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+  }
+}
+
+}  // namespace
+
+int run_worker_loop(const CampaignConfig& cfg, int cmd_fd, int result_fd) {
+  // The supervisor may die (or be SIGKILL'd by the chaos tests) while we
+  // hold a result; a write to the closed pipe must fail with EPIPE, not
+  // kill us with an unlogged SIGPIPE.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  std::string line;
+  while (read_line(cmd_fd, line)) {
+    if (line == "q") return 0;
+    unsigned long long parsed = 0;
+    int attempt = 0;
+    if (std::sscanf(line.c_str(), "u %llu %d", &parsed, &attempt) != 2) {
+      std::fprintf(stderr, "worker: unparseable command '%s'\n", line.c_str());
+      return 2;
+    }
+    const std::uint64_t unit = parsed;
+
+    // Chaos knobs (deterministic, keyed by unit+attempt): a planned crash
+    // models an OOM-kill / sanitizer abort, a planned hang models a stuck
+    // solve the watchdog must reap.
+    if (crash_planned(cfg, unit, attempt)) {
+      std::fprintf(stderr,
+                   "worker: injected crash on unit %llu attempt %d\n",
+                   static_cast<unsigned long long>(unit), attempt);
+      std::fflush(stderr);
+      _exit(97);
+    }
+    if (unit == cfg.hang_unit && attempt == 0) {
+      std::fprintf(stderr, "worker: injected hang on unit %llu\n",
+                   static_cast<unsigned long long>(unit));
+      std::fflush(stderr);
+      for (;;) sleep_ms(3600 * 1000L);
+    }
+    if (cfg.unit_delay_ms > 0) sleep_ms(cfg.unit_delay_ms);
+
+    ResultFrame frame;
+    frame.unit = unit;
+    try {
+      frame.record = measure_unit(cfg, unit);
+      frame.status = static_cast<std::uint32_t>(AttemptStatus::kOk);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "worker: unit %llu attempt %d failed: %s\n",
+                   static_cast<unsigned long long>(unit), attempt, e.what());
+      std::fflush(stderr);
+      frame.record = UnitRecord{};
+      frame.record.die = cfg.space.die_of(unit);
+      frame.record.corner = static_cast<std::uint16_t>(cfg.space.corner_of(unit));
+      frame.record.seed = static_cast<std::uint16_t>(cfg.space.seed_of(unit));
+      frame.record.status = static_cast<std::uint16_t>(UnitStatus::kError);
+      frame.status = static_cast<std::uint32_t>(AttemptStatus::kError);
+    }
+    frame.crc = util::crc32(&frame.record, sizeof frame.record);
+    if (!util::detail::write_all(result_fd, &frame, sizeof frame)) {
+      // Supervisor is gone; nothing useful left to do.
+      return 0;
+    }
+  }
+  return 0;  // EOF: supervisor exited or was killed
+}
+
+}  // namespace ecms::campaign

@@ -1,0 +1,16 @@
+// Campaign worker loop: the body of the `campaign-worker` subprocess.
+#pragma once
+
+#include "campaign/campaign.hpp"
+
+namespace ecms::campaign {
+
+/// Serves measurement commands until "q" or EOF (EOF means the supervisor
+/// died; the orphan exits quietly instead of spinning). Reads commands
+/// from `cmd_fd`, writes ResultFrames to `result_fd`. Returns the process
+/// exit code. Honors the config's chaos knobs (crash_rate, hang_unit,
+/// unit_delay_ms) — those simulate the OOM-kills and hangs the supervisor
+/// must survive.
+int run_worker_loop(const CampaignConfig& cfg, int cmd_fd, int result_fd);
+
+}  // namespace ecms::campaign

@@ -1,11 +1,11 @@
 #include "obs/metrics.hpp"
 
 #include <cmath>
-#include <fstream>
 #include <limits>
 
 #include "obs/json.hpp"
 #include "util/error.hpp"
+#include "util/fileio.hpp"
 
 namespace ecms::obs {
 
@@ -233,10 +233,9 @@ std::string MetricsSnapshot::to_json() const {
 }
 
 void write_metrics_json(const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw Error("cannot open metrics output file: " + path);
-  out << Registry::global().snapshot().to_json();
-  if (!out) throw Error("failed writing metrics output file: " + path);
+  // Atomic (tmp + rename): a crash mid-write never leaves a torn JSON
+  // artifact where a previous good one stood.
+  util::atomic_write_file(path, Registry::global().snapshot().to_json());
 }
 
 }  // namespace ecms::obs

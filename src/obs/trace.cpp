@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <fstream>
 #include <memory>
 #include <mutex>
 
 #include "obs/json.hpp"
 #include "util/error.hpp"
+#include "util/fileio.hpp"
 
 namespace ecms::obs {
 
@@ -181,10 +181,7 @@ std::string trace_to_json() {
 }
 
 void write_trace_json(const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw Error("cannot open trace output file: " + path);
-  out << trace_to_json();
-  if (!out) throw Error("failed writing trace output file: " + path);
+  util::atomic_write_file(path, trace_to_json());
 }
 
 }  // namespace ecms::obs

@@ -1,0 +1,58 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven.
+//
+// Used by the campaign result store (per-page payload checksums, commit
+// frames) and the supervisor/worker result protocol. Header-only so the
+// base layers can include it without a link dependency (same rule as
+// util/error.hpp).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace ecms::util {
+
+namespace detail {
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace detail
+
+/// CRC-32 of `n` bytes at `data`. Chainable: pass a previous result as
+/// `seed` to extend the checksum over a second buffer.
+inline std::uint32_t crc32(const void* data, std::size_t n,
+                           std::uint32_t seed = 0) {
+  const auto& table = detail::crc32_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+/// FNV-1a 64-bit hash. The campaign layer uses it for config hashes and the
+/// per-unit code-sequence digest (the bit-identity witness a resumed run is
+/// compared by); circuit/program.cpp carries its own copy for topology keys.
+inline std::uint64_t fnv1a64(const void* data, std::size_t n,
+                             std::uint64_t h = 1469598103934665603ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace ecms::util

@@ -1,0 +1,81 @@
+// Crash-safe file output.
+//
+// Every JSON artifact the tools write (--metrics-out, --trace-out, the
+// bench acceptance JSONs, the campaign manifest and compacted store) goes
+// through atomic_write_file: the bytes land in `<path>.tmp`, are fsync'd,
+// and only then rename()d over the destination. A crash at any point leaves
+// either the old file or the new one — never a truncated half-write that a
+// downstream json.tool round-trip would reject. Header-only so ecms_obs
+// (the base library, which links nothing) can use it too (same rule as
+// util/error.hpp).
+#pragma once
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace ecms::util {
+
+namespace detail {
+/// write(2) until the whole buffer is out; returns false on error.
+inline bool write_all(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// fsync the directory containing `path` so the rename itself is durable.
+/// Best-effort: some filesystems refuse O_RDONLY directory fsync.
+inline void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+}  // namespace detail
+
+/// Writes `contents` to `path` atomically: tmp file + fsync + rename.
+/// Throws ecms::Error on any I/O failure (the tmp file is unlinked first,
+/// so a failed export never leaves debris that a later retry would trip on).
+inline void atomic_write_file(const std::string& path,
+                              std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw Error("cannot open " + tmp + " for writing: " +
+                std::strerror(errno));
+  }
+  const bool wrote = detail::write_all(fd, contents.data(), contents.size());
+  const bool synced = wrote && ::fsync(fd) == 0;
+  ::close(fd);
+  if (!wrote || !synced) {
+    const std::string why = std::strerror(errno);
+    ::unlink(tmp.c_str());
+    throw Error("failed writing " + tmp + ": " + why);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string why = std::strerror(errno);
+    ::unlink(tmp.c_str());
+    throw Error("cannot rename " + tmp + " to " + path + ": " + why);
+  }
+  detail::fsync_parent_dir(path);
+}
+
+}  // namespace ecms::util

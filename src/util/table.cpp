@@ -1,11 +1,11 @@
 #include "util/table.hpp"
 
-#include <fstream>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/fileio.hpp"
 
 namespace ecms {
 
@@ -104,10 +104,7 @@ std::string Table::to_csv() const {
 }
 
 void Table::write_csv(const std::string& path) const {
-  std::ofstream f(path);
-  ECMS_REQUIRE(f.good(), "cannot open " + path + " for writing");
-  f << to_csv();
-  ECMS_REQUIRE(f.good(), "write to " + path + " failed");
+  util::atomic_write_file(path, to_csv());
 }
 
 std::ostream& operator<<(std::ostream& os, const Table& t) {

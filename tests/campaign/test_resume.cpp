@@ -1,0 +1,209 @@
+// CampaignResumeT — supervisor robustness: worker crash isolation with
+// retry, hung-unit watchdog, SIGKILL'd supervisor + resume producing a
+// result set bit-identical to an uninterrupted run at any worker count,
+// and SIGTERM graceful drain (DESIGN.md §12, EXT-A11).
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "campaign/campaign.hpp"
+#include "campaign/supervisor.hpp"
+
+namespace {
+using namespace ecms;
+using campaign::CampaignConfig;
+using campaign::CampaignResult;
+using campaign::run_campaign;
+
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char tmpl[] = "/tmp/ecms-campaign-XXXXXX";
+    path = ::mkdtemp(tmpl);
+    EXPECT_FALSE(path.empty());
+  }
+  ~TempDir() { std::system(("rm -rf '" + path + "'").c_str()); }
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Small but non-trivial space: 5 dies x 3 corners x 2 noise seeds, 4x4
+/// arrays (one tile) so the whole campaign runs in well under a second.
+CampaignConfig config_of(const std::string& dir) {
+  CampaignConfig cfg;
+  cfg.space = campaign::UnitSpace{5, 3, 2};
+  cfg.rows = cfg.cols = 4;
+  cfg.dir = dir;
+  cfg.workers = 2;
+  return cfg;
+}
+
+void sleep_ms(long ms) {
+  struct timespec ts{ms / 1000, (ms % 1000) * 1000000L};
+  ::nanosleep(&ts, nullptr);
+}
+
+/// Runs the campaign in a forked child (so the test can SIGKILL/SIGTERM a
+/// real supervisor process); returns the child's exit status info.
+pid_t spawn_supervisor(const CampaignConfig& cfg) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    try {
+      const CampaignResult res = run_campaign(cfg);
+      _exit(res.summary.drained ? 42 : (res.summary.degraded() ? 3 : 0));
+    } catch (...) {
+      _exit(99);
+    }
+  }
+  return pid;
+}
+
+TEST(CampaignResumeT, CleanRunCompletes) {
+  TempDir dir;
+  const CampaignConfig cfg = config_of(dir.path);
+  const CampaignResult res = run_campaign(cfg);
+  EXPECT_TRUE(res.summary.complete());
+  EXPECT_FALSE(res.summary.degraded());
+  EXPECT_EQ(res.summary.units_ok, cfg.space.total());
+  EXPECT_EQ(res.records.size(), cfg.space.total());
+  EXPECT_FALSE(res.compact_path.empty());
+  EXPECT_GT(slurp(res.compact_path).size(), 0u);
+  EXPECT_NE(slurp(res.manifest_path).find("\"state\": \"complete\""),
+            std::string::npos);
+  // Every record carries a non-trivial code digest (the bit-identity
+  // witness is live, not defaulted).
+  for (const auto& r : res.records) EXPECT_NE(r.code_hash, 0u);
+}
+
+TEST(CampaignResumeT, WorkerCrashDegradesNeverDies) {
+  TempDir clean_dir, chaos_dir;
+  CampaignConfig clean = config_of(clean_dir.path);
+  const CampaignResult ref = run_campaign(clean);
+  ASSERT_TRUE(ref.summary.complete());
+
+  CampaignConfig chaos = config_of(chaos_dir.path);
+  chaos.crash_rate = 0.3;  // injected worker _exit(97) per attempt
+  chaos.retries = 2;
+  const CampaignResult res = run_campaign(chaos);  // must not throw
+  EXPECT_GT(res.summary.worker_crashes, 0u);
+  EXPECT_TRUE(res.summary.degraded());
+  // Units whose crash draw failed both attempts are reported, not fatal.
+  for (const auto& f : res.summary.failures) {
+    EXPECT_EQ(f.attempts, 2);
+    EXPECT_FALSE(f.worker_log.empty());
+  }
+
+  // A resume with the chaos knob off finishes the failed units; the final
+  // compacted image is bit-identical to the never-crashed run.
+  CampaignConfig finish = config_of(chaos_dir.path);
+  finish.resume = true;
+  const CampaignResult done = run_campaign(finish);
+  EXPECT_TRUE(done.summary.complete());
+  EXPECT_EQ(slurp(done.compact_path), slurp(ref.compact_path));
+}
+
+TEST(CampaignResumeT, SigkillResumeBitIdentical) {
+  TempDir clean_dir, kill_dir;
+  const CampaignResult ref = run_campaign(config_of(clean_dir.path));
+  ASSERT_TRUE(ref.summary.complete());
+
+  // Supervisor in a child process, paced so SIGKILL lands mid-campaign:
+  // 30 units x 15 ms over 2 workers ≈ 225 ms of runtime, killed at 60 ms.
+  CampaignConfig paced = config_of(kill_dir.path);
+  paced.unit_delay_ms = 15;
+  const pid_t pid = spawn_supervisor(paced);
+  ASSERT_GT(pid, 0);
+  sleep_ms(60);
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  int st = 0;
+  ASSERT_EQ(::waitpid(pid, &st, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(st) && WTERMSIG(st) == SIGKILL);
+
+  // Resume at a different worker count: the journal replays, the torn
+  // tail (if any) drops, and the merged result set is bit-identical.
+  CampaignConfig resume = config_of(kill_dir.path);
+  resume.workers = 3;
+  resume.resume = true;
+  const CampaignResult done = run_campaign(resume);
+  EXPECT_TRUE(done.summary.complete());
+  EXPECT_LT(done.summary.replay.committed_records, paced.space.total())
+      << "SIGKILL landed after the campaign already finished; lower the "
+         "kill delay or raise unit_delay_ms";
+  EXPECT_EQ(slurp(done.compact_path), slurp(ref.compact_path));
+}
+
+TEST(CampaignResumeT, HungUnitTimesOutAndRetries) {
+  TempDir dir;
+  CampaignConfig cfg = config_of(dir.path);
+  cfg.space = campaign::UnitSpace{2, 2, 1};
+  cfg.hang_unit = 1;  // first attempt of unit 1 sleeps forever
+  cfg.unit_timeout_ms = 300;
+  const CampaignResult res = run_campaign(cfg);
+  EXPECT_TRUE(res.summary.complete());  // watchdog killed it; retry passed
+  EXPECT_GE(res.summary.worker_timeouts, 1u);
+  EXPECT_GE(res.summary.units_retried, 1u);
+  EXPECT_TRUE(res.summary.degraded());
+  EXPECT_EQ(res.summary.units_failed, 0u);
+}
+
+TEST(CampaignResumeT, SigtermDrainsToResumableManifest) {
+  TempDir clean_dir, drain_dir;
+  const CampaignResult ref = run_campaign(config_of(clean_dir.path));
+
+  CampaignConfig paced = config_of(drain_dir.path);
+  paced.unit_delay_ms = 15;
+  const pid_t pid = spawn_supervisor(paced);
+  ASSERT_GT(pid, 0);
+  sleep_ms(60);
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  int st = 0;
+  ASSERT_EQ(::waitpid(pid, &st, 0), pid);
+  // 42 = the child observed summary.drained (in-flight units finished,
+  // store flushed, campaign resumable).
+  ASSERT_TRUE(WIFEXITED(st));
+  EXPECT_EQ(WEXITSTATUS(st), 42);
+  EXPECT_NE(slurp(drain_dir.path + "/manifest.json").find("resumable"),
+            std::string::npos);
+
+  CampaignConfig resume = config_of(drain_dir.path);
+  resume.resume = true;
+  const CampaignResult done = run_campaign(resume);
+  EXPECT_TRUE(done.summary.complete());
+  // A drained store has no torn tail at all: every in-flight unit
+  // committed before exit.
+  EXPECT_EQ(done.summary.replay.dropped_tail_bytes, 0u);
+  EXPECT_EQ(slurp(done.compact_path), slurp(ref.compact_path));
+}
+
+TEST(CampaignResumeT, MeasureUnitIsPureFunctionOfKey) {
+  // The determinism contract under everything else: the same (config,
+  // unit) measured twice — or with different scheduling knobs — yields
+  // byte-identical records.
+  CampaignConfig a = config_of("/tmp/unused-a");
+  CampaignConfig b = config_of("/tmp/unused-b");
+  b.workers = 7;           // scheduling knobs must not matter
+  b.unit_delay_ms = 123;
+  b.crash_rate = 0.9;
+  for (std::uint64_t unit : {0ull, 7ull, 29ull}) {
+    const auto ra = campaign::measure_unit(a, unit);
+    const auto rb = campaign::measure_unit(b, unit);
+    EXPECT_EQ(ra.code_hash, rb.code_hash);
+    EXPECT_EQ(ra.mean_code, rb.mean_code);
+    EXPECT_EQ(0, std::memcmp(&ra, &rb, sizeof ra));
+  }
+}
+
+}  // namespace

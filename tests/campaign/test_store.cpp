@@ -1,0 +1,270 @@
+// CampaignStoreT — journal durability semantics: torn-tail truncation,
+// CRC-corrupted page quarantine, commit-watermark replay idempotence
+// (DESIGN.md §12).
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/store.hpp"
+#include "util/error.hpp"
+
+namespace {
+using namespace ecms;
+using campaign::ReplayReport;
+using campaign::ResultStore;
+using campaign::UnitRecord;
+using campaign::UnitSpace;
+
+/// Fresh per-test scratch directory under TMPDIR, removed on destruction.
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char tmpl[] = "/tmp/ecms-store-XXXXXX";
+    path = ::mkdtemp(tmpl);
+    EXPECT_FALSE(path.empty());
+  }
+  ~TempDir() {
+    // Tests only create files directly inside `path`.
+    std::system(("rm -rf '" + path + "'").c_str());
+  }
+  std::string file(const std::string& name) const { return path + "/" + name; }
+};
+
+ResultStore::Meta meta_of(std::uint32_t dies = 4, std::uint32_t corners = 2,
+                          std::uint32_t seeds = 2) {
+  ResultStore::Meta m;
+  m.space = UnitSpace{dies, corners, seeds};
+  m.config_hash = 0xfeedfacecafebeefull;
+  m.campaign_seed = 7;
+  return m;
+}
+
+/// A distinguishable record for `unit` (synthetic; the store does not care
+/// whether it came from a real measurement).
+UnitRecord record_of(const UnitSpace& space, std::uint64_t unit) {
+  UnitRecord r;
+  r.die = space.die_of(unit);
+  r.corner = static_cast<std::uint16_t>(space.corner_of(unit));
+  r.seed = static_cast<std::uint16_t>(space.seed_of(unit));
+  r.cells = 64;
+  r.code_hash = 0x1000 + unit;
+  r.mean_code = 7.0 + static_cast<double>(unit) / 8.0;
+  return r;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+long long size_of(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 ? st.st_size : -1;
+}
+
+TEST(CampaignStoreT, RoundTrip) {
+  TempDir dir;
+  const auto meta = meta_of();
+  const std::string path = dir.file("s.store");
+  {
+    ResultStore s = ResultStore::create(path, meta);
+    for (std::uint64_t u = 0; u < 5; ++u) {
+      s.append(record_of(meta.space, u));
+      s.commit();
+    }
+  }
+  ReplayReport rep;
+  ResultStore s = ResultStore::open_for_resume(path, meta, &rep);
+  EXPECT_EQ(rep.committed_records, 5u);
+  EXPECT_EQ(rep.dropped_records, 0u);
+  EXPECT_EQ(rep.dropped_tail_bytes, 0u);
+  EXPECT_EQ(rep.quarantined_frames, 0u);
+  ASSERT_EQ(s.records().size(), 5u);
+  for (std::uint64_t u = 0; u < 5; ++u) {
+    EXPECT_TRUE(s.contains(u));
+    EXPECT_EQ(s.records()[u].code_hash, 0x1000 + u);
+  }
+  EXPECT_FALSE(s.contains(5));
+}
+
+TEST(CampaignStoreT, TornTailDropped) {
+  TempDir dir;
+  const auto meta = meta_of();
+  const std::string path = dir.file("s.store");
+  {
+    ResultStore s = ResultStore::create(path, meta);
+    for (std::uint64_t u = 0; u < 3; ++u) s.append(record_of(meta.space, u));
+    s.commit();
+  }
+  const long long committed_size = size_of(path);
+  // A crash mid-write leaves a partial frame: append garbage shorter than
+  // a frame header plus half a payload.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    const char junk[25] = "torn-frame-partial-bytes";
+    out.write(junk, sizeof junk);
+  }
+  ReplayReport rep;
+  ResultStore s = ResultStore::open_for_resume(path, meta, &rep);
+  EXPECT_EQ(rep.committed_records, 3u);
+  EXPECT_GT(rep.dropped_tail_bytes, 0u);
+  EXPECT_EQ(s.records().size(), 3u);
+  // The torn bytes are truncated away, so the file is back at the
+  // watermark and appends continue cleanly.
+  EXPECT_EQ(size_of(path), committed_size);
+  s.append(record_of(meta.space, 3));
+  s.commit();
+  ReplayReport rep2;
+  ResultStore s2 = ResultStore::open_for_resume(path, meta, &rep2);
+  EXPECT_EQ(rep2.committed_records, 4u);
+  EXPECT_EQ(rep2.dropped_tail_bytes, 0u);
+}
+
+TEST(CampaignStoreT, UncommittedPageDropped) {
+  TempDir dir;
+  const auto meta = meta_of();
+  const std::string path = dir.file("s.store");
+  std::string with_commit;
+  {
+    ResultStore s = ResultStore::create(path, meta);
+    s.append(record_of(meta.space, 0));
+    s.commit();
+    with_commit = slurp(path);
+    s.append(record_of(meta.space, 1));
+    s.commit();
+  }
+  // Reconstruct "crashed after the page write, before its commit frame":
+  // the second commit's bytes are page frame + commit frame; chop the
+  // commit frame (16-byte header + 8-byte count payload).
+  const std::string full = slurp(path);
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      .write(full.data(), static_cast<std::streamsize>(full.size() - 24));
+  ReplayReport rep;
+  ResultStore s = ResultStore::open_for_resume(path, meta, &rep);
+  EXPECT_EQ(rep.committed_records, 1u);
+  EXPECT_EQ(rep.dropped_records, 1u);  // valid page, never promised durable
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_EQ(slurp(path), with_commit);  // truncated exactly to watermark
+}
+
+TEST(CampaignStoreT, CrcQuarantine) {
+  TempDir dir;
+  const auto meta = meta_of();
+  const std::string path = dir.file("s.store");
+  long long first_commit_end = 0;
+  {
+    ResultStore s = ResultStore::create(path, meta);
+    s.append(record_of(meta.space, 0));
+    s.commit();
+    first_commit_end = size_of(path);
+    s.append(record_of(meta.space, 1));
+    s.append(record_of(meta.space, 2));
+    s.commit();
+    s.append(record_of(meta.space, 3));
+    s.commit();
+  }
+  // Flip one payload byte inside the second page frame: its CRC fails, so
+  // replay stops there and conservatively drops it and everything after —
+  // units 1..3 are simply re-measured.
+  {
+    std::string bytes = slurp(path);
+    bytes[static_cast<std::size_t>(first_commit_end) + 16 + 40] ^= 0x01;
+    std::ofstream(path, std::ios::binary | std::ios::trunc)
+        .write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  ReplayReport rep;
+  ResultStore s = ResultStore::open_for_resume(path, meta, &rep);
+  EXPECT_EQ(rep.committed_records, 1u);
+  EXPECT_EQ(rep.quarantined_frames, 1u);
+  EXPECT_GT(rep.dropped_tail_bytes, 0u);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_FALSE(s.contains(2));
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_EQ(size_of(path), first_commit_end);
+}
+
+TEST(CampaignStoreT, WatermarkReplayIdempotence) {
+  TempDir dir;
+  const auto meta = meta_of();
+  const std::string path = dir.file("s.store");
+  {
+    ResultStore s = ResultStore::create(path, meta);
+    for (std::uint64_t u = 0; u < 6; ++u) {
+      s.append(record_of(meta.space, u));
+      if (u % 2 == 1) s.commit();
+    }
+  }
+  // Replaying the same journal any number of times adopts the same record
+  // set and leaves the file bytes untouched.
+  const std::string bytes = slurp(path);
+  for (int i = 0; i < 3; ++i) {
+    ReplayReport rep;
+    ResultStore s = ResultStore::open_for_resume(path, meta, &rep);
+    EXPECT_EQ(rep.committed_records, 6u);
+    EXPECT_EQ(rep.dropped_records, 0u);
+    EXPECT_EQ(rep.dropped_tail_bytes, 0u);
+    EXPECT_EQ(s.records().size(), 6u);
+  }
+  EXPECT_EQ(slurp(path), bytes);
+}
+
+TEST(CampaignStoreT, MetaMismatchRefused) {
+  TempDir dir;
+  const auto meta = meta_of();
+  const std::string path = dir.file("s.store");
+  { ResultStore s = ResultStore::create(path, meta); }
+  auto other = meta;
+  other.config_hash ^= 1;  // different physics: refuse to resume
+  EXPECT_THROW(ResultStore::open_for_resume(path, other), Error);
+  auto wider = meta;
+  wider.space.dies += 1;
+  EXPECT_THROW(ResultStore::open_for_resume(path, wider), Error);
+  EXPECT_NO_THROW(ResultStore::open_for_resume(path, meta));
+}
+
+TEST(CampaignStoreT, DuplicateAppendRejected) {
+  TempDir dir;
+  const auto meta = meta_of();
+  ResultStore s = ResultStore::create(dir.file("s.store"), meta);
+  s.append(record_of(meta.space, 2));
+  s.commit();
+  EXPECT_THROW(s.append(record_of(meta.space, 2)), Error);
+  UnitRecord out_of_range = record_of(meta.space, 0);
+  out_of_range.die = meta.space.dies;  // unit index past space.total()
+  EXPECT_THROW(s.append(out_of_range), Error);
+}
+
+TEST(CampaignStoreT, CompactIsSchedulingIndependent) {
+  TempDir dir;
+  const auto meta = meta_of();
+  // Same record set, adverse order and different commit batching: the
+  // compacted images must be byte-identical (this is what the EXT-A11
+  // kill-resume gate diffs).
+  ResultStore a = ResultStore::create(dir.file("a.store"), meta);
+  for (std::uint64_t u = 0; u < meta.space.total(); ++u) {
+    a.append(record_of(meta.space, u));
+    a.commit();
+  }
+  ResultStore b = ResultStore::create(dir.file("b.store"), meta);
+  for (std::uint64_t u = meta.space.total(); u-- > 0;) {
+    b.append(record_of(meta.space, u));
+  }
+  b.commit();
+  a.write_compact(dir.file("a.compact"));
+  b.write_compact(dir.file("b.compact"));
+  const std::string ca = slurp(dir.file("a.compact"));
+  EXPECT_EQ(ca, slurp(dir.file("b.compact")));
+  EXPECT_GT(ca.size(), 0u);
+}
+
+}  // namespace

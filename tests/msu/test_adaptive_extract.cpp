@@ -26,7 +26,7 @@ namespace {
 // probe(k) = (k >= threshold); counts probes and rejects repeats.
 struct FakeRamp {
   int threshold;  // first flipping level; steps + 1 = never flips
-  std::set<int> seen;
+  std::set<int> seen{};
   int probes = 0;
   bool operator()(int k) {
     EXPECT_TRUE(seen.insert(k).second) << "level " << k << " probed twice";

@@ -8,6 +8,8 @@
 //   2  runtime failure (extraction aborted, fail-fast hit, bad netlist, ...)
 //   3  degraded success: the run completed but some cells are unmeasurable
 //      (--keep-going, the default; the per-cell failure report lists them)
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -17,6 +19,9 @@
 #include <thread>
 
 #include "bitmap/compare.hpp"
+#include "campaign/campaign.hpp"
+#include "campaign/supervisor.hpp"
+#include "campaign/worker.hpp"
 #include "bitmap/diagnosis.hpp"
 #include "bitmap/extraction.hpp"
 #include "circuit/solver.hpp"
@@ -177,6 +182,11 @@ CliRunConfig run_config_of(const Args& args, bool adaptive_default) {
   }
   cfg.fail_fast = args.flag("fail-fast");
   cfg.fault_rate = args.num("fault-rate", 0.0);
+  // A probability: reject anything outside [0,1] (NaN fails both compares).
+  if (!(cfg.fault_rate >= 0.0 && cfg.fault_rate <= 1.0)) {
+    throw UsageError("--fault-rate must be a probability in [0, 1], got '" +
+                     args.str("fault-rate", "") + "'");
+  }
   cfg.fault_seed = static_cast<std::uint64_t>(args.num("fault-seed", 1));
   if (args.flag("adaptive") && args.flag("no-adaptive")) {
     throw UsageError("--adaptive and --no-adaptive are mutually exclusive");
@@ -464,6 +474,154 @@ int cmd_spice(const Args& args) {
   return 0;
 }
 
+/// Strict positive-integer flag for the campaign subcommand: --workers 0,
+/// --retries 0 or "--dies -3" exit 1 with a one-line reason instead of
+/// being clamped into something runnable.
+long long positive_of(const Args& args, const std::string& key,
+                      long long fallback) {
+  const long long v = args.integer(key, fallback);
+  if (v < 1) {
+    throw UsageError("--" + key + " must be >= 1 (got " + std::to_string(v) +
+                     ")");
+  }
+  return v;
+}
+
+/// Parses the campaign flags shared by `campaign` and the hidden
+/// `campaign-worker` (the supervisor serializes them with
+/// campaign::worker_args, so both sides must use this one parser).
+campaign::CampaignConfig campaign_config_of(const Args& args) {
+  campaign::CampaignConfig cfg;
+  cfg.space.dies = static_cast<std::uint32_t>(positive_of(args, "dies", 16));
+  cfg.space.corners =
+      static_cast<std::uint32_t>(positive_of(args, "corners", 5));
+  if (cfg.space.corners > 5) {
+    throw UsageError("--corners must be in [1, 5] (tech has 5 corners)");
+  }
+  cfg.space.seeds = static_cast<std::uint32_t>(positive_of(args, "seeds", 2));
+  cfg.seed = static_cast<std::uint64_t>(args.integer("seed", 1));
+  cfg.rows = static_cast<std::size_t>(positive_of(args, "rows", 8));
+  cfg.cols = static_cast<std::size_t>(positive_of(args, "cols", 8));
+  if (cfg.rows % 4 != 0 || cfg.cols % 4 != 0) {
+    throw UsageError("--rows/--cols must be multiples of the 4x4 tile");
+  }
+  cfg.noise_sigma_rel = args.num("noise", 0.02);
+  cfg.local_sigma_rel = args.num("sigma", 0.02);
+  cfg.gradient = args.num("gradient", 0.0);
+  cfg.drift = args.num("drift", 0.0);
+  cfg.defect_rates.short_rate = args.num("shorts", 0.002);
+  cfg.defect_rates.open_rate = args.num("opens", 0.002);
+  cfg.defect_rates.partial_rate = args.num("partials", 0.005);
+  cfg.defect_rates.bridge_rate = args.num("bridges", 0.0);
+
+  // --workers (alias --jobs for symmetry with the other commands): strict,
+  // >= 1; a campaign worker is a subprocess, so 0 has no "hardware
+  // threads" meaning here.
+  const std::string wkey = args.flag("workers") ? "workers" : "jobs";
+  cfg.workers = static_cast<int>(
+      std::min<long long>(positive_of(args, wkey, 1), 512));
+  cfg.retries = static_cast<int>(positive_of(args, "retries", 2));
+  cfg.unit_timeout_ms =
+      static_cast<int>(positive_of(args, "unit-timeout-ms", 30000));
+  cfg.unit_delay_ms =
+      static_cast<int>(args.integer("unit-delay-ms", 0));
+  if (cfg.unit_delay_ms < 0) {
+    throw UsageError("--unit-delay-ms must be >= 0");
+  }
+  cfg.hang_unit = static_cast<std::uint64_t>(
+      args.integer("hang-unit", static_cast<long long>(-1)));
+  cfg.crash_rate = args.num("fault-rate", 0.0);
+  if (!(cfg.crash_rate >= 0.0 && cfg.crash_rate <= 1.0)) {
+    throw UsageError("--fault-rate must be a probability in [0, 1], got '" +
+                     args.str("fault-rate", "") + "'");
+  }
+  cfg.crash_seed = static_cast<std::uint64_t>(args.integer("fault-seed", 1));
+  cfg.dir = args.str("dir", "");
+  cfg.resume = args.flag("resume");
+  return cfg;
+}
+
+/// campaign — run (or --resume) a wafer-scale measurement campaign:
+/// journaled result store, sharded worker subprocesses, kill-resume
+/// recovery (DESIGN.md §12).
+int cmd_campaign(const Args& args) {
+  ObsSession obs_session(args);
+  campaign::CampaignConfig cfg = campaign_config_of(args);
+  if (cfg.dir.empty()) {
+    throw UsageError("campaign needs --dir DIR (store, manifest, worker "
+                     "logs live there)");
+  }
+  // Workers run as fork+exec of this binary so a worker crash — including
+  // an OOM-kill or sanitizer abort — can never take the supervisor's
+  // address space with it. Fall back to plain fork when /proc/self/exe is
+  // unreadable (exotic mounts); isolation is the same, only exec hygiene
+  // differs.
+  char self[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", self, sizeof self - 1);
+  if (n > 0 && !args.flag("fork-workers")) {
+    self[n] = '\0';
+    cfg.exec_self = true;
+    cfg.self_path = self;
+  }
+
+  const campaign::CampaignResult res = campaign::run_campaign(cfg);
+  const campaign::CampaignSummary& s = res.summary;
+
+  std::printf("campaign %s: %llu/%llu units done\n",
+              s.complete() ? (s.degraded() ? "complete (degraded)"
+                                           : "complete")
+                           : "interrupted (resumable)",
+              static_cast<unsigned long long>(s.units_done),
+              static_cast<unsigned long long>(s.units_total));
+  std::printf(
+      "  this run: %llu ok, %llu retried, %llu failed; workers: %llu "
+      "spawned, %llu crashed, %llu timed out\n",
+      static_cast<unsigned long long>(s.units_ok),
+      static_cast<unsigned long long>(s.units_retried),
+      static_cast<unsigned long long>(s.units_failed),
+      static_cast<unsigned long long>(s.workers_spawned),
+      static_cast<unsigned long long>(s.worker_crashes),
+      static_cast<unsigned long long>(s.worker_timeouts));
+  if (cfg.resume) {
+    std::printf(
+        "  resume replay: %llu records recovered, %llu uncommitted "
+        "dropped, %llu torn bytes, %llu quarantined frames\n",
+        static_cast<unsigned long long>(s.replay.committed_records),
+        static_cast<unsigned long long>(s.replay.dropped_records),
+        static_cast<unsigned long long>(s.replay.dropped_tail_bytes),
+        static_cast<unsigned long long>(s.replay.quarantined_frames));
+  }
+  for (const auto& f : s.failures) {
+    std::printf("  failed unit %llu after %d attempts: %s (log: %s)\n",
+                static_cast<unsigned long long>(f.unit), f.attempts,
+                f.reason.c_str(), f.worker_log.c_str());
+  }
+  std::printf("  store: %s\n  manifest: %s\n", res.store_path.c_str(),
+              res.manifest_path.c_str());
+  if (!res.compact_path.empty()) {
+    std::printf("  compact: %s\n", res.compact_path.c_str());
+  }
+
+  if (!res.records.empty()) {
+    std::printf("\ncorner drift / code-histogram stability:\n");
+    campaign::print_campaign_report(res.records, cfg.space);
+  }
+  obs_session.finish();
+  return s.degraded() ? kExitDegraded : kExitOk;
+}
+
+/// campaign-worker — hidden: the supervisor's fork+exec target. Speaks the
+/// stdin/--result-fd protocol; never run it by hand.
+int cmd_campaign_worker(const Args& args) {
+  const campaign::CampaignConfig cfg = campaign_config_of(args);
+  const int result_fd = static_cast<int>(args.integer("result-fd", -1));
+  if (result_fd < 0) {
+    throw UsageError("campaign-worker needs --result-fd (spawned by "
+                     "`campaign`, not run directly)");
+  }
+  return campaign::run_worker_loop(cfg, STDIN_FILENO, result_fd);
+}
+
 int usage() {
   std::fprintf(stderr, "%s",
       "usage: ecms_tool <command> [--option value ...]\n"
@@ -486,6 +644,18 @@ int usage() {
       "           --rows N --cols N\n"
       "  spice    dump the array + structure netlist as SPICE\n"
       "           --rows N --cols N\n"
+      "  campaign run a wafer-scale (die x corner x seed) measurement\n"
+      "           campaign: journaled crash-safe result store, worker\n"
+      "           subprocesses, kill-resume recovery; prints the\n"
+      "           corner-drift / histogram-stability report\n"
+      "           --dir DIR (required) --resume\n"
+      "           --dies N --corners N --seeds N --seed S\n"
+      "           --rows N --cols N --noise S --sigma S\n"
+      "           --gradient G --drift D --shorts R --opens R\n"
+      "           --partials R --bridges R\n"
+      "           --workers N (strict, >= 1) --retries N (strict, >= 1)\n"
+      "           --unit-timeout-ms MS --unit-delay-ms MS\n"
+      "           --fault-rate P --fault-seed S (inject worker crashes)\n"
       "\n"
       "run shape (extract, bitmap, array — parsed once, same everywhere):\n"
       "  --jobs N        worker threads (default 1; 0 = one per hardware\n"
@@ -525,7 +695,9 @@ int usage() {
       "  1  usage error (bad command line)\n"
       "  2  runtime failure (extraction aborted, --fail-fast hit, ...)\n"
       "  3  degraded success: run completed, some cells unmeasurable\n"
-      "     (the per-cell failure report lists them)\n");
+      "     (the per-cell failure report lists them); for campaign:\n"
+      "     finished or drained with failed units / crashes / timeouts /\n"
+      "     retries — resumable, never aborted\n");
   return kExitUsage;
 }
 
@@ -551,6 +723,8 @@ int main(int argc, char** argv) {
     if (cmd == "array") return cmd_array(args);
     if (cmd == "design") return cmd_design(args);
     if (cmd == "spice") return cmd_spice(args);
+    if (cmd == "campaign") return cmd_campaign(args);
+    if (cmd == "campaign-worker") return cmd_campaign_worker(args);
     return usage();
   } catch (const UsageError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
