@@ -37,6 +37,9 @@
 #include "obs/metrics.hpp"
 #include "msu/extract.hpp"
 #include "report/experiment.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/workload.hpp"
 #include "tech/tech.hpp"
 #include "util/fileio.hpp"
 #include "util/table.hpp"
@@ -802,6 +805,223 @@ void run_campaign_acceptance(JsonSink& json) {
   }
 }
 
+// EXT-A12 — the extraction service: a repeated-topology request stream
+// against a running server must pay exactly one symbolic factorization per
+// distinct topology (the warm cache spanning requests AND sessions); every
+// served code array must be bit-identical to a one-shot extraction::extract
+// of the same spec, at --jobs 1 and --jobs N; a full queue must reject
+// synchronously (never hang the client); and a graceful drain must lose
+// zero accepted requests.
+void run_serve_acceptance(std::size_t jobs, JsonSink& json) {
+  std::printf("EXT-A12: extraction service — warm cache, bit-identity, "
+              "admission, drain\n\n");
+  report::Experiment exp(
+      "EXT-A12", "service request stream vs one-shot extraction");
+
+  const std::string sock =
+      "/tmp/ecms-bench-serve-" + std::to_string(::getpid()) + ".sock";
+  // 4x4 circuit-engine arrays, defect-free so the distinct-topology count
+  // is exactly the tile-geometry count: whole-array (4x4) and 2x2 tiles.
+  auto spec_of = [](std::uint64_t id, std::uint32_t tile) {
+    serve::ExtractSpec s;
+    s.request_id = id;
+    s.rows = 4;
+    s.cols = 4;
+    s.shorts = 0.0;
+    s.opens = 0.0;
+    s.partials = 0.0;
+    s.engine = 1;  // circuit
+    s.solver = 1;  // sparse: the engine with a symbolic phase to share
+    s.tile_rows = tile;
+    s.tile_cols = tile;
+    return s;
+  };
+  constexpr std::uint64_t kStream = 6;  // ids 1..6, alternating 4x4 / 2x2
+
+  // One-shot references through the same translation layer the server
+  // uses, serially — the bit-identity baseline.
+  std::vector<std::vector<int>> want_codes(kStream);
+  for (std::uint64_t id = 1; id <= kStream; ++id) {
+    const serve::ExtractSpec s = spec_of(id, id % 2 == 0 ? 2 : 4);
+    const edram::MacroCell mc = serve::build_array(serve::array_spec_of(s));
+    extraction::ExtractRequest req = serve::request_of(s);
+    req.share_programs = false;  // private compile: no cross-talk with the
+                                 // server's global cache accounting below
+    want_codes[id - 1] = extraction::extract(mc, req).bitmap.codes();
+  }
+
+  // Phase 1: the stream against a serial server, cache and registry cold.
+  obs::set_metrics_enabled(true);
+  obs::Registry::global().reset();
+  circuit::ProgramCache::global().clear();
+  bool identical_serial = true;
+  bool stream_ok = true;
+  {
+    serve::ServerConfig cfg;
+    cfg.socket_path = sock;
+    cfg.queue_capacity = 16;
+    cfg.dispatchers = 1;
+    cfg.jobs = 1;
+    serve::Server server(cfg);
+    server.start();
+    serve::Client client;
+    std::string err;
+    stream_ok = client.connect(sock, &err);
+    if (stream_ok) {
+      for (std::uint64_t id = 1; id <= kStream; ++id) {
+        stream_ok &= client.submit(spec_of(id, id % 2 == 0 ? 2 : 4)).accepted;
+      }
+      for (std::uint64_t id = 1; id <= kStream && stream_ok; ++id) {
+        const serve::Client::Result res = client.await_result(id);
+        stream_ok &= res.ok;
+        identical_serial &=
+            std::equal(res.codes.begin(), res.codes.end(),
+                       want_codes[id - 1].begin(), want_codes[id - 1].end()) &&
+            res.codes.size() == want_codes[id - 1].size();
+      }
+    }
+    server.begin_drain();
+    server.wait_drained();
+    server.stop();
+  }
+  const auto snap = obs::Registry::global().snapshot();
+  obs::set_metrics_enabled(false);
+  auto counter_of = [&snap](const char* name) {
+    const auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? std::uint64_t{0} : it->second;
+  };
+  const std::uint64_t symbolic = counter_of("circuit.lu.symbolic");
+  const std::uint64_t hits = counter_of("circuit.program.hits");
+  const auto distinct =
+      static_cast<std::uint64_t>(circuit::ProgramCache::global().size());
+  std::printf("  stream of %llu requests: %llu symbolic factorizations, "
+              "%llu distinct topologies, %llu program hits\n",
+              static_cast<unsigned long long>(kStream),
+              static_cast<unsigned long long>(symbolic),
+              static_cast<unsigned long long>(distinct),
+              static_cast<unsigned long long>(hits));
+  exp.check("repeated-topology stream pays one symbolic factorization per "
+            "distinct topology (warm cache spans requests)",
+            std::to_string(symbolic) + " symbolic vs " +
+                std::to_string(distinct) + " distinct",
+            stream_ok && symbolic == distinct && distinct == 2 && hits > 0);
+  exp.check("served codes bit-identical to one-shot runs (serial server)",
+            identical_serial ? "identical" : "MISMATCH",
+            stream_ok && identical_serial);
+
+  // Phase 2: same stream against a parallel server (N dispatchers, N tile
+  // workers each) — scheduling must not leak into a single code.
+  bool identical_parallel = true;
+  bool par_ok = true;
+  {
+    serve::ServerConfig cfg;
+    cfg.socket_path = sock;
+    cfg.queue_capacity = 16;
+    cfg.dispatchers = 2;
+    cfg.jobs = jobs;
+    serve::Server server(cfg);
+    server.start();
+    serve::Client client;
+    std::string err;
+    par_ok = client.connect(sock, &err);
+    if (par_ok) {
+      for (std::uint64_t id = 1; id <= kStream; ++id) {
+        par_ok &= client.submit(spec_of(id, id % 2 == 0 ? 2 : 4)).accepted;
+      }
+      for (std::uint64_t id = 1; id <= kStream && par_ok; ++id) {
+        const serve::Client::Result res = client.await_result(id);
+        par_ok &= res.ok;
+        identical_parallel &=
+            res.codes.size() == want_codes[id - 1].size() &&
+            std::equal(res.codes.begin(), res.codes.end(),
+                       want_codes[id - 1].begin(), want_codes[id - 1].end());
+      }
+    }
+    server.begin_drain();
+    server.wait_drained();
+    server.stop();
+  }
+  exp.check("served codes bit-identical at --jobs " + std::to_string(jobs) +
+                " with 2 dispatchers",
+            identical_parallel ? "identical" : "MISMATCH",
+            par_ok && identical_parallel);
+
+  // Phase 3: admission under a deterministically full queue, then drain.
+  // Dispatch is paused so capacity 3 fills exactly; the overflow request
+  // must come back rejected-with-retry-after immediately (never hang), a
+  // draining server must refuse new work, and resuming must complete every
+  // accepted request — zero loss.
+  std::uint32_t reject_retry_ms = 0;
+  bool reject_prompt = false;
+  bool drain_refused = false;
+  std::uint64_t drain_accepted = 0, drain_completed = 0;
+  bool backlog_ok = true;
+  {
+    serve::ServerConfig cfg;
+    cfg.socket_path = sock;
+    cfg.queue_capacity = 3;
+    cfg.dispatchers = 1;
+    cfg.jobs = 1;
+    serve::Server server(cfg);
+    server.start();
+    server.pause_dispatch();
+    serve::Client client;
+    std::string err;
+    backlog_ok = client.connect(sock, &err);
+    for (std::uint64_t id = 1; id <= 3 && backlog_ok; ++id) {
+      serve::ExtractSpec s = spec_of(id, 4);
+      s.engine = 0;  // fast model: milliseconds per request
+      backlog_ok &= client.submit(s).accepted;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    serve::ExtractSpec overflow = spec_of(4, 4);
+    overflow.engine = 0;
+    const serve::Client::Submission rejected = client.submit(overflow);
+    const auto reject_wait = std::chrono::duration_cast<std::chrono::seconds>(
+        std::chrono::steady_clock::now() - t0);
+    reject_retry_ms = rejected.retry_after_ms;
+    reject_prompt = !rejected.accepted && rejected.retry_after_ms > 0 &&
+                    reject_wait.count() < 5;
+
+    server.begin_drain();
+    serve::ExtractSpec late = spec_of(5, 4);
+    late.engine = 0;
+    const serve::Client::Submission refused = client.submit(late);
+    drain_refused = !refused.accepted && refused.retry_after_ms == 0;
+
+    server.resume_dispatch();
+    for (std::uint64_t id = 1; id <= 3 && backlog_ok; ++id) {
+      backlog_ok &= client.await_result(id).ok;
+    }
+    server.wait_drained();
+    drain_accepted = server.accepted();
+    drain_completed = server.completed();
+    server.stop();
+  }
+  exp.check("queue-full request is rejected synchronously with a "
+            "retry-after hint, never hung",
+            "retry_after " + std::to_string(reject_retry_ms) + " ms",
+            backlog_ok && reject_prompt);
+  exp.check("draining server refuses new work but completes every "
+            "accepted request (zero loss)",
+            std::to_string(drain_completed) + "/" +
+                std::to_string(drain_accepted) + " completed",
+            backlog_ok && drain_refused && drain_accepted == 3 &&
+                drain_completed == 3);
+  std::cout << exp << '\n';
+
+  json.add("ext_a12_stream_requests", static_cast<long long>(kStream));
+  json.add("ext_a12_symbolic", static_cast<long long>(symbolic));
+  json.add("ext_a12_distinct", static_cast<long long>(distinct));
+  json.add("ext_a12_program_hits", static_cast<long long>(hits));
+  json.add("ext_a12_codes_identical_serial", identical_serial && stream_ok);
+  json.add("ext_a12_codes_identical_parallel", identical_parallel && par_ok);
+  json.add("ext_a12_reject_retry_ms", static_cast<long long>(reject_retry_ms));
+  json.add("ext_a12_drain_accepted", static_cast<long long>(drain_accepted));
+  json.add("ext_a12_drain_completed", static_cast<long long>(drain_completed));
+  std::remove(sock.c_str());
+}
+
 void BM_CircuitExtractionBySize(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto mc = edram::MacroCell::uniform({.rows = n, .cols = n},
@@ -870,6 +1090,8 @@ std::size_t take_jobs_flag(int& argc, char** argv, std::size_t fallback,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // EXT-A12 runs a live server; a dead peer must be EPIPE, not a signal.
+  ::signal(SIGPIPE, SIG_IGN);
   std::string json_path;
   std::string solver_json_path;
   const std::size_t jobs =
@@ -882,6 +1104,7 @@ int main(int argc, char** argv) {
   run_solver_acceptance(jobs, json, solver_json_path);
   run_program_cache_acceptance(jobs, json);
   run_campaign_acceptance(json);
+  run_serve_acceptance(jobs, json);
   if (!json_path.empty()) {
     if (json.write(json_path)) {
       std::printf("acceptance numbers written to %s\n", json_path.c_str());

@@ -1,6 +1,7 @@
 #include "bitmap/extraction.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <mutex>
@@ -87,7 +88,7 @@ ExtractReport extract(const edram::MacroCell& mc, const ExtractRequest& req) {
   const std::size_t tiles_per_row = mc.cols() / tile_cols;
   const std::size_t n_tiles = (mc.rows() / tile_rows) * tiles_per_row;
 
-  util::ThreadPool::run(pool, n_tiles, 1, [&](std::size_t t) {
+  const auto tile_body = [&](std::size_t t) {
     const std::size_t tr = (t / tiles_per_row) * tile_rows;
     const std::size_t tc = (t % tiles_per_row) * tile_cols;
     const TileProbe probe(t, tr, tc);
@@ -221,6 +222,12 @@ ExtractReport extract(const edram::MacroCell& mc, const ExtractRequest& req) {
       const std::lock_guard<std::mutex> lock(merge_mutex);
       recovered += n_recovered;
     }
+  };
+
+  std::atomic<std::size_t> tiles_done{0};
+  util::ThreadPool::run(pool, n_tiles, 1, [&](std::size_t t) {
+    tile_body(t);
+    if (req.tile_hook) req.tile_hook(tiles_done.fetch_add(1) + 1, n_tiles);
   });
 
   // Sorted row-major so the report is deterministic regardless of tile

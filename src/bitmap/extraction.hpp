@@ -79,6 +79,13 @@ struct ExtractRequest {
   /// Measurement noise (fast-model engine only); both or neither.
   const msu::MeasureNoise* noise = nullptr;
   Rng* rng = nullptr;
+
+  /// Optional completion tap, hook(tiles_done, tiles_total), called once
+  /// per finished tile (any engine). `tiles_done` counts completions, not
+  /// tile indices — tiles finish in any order under a pool. Called from
+  /// worker threads with no lock held — must be thread-safe; the serve
+  /// layer streams its per-tile progress frames from here.
+  std::function<void(std::size_t, std::size_t)> tile_hook;
 };
 
 /// A complete, possibly degraded extraction plus aggregate telemetry.

@@ -1,0 +1,181 @@
+#include "campaign/compact.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+
+namespace ecms::campaign {
+
+namespace {
+namespace fmt = format;
+
+/// Byte offset of each column's start within the column block, for a file
+/// holding `n` records.
+struct ColumnOffsets {
+  std::size_t die, corner, seed, status, cells, recovered, unmeasurable;
+  std::size_t code_hash, mean_code, code_stddev, code_hist;
+
+  explicit ColumnOffsets(std::uint64_t n) {
+    const auto sz = static_cast<std::size_t>(n);
+    std::size_t at = 0;
+    const auto next = [&](std::size_t field_bytes) {
+      const std::size_t here = at;
+      at += field_bytes * sz;
+      return here;
+    };
+    die = next(4);
+    corner = next(2);
+    seed = next(2);
+    status = next(2);
+    cells = next(4);
+    recovered = next(4);
+    unmeasurable = next(4);
+    code_hash = next(8);
+    mean_code = next(8);
+    code_stddev = next(8);
+    code_hist = next(4 * kCodeBins);
+  }
+};
+
+template <typename T>
+T load(const char* base, std::size_t column, std::uint64_t i) {
+  T v;
+  std::memcpy(&v, base + column + i * sizeof(T), sizeof v);
+  return v;
+}
+}  // namespace
+
+CompactReader CompactReader::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw Error("compact: cannot open " + path + ": " + std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw Error("compact: stat " + path + ": " + why);
+  }
+  const auto len = static_cast<std::size_t>(st.st_size);
+  if (len < fmt::compact_file_size(0)) {
+    ::close(fd);
+    throw Error("compact: " + path + " is truncated (" +
+                std::to_string(len) + " bytes)");
+  }
+
+  void* map = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (map == MAP_FAILED) {
+    throw Error("compact: mmap " + path + ": " + std::strerror(errno));
+  }
+  const char* p = static_cast<const char*>(map);
+
+  const auto fail = [&](const std::string& why) {
+    ::munmap(map, len);
+    throw Error("compact: " + path + ": " + why);
+  };
+
+  if (std::memcmp(p, fmt::kCompactMagic, sizeof fmt::kCompactMagic) != 0) {
+    fail("bad magic");
+  }
+  std::uint64_t count = 0;
+  std::memcpy(&count, p + 8, sizeof count);
+  if (len != fmt::compact_file_size(count)) {
+    fail("structural size mismatch: " + std::to_string(len) + " bytes for " +
+         std::to_string(count) + " records");
+  }
+
+  // Whole-file CRC: every byte before the trailing u32 must digest to it.
+  // This is the strong check — any flipped bit anywhere in the columns
+  // fails here, before a single record is served.
+  std::uint32_t want_crc = 0;
+  std::memcpy(&want_crc, p + len - sizeof want_crc, sizeof want_crc);
+  if (util::crc32(p, len - sizeof want_crc) != want_crc) {
+    fail("whole-file CRC mismatch");
+  }
+
+  fmt::FileHeader h{};
+  std::memcpy(&h, p + 16, sizeof h);
+  if (std::memcmp(h.magic, fmt::kJournalMagic, sizeof h.magic) != 0) {
+    fail("bad inner header magic");
+  }
+  if (h.crc != fmt::header_body_crc(h)) fail("inner header CRC mismatch");
+  if (h.record_size != sizeof(UnitRecord)) {
+    fail("record size mismatch: file has " + std::to_string(h.record_size));
+  }
+
+  CompactReader r;
+  r.map_ = p;
+  r.map_len_ = len;
+  r.count_ = count;
+  r.space_ = UnitSpace{h.dies, h.corners, h.seeds};
+  r.config_hash_ = h.config_hash;
+  r.campaign_seed_ = h.campaign_seed;
+  return r;
+}
+
+CompactReader::CompactReader(CompactReader&& other) noexcept {
+  *this = std::move(other);
+}
+
+CompactReader& CompactReader::operator=(CompactReader&& other) noexcept {
+  if (this != &other) {
+    if (map_ != nullptr) {
+      ::munmap(const_cast<char*>(map_), map_len_);
+    }
+    map_ = std::exchange(other.map_, nullptr);
+    map_len_ = std::exchange(other.map_len_, 0);
+    count_ = other.count_;
+    space_ = other.space_;
+    config_hash_ = other.config_hash_;
+    campaign_seed_ = other.campaign_seed_;
+  }
+  return *this;
+}
+
+CompactReader::~CompactReader() {
+  if (map_ != nullptr) {
+    ::munmap(const_cast<char*>(map_), map_len_);
+  }
+}
+
+UnitRecord CompactReader::record(std::uint64_t i) const {
+  if (i >= count_) {
+    throw Error("compact: record index " + std::to_string(i) +
+                " out of range (count " + std::to_string(count_) + ")");
+  }
+  const char* cols = map_ + fmt::kCompactPrologue;
+  const ColumnOffsets at(count_);
+
+  UnitRecord r{};
+  r.die = load<std::uint32_t>(cols, at.die, i);
+  r.corner = load<std::uint16_t>(cols, at.corner, i);
+  r.seed = load<std::uint16_t>(cols, at.seed, i);
+  r.status = load<std::uint16_t>(cols, at.status, i);
+  r.cells = load<std::uint32_t>(cols, at.cells, i);
+  r.recovered = load<std::uint32_t>(cols, at.recovered, i);
+  r.unmeasurable = load<std::uint32_t>(cols, at.unmeasurable, i);
+  r.code_hash = load<std::uint64_t>(cols, at.code_hash, i);
+  r.mean_code = load<double>(cols, at.mean_code, i);
+  r.code_stddev = load<double>(cols, at.code_stddev, i);
+  std::memcpy(r.code_hist, cols + at.code_hist + i * 4 * kCodeBins,
+              4 * kCodeBins);
+  return r;
+}
+
+std::vector<UnitRecord> CompactReader::records() const {
+  std::vector<UnitRecord> out;
+  out.reserve(static_cast<std::size_t>(count_));
+  for (std::uint64_t i = 0; i < count_; ++i) out.push_back(record(i));
+  return out;
+}
+
+}  // namespace ecms::campaign

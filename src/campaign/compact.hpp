@@ -1,0 +1,62 @@
+// Read-only mmap'd view of a compacted campaign (`campaign.compact`).
+//
+// write_compact() lays records out column-major so aggregate queries touch
+// only the columns they need; CompactReader maps the file read-only and
+// serves records without slurping it into memory — the out-of-core path
+// for wafer-scale aggregates (ROADMAP item 4 mop-up).
+//
+// Integrity: open() verifies the magic, the exact structural size
+// (prologue + columns + trailing CRC), the header's self-CRC, and the
+// whole-file trailing CRC before exposing a single byte — a truncated or
+// bit-flipped compact fails loudly at open, never as a silent bad
+// aggregate (the journal's quarantine discipline, applied to the columnar
+// image).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/format.hpp"
+#include "campaign/record.hpp"
+
+namespace ecms::campaign {
+
+class CompactReader {
+ public:
+  /// Maps `path` read-only and verifies it end to end. Throws ecms::Error
+  /// on I/O failure, wrong magic, structural size mismatch, or CRC
+  /// mismatch (header or whole-file).
+  static CompactReader open(const std::string& path);
+
+  CompactReader(CompactReader&& other) noexcept;
+  CompactReader& operator=(CompactReader&& other) noexcept;
+  CompactReader(const CompactReader&) = delete;
+  CompactReader& operator=(const CompactReader&) = delete;
+  ~CompactReader();
+
+  std::uint64_t count() const { return count_; }
+  const UnitSpace& space() const { return space_; }
+  std::uint64_t config_hash() const { return config_hash_; }
+  std::uint64_t campaign_seed() const { return campaign_seed_; }
+
+  /// Record `i` (unit order), reassembled from the columns. `attempts` is
+  /// always 0 — the compact format deliberately omits scheduling history.
+  UnitRecord record(std::uint64_t i) const;
+
+  /// All records, materialized (convenience for the report path; the
+  /// per-record accessor is the out-of-core interface).
+  std::vector<UnitRecord> records() const;
+
+ private:
+  CompactReader() = default;
+
+  const char* map_ = nullptr;
+  std::size_t map_len_ = 0;
+  std::uint64_t count_ = 0;
+  UnitSpace space_;
+  std::uint64_t config_hash_ = 0;
+  std::uint64_t campaign_seed_ = 0;
+};
+
+}  // namespace ecms::campaign

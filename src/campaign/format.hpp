@@ -1,0 +1,81 @@
+// On-disk formats of the campaign result store (DESIGN.md §12).
+//
+// Shared between the journal writer/replayer (store.cpp) and the mmap'd
+// compact reader (compact.cpp) so the two sides can never drift: one
+// FileHeader layout, one CRC rule, one set of magics.
+//
+// Journal (`campaign.store`): FileHeader, then PAGE/CMIT frames, each a
+// 16-byte FrameHeader + payload (CRC over payload, strictly increasing
+// seq). Compact (`campaign.compact`): 8-byte magic + u64 record count +
+// FileHeader, then the column-major record fields in unit order, then one
+// trailing u32 CRC over every preceding byte of the file.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "campaign/record.hpp"
+#include "util/crc32.hpp"
+
+namespace ecms::campaign::format {
+
+constexpr char kJournalMagic[8] = {'E', 'C', 'M', 'S', 'C', 'M', 'P', '1'};
+constexpr char kCompactMagic[8] = {'E', 'C', 'M', 'S', 'C', 'O', 'L', '1'};
+constexpr std::uint32_t kPageMagic = 0x45474150;    // "PAGE"
+constexpr std::uint32_t kCommitMagic = 0x54494D43;  // "CMIT"
+constexpr std::size_t kHeaderSize = 64;
+/// A page frame larger than this is structurally impossible (the supervisor
+/// commits per unit); treat it as corruption instead of allocating wild.
+constexpr std::uint32_t kMaxPayload = 64u << 20;
+
+/// On-disk file header, padded to kHeaderSize. `crc` covers every byte
+/// after itself.
+struct FileHeader {
+  char magic[8];
+  std::uint32_t crc;
+  std::uint32_t record_size;
+  std::uint32_t dies, corners, seeds;
+  std::uint32_t pad;  ///< explicit, so no alignment padding is CRC'd
+  std::uint64_t config_hash;
+  std::uint64_t campaign_seed;
+  std::uint8_t reserved[kHeaderSize - 48];
+};
+static_assert(sizeof(FileHeader) == kHeaderSize);
+static_assert(std::is_trivially_copyable_v<FileHeader>);
+
+/// The header's self-check CRC: everything after the crc field itself.
+inline std::uint32_t header_body_crc(const FileHeader& h) {
+  const char* body = reinterpret_cast<const char*>(&h) + 12;
+  return util::crc32(body, sizeof h - 12);
+}
+
+/// 16-byte frame header (journal only). `crc` covers the payload; `seq`
+/// must be the previous frame's seq + 1, which catches a frame spliced
+/// from another store generation.
+struct FrameHeader {
+  std::uint32_t magic;
+  std::uint32_t payload_len;
+  std::uint32_t seq;
+  std::uint32_t crc;
+};
+static_assert(sizeof(FrameHeader) == 16);
+
+/// Bytes per record across the compact file's columns (attempts is
+/// deliberately absent — scheduling history, not measurement result).
+/// die(4) + corner(2) + seed(2) + status(2) + cells(4) + recovered(4) +
+/// unmeasurable(4) + code_hash(8) + mean_code(8) + code_stddev(8) +
+/// code_hist(4*kCodeBins).
+constexpr std::size_t kCompactBytesPerRecord =
+    4 + 2 + 2 + 2 + 4 + 4 + 4 + 8 + 8 + 8 + 4 * kCodeBins;
+/// magic + count + FileHeader prologue, before the columns.
+constexpr std::size_t kCompactPrologue = 8 + 8 + kHeaderSize;
+
+/// Total compact-file size for `count` records (incl. trailing CRC).
+constexpr std::size_t compact_file_size(std::uint64_t count) {
+  return kCompactPrologue +
+         static_cast<std::size_t>(count) * kCompactBytesPerRecord +
+         sizeof(std::uint32_t);
+}
+
+}  // namespace ecms::campaign::format

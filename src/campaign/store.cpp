@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "campaign/format.hpp"
 #include "obs/metrics.hpp"
 #include "util/crc32.hpp"
 #include "util/error.hpp"
@@ -16,39 +17,15 @@
 namespace ecms::campaign {
 namespace {
 
-constexpr char kMagic[8] = {'E', 'C', 'M', 'S', 'C', 'M', 'P', '1'};
-constexpr std::uint32_t kPageMagic = 0x45474150;    // "PAGE"
-constexpr std::uint32_t kCommitMagic = 0x54494D43;  // "CMIT"
-constexpr std::size_t kHeaderSize = 64;
-/// A page frame larger than this is structurally impossible (the supervisor
-/// commits per unit); treat it as corruption instead of allocating wild.
-constexpr std::uint32_t kMaxPayload = 64u << 20;
-
-/// On-disk file header, padded to kHeaderSize. `crc` covers every byte
-/// after itself.
-struct FileHeader {
-  char magic[8];
-  std::uint32_t crc;
-  std::uint32_t record_size;
-  std::uint32_t dies, corners, seeds;
-  std::uint32_t pad;  ///< explicit, so no alignment padding is CRC'd
-  std::uint64_t config_hash;
-  std::uint64_t campaign_seed;
-  std::uint8_t reserved[kHeaderSize - 48];
-};
-static_assert(sizeof(FileHeader) == kHeaderSize);
-static_assert(std::is_trivially_copyable_v<FileHeader>);
-
-/// 16-byte frame header. `crc` covers the payload only; `seq` must be the
-/// previous frame's seq + 1, which catches a frame spliced from another
-/// store generation.
-struct FrameHeader {
-  std::uint32_t magic;
-  std::uint32_t payload_len;
-  std::uint32_t seq;
-  std::uint32_t crc;
-};
-static_assert(sizeof(FrameHeader) == 16);
+// Layouts, magics and CRC rules live in campaign/format.hpp, shared with
+// the mmap'd CompactReader so writer and readers can never drift.
+using format::FileHeader;
+using format::FrameHeader;
+using format::kCommitMagic;
+using format::kHeaderSize;
+using format::kMaxPayload;
+using format::kPageMagic;
+constexpr auto& kMagic = format::kJournalMagic;
 
 bool write_all(int fd, const void* data, std::size_t n) {
   return util::detail::write_all(fd, data, n);
@@ -79,8 +56,7 @@ FileHeader make_header(const ResultStore::Meta& meta) {
   h.seeds = meta.space.seeds;
   h.config_hash = meta.config_hash;
   h.campaign_seed = meta.campaign_seed;
-  const char* body = reinterpret_cast<const char*>(&h) + 12;
-  h.crc = util::crc32(body, sizeof h - 12);
+  h.crc = format::header_body_crc(h);
   return h;
 }
 
@@ -158,8 +134,7 @@ ResultStore ResultStore::open_for_resume(const std::string& path,
       std::memcmp(h.magic, kMagic, sizeof kMagic) != 0) {
     throw Error(path + " is not a campaign store (bad header)");
   }
-  const char* body = reinterpret_cast<const char*>(&h) + 12;
-  if (h.crc != util::crc32(body, sizeof h - 12)) {
+  if (h.crc != format::header_body_crc(h)) {
     throw Error(path + ": store header checksum mismatch");
   }
   s.meta_ = Meta{h.record_size,
@@ -357,8 +332,7 @@ void ResultStore::write_compact(const std::string& path) const {
 
   std::string out;
   out.reserve(kHeaderSize + sorted.size() * sizeof(UnitRecord));
-  const char compact_magic[8] = {'E', 'C', 'M', 'S', 'C', 'O', 'L', '1'};
-  append_raw(out, compact_magic, sizeof compact_magic);
+  append_raw(out, format::kCompactMagic, sizeof format::kCompactMagic);
   const std::uint64_t count = sorted.size();
   append_raw(out, &count, sizeof count);
   const FileHeader h = make_header(meta_);

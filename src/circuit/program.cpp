@@ -1,6 +1,9 @@
 #include "circuit/program.hpp"
 
 #include <algorithm>
+#include <iterator>
+
+#include "obs/metrics.hpp"
 
 namespace ecms::circuit {
 
@@ -41,26 +44,66 @@ ProgramCache& ProgramCache::global() {
   return cache;
 }
 
+void ProgramCache::evict_to_fit(Map& m, std::size_t headroom) {
+  const std::size_t cap = capacity_.load(std::memory_order_relaxed);
+  const std::size_t limit = headroom >= cap ? 0 : cap - headroom;
+  std::size_t evicted = 0;
+  while (m.size() > limit) {
+    auto victim = m.begin();
+    for (auto it = std::next(m.begin()); it != m.end(); ++it) {
+      if (it->second.last_used->load(std::memory_order_relaxed) <
+          victim->second.last_used->load(std::memory_order_relaxed)) {
+        victim = it;
+      }
+    }
+    m.erase(victim);
+    ++evicted;
+  }
+  if (evicted > 0) {
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    ECMS_METRIC_COUNT("circuit.program.evictions", evicted);
+  }
+}
+
 std::shared_ptr<const NetlistProgram> ProgramCache::insert(
     std::uint64_t key, std::shared_ptr<const NetlistProgram> program) {
   const std::lock_guard<std::mutex> lock(insert_mutex_);
   const auto snap = map_.load(std::memory_order_acquire);
   if (const auto it = snap->find(key); it != snap->end()) {
-    return it->second;  // lost the build race: first insert wins
+    return it->second.program;  // lost the build race: first insert wins
   }
   auto next = std::make_shared<Map>(*snap);
+  evict_to_fit(*next, 1);
   auto& slot = (*next)[key];
-  slot = std::move(program);
+  slot.program = std::move(program);
+  slot.last_used = std::make_shared<std::atomic<std::uint64_t>>(
+      tick_.fetch_add(1, std::memory_order_relaxed) + 1);
+  auto kept = slot.program;
   map_.store(std::shared_ptr<const Map>(std::move(next)),
              std::memory_order_release);
   inserts_.fetch_add(1, std::memory_order_relaxed);
-  return slot;
+  return kept;
+}
+
+void ProgramCache::set_capacity(std::size_t capacity) {
+  const std::lock_guard<std::mutex> lock(insert_mutex_);
+  capacity_.store(capacity == 0 ? 1 : capacity, std::memory_order_relaxed);
+  const auto snap = map_.load(std::memory_order_acquire);
+  if (snap->size() <= capacity_.load(std::memory_order_relaxed)) return;
+  auto next = std::make_shared<Map>(*snap);
+  evict_to_fit(*next, 0);
+  map_.store(std::shared_ptr<const Map>(std::move(next)),
+             std::memory_order_release);
 }
 
 std::vector<std::pair<std::uint64_t, std::shared_ptr<const NetlistProgram>>>
 ProgramCache::entries() const {
   const auto snap = map_.load(std::memory_order_acquire);
-  return {snap->begin(), snap->end()};
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<const NetlistProgram>>>
+      out;
+  out.reserve(snap->size());
+  for (const auto& [key, entry] : *snap) out.emplace_back(key, entry.program);
+  return out;
 }
 
 void ProgramCache::clear() {
@@ -69,6 +112,7 @@ void ProgramCache::clear() {
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
   inserts_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace ecms::circuit

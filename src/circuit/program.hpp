@@ -76,7 +76,15 @@ std::uint64_t program_key(std::size_t n, std::size_t nv,
 /// mutex-guarded copy-on-write with first-insert-wins semantics.
 class ProgramCache {
  public:
-  ProgramCache() { map_.store(std::make_shared<const Map>()); }
+  /// Default entry cap: generous — an array run sees a handful of distinct
+  /// topologies, a long-lived server tens — but finite, so a server fed an
+  /// adversarial stream of one-off topologies stays bounded.
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  explicit ProgramCache(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    map_.store(std::make_shared<const Map>());
+  }
   ProgramCache(const ProgramCache&) = delete;
   ProgramCache& operator=(const ProgramCache&) = delete;
 
@@ -85,6 +93,8 @@ class ProgramCache {
 
   /// Lock-free: null when the key is absent. The caller must still verify
   /// the result with NetlistProgram::matches() before adopting it.
+  /// A hit refreshes the entry's recency stamp (relaxed atomic — eviction
+  /// order is approximate under contention, never correctness-bearing).
   std::shared_ptr<const NetlistProgram> lookup(std::uint64_t key) const {
     const auto snap = map_.load(std::memory_order_acquire);
     const auto it = snap->find(key);
@@ -93,14 +103,28 @@ class ProgramCache {
       return nullptr;
     }
     hits_.fetch_add(1, std::memory_order_relaxed);
-    return it->second;
+    it->second.last_used->store(
+        tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+    return it->second.program;
   }
 
   /// Publishes a program. If the key is already present (a concurrent
   /// builder won the race), the existing program is returned instead and
-  /// the argument is discarded.
+  /// the argument is discarded. When the cache is at capacity, the
+  /// least-recently-used entries are evicted first (counted in
+  /// circuit.program.evictions); engines holding an evicted program keep
+  /// it alive through their shared_ptr — eviction only forgets, it never
+  /// invalidates.
   std::shared_ptr<const NetlistProgram> insert(
       std::uint64_t key, std::shared_ptr<const NetlistProgram> program);
+
+  /// Rebounds the cache, evicting LRU entries immediately if the new cap
+  /// is below the current size. A cap of 0 is clamped to 1.
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const {
+    return capacity_.load(std::memory_order_relaxed);
+  }
 
   std::size_t size() const {
     return map_.load(std::memory_order_acquire)->size();
@@ -115,6 +139,9 @@ class ProgramCache {
   std::uint64_t inserts() const {
     return inserts_.load(std::memory_order_relaxed);
   }
+  std::uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
 
   /// Current contents, for diagnostics and tests.
   std::vector<std::pair<std::uint64_t, std::shared_ptr<const NetlistProgram>>>
@@ -125,14 +152,26 @@ class ProgramCache {
   void clear();
 
  private:
-  using Map =
-      std::map<std::uint64_t, std::shared_ptr<const NetlistProgram>>;
+  /// The recency stamp lives behind its own shared_ptr so lookups can
+  /// stamp it through an immutable map snapshot without copy-on-write.
+  struct Entry {
+    std::shared_ptr<const NetlistProgram> program;
+    std::shared_ptr<std::atomic<std::uint64_t>> last_used;
+  };
+  using Map = std::map<std::uint64_t, Entry>;
 
+  /// Evicts LRU entries from `m` until it has room for `headroom` more
+  /// without exceeding capacity. Caller holds insert_mutex_.
+  void evict_to_fit(Map& m, std::size_t headroom);
+
+  std::atomic<std::size_t> capacity_;
   std::mutex insert_mutex_;
   std::atomic<std::shared_ptr<const Map>> map_;
+  mutable std::atomic<std::uint64_t> tick_{0};
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> inserts_{0};
+  std::atomic<std::uint64_t> evictions_{0};
 };
 
 }  // namespace ecms::circuit

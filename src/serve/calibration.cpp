@@ -1,0 +1,67 @@
+#include "serve/calibration.hpp"
+
+#include <tuple>
+
+#include "edram/macrocell.hpp"
+#include "msu/fastmodel.hpp"
+#include "obs/metrics.hpp"
+#include "tech/tech.hpp"
+#include "util/crc32.hpp"
+#include "util/units.hpp"
+
+namespace ecms::serve {
+
+std::uint64_t CalibrationCache::Key::hash() const {
+  std::uint64_t h = util::fnv1a64(&rows, sizeof rows);
+  h = util::fnv1a64(&cols, sizeof cols, h);
+  h = util::fnv1a64(&ramp_steps, sizeof ramp_steps, h);
+  h = util::fnv1a64(&points, sizeof points, h);
+  h = util::fnv1a64(&cm_lo, sizeof cm_lo, h);
+  h = util::fnv1a64(&cm_hi, sizeof cm_hi, h);
+  return h;
+}
+
+bool CalibrationCache::Key::operator<(const Key& o) const {
+  return std::tie(rows, cols, ramp_steps, points, cm_lo, cm_hi) <
+         std::tie(o.rows, o.cols, o.ramp_steps, o.points, o.cm_lo, o.cm_hi);
+}
+
+std::shared_ptr<const msu::Abacus> CalibrationCache::get_or_build(
+    const Key& key, bool* hit) {
+  // Builds run under the mutex: a thundering herd on one cold key would
+  // otherwise burn N identical sweeps; serialized, the first builder pays
+  // and the rest hit. Calibrations are milliseconds (fast model), so the
+  // stall is acceptable for a warm-state cache.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = cache_.find(key); it != cache_.end()) {
+    if (hit) *hit = true;
+    ECMS_METRIC_COUNT("serve.calibration.hits", 1);
+    return it->second;
+  }
+  if (hit) *hit = false;
+  ECMS_METRIC_COUNT("serve.calibration.misses", 1);
+
+  msu::StructureParams p;
+  p.ramp_steps = static_cast<int>(key.ramp_steps);
+  const auto mc = edram::MacroCell::uniform(
+      {.rows = key.rows, .cols = key.cols}, tech::tech018(), 30_fF);
+  const msu::FastModel model(mc, p);
+  auto ab = std::make_shared<msu::Abacus>(msu::Abacus::build(
+      [&](double cm) { return model.code_of_cap(cm); }, p.ramp_steps,
+      key.cm_lo, key.cm_hi, key.points));
+  ab->refine([&](double cm) { return model.code_of_cap(cm); }, 1e-19);
+  cache_.emplace(key, ab);
+  return ab;
+}
+
+std::size_t CalibrationCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+void CalibrationCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+}
+
+}  // namespace ecms::serve

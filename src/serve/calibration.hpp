@@ -1,0 +1,57 @@
+// Keyed abacus-calibration warm cache (DESIGN.md §13).
+//
+// An abacus (the paper's Figure-3 calibration curve) depends only on the
+// structure geometry and the sweep parameters, so a long-lived server can
+// build each distinct calibration once and serve every later Calibrate
+// request from memory. Entries are immutable shared_ptr<const Abacus>:
+// built under the cache mutex, then shared read-only across sessions with
+// no further synchronization — the same ownership rule as the program
+// cache (DESIGN.md §11).
+//
+// Deliberately NOT wired into the extraction path: extraction designs its
+// reference currents per tile from the actual cell capacitances, so a
+// cached geometry-keyed calibration there would change codes. This cache
+// serves only the explicit Calibrate request type.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "msu/abacus.hpp"
+
+namespace ecms::serve {
+
+class CalibrationCache {
+ public:
+  /// Calibration identity: uniform-array geometry plus sweep shape.
+  struct Key {
+    std::uint32_t rows = 4, cols = 4;
+    std::uint32_t ramp_steps = 20;
+    std::uint32_t points = 741;
+    double cm_lo = 1e-15, cm_hi = 75e-15;
+
+    std::uint64_t hash() const;
+    bool operator==(const Key&) const = default;
+    /// Total order for the cache map — full-field compare, so distinct
+    /// calibrations can never alias (no hash-collision trap to guard).
+    bool operator<(const Key& o) const;
+  };
+
+  /// Returns the calibration for `key`, building it on first use (uniform
+  /// 30 fF macro-cell, fast model, bisection-refined boundaries — the
+  /// `ecms_tool abacus` recipe). Sets *hit when the entry was already warm.
+  /// Counts serve.calibration.{hits,misses}.
+  std::shared_ptr<const msu::Abacus> get_or_build(const Key& key,
+                                                  bool* hit = nullptr);
+
+  std::size_t entries() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<Key, std::shared_ptr<const msu::Abacus>> cache_;
+};
+
+}  // namespace ecms::serve

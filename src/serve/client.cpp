@@ -1,0 +1,325 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ecms::serve {
+namespace {
+
+bool write_fd(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// Decodes a kResult frame's payload tail into `out`; false when the frame
+/// is shorter than its own header promises.
+bool parse_result(const Frame& f, Client::Result& out) {
+  if (!read_struct(f, out.info)) return false;
+  const std::size_t cells =
+      static_cast<std::size_t>(out.info.rows) * out.info.cols;
+  const std::size_t need = sizeof(ResultInfo) + cells * (sizeof(std::int32_t) + 1);
+  if (f.payload.size() < need) return false;
+  const char* p = f.payload.data() + sizeof(ResultInfo);
+  out.codes.resize(cells);
+  std::memcpy(out.codes.data(), p, cells * sizeof(std::int32_t));
+  p += cells * sizeof(std::int32_t);
+  out.status.assign(reinterpret_cast<const std::uint8_t*>(p),
+                    reinterpret_cast<const std::uint8_t*>(p) + cells);
+  out.ok = true;
+  return true;
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+bool Client::connect(const std::string& socket_path, std::string* error,
+                     const Hello* hello_override) {
+  close();
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof addr.sun_path) {
+    if (error) *error = "socket path too long: " + socket_path;
+    close();
+    return false;
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    if (error)
+      *error = "connect " + socket_path + ": " + std::strerror(errno);
+    close();
+    return false;
+  }
+
+  Hello hello;
+  hello.config_hash = wire_format_hash();
+  if (hello_override) hello = *hello_override;
+  if (!send_raw(encode_struct(FrameType::kHello, hello), error)) return false;
+
+  Frame frame;
+  if (!next_frame(frame, error)) return false;
+  if (frame.type == FrameType::kReject) {
+    TextInfo info;
+    std::string why;
+    read_text_frame(frame, info, why);
+    if (error) *error = why.empty() ? "handshake rejected" : why;
+    close();
+    return false;
+  }
+  if (frame.type != FrameType::kHelloOk) {
+    if (error) *error = "unexpected handshake reply";
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::send_raw(const std::string& bytes, std::string* error) {
+  if (fd_ < 0) {
+    if (error) *error = "not connected";
+    return false;
+  }
+  if (!write_fd(fd_, bytes.data(), bytes.size())) {
+    if (error) *error = std::string("write: ") + std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::next_frame(Frame& out, std::string* error) {
+  char buf[4096];
+  for (;;) {
+    switch (decoder_.next(out)) {
+      case Decoder::Status::kFrame:
+        return true;
+      case Decoder::Status::kBad:
+        if (error) *error = "protocol error: " + decoder_.error();
+        close();
+        return false;
+      case Decoder::Status::kNeedMore:
+        break;
+    }
+    const ssize_t n = ::read(fd_, buf, sizeof buf);
+    if (n == 0) {
+      if (error) *error = "server closed the connection";
+      close();
+      return false;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (error) *error = std::string("read: ") + std::strerror(errno);
+      close();
+      return false;
+    }
+    decoder_.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+Client::Submission Client::submit(const ExtractSpec& spec) {
+  Submission sub;
+  std::string error;
+  if (!send_raw(encode_struct(FrameType::kExtract, spec), &error)) {
+    sub.reason = error;
+    return sub;
+  }
+  // The admission verdict is synchronous, but frames for OTHER in-flight
+  // requests may arrive first — buffer them.
+  Frame frame;
+  for (;;) {
+    if (!next_frame(frame, &error)) {
+      sub.reason = error;
+      return sub;
+    }
+    switch (frame.type) {
+      case FrameType::kAccepted: {
+        Ack ack;
+        if (read_struct(frame, ack) && ack.request_id == spec.request_id) {
+          sub.accepted = true;
+          sub.queue_depth = ack.queue_depth;
+          return sub;
+        }
+        break;  // ack for someone else: drop (submissions are sequential)
+      }
+      case FrameType::kReject: {
+        TextInfo info;
+        std::string why;
+        if (read_text_frame(frame, info, why) &&
+            (info.request_id == spec.request_id || info.request_id == 0)) {
+          sub.retry_after_ms = info.retry_after_ms;
+          sub.reason = why;
+          return sub;
+        }
+        break;
+      }
+      case FrameType::kError: {
+        TextInfo info;
+        std::string why;
+        if (read_text_frame(frame, info, why)) {
+          if (info.request_id == spec.request_id || info.request_id == 0) {
+            sub.reason = why;
+            return sub;
+          }
+          Result r;
+          r.error = why;
+          pending_[info.request_id] = std::move(r);
+        }
+        break;
+      }
+      case FrameType::kResult: {
+        Result r;
+        if (parse_result(frame, r)) pending_[r.info.request_id] = std::move(r);
+        break;
+      }
+      case FrameType::kProgress:
+        break;  // progress for an earlier request; drop
+      default:
+        break;
+    }
+  }
+}
+
+Client::Result Client::await_result(
+    std::uint64_t request_id,
+    const std::function<void(const Progress&)>& on_progress) {
+  if (auto it = pending_.find(request_id); it != pending_.end()) {
+    Result r = std::move(it->second);
+    pending_.erase(it);
+    return r;
+  }
+  Frame frame;
+  std::string error;
+  for (;;) {
+    if (!next_frame(frame, &error)) {
+      Result r;
+      r.error = error;
+      return r;
+    }
+    switch (frame.type) {
+      case FrameType::kResult: {
+        Result r;
+        if (!parse_result(frame, r)) {
+          r.error = "malformed result frame";
+          return r;
+        }
+        if (r.info.request_id == request_id) return r;
+        pending_[r.info.request_id] = std::move(r);
+        break;
+      }
+      case FrameType::kError: {
+        TextInfo info;
+        std::string why;
+        if (read_text_frame(frame, info, why)) {
+          Result r;
+          r.error = why.empty() ? "request failed" : why;
+          if (info.request_id == request_id) return r;
+          pending_[info.request_id] = std::move(r);
+        }
+        break;
+      }
+      case FrameType::kProgress: {
+        Progress p;
+        if (read_struct(frame, p) && p.request_id == request_id &&
+            on_progress) {
+          on_progress(p);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+bool Client::metrics(std::string* json, std::string* error) {
+  if (!send_raw(encode_frame(FrameType::kMetrics, nullptr, 0), error)) {
+    return false;
+  }
+  Frame frame;
+  for (;;) {
+    if (!next_frame(frame, error)) return false;
+    if (frame.type == FrameType::kMetricsReply) {
+      if (json) json->assign(frame.payload.data(), frame.payload.size());
+      return true;
+    }
+    if (frame.type == FrameType::kResult) {
+      Result r;
+      if (parse_result(frame, r)) pending_[r.info.request_id] = std::move(r);
+    }
+  }
+}
+
+bool Client::trace(std::string* json, std::string* error) {
+  if (!send_raw(encode_frame(FrameType::kTrace, nullptr, 0), error)) {
+    return false;
+  }
+  Frame frame;
+  for (;;) {
+    if (!next_frame(frame, error)) return false;
+    if (frame.type == FrameType::kTraceReply) {
+      if (json) json->assign(frame.payload.data(), frame.payload.size());
+      return true;
+    }
+    if (frame.type == FrameType::kResult) {
+      Result r;
+      if (parse_result(frame, r)) pending_[r.info.request_id] = std::move(r);
+    }
+  }
+}
+
+bool Client::calibrate(const CalibrateSpec& spec, CalibrateInfo* out,
+                       std::string* error) {
+  if (!send_raw(encode_struct(FrameType::kCalibrate, spec), error)) {
+    return false;
+  }
+  Frame frame;
+  for (;;) {
+    if (!next_frame(frame, error)) return false;
+    if (frame.type == FrameType::kCalibrateReply) {
+      CalibrateInfo info;
+      if (!read_struct(frame, info)) {
+        if (error) *error = "malformed calibrate reply";
+        return false;
+      }
+      if (out) *out = info;
+      return true;
+    }
+    if (frame.type == FrameType::kError) {
+      TextInfo info;
+      std::string why;
+      if (read_text_frame(frame, info, why) &&
+          info.request_id == spec.request_id) {
+        if (error) *error = why;
+        return false;
+      }
+    }
+    if (frame.type == FrameType::kResult) {
+      Result r;
+      if (parse_result(frame, r)) pending_[r.info.request_id] = std::move(r);
+    }
+  }
+}
+
+}  // namespace ecms::serve

@@ -1,0 +1,79 @@
+// Blocking client of the extraction service (DESIGN.md §13).
+//
+// One Client is one session: connect() performs the handshake, then
+// submit()/await_result() drive requests. The client demultiplexes by
+// request id, so several submissions can be in flight on one session and
+// results arriving out of order are buffered until their await. Not
+// thread-safe — one thread per Client (tests and the CLI both follow
+// this; concurrency comes from many clients, which is the serving model).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace ecms::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects and handshakes. False (with *error set) on connect failure,
+  /// a server kReject, or a protocol violation. `hello_override` lets
+  /// tests present a mismatched version/config hash.
+  bool connect(const std::string& socket_path, std::string* error,
+               const Hello* hello_override = nullptr);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Admission verdict of one submitted request.
+  struct Submission {
+    bool accepted = false;
+    std::uint32_t queue_depth = 0;   ///< at admission, when accepted
+    std::uint32_t retry_after_ms = 0;
+    std::string reason;              ///< rejection reason / protocol error
+  };
+  Submission submit(const ExtractSpec& spec);
+
+  /// One finished request, success or failure.
+  struct Result {
+    bool ok = false;
+    std::string error;  ///< server-side failure / expiry / transport error
+    ResultInfo info;
+    std::vector<std::int32_t> codes;   ///< row-major, rows*cols
+    std::vector<std::uint8_t> status;  ///< CellStatus per cell
+  };
+  /// Blocks until `request_id` finishes. `on_progress` (optional) sees
+  /// each streamed Progress frame for this request.
+  Result await_result(std::uint64_t request_id,
+                      const std::function<void(const Progress&)>& on_progress =
+                          nullptr);
+
+  /// Fetches the server's metrics / trace JSON export. Empty optional-style:
+  /// false with *error set on transport failure.
+  bool metrics(std::string* json, std::string* error);
+  bool trace(std::string* json, std::string* error);
+
+  /// Runs a calibration request through the server's warm cache.
+  bool calibrate(const CalibrateSpec& spec, CalibrateInfo* out,
+                 std::string* error);
+
+ private:
+  /// Reads until one frame decodes; false on EOF/transport/protocol error.
+  bool next_frame(Frame& out, std::string* error);
+  bool send_raw(const std::string& bytes, std::string* error);
+
+  int fd_ = -1;
+  Decoder decoder_;
+  /// Results that arrived while awaiting a different request id.
+  std::map<std::uint64_t, Result> pending_;
+};
+
+}  // namespace ecms::serve

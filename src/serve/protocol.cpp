@@ -1,0 +1,92 @@
+#include "serve/protocol.hpp"
+
+#include "util/crc32.hpp"
+
+namespace ecms::serve {
+
+std::uint64_t wire_format_hash() {
+  const std::uint32_t shape[] = {
+      kProtocolVersion,
+      static_cast<std::uint32_t>(sizeof(FrameHeader)),
+      static_cast<std::uint32_t>(sizeof(Hello)),
+      static_cast<std::uint32_t>(sizeof(TextInfo)),
+      static_cast<std::uint32_t>(sizeof(ExtractSpec)),
+      static_cast<std::uint32_t>(sizeof(Ack)),
+      static_cast<std::uint32_t>(sizeof(Progress)),
+      static_cast<std::uint32_t>(sizeof(ResultInfo)),
+      static_cast<std::uint32_t>(sizeof(CalibrateSpec)),
+      static_cast<std::uint32_t>(sizeof(CalibrateInfo)),
+  };
+  return util::fnv1a64(shape, sizeof shape);
+}
+
+std::string encode_frame(FrameType type, const void* payload, std::size_t n) {
+  FrameHeader h;
+  h.type = static_cast<std::uint32_t>(type);
+  h.payload_len = static_cast<std::uint32_t>(n);
+  h.crc = n ? util::crc32(payload, n) : 0;
+  std::string out;
+  out.reserve(sizeof h + n);
+  out.append(reinterpret_cast<const char*>(&h), sizeof h);
+  if (n) out.append(static_cast<const char*>(payload), n);
+  return out;
+}
+
+std::string encode_text_frame(FrameType type, std::uint64_t request_id,
+                              std::uint32_t retry_after_ms,
+                              std::string_view text) {
+  TextInfo info;
+  info.request_id = request_id;
+  info.retry_after_ms = retry_after_ms;
+  info.text_len = static_cast<std::uint32_t>(text.size());
+  std::string payload(reinterpret_cast<const char*>(&info), sizeof info);
+  payload.append(text);
+  return encode_frame(type, payload.data(), payload.size());
+}
+
+bool read_text_frame(const Frame& f, TextInfo& info, std::string& text) {
+  if (!read_struct(f, info)) return false;
+  if (f.payload.size() < sizeof info + info.text_len) return false;
+  text.assign(f.payload.data() + sizeof info, info.text_len);
+  return true;
+}
+
+Decoder::Status Decoder::next(Frame& out) {
+  if (bad_) return Status::kBad;
+  if (buf_.size() < sizeof(FrameHeader)) return Status::kNeedMore;
+
+  FrameHeader h;
+  std::memcpy(&h, buf_.data(), sizeof h);
+  if (h.magic != kFrameMagic) {
+    bad_ = true;
+    error_ = "bad frame magic";
+    return Status::kBad;
+  }
+  if (h.type < static_cast<std::uint32_t>(FrameType::kHello) ||
+      h.type > static_cast<std::uint32_t>(FrameType::kError)) {
+    bad_ = true;
+    error_ = "unknown frame type " + std::to_string(h.type);
+    return Status::kBad;
+  }
+  if (h.payload_len > kMaxPayload) {
+    bad_ = true;
+    error_ = "oversize payload length " + std::to_string(h.payload_len);
+    return Status::kBad;
+  }
+  if (buf_.size() < sizeof h + h.payload_len) return Status::kNeedMore;
+
+  const char* payload = buf_.data() + sizeof h;
+  const std::uint32_t crc = h.payload_len ? util::crc32(payload, h.payload_len) : 0;
+  if (crc != h.crc) {
+    bad_ = true;
+    error_ = "payload CRC mismatch";
+    return Status::kBad;
+  }
+
+  out.type = static_cast<FrameType>(h.type);
+  out.payload.assign(payload, payload + h.payload_len);
+  buf_.erase(0, sizeof h + h.payload_len);
+  return Status::kFrame;
+}
+
+}  // namespace ecms::serve

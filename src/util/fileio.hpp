@@ -23,18 +23,26 @@
 namespace ecms::util {
 
 namespace detail {
-/// write(2) until the whole buffer is out; returns false on error.
-inline bool write_all(int fd, const void* data, std::size_t n) {
+/// write(2) until the whole buffer is out; returns false on error, with
+/// errno intact. EINTR restarts the write rather than failing it. When
+/// `written` is given, it receives the bytes that made it out — so a
+/// partial write interrupted by a real error is reported precisely, not
+/// rounded to all-or-nothing.
+inline bool write_all(int fd, const void* data, std::size_t n,
+                      std::size_t* written = nullptr) {
   const char* p = static_cast<const char*>(data);
+  const std::size_t total = n;
   while (n > 0) {
     const ssize_t w = ::write(fd, p, n);
     if (w < 0) {
       if (errno == EINTR) continue;
+      if (written) *written = total - n;
       return false;
     }
     p += w;
     n -= static_cast<std::size_t>(w);
   }
+  if (written) *written = total;
   return true;
 }
 
@@ -62,11 +70,22 @@ inline void atomic_write_file(const std::string& path,
     throw Error("cannot open " + tmp + " for writing: " +
                 std::strerror(errno));
   }
-  const bool wrote = detail::write_all(fd, contents.data(), contents.size());
+  // Capture errno at each failure point BEFORE close()/unlink() can
+  // clobber it — strerror after cleanup reports the cleanup's errno, not
+  // the write's.
+  std::size_t written = 0;
+  const bool wrote =
+      detail::write_all(fd, contents.data(), contents.size(), &written);
+  const int write_errno = wrote ? 0 : errno;
   const bool synced = wrote && ::fsync(fd) == 0;
+  const int sync_errno = wrote && !synced ? errno : 0;
   ::close(fd);
   if (!wrote || !synced) {
-    const std::string why = std::strerror(errno);
+    std::string why = std::strerror(wrote ? sync_errno : write_errno);
+    if (!wrote) {
+      why += " (wrote " + std::to_string(written) + " of " +
+             std::to_string(contents.size()) + " bytes)";
+    }
     ::unlink(tmp.c_str());
     throw Error("failed writing " + tmp + ": " + why);
   }

@@ -1,0 +1,171 @@
+// CompactReader — the mmap'd columnar view of a compacted campaign:
+// records round-trip against the journal (sorted by unit, attempts
+// deliberately zeroed), and any corruption — a flipped byte anywhere, a
+// truncated tail, a wrong magic — fails loudly at open(), never as a
+// silently wrong aggregate.
+#include "campaign/compact.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "campaign/store.hpp"
+#include "util/error.hpp"
+
+namespace {
+using namespace ecms;
+using campaign::CompactReader;
+using campaign::ResultStore;
+using campaign::UnitRecord;
+using campaign::UnitSpace;
+
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char tmpl[] = "/tmp/ecms-compact-XXXXXX";
+    path = ::mkdtemp(tmpl);
+    EXPECT_FALSE(path.empty());
+  }
+  ~TempDir() {
+    std::system(("rm -rf '" + path + "'").c_str());
+  }
+  std::string file(const std::string& name) const { return path + "/" + name; }
+};
+
+ResultStore::Meta meta_of() {
+  ResultStore::Meta m;
+  m.space = UnitSpace{3, 2, 2};
+  m.config_hash = 0xfeedfacecafebeefull;
+  m.campaign_seed = 7;
+  return m;
+}
+
+UnitRecord record_of(const UnitSpace& space, std::uint64_t unit) {
+  UnitRecord r;
+  r.die = space.die_of(unit);
+  r.corner = static_cast<std::uint16_t>(space.corner_of(unit));
+  r.seed = static_cast<std::uint16_t>(space.seed_of(unit));
+  r.attempts = 3;  // scheduling history: the compact format drops this
+  r.cells = 64;
+  r.recovered = static_cast<std::uint32_t>(unit % 3);
+  r.unmeasurable = static_cast<std::uint32_t>(unit % 2);
+  r.code_hash = 0x1000 + unit;
+  r.mean_code = 7.0 + static_cast<double>(unit) / 8.0;
+  r.code_stddev = 0.25 * static_cast<double>(unit);
+  for (std::size_t b = 0; b < campaign::kCodeBins; ++b) {
+    r.code_hist[b] = static_cast<std::uint32_t>(unit * 100 + b);
+  }
+  return r;
+}
+
+/// Writes a store with `n` records (shuffled append order) and compacts it.
+std::string make_compact(const TempDir& dir, std::uint64_t n) {
+  const auto meta = meta_of();
+  ResultStore s = ResultStore::create(dir.file("s.store"), meta);
+  std::vector<std::uint64_t> units(n);
+  for (std::uint64_t u = 0; u < n; ++u) units[u] = u;
+  std::rotate(units.begin(), units.begin() + static_cast<long>(n / 2),
+              units.end());  // journal order != unit order
+  for (const std::uint64_t u : units) s.append(record_of(meta.space, u));
+  s.commit();
+  const std::string path = dir.file("s.compact");
+  s.write_compact(path);
+  return path;
+}
+
+TEST(CampaignCompactT, RoundTripsSortedRecordsWithoutAttempts) {
+  TempDir dir;
+  const std::string path = make_compact(dir, 8);
+  const CompactReader reader = CompactReader::open(path);
+  EXPECT_EQ(reader.count(), 8u);
+  EXPECT_EQ(reader.space().dies, 3u);
+  EXPECT_EQ(reader.config_hash(), 0xfeedfacecafebeefull);
+  EXPECT_EQ(reader.campaign_seed(), 7u);
+
+  const auto meta = meta_of();
+  const std::vector<UnitRecord> records = reader.records();
+  ASSERT_EQ(records.size(), 8u);
+  for (std::uint64_t u = 0; u < 8; ++u) {
+    // write_compact sorts by unit, so record u IS unit u regardless of the
+    // journal's append order.
+    UnitRecord want = record_of(meta.space, u);
+    want.attempts = 0;  // the one field the columnar image omits
+    const UnitRecord& got = records[u];
+    EXPECT_EQ(got.die, want.die);
+    EXPECT_EQ(got.corner, want.corner);
+    EXPECT_EQ(got.seed, want.seed);
+    EXPECT_EQ(got.attempts, 0);
+    EXPECT_EQ(got.cells, want.cells);
+    EXPECT_EQ(got.recovered, want.recovered);
+    EXPECT_EQ(got.unmeasurable, want.unmeasurable);
+    EXPECT_EQ(got.code_hash, want.code_hash);
+    EXPECT_EQ(got.mean_code, want.mean_code);
+    EXPECT_EQ(got.code_stddev, want.code_stddev);
+    for (std::size_t b = 0; b < campaign::kCodeBins; ++b) {
+      EXPECT_EQ(got.code_hist[b], want.code_hist[b]) << "bin " << b;
+    }
+  }
+  EXPECT_THROW(reader.record(8), Error);  // out of range, loudly
+}
+
+TEST(CampaignCompactT, AnyFlippedByteFailsAtOpen) {
+  TempDir dir;
+  const std::string path = make_compact(dir, 4);
+  struct stat st{};
+  ASSERT_EQ(::stat(path.c_str(), &st), 0);
+  // Flip one byte at a spread of offsets covering prologue, columns, and
+  // the CRC trailer itself; every single one must refuse to open.
+  const auto len = static_cast<std::size_t>(st.st_size);
+  for (const std::size_t at :
+       {std::size_t{0}, std::size_t{9}, std::size_t{20}, len / 2, len - 1}) {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(static_cast<long>(at));
+    char c = 0;
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0x01);
+    f.seekp(static_cast<long>(at));
+    f.write(&c, 1);
+    f.close();
+    EXPECT_THROW(CompactReader::open(path), Error) << "offset " << at;
+    // Undo for the next round.
+    std::fstream g(path, std::ios::in | std::ios::out | std::ios::binary);
+    c = static_cast<char>(c ^ 0x01);
+    g.seekp(static_cast<long>(at));
+    g.write(&c, 1);
+  }
+  // Pristine again: opens.
+  EXPECT_NO_THROW(CompactReader::open(path));
+}
+
+TEST(CampaignCompactT, TruncationFailsAtOpen) {
+  TempDir dir;
+  const std::string path = make_compact(dir, 4);
+  struct stat st{};
+  ASSERT_EQ(::stat(path.c_str(), &st), 0);
+  ASSERT_EQ(::truncate(path.c_str(), st.st_size - 5), 0);
+  EXPECT_THROW(CompactReader::open(path), Error);
+  ASSERT_EQ(::truncate(path.c_str(), 3), 0);  // shorter than any prologue
+  EXPECT_THROW(CompactReader::open(path), Error);
+}
+
+TEST(CampaignCompactT, MissingFileAndEmptyCampaign) {
+  TempDir dir;
+  EXPECT_THROW(CompactReader::open(dir.file("absent.compact")), Error);
+
+  // Zero records is a valid (if sad) campaign; the reader serves it.
+  const auto meta = meta_of();
+  ResultStore s = ResultStore::create(dir.file("e.store"), meta);
+  const std::string path = dir.file("e.compact");
+  s.write_compact(path);
+  const CompactReader reader = CompactReader::open(path);
+  EXPECT_EQ(reader.count(), 0u);
+  EXPECT_TRUE(reader.records().empty());
+}
+
+}  // namespace

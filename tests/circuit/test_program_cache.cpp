@@ -276,5 +276,66 @@ TEST(ProgramCacheT, ExtractionCodesIdenticalCacheOnVsOff) {
   EXPECT_GE(fresh.size(), 1u);
 }
 
+std::shared_ptr<NetlistProgram> dummy_program(std::uint64_t key) {
+  auto p = std::make_shared<NetlistProgram>();
+  p->key = key;
+  return p;
+}
+
+TEST(ProgramCacheT, CapacityBoundsTheMapAndEvictsLeastRecentlyUsed) {
+  ProgramCache cache(3);
+  EXPECT_EQ(cache.capacity(), 3u);
+  for (std::uint64_t k = 1; k <= 3; ++k) cache.insert(k, dummy_program(k));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  // Refresh 1 and 3; 2 is now the coldest entry and must be the victim.
+  EXPECT_NE(cache.lookup(1), nullptr);
+  EXPECT_NE(cache.lookup(3), nullptr);
+  cache.insert(4, dummy_program(4));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.lookup(2), nullptr);
+  EXPECT_NE(cache.lookup(1), nullptr);
+  EXPECT_NE(cache.lookup(3), nullptr);
+  EXPECT_NE(cache.lookup(4), nullptr);
+}
+
+TEST(ProgramCacheT, EvictionForgetsButNeverInvalidates) {
+  ProgramCache cache(1);
+  const auto held = dummy_program(7);
+  cache.insert(7, held);
+  cache.insert(8, dummy_program(8));  // evicts 7
+  EXPECT_EQ(cache.lookup(7), nullptr);
+  EXPECT_EQ(cache.evictions(), 1u);
+  // The engine-side shared_ptr still owns the evicted program.
+  EXPECT_EQ(held->key, 7u);
+  EXPECT_EQ(held.use_count(), 1);
+}
+
+TEST(ProgramCacheT, SetCapacityShrinkEvictsImmediately) {
+  ProgramCache cache;  // default cap
+  for (std::uint64_t k = 1; k <= 8; ++k) cache.insert(k, dummy_program(k));
+  EXPECT_EQ(cache.size(), 8u);
+  // Warm the high keys so the low ones are the LRU victims.
+  for (std::uint64_t k = 5; k <= 8; ++k) EXPECT_NE(cache.lookup(k), nullptr);
+  cache.set_capacity(4);
+  EXPECT_EQ(cache.capacity(), 4u);
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.evictions(), 4u);
+  for (std::uint64_t k = 5; k <= 8; ++k) EXPECT_NE(cache.lookup(k), nullptr);
+  for (std::uint64_t k = 1; k <= 4; ++k) EXPECT_EQ(cache.lookup(k), nullptr);
+}
+
+TEST(ProgramCacheT, ZeroCapacityClampsToOne) {
+  ProgramCache cache(0);
+  EXPECT_EQ(cache.capacity(), 1u);
+  cache.insert(1, dummy_program(1));
+  cache.insert(2, dummy_program(2));
+  EXPECT_EQ(cache.size(), 1u);
+  cache.set_capacity(0);
+  EXPECT_EQ(cache.capacity(), 1u);
+}
+
 }  // namespace
 }  // namespace ecms::circuit

@@ -1,0 +1,376 @@
+// Wire-protocol hardening: the Decoder's corruption taxonomy (truncation,
+// bad magic, unknown type, oversize length prefix, payload CRC mismatch —
+// all sticky), and a live server fed hostile streams: a version-mismatched
+// handshake is refused, garbage poisons only its own session, interleaved
+// sessions demultiplex cleanly, and a mid-stream disconnect never takes the
+// server down.
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "util/crc32.hpp"
+
+namespace ecms::serve {
+namespace {
+
+// The server writes results to clients that may already be gone; a dead
+// peer must surface as EPIPE, not a process-killing signal (ecms_tool
+// ignores SIGPIPE in main(); the test binary must do the same).
+const bool g_sigpipe_ignored = [] {
+  std::signal(SIGPIPE, SIG_IGN);
+  return true;
+}();
+
+std::string unique_socket_path(const char* tag) {
+  return "/tmp/ecms-serve-" + std::string(tag) + "-" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+TEST(ServeProtocolT, RoundTripsStructsAndText) {
+  ExtractSpec spec;
+  spec.request_id = 7;
+  spec.rows = 16;
+  const std::string bytes = encode_struct(FrameType::kExtract, spec);
+
+  Decoder d;
+  d.feed(bytes.data(), bytes.size());
+  Frame f;
+  ASSERT_EQ(d.next(f), Decoder::Status::kFrame);
+  EXPECT_EQ(f.type, FrameType::kExtract);
+  ExtractSpec got;
+  ASSERT_TRUE(read_struct(f, got));
+  EXPECT_EQ(got.request_id, 7u);
+  EXPECT_EQ(got.rows, 16u);
+
+  const std::string rej =
+      encode_text_frame(FrameType::kReject, 9, 25, "queue full");
+  d.feed(rej.data(), rej.size());
+  ASSERT_EQ(d.next(f), Decoder::Status::kFrame);
+  TextInfo info;
+  std::string text;
+  ASSERT_TRUE(read_text_frame(f, info, text));
+  EXPECT_EQ(info.request_id, 9u);
+  EXPECT_EQ(info.retry_after_ms, 25u);
+  EXPECT_EQ(text, "queue full");
+}
+
+TEST(ServeProtocolT, TruncatedFramesWantMoreBytesAtEveryPrefix) {
+  ExtractSpec spec;
+  const std::string bytes = encode_struct(FrameType::kExtract, spec);
+  // Feeding any strict prefix must yield kNeedMore, never kBad and never a
+  // phantom frame; completing the bytes then decodes exactly one frame.
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    Decoder d;
+    d.feed(bytes.data(), cut);
+    Frame f;
+    ASSERT_EQ(d.next(f), Decoder::Status::kNeedMore) << "prefix " << cut;
+    d.feed(bytes.data() + cut, bytes.size() - cut);
+    ASSERT_EQ(d.next(f), Decoder::Status::kFrame) << "prefix " << cut;
+    ASSERT_EQ(d.next(f), Decoder::Status::kNeedMore);
+  }
+}
+
+TEST(ServeProtocolT, CorruptCrcPoisonsTheStreamStickily) {
+  ExtractSpec spec;
+  std::string bytes = encode_struct(FrameType::kExtract, spec);
+  bytes[sizeof(FrameHeader) + 3] ^= 0x40;  // flip one payload bit
+
+  Decoder d;
+  d.feed(bytes.data(), bytes.size());
+  Frame f;
+  ASSERT_EQ(d.next(f), Decoder::Status::kBad);
+  EXPECT_NE(d.error().find("CRC"), std::string::npos);
+
+  // Sticky: even a pristine follow-up frame is refused.
+  const std::string good = encode_struct(FrameType::kExtract, ExtractSpec{});
+  d.feed(good.data(), good.size());
+  EXPECT_EQ(d.next(f), Decoder::Status::kBad);
+}
+
+TEST(ServeProtocolT, OversizeLengthPrefixIsCorruptionNotAnAllocation) {
+  FrameHeader h;
+  h.type = static_cast<std::uint32_t>(FrameType::kExtract);
+  h.payload_len = kMaxPayload + 1;
+  h.crc = 0;
+  Decoder d;
+  d.feed(&h, sizeof h);
+  Frame f;
+  ASSERT_EQ(d.next(f), Decoder::Status::kBad);
+  EXPECT_NE(d.error().find("length"), std::string::npos);
+}
+
+TEST(ServeProtocolT, BadMagicAndUnknownTypeAreRefused) {
+  {
+    FrameHeader h;
+    h.magic = 0xDEADBEEF;
+    Decoder d;
+    d.feed(&h, sizeof h);
+    Frame f;
+    EXPECT_EQ(d.next(f), Decoder::Status::kBad);
+    EXPECT_NE(d.error().find("magic"), std::string::npos);
+  }
+  {
+    FrameHeader h;
+    h.type = 999;
+    h.payload_len = 0;
+    h.crc = util::crc32("", 0);
+    Decoder d;
+    d.feed(&h, sizeof h);
+    Frame f;
+    EXPECT_EQ(d.next(f), Decoder::Status::kBad);
+    EXPECT_NE(d.error().find("type"), std::string::npos);
+  }
+}
+
+TEST(ServeProtocolT, WireFormatHashPinsVersionAndLayouts) {
+  EXPECT_EQ(wire_format_hash(), wire_format_hash());
+  EXPECT_NE(wire_format_hash(), 0u);
+}
+
+class ServeProtocolLiveT : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // The /metrics request type serves the process-wide registry; the
+    // daemon (cmd_serve) enables it at startup, so the tests do too.
+    obs::Registry::global().reset();
+    obs::set_metrics_enabled(true);
+    socket_path_ = unique_socket_path("live");
+    ServerConfig cfg;
+    cfg.socket_path = socket_path_;
+    // Roomy: these tests probe protocol behaviour, not admission — the
+    // interleaved test pipelines 12 requests against one dispatcher.
+    cfg.queue_capacity = 32;
+    cfg.dispatchers = 1;
+    cfg.jobs = 1;
+    server_ = std::make_unique<Server>(cfg);
+    server_->start();
+  }
+  void TearDown() override {
+    server_->stop();
+    std::remove(socket_path_.c_str());
+  }
+
+  ExtractSpec small_spec(std::uint64_t id) {
+    ExtractSpec spec;
+    spec.request_id = id;
+    spec.rows = 4;
+    spec.cols = 4;
+    spec.engine = 0;  // fast model: milliseconds, plenty for protocol tests
+    spec.tile_rows = 0;
+    spec.tile_cols = 0;
+    return spec;
+  }
+
+  std::string socket_path_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServeProtocolLiveT, VersionMismatchIsRefusedAtHandshake) {
+  Hello stale;
+  stale.version = kProtocolVersion + 1;
+  stale.config_hash = wire_format_hash();
+  Client client;
+  std::string error;
+  EXPECT_FALSE(client.connect(socket_path_, &error, &stale));
+  EXPECT_NE(error.find("version"), std::string::npos);
+
+  Hello wrong_hash;
+  wrong_hash.config_hash = wire_format_hash() ^ 1;
+  Client client2;
+  EXPECT_FALSE(client2.connect(socket_path_, &error, &wrong_hash));
+
+  // The refusals cost the server nothing: a well-formed session still works.
+  Client good;
+  ASSERT_TRUE(good.connect(socket_path_, &error)) << error;
+  ASSERT_TRUE(good.submit(small_spec(1)).accepted);
+  EXPECT_TRUE(good.await_result(1).ok);
+}
+
+/// A raw connection under test control — no Client niceties, so a hostile
+/// byte stream can be written verbatim.
+class RawPeer {
+ public:
+  bool connect(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof addr) == 0;
+  }
+  bool send(const std::string& bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+  /// Reads until the peer closes or a frame decodes; returns the frames.
+  std::vector<Frame> read_until_close() {
+    std::vector<Frame> frames;
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::read(fd_, buf, sizeof buf);
+      if (n <= 0) break;
+      decoder_.feed(buf, static_cast<std::size_t>(n));
+      Frame f;
+      while (decoder_.next(f) == Decoder::Status::kFrame) {
+        frames.push_back(std::move(f));
+      }
+    }
+    return frames;
+  }
+  ~RawPeer() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+ private:
+  int fd_ = -1;
+  Decoder decoder_;
+};
+
+TEST_F(ServeProtocolLiveT, GarbagePoisonsOnlyItsOwnSession) {
+  // Session A goes hostile: a valid handshake, then a frame whose payload
+  // CRC doesn't verify.
+  RawPeer hostile;
+  ASSERT_TRUE(hostile.connect(socket_path_));
+  Hello hello;
+  hello.config_hash = wire_format_hash();
+  ASSERT_TRUE(hostile.send(encode_struct(FrameType::kHello, hello)));
+  std::string bytes = encode_struct(FrameType::kExtract, small_spec(1));
+  bytes[sizeof(FrameHeader) + 1] ^= 0x10;
+  ASSERT_TRUE(hostile.send(bytes));
+  // The server answers kHelloOk, then one best-effort kError, then closes.
+  const std::vector<Frame> frames = hostile.read_until_close();
+  ASSERT_GE(frames.size(), 1u);
+  EXPECT_EQ(frames.front().type, FrameType::kHelloOk);
+  if (frames.size() > 1) {
+    EXPECT_EQ(frames.back().type, FrameType::kError);
+  }
+
+  // Session B, opened after the poisoning, is served normally.
+  Client good;
+  std::string error;
+  ASSERT_TRUE(good.connect(socket_path_, &error)) << error;
+  ASSERT_TRUE(good.submit(small_spec(2)).accepted);
+  EXPECT_TRUE(good.await_result(2).ok);
+}
+
+TEST_F(ServeProtocolLiveT, PreHandshakeRequestsAreRefused) {
+  // A request before kHello must be rejected, not admitted.
+  RawPeer eager;
+  ASSERT_TRUE(eager.connect(socket_path_));
+  ASSERT_TRUE(eager.send(encode_struct(FrameType::kExtract, small_spec(1))));
+  const std::vector<Frame> frames = eager.read_until_close();
+  for (const Frame& f : frames) {
+    EXPECT_NE(f.type, FrameType::kAccepted);
+    EXPECT_NE(f.type, FrameType::kResult);
+  }
+}
+
+TEST_F(ServeProtocolLiveT, InterleavedSessionsDemultiplexCleanly) {
+  constexpr int kClients = 4;
+  constexpr int kRequests = 3;
+  std::vector<std::thread> threads;
+  std::vector<std::string> failures(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client;
+      std::string error;
+      if (!client.connect(socket_path_, &error)) {
+        failures[c] = "connect: " + error;
+        return;
+      }
+      // Pipeline all submissions, then await out of submission order.
+      for (std::uint64_t id = 1; id <= kRequests; ++id) {
+        ExtractSpec spec = small_spec(id);
+        spec.seed = static_cast<std::uint64_t>(c + 1);  // distinct arrays
+        const Client::Submission sub = client.submit(spec);
+        if (!sub.accepted) {
+          failures[c] = "rejected: " + sub.reason;
+          return;
+        }
+      }
+      for (std::uint64_t id = kRequests; id >= 1; --id) {
+        const Client::Result res = client.await_result(id);
+        if (!res.ok) {
+          failures[c] = "await " + std::to_string(id) + ": " + res.error;
+          return;
+        }
+        if (res.info.request_id != id || res.codes.size() != 16u) {
+          failures[c] = "demux mixed up request " + std::to_string(id);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], "") << "client " << c;
+  }
+}
+
+TEST_F(ServeProtocolLiveT, MidStreamDisconnectLeavesTheServerServing) {
+  {
+    Client doomed;
+    std::string error;
+    ASSERT_TRUE(doomed.connect(socket_path_, &error)) << error;
+    ASSERT_TRUE(doomed.submit(small_spec(1)).accepted);
+    doomed.close();  // vanish with a request in flight
+  }
+  // The orphaned job runs to completion against a dead socket (frames drop
+  // on the floor); the server then serves the next client normally.
+  Client good;
+  std::string error;
+  ASSERT_TRUE(good.connect(socket_path_, &error)) << error;
+  ASSERT_TRUE(good.submit(small_spec(2)).accepted);
+  const Client::Result res = good.await_result(2);
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(res.info.request_id, 2u);
+}
+
+TEST_F(ServeProtocolLiveT, MetricsAndCalibrateRoundTrip) {
+  Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect(socket_path_, &error)) << error;
+  ASSERT_TRUE(client.submit(small_spec(1)).accepted);
+  ASSERT_TRUE(client.await_result(1).ok);
+
+  std::string json;
+  ASSERT_TRUE(client.metrics(&json, &error)) << error;
+  EXPECT_NE(json.find("serve.requests.accepted"), std::string::npos);
+
+  CalibrateSpec cal;
+  cal.request_id = 2;
+  cal.ramp_steps = 8;
+  cal.points = 41;
+  CalibrateInfo info{};
+  ASSERT_TRUE(client.calibrate(cal, &info, &error)) << error;
+  EXPECT_EQ(info.cache_hit, 0u);
+  EXPECT_GT(info.codes_used, 0u);
+  EXPECT_LT(info.range_lo, info.range_hi);
+
+  cal.request_id = 3;
+  ASSERT_TRUE(client.calibrate(cal, &info, &error)) << error;
+  EXPECT_EQ(info.cache_hit, 1u);  // keyed warm cache: second hit is free
+}
+
+}  // namespace
+}  // namespace ecms::serve

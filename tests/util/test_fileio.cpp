@@ -1,0 +1,120 @@
+// atomic_write_file / write_all contracts: atomic replace via tmp+rename,
+// no debris after failure, precise partial-write reporting (byte counts,
+// the failing syscall's errno — not the cleanup's), and survival of EPIPE
+// as an error return when SIGPIPE is ignored (the process-wide disposition
+// ecms_tool sets; see tools/ecms_tool.cpp).
+#include "util/fileio.hpp"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace ecms::util {
+namespace {
+
+const bool g_sigpipe_ignored = [] {
+  std::signal(SIGPIPE, SIG_IGN);
+  return true;
+}();
+
+class FileIoT : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/ecms-fileio-XXXXXX";
+    dir_ = ::mkdtemp(tmpl);
+    ASSERT_FALSE(dir_.empty());
+  }
+  void TearDown() override {
+    // Tests assert no debris, so the directory should empty itself.
+    for (const auto& name : {"out.json", "out.json.tmp", "blocked",
+                             "blocked.tmp"}) {
+      ::unlink((dir_ + "/" + name).c_str());
+    }
+    ::rmdir(dir_.c_str());
+  }
+
+  std::string read_back(const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+  bool exists(const std::string& path) {
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(FileIoT, RoundTripsAndReplacesAtomically) {
+  const std::string path = dir_ + "/out.json";
+  atomic_write_file(path, "{\"v\":1}");
+  EXPECT_EQ(read_back(path), "{\"v\":1}");
+  atomic_write_file(path, "{\"v\":2}");
+  EXPECT_EQ(read_back(path), "{\"v\":2}");
+  EXPECT_FALSE(exists(path + ".tmp"));  // the staging file never lingers
+}
+
+TEST_F(FileIoT, UnwritableDirectoryFailsWithoutDebris) {
+  const std::string path = dir_ + "/no-such-subdir/out.json";
+  EXPECT_THROW(atomic_write_file(path, "x"), Error);
+  EXPECT_FALSE(exists(path));
+  EXPECT_FALSE(exists(path + ".tmp"));
+}
+
+TEST_F(FileIoT, WriteAllReportsPartialByteCountOnError) {
+  // A pipe with O_NONBLOCK and a tiny capacity: the first write takes some
+  // bytes, the next returns EAGAIN — a real error mid-buffer. write_all
+  // must report exactly how many bytes made it out, errno intact.
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_EQ(::fcntl(fds[1], F_SETFL, O_NONBLOCK), 0);
+  const long cap = ::fcntl(fds[1], F_SETPIPE_SZ, 4096);
+  ASSERT_GT(cap, 0);
+
+  const std::string big(static_cast<std::size_t>(cap) + 64 * 1024, 'x');
+  std::size_t written = 0;
+  errno = 0;
+  EXPECT_FALSE(detail::write_all(fds[1], big.data(), big.size(), &written));
+  EXPECT_EQ(errno, EAGAIN);
+  EXPECT_GT(written, 0u);          // something landed before the error
+  EXPECT_LT(written, big.size());  // but not everything
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST_F(FileIoT, WriteAllSurfacesEpipeAsAnErrorNotASignal) {
+  // With SIGPIPE ignored, writing to a closed pipe must return EPIPE —
+  // the serve daemon's dead-client path relies on exactly this.
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ::close(fds[0]);  // reader gone
+  std::size_t written = 0;
+  errno = 0;
+  EXPECT_FALSE(detail::write_all(fds[1], "data", 4, &written));
+  EXPECT_EQ(errno, EPIPE);
+  EXPECT_EQ(written, 0u);
+  ::close(fds[1]);
+}
+
+TEST_F(FileIoT, WriteAllFullSuccessReportsTotal) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::size_t written = 0;
+  EXPECT_TRUE(detail::write_all(fds[1], "hello", 5, &written));
+  EXPECT_EQ(written, 5u);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+}  // namespace
+}  // namespace ecms::util

@@ -11,6 +11,8 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <iostream>
@@ -20,6 +22,7 @@
 
 #include "bitmap/compare.hpp"
 #include "campaign/campaign.hpp"
+#include "campaign/compact.hpp"
 #include "campaign/supervisor.hpp"
 #include "campaign/worker.hpp"
 #include "bitmap/diagnosis.hpp"
@@ -36,6 +39,9 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "report/heatmap.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/workload.hpp"
 #include "tech/tech.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -343,26 +349,26 @@ int cmd_extract(const Args& args) {
 /// Builds the synthetic array the bitmap/array commands measure: process
 /// variation (local sigma + optional gradient/drift) plus random defects,
 /// all keyed off --seed.
-edram::MacroCell array_of(const Args& args, std::size_t default_n) {
-  const auto rows = static_cast<std::size_t>(
+/// The CLI's array flags, as the serve-layer spec both the one-shot
+/// commands and the service build arrays from (one body = the served
+/// bit-identity contract; see serve/workload.hpp).
+serve::ArraySpec array_spec_of(const Args& args, std::size_t default_n) {
+  serve::ArraySpec spec;
+  spec.rows = static_cast<std::size_t>(
       args.num("rows", static_cast<double>(default_n)));
-  const auto cols = static_cast<std::size_t>(
+  spec.cols = static_cast<std::size_t>(
       args.num("cols", static_cast<double>(default_n)));
-  const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  spec.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  spec.gradient = args.num("gradient", 0.0);
+  spec.drift = args.num("drift", 0.0);
+  spec.shorts = args.num("shorts", 0.002);
+  spec.opens = args.num("opens", 0.002);
+  spec.partials = args.num("partials", 0.005);
+  return spec;
+}
 
-  tech::CapProcessParams cp;
-  cp.local_sigma_rel = 0.02;
-  cp.gradient_x_rel = args.num("gradient", 0.0);
-  cp.lot_offset_rel = args.num("drift", 0.0);
-  tech::CapField field(cp, rows, cols, seed);
-  Rng rng(seed);
-  tech::DefectRates rates;
-  rates.short_rate = args.num("shorts", 0.002);
-  rates.open_rate = args.num("opens", 0.002);
-  rates.partial_rate = args.num("partials", 0.005);
-  tech::DefectMap defects = tech::DefectMap::random(rows, cols, rates, rng);
-  return edram::MacroCell({.rows = rows, .cols = cols}, tech::tech018(),
-                          std::move(field), std::move(defects));
+edram::MacroCell array_of(const Args& args, std::size_t default_n) {
+  return serve::build_array(array_spec_of(args, default_n));
 }
 
 /// Extraction-health footer shared by bitmap/array: the ok/recovered/
@@ -604,7 +610,22 @@ int cmd_campaign(const Args& args) {
 
   if (!res.records.empty()) {
     std::printf("\ncorner drift / code-histogram stability:\n");
-    campaign::print_campaign_report(res.records, cfg.space);
+    // Prefer the compacted columnar image (mmap'd, CRC-verified end to
+    // end) — the out-of-core aggregate path. The in-memory records are
+    // the fallback when no compact was written (interrupted campaign) or
+    // the file fails verification.
+    bool reported = false;
+    if (!res.compact_path.empty()) {
+      try {
+        const auto reader = campaign::CompactReader::open(res.compact_path);
+        campaign::print_campaign_report(reader.records(), reader.space());
+        reported = true;
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "warning: compact unreadable (%s); reporting "
+                     "from the journal instead\n", e.what());
+      }
+    }
+    if (!reported) campaign::print_campaign_report(res.records, cfg.space);
   }
   obs_session.finish();
   return s.degraded() ? kExitDegraded : kExitOk;
@@ -620,6 +641,195 @@ int cmd_campaign_worker(const Args& args) {
                      "`campaign`, not run directly)");
   }
   return campaign::run_worker_loop(cfg, STDIN_FILENO, result_fd);
+}
+
+/// SIGINT/SIGTERM → graceful drain (finish accepted work, refuse new).
+volatile std::sig_atomic_t g_serve_drain = 0;
+
+void serve_signal_handler(int) { g_serve_drain = 1; }
+
+serve::ExtractSpec extract_spec_of(const Args& args) {
+  serve::ExtractSpec spec;
+  const serve::ArraySpec arr = array_spec_of(args, 8);
+  spec.rows = static_cast<std::uint32_t>(arr.rows);
+  spec.cols = static_cast<std::uint32_t>(arr.cols);
+  spec.seed = arr.seed;
+  spec.gradient = arr.gradient;
+  spec.drift = arr.drift;
+  spec.shorts = arr.shorts;
+  spec.opens = arr.opens;
+  spec.partials = arr.partials;
+
+  const std::string engine = args.str("engine", "fast");
+  if (engine == "fast") {
+    spec.engine = 0;
+  } else if (engine == "circuit") {
+    spec.engine = 1;
+  } else {
+    throw UsageError("unknown --engine '" + engine + "' (want fast|circuit)");
+  }
+  spec.tile_rows = static_cast<std::uint32_t>(args.num("tile-rows", 0));
+  spec.tile_cols = static_cast<std::uint32_t>(args.num("tile-cols", 0));
+  spec.adaptive = args.flag("no-adaptive") ? 0 : 1;
+  circuit::SolverKind kind = circuit::SolverKind::kAuto;
+  const std::string solver = args.str("solver", "auto");
+  if (!circuit::parse_solver_kind(solver, kind)) {
+    throw UsageError("unknown --solver '" + solver +
+                     "' (want dense|sparse|auto)");
+  }
+  spec.solver = static_cast<std::uint32_t>(kind);
+  spec.retries = static_cast<std::uint32_t>(args.integer("retries", 2));
+  spec.want_progress = args.flag("progress") ? 1 : 0;
+  spec.deadline_ms = static_cast<std::uint32_t>(args.num("deadline-ms", 0));
+  return spec;
+}
+
+/// serve — run the long-lived extraction service on a Unix-domain socket.
+int cmd_serve(const Args& args) {
+  const std::string socket_path = args.str("socket", "");
+  if (socket_path.empty()) {
+    throw UsageError("serve needs --socket PATH (Unix-domain socket to "
+                     "listen on)");
+  }
+  serve::ServerConfig cfg;
+  cfg.socket_path = socket_path;
+  cfg.queue_capacity = static_cast<std::size_t>(args.num("queue-cap", 64));
+  cfg.dispatchers = static_cast<std::size_t>(args.num("dispatchers", 1));
+  cfg.jobs = jobs_of(args);
+
+  // A service always exports /metrics; tracing is opt-in (ring buffer
+  // memory) and drained through the /trace request, not a file.
+  obs::Registry::global().reset();
+  obs::set_metrics_enabled(true);
+  if (args.flag("trace")) obs::start_tracing();
+
+  serve::Server server(cfg);
+  server.start();
+  std::printf("ecms_tool serve: listening on %s (queue %zu, dispatchers "
+              "%zu, jobs %zu)\n",
+              socket_path.c_str(), cfg.queue_capacity, cfg.dispatchers,
+              cfg.jobs);
+  std::fflush(stdout);
+
+  struct sigaction sa{};
+  sa.sa_handler = serve_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: let blocking calls wake for the drain
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+
+  while (g_serve_drain == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("ecms_tool serve: draining (accepted work finishes, new "
+              "requests are refused)\n");
+  std::fflush(stdout);
+  server.begin_drain();
+  server.wait_drained();
+  server.stop();
+  std::printf("ecms_tool serve: drained; %llu accepted, %llu completed, "
+              "%llu failed\n",
+              static_cast<unsigned long long>(server.accepted()),
+              static_cast<unsigned long long>(server.completed()),
+              static_cast<unsigned long long>(server.failed()));
+  return kExitOk;
+}
+
+/// client — submit requests to a running `serve` daemon.
+int cmd_client(const Args& args) {
+  const std::string socket_path = args.str("socket", "");
+  if (socket_path.empty()) {
+    throw UsageError("client needs --socket PATH (the daemon's socket)");
+  }
+  serve::Client client;
+  std::string error;
+  if (!client.connect(socket_path, &error)) {
+    std::fprintf(stderr, "error: connect %s: %s\n", socket_path.c_str(),
+                 error.c_str());
+    return kExitFailure;
+  }
+
+  if (args.flag("metrics") || args.flag("trace")) {
+    std::string json;
+    const bool ok = args.flag("metrics") ? client.metrics(&json, &error)
+                                         : client.trace(&json, &error);
+    if (!ok) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return kExitFailure;
+    }
+    std::printf("%s\n", json.c_str());
+    return kExitOk;
+  }
+
+  if (args.flag("calibrate")) {
+    serve::CalibrateSpec spec;
+    spec.request_id = 1;
+    spec.rows = static_cast<std::uint32_t>(args.num("rows", 4));
+    spec.cols = static_cast<std::uint32_t>(args.num("cols", 4));
+    spec.ramp_steps = static_cast<std::uint32_t>(args.num("steps", 20));
+    spec.points = static_cast<std::uint32_t>(args.num("points", 741));
+    serve::CalibrateInfo info{};
+    if (!client.calibrate(spec, &info, &error)) {
+      std::fprintf(stderr, "error: calibrate: %s\n", error.c_str());
+      return kExitFailure;
+    }
+    std::printf("calibration %s: window [%.3g, %.3g] F, %u codes used, "
+                "mean accuracy %.4g F/code\n",
+                info.cache_hit != 0 ? "(warm cache hit)" : "(built)",
+                info.range_lo, info.range_hi, info.codes_used,
+                info.mean_accuracy);
+    return kExitOk;
+  }
+
+  // Extraction mode: submit --count requests, then await each. The ids
+  // are local to this session, so concurrent clients never collide.
+  const auto count =
+      static_cast<std::uint64_t>(std::max<long long>(1, args.integer("count", 1)));
+  serve::ExtractSpec spec = extract_spec_of(args);
+  bool any_failed = false;
+  std::vector<std::uint64_t> accepted;
+  accepted.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t id = 1; id <= count; ++id) {
+    spec.request_id = id;
+    const serve::Client::Submission sub = client.submit(spec);
+    if (!sub.accepted) {
+      // Rejected ids never get a result frame — don't await them.
+      any_failed = true;
+      std::fprintf(stderr,
+                   "request %llu rejected: %s (retry after %u ms)\n",
+                   static_cast<unsigned long long>(id), sub.reason.c_str(),
+                   sub.retry_after_ms);
+      continue;
+    }
+    accepted.push_back(id);
+  }
+
+  bool any_unmeasurable = false;
+  std::function<void(const serve::Progress&)> on_progress;
+  if (spec.want_progress != 0) {
+    on_progress = [](const serve::Progress& p) {
+      std::printf("  tile %u/%u\n", p.tiles_done, p.tiles_total);
+    };
+  }
+  for (const std::uint64_t id : accepted) {
+    const serve::Client::Result res = client.await_result(id, on_progress);
+    if (!res.ok) {
+      std::fprintf(stderr, "request %llu failed: %s\n",
+                   static_cast<unsigned long long>(id), res.error.c_str());
+      any_failed = true;
+      continue;
+    }
+    std::printf("request %llu: %ux%u, %u ok, %u recovered, %u "
+                "unmeasurable, code hash %016llx\n",
+                static_cast<unsigned long long>(id), res.info.rows,
+                res.info.cols, res.info.ok, res.info.recovered,
+                res.info.unmeasurable,
+                static_cast<unsigned long long>(res.info.code_hash));
+    if (res.info.unmeasurable > 0) any_unmeasurable = true;
+  }
+  if (any_failed) return kExitFailure;
+  return any_unmeasurable ? kExitDegraded : kExitOk;
 }
 
 int usage() {
@@ -656,6 +866,21 @@ int usage() {
       "           --workers N (strict, >= 1) --retries N (strict, >= 1)\n"
       "           --unit-timeout-ms MS --unit-delay-ms MS\n"
       "           --fault-rate P --fault-seed S (inject worker crashes)\n"
+      "  serve    run the long-lived extraction service: Unix-socket\n"
+      "           daemon, admission-controlled request queue, shared\n"
+      "           program/calibration warm caches; SIGINT/SIGTERM drain\n"
+      "           gracefully (accepted work finishes, zero loss)\n"
+      "           --socket PATH (required) --queue-cap N (default 64)\n"
+      "           --dispatchers N (concurrent requests, default 1)\n"
+      "           --jobs N (tile workers per dispatcher) --trace\n"
+      "  client   talk to a running serve daemon\n"
+      "           --socket PATH (required)\n"
+      "           extract mode (default): array flags as bitmap, plus\n"
+      "           --engine fast|circuit --tile-rows N --tile-cols N\n"
+      "           --count N (submit N pipelined requests) --progress\n"
+      "           --deadline-ms MS --retries N --no-adaptive --solver K\n"
+      "           --metrics | --trace   print the server's JSON export\n"
+      "           --calibrate [--rows N --cols N --steps N --points N]\n"
       "\n"
       "run shape (extract, bitmap, array — parsed once, same everywhere):\n"
       "  --jobs N        worker threads (default 1; 0 = one per hardware\n"
@@ -704,6 +929,10 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A dead peer must surface as EPIPE from write(), never as a
+  // process-killing SIGPIPE — the serve daemon outlives any one client,
+  // and one-shot commands piped to `head` shouldn't die mid-report either.
+  ::signal(SIGPIPE, SIG_IGN);
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
@@ -725,6 +954,8 @@ int main(int argc, char** argv) {
     if (cmd == "spice") return cmd_spice(args);
     if (cmd == "campaign") return cmd_campaign(args);
     if (cmd == "campaign-worker") return cmd_campaign_worker(args);
+    if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "client") return cmd_client(args);
     return usage();
   } catch (const UsageError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
