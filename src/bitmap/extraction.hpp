@@ -51,6 +51,14 @@ struct ExtractRequest {
   /// bench and tests use. Codes are bit-identical either way.
   bool share_programs = true;
 
+  /// Circuit engine only: lockstep batch width per tile (DESIGN.md §14).
+  /// 0 = auto (lane count picked by the host's vector ISA), 1 = scalar
+  /// per-cell measurement, N >= 2 = exactly N lanes. Batching needs shared
+  /// programs (`share_programs`, non-dense solver, no solve hooks) and
+  /// silently runs scalar when those preconditions fail; codes are
+  /// bit-identical either way, at any width and worker count.
+  int batch_width = 0;
+
   /// The array is measured tile-by-tile, each tile by its own structure
   /// (the structure's dynamic range only covers macro-cell-sized plate
   /// loads). 0 means "whole array in one tile" for that dimension; array

@@ -1,0 +1,436 @@
+#include "circuit/batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace ecms::circuit {
+
+namespace {
+constexpr double kTimeEps = 1e-18;  // matches transient.cpp
+}
+
+BatchEngine::BatchEngine(std::span<Circuit* const> lanes, const Options& opts)
+    : opts_(opts) {
+  ECMS_REQUIRE(!lanes.empty(), "batch engine needs at least one lane");
+  ECMS_REQUIRE(opts_.newton.hooks == nullptr,
+               "batch engine does not support solve hooks (fault-injected "
+               "cells run the scalar path)");
+  ECMS_REQUIRE(opts_.newton.solver.program_cache != nullptr,
+               "batch engine needs a program cache: without one, resumed "
+               "scalar segments re-pivot per segment and the lockstep run "
+               "could not be bit-identical to them");
+  ECMS_REQUIRE(opts_.dt > 0.0, "batch engine needs a positive base step");
+
+  // One reset up front so a reused arena starts a fresh generation before
+  // any engine carves from it (and so util.arena.resets reflects the batch).
+  arena_.reset();
+  a_soa_.bind(&arena_);
+  l_soa_.bind(&arena_);
+  u_soa_.bind(&arena_);
+  work_soa_.bind(&arena_);
+  pb_soa_.bind(&arena_);
+
+  lanes[0]->finalize();
+  n_ = lanes[0]->unknown_count();
+  nv_ = lanes[0]->node_count() - 1;
+
+  lanes_.resize(lanes.size());
+  for (std::size_t li = 0; li < lanes.size(); ++li) {
+    Lane& lane = lanes_[li];
+    lane.ckt = lanes[li];
+    lane.ckt->finalize();
+    if (lane.ckt->unknown_count() != n_ ||
+        lane.ckt->node_count() - 1 != nv_) {
+      // A structurally different lane can never share the program; its
+      // measurement runs scalar from scratch.
+      retire(li, "lane topology differs from lane 0", /*divergence=*/false);
+      continue;
+    }
+    lane.eng = std::make_unique<SparseEngine>(
+        n_, opts_.newton.solver.program_cache, &arena_);
+    // UIC start: x = 0 at t = 0, device history initialized from it — the
+    // same initial condition every measurement flow uses (uic-only is an
+    // engagement precondition enforced by the caller).
+    lane.x.assign(n_, 0.0);
+    lane.x_try.assign(n_, 0.0);
+    lane.x_new.assign(n_, 0.0);
+    StampContext ctx;
+    ctx.x = lane.x;
+    ctx.time = 0.0;
+    ctx.dt = 0.0;
+    for (const auto& d : lane.ckt->devices()) d->init_state(ctx);
+  }
+  force_be_ = opts_.be_after_breakpoint;  // first step from t = 0 uses BE
+  ECMS_METRIC_COUNT("circuit.batch.lanes", lanes.size());
+}
+
+BatchEngine::~BatchEngine() = default;
+
+std::size_t BatchEngine::active_lanes() const {
+  std::size_t n = 0;
+  for (const Lane& lane : lanes_) {
+    if (lane.state == LaneState::kActive) ++n;
+  }
+  return n;
+}
+
+void BatchEngine::retire(std::size_t lane, std::string reason,
+                         bool divergence) {
+  Lane& L = lanes_[lane];
+  if (L.state != LaneState::kActive) return;
+  L.state = LaneState::kRetired;
+  L.reason = std::move(reason);
+  // Pending counters are dropped, not flushed: the scalar re-measurement of
+  // this cell counts its own work, so flushing here would double-count.
+  ECMS_METRIC_COUNT("circuit.batch.retired", 1);
+  if (divergence) ECMS_METRIC_COUNT("circuit.batch.divergences", 1);
+}
+
+void BatchEngine::finish(std::size_t lane) {
+  Lane& L = lanes_[lane];
+  if (L.state != LaneState::kActive) return;
+  flush_counters(L);
+  L.state = LaneState::kFinished;
+}
+
+void BatchEngine::flush_counters(Lane& lane) {
+  if (!obs::metrics_enabled()) return;
+  const SparseEngine* eng = lane.eng.get();
+  const std::uint64_t sym = eng ? eng->symbolic_factorizations() : 0;
+  const std::uint64_t num =
+      (eng ? eng->numeric_factorizations() : 0) + lane.vector_refactors;
+  ECMS_METRIC_COUNT("circuit.newton.solves", lane.points);
+  ECMS_METRIC_COUNT("circuit.newton.iterations", lane.iters);
+  ECMS_METRIC_COUNT("circuit.newton.factorizations", sym + num);
+  ECMS_METRIC_COUNT("circuit.lu.symbolic", sym);
+  ECMS_METRIC_COUNT("circuit.lu.numeric", num);
+  ECMS_METRIC_COUNT("circuit.assemble.static_hits",
+                    eng ? eng->static_hits() : 0);
+  ECMS_METRIC_COUNT("circuit.assemble.restamps",
+                    eng ? eng->static_restamps() : 0);
+  // Each advance() this lane stepped in is the batched equivalent of one
+  // scalar transient segment (all segments past the first are resumes).
+  ECMS_METRIC_COUNT("circuit.transient.solves", lane.stats.segments);
+  ECMS_METRIC_COUNT("circuit.transient.accepted_steps",
+                    lane.stats.accepted_steps);
+  if (lane.stats.segments > 1) {
+    ECMS_METRIC_COUNT("circuit.transient.resumes", lane.stats.segments - 1);
+  }
+}
+
+void BatchEngine::advance(
+    double t_stop,
+    const std::function<void(std::size_t, double, std::span<const double>)>&
+        on_sample) {
+  obs::ScopedSpan span("batch_advance");
+  ECMS_REQUIRE(t_stop > t_ + kTimeEps,
+               "batch advance t_stop must lie after the current time");
+  span.arg("t_stop_s", t_stop);
+  span.arg("lanes", static_cast<double>(active_lanes()));
+
+  std::size_t ref = lanes_.size();
+  for (std::size_t li = 0; li < lanes_.size(); ++li) {
+    Lane& L = lanes_[li];
+    if (L.state != LaneState::kActive) continue;
+    if (ref == lanes_.size()) ref = li;
+    ++L.stats.segments;
+    // Boundary sample: the first trace row a scalar segment records.
+    on_sample(li, t_, L.x);
+  }
+  if (ref == lanes_.size()) {  // nothing left to step
+    t_ = t_stop;
+    first_advance_ = false;
+    return;
+  }
+
+  // The lockstep schedule is a pure function of (dt, breakpoints): lanes
+  // are the same netlist with the same stimulus timing, so their breakpoint
+  // sets agree. A lane that disagrees (a reprogrammed wave, an exotic
+  // defect model) cannot share the time grid and is retired.
+  const std::vector<double> bps = lanes_[ref].ckt->breakpoints(t_stop);
+  for (std::size_t li = ref + 1; li < lanes_.size(); ++li) {
+    Lane& L = lanes_[li];
+    if (L.state != LaneState::kActive) continue;
+    if (L.ckt->breakpoints(t_stop) != bps) {
+      retire(li, "breakpoint schedule differs from the batch",
+             /*divergence=*/false);
+    }
+  }
+
+  std::size_t next_bp = 0;
+  bool start_on_bp = false;
+  while (next_bp < bps.size() && bps[next_bp] <= t_ + kTimeEps) {
+    if (bps[next_bp] >= t_ - kTimeEps) start_on_bp = true;
+    ++next_bp;
+  }
+  if (!first_advance_ && start_on_bp) {
+    // transient_resume applies breakpoint handling when it starts on a
+    // corner (the uninterrupted run saw it when landing here).
+    force_be_ = opts_.be_after_breakpoint;
+  }
+
+  double t = t_;
+  const double dt = opts_.dt;  // fixed: any lane needing a halving retires
+
+  while (t < t_stop - kTimeEps) {
+    double step = std::min(dt, t_stop - t);
+    bool hits_bp = false;
+    if (next_bp < bps.size() && t + step >= bps[next_bp] - kTimeEps) {
+      step = bps[next_bp] - t;
+      hits_bp = true;
+      if (step <= kTimeEps) {  // already on the breakpoint
+        ++next_bp;
+        continue;
+      }
+    }
+
+    StampContext proto;
+    proto.time = t + step;
+    proto.dt = step;
+    proto.method =
+        force_be_ ? Integrator::kBackwardEuler : opts_.method;
+    proto.gmin = opts_.newton.gmin_ground;
+
+    bool any = false;
+    for (Lane& L : lanes_) {
+      if (L.state != LaneState::kActive) continue;
+      L.x_try = L.x;
+      any = true;
+    }
+    if (!any) break;
+
+    if (!solve_point(proto)) break;
+
+    for (std::size_t li = 0; li < lanes_.size(); ++li) {
+      Lane& L = lanes_[li];
+      if (L.state != LaneState::kActive) continue;
+      std::swap(L.x, L.x_try);
+      StampContext actx = proto;
+      actx.x = L.x;
+      for (const auto& d : L.ckt->devices()) d->accept_step(actx);
+      ++L.stats.accepted_steps;
+      L.stats.newton_iterations += static_cast<std::size_t>(L.point_iters);
+      ++L.points;
+      L.iters += static_cast<std::size_t>(L.point_iters);
+      on_sample(li, t + step, L.x);
+    }
+    t += step;
+
+    if (hits_bp) {
+      ++next_bp;
+      force_be_ = opts_.be_after_breakpoint;
+    } else {
+      force_be_ = false;
+    }
+  }
+
+  // Keep the loop's actual final time, not the requested target: a
+  // breakpoint one ulp short of t_stop ends the segment *on* the breakpoint
+  // (exactly as run_transient leaves its checkpoint there), and the next
+  // segment must resume from that grid point or the lockstep grid drifts
+  // off the uninterrupted run's by a whole step.
+  t_ = t;
+  first_advance_ = false;
+}
+
+bool BatchEngine::solve_point(const StampContext& ctx_proto) {
+  const std::size_t W = lanes_.size();
+  ++point_epoch_;
+  for (Lane& L : lanes_) {
+    if (L.state != LaneState::kActive) continue;
+    L.unfinished = true;
+    L.point_iters = 0;
+    L.eng->begin_point();
+  }
+
+  // Scalar factor + solve through the lane's own engine — bit-identical to
+  // the scalar Newton iteration by construction. Used to bootstrap the
+  // shared symbolic (the publishing lane), for lanes whose private pivot
+  // order diverged from it, and to re-pivot after degradation.
+  auto scalar_factor_solve = [&](std::size_t li) -> bool {
+    Lane& L = lanes_[li];
+    try {
+      L.eng->factor();
+    } catch (const SolverError&) {
+      // The scalar transient rejects and halves on a singular system; a
+      // halved step leaves the lockstep grid.
+      retire(li, "singular system", /*divergence=*/true);
+      return false;
+    }
+    L.eng->solve(std::span<double>(L.x_new));
+    ECMS_METRIC_COUNT("circuit.batch.scalar_fallbacks", 1);
+    return true;
+  };
+
+  // Replica of newton_solve_impl's damped update + convergence test, per
+  // lane over its own x_new (from the vector scatter or the scalar solve).
+  auto newton_update = [&](std::size_t li, int iter) {
+    Lane& L = lanes_[li];
+    const NewtonOptions& no = opts_.newton;
+    double max_dv = 0.0;
+    for (std::size_t i = 0; i < nv_; ++i) {
+      const double dv = std::abs(L.x_new[i] - L.x_try[i]);
+      if (dv > max_dv) max_dv = dv;
+    }
+    double scale = 1.0;
+    if (max_dv > no.max_delta_v) scale = no.max_delta_v / max_dv;
+    double max_x = 0.0;
+    for (std::size_t i = 0; i < nv_; ++i) {
+      max_x = std::max(max_x, std::abs(L.x_try[i]));
+    }
+    for (std::size_t i = 0; i < n_; ++i) {
+      L.x_try[i] += scale * (L.x_new[i] - L.x_try[i]);
+    }
+    L.point_iters = iter + 1;
+    const double final_delta = max_dv * scale;
+    if (!std::isfinite(final_delta)) {
+      retire(li, "non-finite newton update", /*divergence=*/true);
+      return;
+    }
+    if (scale == 1.0 &&
+        max_dv < no.tol_abs_v + no.tol_rel * std::max(max_x, 1.0)) {
+      L.unfinished = false;  // converged
+    }
+  };
+
+  // Adopts lane li's pivot order as the batch's shared symbolic and sizes
+  // the SoA kernel operands for it.
+  auto adopt_shared = [&](std::size_t li) {
+    shared_sym_ = lanes_[li].eng->lu_symbolic();
+    shared_pat_ = lanes_[li].eng->matrix().pattern();
+    const LuSymbolic& sy = *shared_sym_;
+    a_soa_.resize(shared_pat_->cols.size() * W);
+    l_soa_.resize(sy.l_cols.size() * W);
+    u_soa_.resize(sy.u_cols.size() * W);
+    work_soa_.resize(sy.n * W);
+    pb_soa_.resize(sy.n * W);
+    // Only the dynamic tape's slots change between iterations of one point
+    // (the static image is frozen per point), so after a lane's first
+    // gather of a point the per-iteration gather touches these alone.
+    shared_dyn_slots_.clear();
+    const auto& prog = lanes_[li].eng->program();
+    if (prog != nullptr && prog->symbolic.get() == shared_sym_.get()) {
+      shared_dyn_slots_.assign(prog->dynamic_slots.begin(),
+                               prog->dynamic_slots.end());
+      std::sort(shared_dyn_slots_.begin(), shared_dyn_slots_.end());
+      shared_dyn_slots_.erase(
+          std::unique(shared_dyn_slots_.begin(), shared_dyn_slots_.end()),
+          shared_dyn_slots_.end());
+    }
+    for (Lane& L : lanes_) L.soa_epoch = 0;  // a_soa_ was re-carved
+  };
+
+  std::vector<std::size_t> vec_lanes;
+  for (int iter = 0; iter < opts_.newton.max_iterations; ++iter) {
+    bool pending = false;
+    for (const Lane& L : lanes_) {
+      pending |= (L.state == LaneState::kActive && L.unfinished);
+    }
+    if (!pending) break;
+
+    vec_lanes.clear();
+    for (std::size_t li = 0; li < lanes_.size(); ++li) {
+      Lane& L = lanes_[li];
+      if (L.state != LaneState::kActive || !L.unfinished) continue;
+      StampContext ctx = ctx_proto;
+      ctx.x = L.x_try;
+      L.eng->assemble(*L.ckt, ctx, opts_.newton.gmin_ground);
+      if (shared_sym_ == nullptr) {
+        if (L.eng->lu_symbolic() == nullptr) {
+          // Cache miss: this lane compiles and publishes exactly as the
+          // first scalar cell would, before any later lane assembles — so
+          // the later lanes adopt it during their own discovery.
+          if (!scalar_factor_solve(li)) continue;
+          if (L.eng->lu_symbolic() != nullptr) adopt_shared(li);
+          newton_update(li, iter);
+          continue;
+        }
+        adopt_shared(li);
+      }
+      if (L.eng->lu_symbolic().get() == shared_sym_.get()) {
+        vec_lanes.push_back(li);
+      } else {
+        // Private pivot order (publication race or an earlier re-pivot):
+        // the lane stays in lockstep but solves through its own engine.
+        if (scalar_factor_solve(li)) newton_update(li, iter);
+      }
+    }
+
+    if (vec_lanes.empty()) continue;
+    const LuSymbolic& sy = *shared_sym_;
+    const std::size_t nnz = shared_pat_->cols.size();
+
+    // Gather lane values and right-hand sides into SoA form. The kernels
+    // compute every one of the W columns; columns of retired / scalar /
+    // finished lanes hold stale data whose results are never read.
+    for (std::size_t li : vec_lanes) {
+      Lane& L = lanes_[li];
+      const std::span<const double> av = L.eng->matrix().values();
+      double* a = a_soa_.data();
+      if (L.soa_epoch != point_epoch_ || shared_dyn_slots_.empty()) {
+        for (std::size_t s = 0; s < nnz; ++s) a[s * W + li] = av[s];
+        L.soa_epoch = point_epoch_;
+      } else {
+        for (const std::uint32_t s : shared_dyn_slots_) a[s * W + li] = av[s];
+      }
+      const std::span<const double> b = L.eng->rhs();
+      double* pb = pb_soa_.data();
+      for (std::size_t i = 0; i < sy.n; ++i) {
+        pb[i * W + li] = b[sy.perm_row[i]];
+      }
+    }
+
+    const kernels::Kernels& kk = kernels::active();
+    kk.refactor(sy, a_soa_.data(), l_soa_.data(), u_soa_.data(),
+                work_soa_.data(), W);
+
+    // Pivot health per lane (scalar replica of refactor()'s early return).
+    // A degraded lane re-pivots through its engine, exactly as the scalar
+    // path's refactor-failure -> full-factor sequence does; its new private
+    // order routes it to the scalar solve from the next iteration on.
+    std::size_t kept = 0;
+    for (std::size_t li : vec_lanes) {
+      if (kernels::first_degraded_row(sy, u_soa_.data(), W, li) >= 0) {
+        ECMS_METRIC_COUNT("circuit.batch.divergences", 1);
+        if (scalar_factor_solve(li)) newton_update(li, iter);
+        continue;
+      }
+      ++lanes_[li].vector_refactors;
+      vec_lanes[kept++] = li;
+    }
+    vec_lanes.resize(kept);
+    if (vec_lanes.empty()) continue;
+
+    kk.solve(sy, l_soa_.data(), u_soa_.data(), pb_soa_.data(), W);
+
+    for (std::size_t li : vec_lanes) {
+      Lane& L = lanes_[li];
+      const double* pb = pb_soa_.data();
+      for (std::size_t j = 0; j < sy.n; ++j) {
+        L.x_new[sy.perm_col[j]] = pb[j * W + li];
+      }
+      newton_update(li, iter);
+    }
+  }
+
+  bool any = false;
+  for (std::size_t li = 0; li < lanes_.size(); ++li) {
+    Lane& L = lanes_[li];
+    if (L.state != LaneState::kActive) continue;
+    if (L.unfinished) {
+      // The scalar transient would reject this step and halve — off-grid.
+      retire(li, "newton did not converge on the lockstep grid",
+             /*divergence=*/true);
+      continue;
+    }
+    any = true;
+  }
+  return any;
+}
+
+}  // namespace ecms::circuit

@@ -1,0 +1,160 @@
+// BatchEngine: lockstep Newton/transient driver for K cells sharing one
+// NetlistProgram (DESIGN.md §14).
+//
+// Every cell of an array tile is the same netlist with different element
+// values, so after the first cell publishes its compiled program (pattern,
+// stamp tapes, pivot order) all K cells can be advanced through the same
+// time grid together: per-lane node voltages and per-lane CSR value arrays
+// in structure-of-arrays form, one shared stamp-slot tape, and the numeric
+// refactorization / triangular solves vectorized across lanes
+// (circuit/kernels.hpp). Device evaluation and stamping stay scalar per
+// lane through each lane's own SparseEngine — exactly the scalar assembly
+// path, so tape divergence detection, static-image reuse and program-cache
+// accounting are inherited rather than re-implemented.
+//
+// Identity: with a fixed base step (no adaptive growth) and no rejected
+// steps, run_transient's schedule is value-independent — time points are a
+// pure function of (dt, breakpoints) — so lanes genuinely share one (t,
+// step, force_be) sequence. Per-lane Newton damping and convergence
+// decisions are scalar replicas of newton_solve_impl over the SoA results.
+// Anything that would make a lane's scalar trajectory diverge from the
+// lockstep grid (a rejected step, pivot degradation, a non-finite update,
+// tape divergence, a private pivot order that later disagrees) retires the
+// lane: the caller re-measures it on the scalar path from scratch, which by
+// construction reproduces what an all-scalar run would have produced. Lanes
+// that complete here are bit-identical to the scalar sparse path.
+//
+// Counters: circuit.batch.{lanes,retired,divergences,scalar_fallbacks} plus
+// per-lane equivalents of the scalar solver counters (newton/lu/assemble/
+// transient), flushed only for lanes that complete — a retired lane's
+// partial work is dropped so its scalar re-measurement counts once.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/kernels.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/newton.hpp"
+#include "circuit/transient.hpp"
+#include "util/arena.hpp"
+
+namespace ecms::circuit {
+
+class BatchEngine {
+ public:
+  struct Options {
+    double dt = 20e-12;                  ///< fixed base step (never halved)
+    Integrator method = Integrator::kTrapezoidal;
+    NewtonOptions newton;                ///< solver.program_cache required
+    bool be_after_breakpoint = true;
+  };
+
+  enum class LaneState {
+    kActive,    ///< stepping in lockstep
+    kFinished,  ///< trajectory decided by the caller; state frozen
+    kRetired,   ///< left the batch; re-measure on the scalar path
+  };
+
+  struct LaneStats {
+    std::size_t accepted_steps = 0;
+    std::size_t newton_iterations = 0;
+    std::size_t segments = 0;  ///< advance() calls this lane stepped in
+  };
+
+  /// Binds K lanes starting from the UIC initial condition (x = 0 at t = 0,
+  /// device history initialized), the start every measurement flow uses.
+  /// All lanes must have identical unknown/node counts; a mismatched lane
+  /// is retired immediately. Requires a program cache in
+  /// opts.newton.solver (the shared-compilation precondition) and no solve
+  /// hooks (fault injection runs scalar).
+  BatchEngine(std::span<Circuit* const> lanes, const Options& opts);
+  ~BatchEngine();
+  BatchEngine(const BatchEngine&) = delete;
+  BatchEngine& operator=(const BatchEngine&) = delete;
+
+  std::size_t width() const { return lanes_.size(); }
+  LaneState state(std::size_t lane) const { return lanes_[lane].state; }
+  /// Why a retired lane left the batch (empty for other states).
+  const std::string& retire_reason(std::size_t lane) const {
+    return lanes_[lane].reason;
+  }
+  const LaneStats& stats(std::size_t lane) const {
+    return lanes_[lane].stats;
+  }
+  std::span<const double> x(std::size_t lane) const {
+    return lanes_[lane].x;
+  }
+  /// Shared lockstep time (active lanes sit exactly here).
+  double time() const { return t_; }
+  std::size_t active_lanes() const;
+
+  /// Marks a lane's trajectory decided: it stops stepping (and its pending
+  /// solver counters are flushed), but keeps its accepted state.
+  void finish(std::size_t lane);
+
+  /// Retires a lane from the batch: its pending counters are dropped and
+  /// the caller must re-measure the cell on the scalar path. The engine
+  /// calls this itself on any lockstep deviation; callers use it when a
+  /// higher-level policy (e.g. an adaptive-scheduler fallback) would send
+  /// the scalar path down a different flow. `divergence` marks numerical
+  /// causes (counted as circuit.batch.divergences).
+  void retire(std::size_t lane, std::string reason, bool divergence = false);
+
+  /// Advances every active lane in lockstep to t_stop, replicating
+  /// run_transient's stepping (breakpoint landing, post-breakpoint backward
+  /// Euler, fixed base step). `on_sample(lane, t, x)` fires per active lane
+  /// once at entry — the boundary sample a resumed scalar segment records —
+  /// and once per accepted step. Lanes that cannot keep lockstep are
+  /// retired, never stalled.
+  void advance(double t_stop,
+               const std::function<void(std::size_t, double,
+                                        std::span<const double>)>& on_sample);
+
+ private:
+  struct Lane {
+    Circuit* ckt = nullptr;
+    std::unique_ptr<SparseEngine> eng;
+    std::vector<double> x, x_try, x_new;
+    LaneState state = LaneState::kActive;
+    std::string reason;
+    LaneStats stats;
+    // Point-solve scratch.
+    bool unfinished = false;  ///< still iterating this point
+    int point_iters = 0;
+    // Pending per-lane obs counters, flushed on completion only.
+    std::size_t points = 0;
+    std::size_t iters = 0;
+    std::size_t vector_refactors = 0;
+    // Last point epoch whose static image was gathered into a_soa_; the
+    // per-iteration gather then touches dynamic slots only.
+    std::uint64_t soa_epoch = 0;
+  };
+
+  void flush_counters(Lane& lane);
+  /// One lockstep Newton point over all unfinished lanes; retires lanes
+  /// that fail. Returns false when no lane is left active.
+  bool solve_point(const StampContext& ctx_proto);
+
+  Options opts_;
+  std::size_t n_ = 0;   ///< unknowns per lane
+  std::size_t nv_ = 0;  ///< voltage unknowns per lane
+  std::vector<Lane> lanes_;
+  util::Arena arena_;
+  std::shared_ptr<const LuSymbolic> shared_sym_;
+  std::shared_ptr<const SparsePattern> shared_pat_;
+  // Deduplicated value slots the dynamic tape touches (empty = gather the
+  // full image every iteration) and the current point epoch.
+  std::vector<std::uint32_t> shared_dyn_slots_;
+  std::uint64_t point_epoch_ = 0;
+  // SoA kernel operands, [slot * width + lane].
+  util::ArenaBuf<double> a_soa_, l_soa_, u_soa_, work_soa_, pb_soa_;
+  double t_ = 0.0;
+  bool force_be_ = true;
+  bool first_advance_ = true;
+};
+
+}  // namespace ecms::circuit

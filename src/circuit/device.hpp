@@ -58,16 +58,46 @@ class StampSink {
   virtual void add(std::size_t row, std::size_t col, double v) = 0;
 };
 
-/// Backend-neutral handle to the MNA matrix passed to Device::stamp: either
-/// the dense Matrix (default path, one predictable branch of overhead) or a
-/// StampSink for the sparse backend. The right-hand side stays a plain span
-/// in both cases.
+/// Inline replay cursor over a sparse engine's recorded stamp tape. On
+/// replayed assemblies the (row, col) sequence each device emits is verified
+/// against the recording — the netlist-reconfiguration guard — and values
+/// accumulate into pre-resolved slots of the target array, all inlined into
+/// the device stamp code with no virtual dispatch. Owned by
+/// SparseEngine::assemble; devices never see the difference.
+struct ReplayTape {
+  const std::uint64_t* coords = nullptr;  ///< recorded (row << 32 | col)
+  const std::uint32_t* slots = nullptr;   ///< coords resolved to value slots
+  std::size_t size = 0;
+  std::size_t cursor = 0;
+  double* values = nullptr;  ///< accumulation target (matrix value array)
+  bool diverged = false;
+};
+
+/// Backend-neutral handle to the MNA matrix passed to Device::stamp: the
+/// dense Matrix (one predictable branch of overhead), a StampSink recording
+/// a tape on the sparse backend's first assembly, or a ReplayTape on every
+/// replayed sparse assembly — the per-iteration hot path. The right-hand
+/// side stays a plain span in all cases.
 class MnaView {
  public:
   explicit MnaView(Matrix& dense) : dense_(&dense) {}
   explicit MnaView(StampSink& sink) : sink_(&sink) {}
+  explicit MnaView(ReplayTape& tape) : tape_(&tape) {}
 
   void add(std::size_t row, std::size_t col, double v) {
+    if (tape_ != nullptr) {
+      ReplayTape& t = *tape_;
+      if (t.diverged) return;
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(row) << 32) | col;
+      if (t.cursor >= t.size || t.coords[t.cursor] != key) {
+        t.diverged = true;  // reconfigured netlist: caller rediscovers
+        return;
+      }
+      t.values[t.slots[t.cursor]] += v;
+      ++t.cursor;
+      return;
+    }
     if (dense_ != nullptr) {
       dense_->at(row, col) += v;
     } else {
@@ -80,6 +110,7 @@ class MnaView {
  private:
   Matrix* dense_ = nullptr;
   StampSink* sink_ = nullptr;
+  ReplayTape* tape_ = nullptr;
 };
 
 /// Stamps conductance g between nodes a and b.
@@ -153,6 +184,17 @@ class Device {
   /// once and replays it as direct slot writes on later assemblies.
   virtual void stamp(const StampContext& ctx, MnaView& a_mat,
                      std::span<double> b_vec) const = 0;
+
+  /// The iterate-independent portion of a *nonlinear* device's stamp
+  /// (companion capacitors, gmin ties): contributions that depend on dt,
+  /// the integration method, and latched state, but never on ctx.x. The
+  /// sparse backend stamps these once per solve point into the static
+  /// image instead of on every Newton iteration; the dense backend calls
+  /// it back-to-back with stamp(). Linear devices keep everything in
+  /// stamp() and leave this empty. The coordinate-sequence rule above
+  /// applies here too.
+  virtual void stamp_static(const StampContext& /*ctx*/, MnaView& /*a_mat*/,
+                            std::span<double> /*b_vec*/) const {}
 
   /// Number of extra branch-current unknowns this device introduces.
   virtual int branch_count() const { return 0; }

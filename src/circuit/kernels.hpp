@@ -1,0 +1,99 @@
+// Batched SoA kernels for the lockstep cell simulator (DESIGN.md §14).
+//
+// The batch engine advances K cells that share one NetlistProgram; its hot
+// loops — the numeric refactorization over the frozen pivot order, the
+// forward/backward triangular solves, and the static-image restamp copy —
+// operate on structure-of-arrays value storage, element (slot, lane) at
+// `a[slot * width + lane]`, so one instruction stream serves every lane.
+//
+// Bit-identity contract: a vector kernel performs, per lane, exactly the
+// floating-point operations of the scalar SparseLu path in exactly the same
+// order. Only lanewise IEEE-754 arithmetic (+, -, *, /) is vectorized —
+// never comparisons, max-reductions or anything with NaN-sensitive
+// semantics; pivot-health and convergence decisions stay in scalar replica
+// code that reads the SoA arrays. No FMA contraction on either side (the
+// build forces -ffp-contract=off), so scalar and vector lanes agree to the
+// last ulp on every host, and the scalar fallback is not a degraded mode
+// but the same function computed 1 lane at a time.
+//
+// Dispatch: resolved once at first use from the host CPU (AVX2 on x86-64,
+// NEON on aarch64, scalar otherwise), overridable for tests and benches via
+// set_force_scalar() or the ECMS_FORCE_SCALAR_KERNELS environment variable
+// (any non-empty value other than "0").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "circuit/sparse.hpp"
+
+namespace ecms::circuit::kernels {
+
+/// One kernel backend. All array arguments are SoA unless noted.
+struct Kernels {
+  const char* name;  ///< "scalar", "avx2", "neon"
+
+  /// Numeric refactorization of all `width` lanes over the frozen pivot
+  /// order: per permuted row, scatter A, eliminate against finished rows in
+  /// ascending column order, gather L and U — the exact op sequence of
+  /// SparseLu::refactor(), for every row of every lane unconditionally.
+  /// Degraded or singular lanes produce garbage in later rows (confined to
+  /// that lane); callers must run first_degraded_row() per lane and discard
+  /// accordingly. `work` is the dense scatter scratch, sy.n * width wide.
+  void (*refactor)(const LuSymbolic& sy, const double* a, double* l,
+                   double* u, double* work, std::size_t width);
+
+  /// Forward/backward triangular solves of all lanes in place on `pb`, the
+  /// row-permuted RHS (sy.n * width). Mirrors SparseLu::solve_in_place()
+  /// between its permutation steps; callers gather/scatter per lane.
+  void (*solve)(const LuSymbolic& sy, const double* l, const double* u,
+                double* pb, std::size_t width);
+
+  /// dst[i] = src[i] for `count` doubles — the static-image -> working-
+  /// values broadcast restamp, all lanes at once.
+  void (*copy)(double* dst, const double* src, std::size_t count);
+
+  /// values[slot * width + lane] += g for every slot in `slots` — the gmin
+  /// ground-diagonal term of the static image.
+  void (*diag_add)(double* values, const std::uint32_t* slots,
+                   std::size_t n_slots, double g, std::size_t width);
+};
+
+/// The runtime-dispatched backend (never null).
+const Kernels& active();
+/// The portable scalar backend (always available).
+const Kernels& scalar();
+
+/// True when a vector backend is compiled in and the CPU supports it
+/// (regardless of any forced-scalar override).
+bool vector_available();
+
+/// Test/bench hook: force the scalar backend on (true) or return to CPU
+/// dispatch (false). Overrides ECMS_FORCE_SCALAR_KERNELS. Thread-safe.
+void set_force_scalar(bool force);
+bool force_scalar();
+
+/// Human-readable ISA report for `ecms_tool version`, e.g.
+/// "avx2 (active), scalar fallback available".
+const char* isa_summary();
+
+/// Default lane count for batch_width = auto on this host.
+std::size_t preferred_width();
+
+/// Scalar replica of SparseLu::refactor()'s pivot-health early return for
+/// one lane of a vector-refactored U: the first permuted row whose pivot is
+/// non-finite, exactly zero, or below kRepivotThreshold times the row max,
+/// or -1 when every row is healthy. A lane with a degraded row must be
+/// retired (its L/U rows past that point are garbage).
+long first_degraded_row(const LuSymbolic& sy, const double* u,
+                        std::size_t width, std::size_t lane);
+
+/// The refactor-time pivot-health threshold; mirrors the scalar engine's
+/// (sparse.cpp) so batch retirement decisions match scalar re-pivots.
+inline constexpr double kRepivotThreshold = 1e-10;
+
+/// Internal: the AVX2 backend (kernels_avx2.cpp; null on non-x86-64 hosts).
+/// Callers use active() — this exists only for the dispatch layer.
+const Kernels* avx2_kernels();
+
+}  // namespace ecms::circuit::kernels

@@ -80,6 +80,9 @@ class Mosfet : public Device {
 
   void stamp(const StampContext& ctx, MnaView& a_mat,
              std::span<double> b_vec) const override;
+  /// gmin tie and the five intrinsic capacitances (iterate-independent).
+  void stamp_static(const StampContext& ctx, MnaView& a_mat,
+                    std::span<double> b_vec) const override;
   bool nonlinear() const override { return true; }
   void init_state(const StampContext& ctx) override;
   void accept_step(const StampContext& ctx) override;

@@ -17,7 +17,10 @@ void assemble(const Circuit& ckt, const StampContext& ctx, double gmin_ground,
   a_mat.clear();
   std::fill(b.begin(), b.end(), 0.0);
   MnaView view(a_mat);
-  for (const auto& d : ckt.devices()) d->stamp(ctx, view, b);
+  for (const auto& d : ckt.devices()) {
+    d->stamp_static(ctx, view, b);
+    d->stamp(ctx, view, b);
+  }
   // Floating-node safety net: every node leaks to ground through gmin_ground.
   const std::size_t nv = ckt.node_count() - 1;
   for (std::size_t i = 0; i < nv; ++i) a_mat.at(i, i) += gmin_ground;

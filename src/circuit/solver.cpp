@@ -38,21 +38,12 @@ SolverKind resolve_solver_kind(const SolverConfig& cfg, std::size_t n) {
 }
 
 void SparseEngine::add(std::size_t row, std::size_t col, double v) {
-  const std::uint64_t key = pack_coord(row, col);
+  // Record pass only: replayed assemblies go through the inline ReplayTape
+  // view (device.hpp), never this virtual sink.
+  ECMS_REQUIRE(phase_ == Phase::kRecord, "sparse stamp outside assembly");
   Tape& t = *active_tape_;
-  if (phase_ == Phase::kRecord) {
-    t.coords.push_back(key);
-    t.rec_vals.push_back(v);
-    return;
-  }
-  ECMS_REQUIRE(phase_ == Phase::kReplay, "sparse stamp outside assembly");
-  if (diverged_) return;  // rebuilt from scratch after this pass
-  if (t.cursor >= t.coords.size() || t.coords[t.cursor] != key) {
-    diverged_ = true;
-    return;
-  }
-  replay_values_[t.slots[t.cursor]] += v;
-  ++t.cursor;
+  t.coords.push_back(pack_coord(row, col));
+  t.rec_vals.push_back(v);
 }
 
 void SparseEngine::resolve_slots(Tape& tape) {
@@ -76,7 +67,11 @@ void SparseEngine::discover(const Circuit& ckt, const StampContext& ctx,
   phase_ = Phase::kRecord;
   active_tape_ = &static_tape_;
   for (const auto& d : ckt.devices()) {
-    if (!d->nonlinear()) d->stamp(ctx, view, b_static_);
+    if (d->nonlinear()) {
+      d->stamp_static(ctx, view, b_static_);
+    } else {
+      d->stamp(ctx, view, b_static_);
+    }
   }
   b_work_.copy_from(b_static_.span());
   active_tape_ = &dynamic_tape_;
@@ -164,20 +159,25 @@ void SparseEngine::assemble(const Circuit& ckt, const StampContext& ctx,
     return;
   }
 
-  MnaView view(static_cast<StampSink&>(*this));
   diverged_ = false;
 
   if (static_dirty_) {
     std::fill(static_values_.begin(), static_values_.end(), 0.0);
     b_static_.assign(n_, 0.0);
-    phase_ = Phase::kReplay;
-    active_tape_ = &static_tape_;
-    static_tape_.cursor = 0;
-    replay_values_ = static_values_.data();
+    ReplayTape rt;
+    rt.coords = static_tape_.coords.data();
+    rt.slots = static_tape_.slots.data();
+    rt.size = static_tape_.coords.size();
+    rt.values = static_values_.data();
+    MnaView view(rt);
     for (const auto& d : ckt.devices()) {
-      if (!d->nonlinear()) d->stamp(ctx, view, b_static_);
+      if (d->nonlinear()) {
+        d->stamp_static(ctx, view, b_static_);
+      } else {
+        d->stamp(ctx, view, b_static_);
+      }
     }
-    if (static_tape_.cursor != static_tape_.coords.size()) diverged_ = true;
+    if (rt.diverged || rt.cursor != rt.size) diverged_ = true;
     if (!diverged_) {
       for (const std::uint32_t s : diag_slots_) {
         static_values_[s] += gmin_ground;
@@ -193,16 +193,17 @@ void SparseEngine::assemble(const Circuit& ckt, const StampContext& ctx,
     std::span<double> vals = mat_.values();
     std::copy(static_values_.begin(), static_values_.end(), vals.begin());
     b_work_.copy_from(b_static_.span());
-    phase_ = Phase::kReplay;
-    active_tape_ = &dynamic_tape_;
-    dynamic_tape_.cursor = 0;
-    replay_values_ = vals.data();
+    ReplayTape rt;
+    rt.coords = dynamic_tape_.coords.data();
+    rt.slots = dynamic_tape_.slots.data();
+    rt.size = dynamic_tape_.coords.size();
+    rt.values = vals.data();
+    MnaView view(rt);
     for (const auto& d : ckt.devices()) {
       if (d->nonlinear()) d->stamp(ctx, view, b_work_);
     }
-    if (dynamic_tape_.cursor != dynamic_tape_.coords.size()) diverged_ = true;
+    if (rt.diverged || rt.cursor != rt.size) diverged_ = true;
   }
-  phase_ = Phase::kIdle;
 
   if (diverged_) {
     // A device emitted a different stamp sequence than the recorded tape

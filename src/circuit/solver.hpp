@@ -74,10 +74,11 @@ SolverKind resolve_solver_kind(const SolverConfig& cfg, std::size_t n);
 ///   * stamp-slot tapes: the (row, col) sequence every device emits,
 ///     resolved to value-slot indices, so replayed assemblies are direct
 ///     array writes with no coordinate search, and
-///   * a static image: linear devices (nonlinear() == false) cannot change
-///     between Newton iterations of one point, so their stamps are frozen
-///     once per point and memcpy-restored each iteration; only nonlinear
-///     devices re-stamp.
+///   * a static image: linear devices (nonlinear() == false) and the
+///     stamp_static() portion of nonlinear ones (companion caps, gmin
+///     ties) cannot change between Newton iterations of one point, so
+///     those stamps are frozen once per point and memcpy-restored each
+///     iteration; only the iterate-dependent stamp() bodies re-run.
 ///
 /// With a ProgramCache attached, the first assembly hashes the recorded
 /// coordinate streams and either adopts a published NetlistProgram
@@ -129,6 +130,13 @@ class SparseEngine final : public StampSink {
   std::span<const double> rhs() const { return b_work_.span(); }
   const SparseMatrix& matrix() const { return mat_; }
   double pivot_ratio() const { return lu_.pivot_ratio(); }
+  /// The pivot order this engine actually factors with (adopted or locally
+  /// computed; null before the first assemble/factor). The batch engine
+  /// compares this against its shared symbolic to decide whether a lane may
+  /// ride the vector kernels or must solve through this engine directly.
+  const std::shared_ptr<const LuSymbolic>& lu_symbolic() const {
+    return lu_.symbolic();
+  }
 
   /// The shared program this engine adopted or published (null when the
   /// cache is disabled or nothing has been compiled yet).
@@ -148,13 +156,14 @@ class SparseEngine final : public StampSink {
   void add(std::size_t row, std::size_t col, double v) override;
 
  private:
-  enum class Phase { kIdle, kRecord, kReplay };
+  // Replayed assemblies bypass the virtual sink entirely (ReplayTape in
+  // device.hpp); the phase machinery below only guards the record pass.
+  enum class Phase { kIdle, kRecord };
 
   struct Tape {
     std::vector<std::uint64_t> coords;  // packed (row, col), in stamp order
     std::vector<std::uint32_t> slots;   // resolved value slots, same order
     std::vector<double> rec_vals;       // values seen during discovery
-    std::size_t cursor = 0;
   };
 
   void discover(const Circuit& ckt, const StampContext& ctx,
@@ -173,7 +182,6 @@ class SparseEngine final : public StampSink {
   Phase phase_ = Phase::kIdle;
   Tape static_tape_, dynamic_tape_;
   Tape* active_tape_ = nullptr;
-  double* replay_values_ = nullptr;
   std::vector<std::uint32_t> diag_slots_;
   SparseMatrix mat_;
   util::ArenaBuf<double> static_values_;  // frozen matrix image (nnz values)

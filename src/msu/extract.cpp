@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "msu/batch_extract.hpp"
+
 #include "circuit/mosfet.hpp"
 #include "circuit/sources.hpp"
 #include "edram/netlister.hpp"
@@ -269,6 +271,13 @@ RobustExtraction extract_array(const edram::MacroCell& mc,
   if (opts.delta_i <= 0.0) {
     const FastModel design(mc, params);
     opts.delta_i = design.delta_i();
+  }
+  // Lockstep batching measures chunks of cells through one shared compiled
+  // program; lanes that cannot keep lockstep fall back to the scalar path
+  // below per cell, so results are identical either way.
+  if (plan.batch_width != 1 && batch_engageable(plan)) {
+    const std::size_t w = resolved_batch_width(plan.batch_width);
+    if (w >= 2) return extract_array_batched(mc, params, plan, opts, w);
   }
   // With no containment, no retries and no hook there is nothing between
   // the caller and the per-cell solve: let the original exception escape.

@@ -95,6 +95,13 @@ struct ExtractPlan {
   /// before each cell's measurement; throwing marks the attempt failed
   /// (the fault-injection point, see ecms::fault::CellFaultPlan).
   std::function<void(std::size_t, std::size_t, int)> cell_hook;
+  /// Lockstep batch width (DESIGN.md §14): 1 = scalar per-cell measurement
+  /// (default), 0 = auto (lane count picked by the host's vector ISA),
+  /// N >= 2 = exactly N lanes. Only engages when the plan is batchable (no
+  /// solve hooks, a shared program cache, non-dense solver); otherwise the
+  /// scalar path runs regardless. Batched results are bit-identical to the
+  /// scalar path by construction.
+  int batch_width = 1;
 };
 
 /// Measures every cell of the macro-cell at transistor level under `plan`.

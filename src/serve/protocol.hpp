@@ -34,7 +34,10 @@
 
 namespace ecms::serve {
 
-inline constexpr std::uint32_t kProtocolVersion = 1;
+// v2: ExtractSpec grew the `batch` field (lockstep batch width). The
+// handshake hash covers struct sizes, so a v1 peer is refused at kHello
+// rather than silently misreading the wider spec.
+inline constexpr std::uint32_t kProtocolVersion = 2;
 inline constexpr std::uint32_t kFrameMagic = 0x45565253;  // "SRVE"
 /// A metrics/trace export or a result frame larger than this is
 /// structurally impossible at supported array sizes; treat it as corruption
@@ -102,6 +105,7 @@ struct ExtractSpec {
   std::uint32_t solver = 2;         ///< circuit::SolverKind (0/1/2 = dense/sparse/auto)
   std::uint32_t retries = 2;        ///< per-cell attempt budget
   std::uint32_t share_programs = 1; ///< adopt the process-wide ProgramCache
+  std::uint32_t batch = 0;          ///< lockstep width: 0 = auto, 1 = off, n = lanes
   std::uint32_t want_progress = 0;  ///< stream per-tile Progress frames
   std::uint32_t deadline_ms = 0;    ///< queue deadline from admission; 0 = none
 };

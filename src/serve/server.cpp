@@ -50,6 +50,7 @@ std::string validate(const ExtractSpec& s) {
     return "cols not divisible by tile_cols";
   if (s.engine > 1) return "unknown engine";
   if (s.solver > 2) return "unknown solver kind";
+  if (s.batch > 64) return "batch width too large (limit 64 lanes)";
   return {};
 }
 

@@ -52,6 +52,7 @@ extraction::ExtractRequest request_of(const ExtractSpec& spec) {
   req.options.newton.solver.kind = static_cast<circuit::SolverKind>(
       std::min<std::uint32_t>(spec.solver, 2));
   req.share_programs = spec.share_programs != 0;
+  req.batch_width = static_cast<int>(spec.batch);
   return req;
 }
 

@@ -1,0 +1,228 @@
+// Batched lockstep extraction (DESIGN.md §14): the golden contract that
+// extract_array with batch_width > 1 produces results bit-identical to the
+// scalar per-cell path — exhaustive and adaptive flows, forced-scalar
+// kernels, fault-injected cells retiring to the scalar path, and the
+// engagement predicate that keeps hooked / cache-less / dense plans off the
+// batch entirely.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "circuit/kernels.hpp"
+#include "fault/fault.hpp"
+#include "msu/batch_extract.hpp"
+#include "msu/extract.hpp"
+#include "tech/tech.hpp"
+
+namespace ecms::msu {
+namespace {
+
+edram::MacroCell mc2x2(double cap = 30e-15) {
+  return edram::MacroCell::uniform({.rows = 2, .cols = 2}, tech::tech018(),
+                                   cap);
+}
+
+// Bit-identity is claimed against the scalar *sparse* path (the batch
+// kernels are the sparse backend across lanes). kAuto picks the dense
+// backend below the crossover on these small arrays, which agrees on codes
+// (the EXT-A9 contract) but not on last bits, so the bitwise tests pin the
+// solver; AutoSolverEngagesAndCodesMatch covers the kAuto pairing.
+ExtractPlan sparse_plan() {
+  ExtractPlan plan;
+  plan.retry.max_attempts = 1;
+  plan.options.newton.solver.kind = circuit::SolverKind::kSparse;
+  return plan;
+}
+
+// Per-cell results must agree field by field; doubles compare exactly (the
+// batch path's claim is bit-identity, not closeness).
+void expect_identical(const RobustExtraction& batched,
+                      const RobustExtraction& scalar) {
+  ASSERT_EQ(batched.results.size(), scalar.results.size());
+  ASSERT_EQ(batched.status, scalar.status);
+  for (std::size_t i = 0; i < scalar.results.size(); ++i) {
+    const ExtractionResult& b = batched.results[i];
+    const ExtractionResult& s = scalar.results[i];
+    EXPECT_EQ(b.code, s.code) << "cell " << i;
+    EXPECT_EQ(b.status, s.status) << "cell " << i;
+    ASSERT_EQ(b.t_out_rise.has_value(), s.t_out_rise.has_value())
+        << "cell " << i;
+    if (s.t_out_rise) {
+      EXPECT_EQ(*b.t_out_rise, *s.t_out_rise) << "cell " << i;
+    }
+    EXPECT_EQ(b.v_plate_charged, s.v_plate_charged) << "cell " << i;
+    EXPECT_EQ(b.vgs_shared, s.vgs_shared) << "cell " << i;
+    EXPECT_EQ(b.prefix_steps, s.prefix_steps) << "cell " << i;
+    EXPECT_EQ(b.stats.accepted_steps, s.stats.accepted_steps) << "cell " << i;
+    EXPECT_EQ(b.stats.newton_iterations, s.stats.newton_iterations)
+        << "cell " << i;
+    EXPECT_EQ(b.adaptive.used, s.adaptive.used) << "cell " << i;
+    EXPECT_EQ(b.adaptive.probes, s.adaptive.probes) << "cell " << i;
+  }
+  EXPECT_EQ(batched.report.recovered, scalar.report.recovered);
+  EXPECT_EQ(batched.report.failures.size(), scalar.report.failures.size());
+}
+
+class BatchEngineT : public ::testing::Test {
+ protected:
+  void TearDown() override { circuit::kernels::set_force_scalar(false); }
+};
+
+TEST_F(BatchEngineT, EngagementPredicateGatesTheBatchPath) {
+  ExtractPlan plan;
+  EXPECT_TRUE(batch_engageable(plan));
+
+  ExtractPlan dense = plan;
+  dense.options.newton.solver.kind = circuit::SolverKind::kDense;
+  EXPECT_FALSE(batch_engageable(dense));
+
+  ExtractPlan uncached = plan;
+  uncached.options.newton.solver.program_cache = nullptr;
+  EXPECT_FALSE(batch_engageable(uncached));
+
+  fault::SolverFaultInjector inj;
+  const circuit::SolveHooks hooks = inj.hooks();
+  ExtractPlan hooked = plan;
+  hooked.options.newton.hooks = &hooks;
+  EXPECT_FALSE(batch_engageable(hooked));
+
+  EXPECT_EQ(resolved_batch_width(8), 8u);
+  EXPECT_EQ(resolved_batch_width(0),
+            circuit::kernels::preferred_width());
+  EXPECT_GE(resolved_batch_width(0), 4u);
+}
+
+TEST_F(BatchEngineT, ExhaustiveArrayBitIdenticalToScalarPath) {
+  const auto mc = mc2x2();
+  const ExtractPlan scalar_plan = sparse_plan();
+  const auto scalar = extract_array(mc, {}, scalar_plan);
+
+  // Widths that tile the 4 cells evenly (4), with a remainder chunk (3),
+  // and auto (0 resolves to the host's preferred lane count).
+  for (int width : {4, 3, 0}) {
+    ExtractPlan plan = scalar_plan;
+    plan.batch_width = width;
+    const auto batched = extract_array(mc, {}, plan);
+    SCOPED_TRACE("batch_width=" + std::to_string(width));
+    expect_identical(batched, scalar);
+  }
+}
+
+TEST_F(BatchEngineT, AdaptiveArrayBitIdenticalIncludingProbeCounts) {
+  // The staircase-replay must reproduce the scalar scheduler probe by
+  // probe, so per-cell probe counts and accumulated step/iteration stats
+  // match exactly, not just the codes.
+  const auto mc = mc2x2();
+  ExtractPlan scalar_plan = sparse_plan();
+  scalar_plan.options.adaptive.enabled = true;
+  const auto scalar = extract_array(mc, {}, scalar_plan);
+
+  ExtractPlan plan = scalar_plan;
+  plan.batch_width = 4;
+  const auto batched = extract_array(mc, {}, plan);
+  expect_identical(batched, scalar);
+  for (const auto& r : batched.results) {
+    EXPECT_TRUE(r.adaptive.attempted);
+  }
+}
+
+TEST_F(BatchEngineT, ForcedScalarKernelsProduceIdenticalResults) {
+  const auto mc = mc2x2();
+  ExtractPlan plan = sparse_plan();
+  plan.batch_width = 4;
+  const auto dispatched = extract_array(mc, {}, plan);
+
+  circuit::kernels::set_force_scalar(true);
+  const auto forced = extract_array(mc, {}, plan);
+  circuit::kernels::set_force_scalar(false);
+  expect_identical(forced, dispatched);
+}
+
+TEST_F(BatchEngineT, HookFailedCellsRetireToScalarRetryPath) {
+  // Attempt 0 of cell (1, 0) throws before it can join the batch; the
+  // retry budget lets attempt 1 measure it on the scalar path, exactly as
+  // the scalar engine would have.
+  const auto mc = mc2x2();
+  auto flaky_hook = [](std::size_t r, std::size_t c, int attempt) {
+    if (r == 1 && c == 0 && attempt == 0) {
+      throw std::runtime_error("injected attempt-0 fault");
+    }
+  };
+
+  ExtractPlan scalar_plan = sparse_plan();
+  scalar_plan.retry.max_attempts = 2;
+  scalar_plan.cell_hook = flaky_hook;
+  const auto scalar = extract_array(mc, {}, scalar_plan);
+
+  ExtractPlan plan = scalar_plan;
+  plan.batch_width = 4;
+  const auto batched = extract_array(mc, {}, plan);
+  expect_identical(batched, scalar);
+  ASSERT_EQ(batched.status.size(), 4u);
+  EXPECT_EQ(batched.status[2], CellStatus::kRecovered);  // cell (1, 0)
+  EXPECT_EQ(batched.report.recovered, 1u);
+}
+
+TEST_F(BatchEngineT, UnmeasurableCellsAreContainedIdentically) {
+  // Cell (0, 1) fails every attempt: the batch path must produce the same
+  // clamped placeholder and failure report as the scalar engine.
+  const auto mc = mc2x2();
+  auto dead_hook = [](std::size_t r, std::size_t c, int) {
+    if (r == 0 && c == 1) throw std::runtime_error("cell is dead");
+  };
+
+  ExtractPlan scalar_plan = sparse_plan();
+  scalar_plan.retry.max_attempts = 2;
+  scalar_plan.unmeasurable_code = 7;
+  scalar_plan.cell_hook = dead_hook;
+  const auto scalar = extract_array(mc, {}, scalar_plan);
+
+  ExtractPlan plan = scalar_plan;
+  plan.batch_width = 4;
+  const auto batched = extract_array(mc, {}, plan);
+  expect_identical(batched, scalar);
+  ASSERT_EQ(batched.status.size(), 4u);
+  EXPECT_EQ(batched.status[1], CellStatus::kUnmeasurable);
+  EXPECT_EQ(batched.results[1].code, 7);
+  ASSERT_EQ(batched.report.failures.size(), 1u);
+  EXPECT_EQ(batched.report.failures[0].row, 0u);
+  EXPECT_EQ(batched.report.failures[0].col, 1u);
+}
+
+TEST_F(BatchEngineT, AutoSolverEngagesAndCodesMatch) {
+  // Under kAuto the scalar path may run the dense backend below the
+  // crossover while the batch lanes are always sparse: codes and statuses
+  // must still pair up exactly (the EXT-A9 dense==sparse code contract).
+  const auto mc = mc2x2();
+  ExtractPlan scalar_plan;
+  scalar_plan.retry.max_attempts = 1;
+  ASSERT_TRUE(batch_engageable(scalar_plan));
+  const auto scalar = extract_array(mc, {}, scalar_plan);
+
+  ExtractPlan plan = scalar_plan;
+  plan.batch_width = 4;
+  const auto batched = extract_array(mc, {}, plan);
+  ASSERT_EQ(batched.results.size(), scalar.results.size());
+  EXPECT_EQ(batched.status, scalar.status);
+  for (std::size_t i = 0; i < scalar.results.size(); ++i) {
+    EXPECT_EQ(batched.results[i].code, scalar.results[i].code) << "cell " << i;
+  }
+}
+
+TEST_F(BatchEngineT, NonSquareArrayChunksCoverEveryCell) {
+  const auto mc = edram::MacroCell::uniform({.rows = 2, .cols = 3},
+                                            tech::tech018(), 30e-15);
+  const ExtractPlan scalar_plan = sparse_plan();
+  const auto scalar = extract_array(mc, {}, scalar_plan);
+
+  ExtractPlan plan = scalar_plan;
+  plan.batch_width = 4;  // chunks of 4 + 2 over the 6 cells
+  const auto batched = extract_array(mc, {}, plan);
+  expect_identical(batched, scalar);
+  EXPECT_EQ(batched.results.size(), 6u);
+}
+
+}  // namespace
+}  // namespace ecms::msu

@@ -27,6 +27,7 @@
 #include "campaign/worker.hpp"
 #include "bitmap/diagnosis.hpp"
 #include "bitmap/extraction.hpp"
+#include "circuit/kernels.hpp"
 #include "circuit/solver.hpp"
 #include "circuit/spice_io.hpp"
 #include "edram/behavioral.hpp"
@@ -174,6 +175,11 @@ struct CliRunConfig {
   /// of sharing through the process-wide topology cache (the A/B switch
   /// for cache-accounting runs; codes are bit-identical either way).
   bool program_cache = true;
+  /// --batch / --batch-width N / --no-batch: lockstep batch width for the
+  /// circuit engine (DESIGN.md §14). 0 = auto (lane count picked by the
+  /// host's vector ISA), 1 = scalar per-cell measurement, N >= 2 = exactly
+  /// N lanes. Codes are bit-identical either way.
+  int batch_width = 0;
 };
 
 /// `adaptive_default` is per-command: the single-cell `extract` keeps the
@@ -206,6 +212,23 @@ CliRunConfig run_config_of(const Args& args, bool adaptive_default) {
                      solver + "')");
   }
   cfg.program_cache = !args.flag("no-program-cache");
+  if (args.flag("no-batch") &&
+      (args.flag("batch") || args.flag("batch-width"))) {
+    throw UsageError("--no-batch and --batch/--batch-width are mutually "
+                     "exclusive");
+  }
+  if (args.flag("no-batch")) {
+    cfg.batch_width = 1;
+  } else if (args.flag("batch-width")) {
+    const long long w = args.integer("batch-width", 0);
+    if (w < 2 || w > 64) {
+      throw UsageError("--batch-width expects a lane count in [2, 64], got '" +
+                       args.str("batch-width", "") + "'");
+    }
+    cfg.batch_width = static_cast<int>(w);
+  }
+  // Bare --batch selects the default (auto width); accepted so scripted A/B
+  // runs can spell both arms explicitly.
   return cfg;
 }
 
@@ -220,6 +243,7 @@ void apply_run_config(extraction::ExtractRequest& req, const CliRunConfig& cfg,
   req.options.adaptive.enabled = cfg.adaptive;
   req.options.newton.solver = cfg.solver;
   req.share_programs = cfg.program_cache;
+  req.batch_width = cfg.batch_width;
   if (cfg.fault_rate > 0.0) req.cell_hook = plan.hook();
 }
 
@@ -679,6 +703,24 @@ serve::ExtractSpec extract_spec_of(const Args& args) {
   }
   spec.solver = static_cast<std::uint32_t>(kind);
   spec.retries = static_cast<std::uint32_t>(args.integer("retries", 2));
+  // Same spelling as the one-shot run shape: --no-batch pins scalar,
+  // --batch-width pins a lane count, the default lets the server pick by
+  // its own vector ISA (the server's, not this client's).
+  if (args.flag("no-batch") &&
+      (args.flag("batch") || args.flag("batch-width"))) {
+    throw UsageError("--no-batch and --batch/--batch-width are mutually "
+                     "exclusive");
+  }
+  if (args.flag("no-batch")) {
+    spec.batch = 1;
+  } else if (args.flag("batch-width")) {
+    const long long w = args.integer("batch-width", 0);
+    if (w < 2 || w > 64) {
+      throw UsageError("--batch-width expects a lane count in [2, 64], got '" +
+                       args.str("batch-width", "") + "'");
+    }
+    spec.batch = static_cast<std::uint32_t>(w);
+  }
   spec.want_progress = args.flag("progress") ? 1 : 0;
   spec.deadline_ms = static_cast<std::uint32_t>(args.num("deadline-ms", 0));
   return spec;
@@ -832,6 +874,26 @@ int cmd_client(const Args& args) {
   return any_unmeasurable ? kExitDegraded : kExitOk;
 }
 
+/// Build/runtime capability report: which batched-kernel ISA backend the
+/// dispatcher resolved on this host, what batch_width = auto means here,
+/// and whether a forced-scalar override is in effect. The serve protocol
+/// version rides along so client/daemon pairings can be checked by eye.
+int cmd_version(const Args&) {
+  std::printf("ecms_tool — eDRAM capacitor measurement structure\n");
+  std::printf("  simd kernels     %s\n", circuit::kernels::isa_summary());
+  std::printf("  vector backend   %s\n",
+              circuit::kernels::vector_available() ? "available" : "absent");
+  std::printf("  batch auto width %zu lanes\n",
+              circuit::kernels::preferred_width());
+  std::printf("  scalar override  %s\n",
+              circuit::kernels::force_scalar()
+                  ? "on (ECMS_FORCE_SCALAR_KERNELS)"
+                  : "off");
+  std::printf("  serve protocol   v%u\n",
+              static_cast<unsigned>(serve::kProtocolVersion));
+  return kExitOk;
+}
+
 int usage() {
   std::fprintf(stderr, "%s",
       "usage: ecms_tool <command> [--option value ...]\n"
@@ -879,8 +941,12 @@ int usage() {
       "           --engine fast|circuit --tile-rows N --tile-cols N\n"
       "           --count N (submit N pipelined requests) --progress\n"
       "           --deadline-ms MS --retries N --no-adaptive --solver K\n"
+      "           --batch | --batch-width N | --no-batch\n"
       "           --metrics | --trace   print the server's JSON export\n"
       "           --calibrate [--rows N --cols N --steps N --points N]\n"
+      "  version  report the batched-kernel ISA dispatch on this host\n"
+      "           (active backend, auto lane width, scalar override) and\n"
+      "           the serve protocol version\n"
       "\n"
       "run shape (extract, bitmap, array — parsed once, same everywhere):\n"
       "  --jobs N        worker threads (default 1; 0 = one per hardware\n"
@@ -905,6 +971,13 @@ int usage() {
       "                  instead of sharing the process-wide topology\n"
       "                  cache (A/B switch for cache accounting; codes\n"
       "                  are bit-identical either way)\n"
+      "  --batch         lockstep batched cell simulation, auto lane\n"
+      "                  width from the host's vector ISA (the default\n"
+      "                  for the circuit engine; spelled out for A/B\n"
+      "                  runs against --no-batch)\n"
+      "  --batch-width N exactly N lockstep lanes (2..64)\n"
+      "  --no-batch      scalar per-cell measurement; codes are\n"
+      "                  bit-identical to every batched shape\n"
       "\n"
       "observability (extract, bitmap, array; either flag also prints a\n"
       "summary table; default runs stay uninstrumented and deterministic):\n"
@@ -956,6 +1029,7 @@ int main(int argc, char** argv) {
     if (cmd == "campaign-worker") return cmd_campaign_worker(args);
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "client") return cmd_client(args);
+    if (cmd == "version" || cmd == "--version") return cmd_version(args);
     return usage();
   } catch (const UsageError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
